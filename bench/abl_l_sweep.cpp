@@ -1,0 +1,72 @@
+// ABL-L — the l parameter trade-off (paper §3.3):
+//
+//   "A larger value of l makes the mechanism more robust since the failure
+//    to receive a beacon may be due to collision or temporary wireless
+//    channel instability other than the leave of the reference node.  As
+//    price, a larger l increases the synchronization error when the
+//    reference node changes."  (Lemma 2: D+ <= (l+2) D-.)
+//
+// Two sweeps: (a) reference departure at a fixed time — the excursion after
+// it should grow with l; (b) heavy packet loss — small l triggers spurious
+// elections, large l rides the losses out.
+#include <vector>
+
+#include "bench_common.h"
+#include "runner/sweep.h"
+
+int main() {
+  using namespace sstsp;
+  bench::banner("ABL-L", "Missed-beacon tolerance l: robustness vs "
+                         "reference-change error",
+                "larger l -> bigger excursion at reference change, fewer "
+                "spurious elections under loss");
+
+  const std::vector<int> ls{1, 2, 3, 5};
+
+  // (a) reference change impact.
+  std::vector<run::Scenario> change;
+  for (const int l : ls) {
+    run::Scenario s;
+    s.protocol = run::ProtocolKind::kSstsp;
+    s.num_nodes = 100;
+    s.duration_s = 120.0;
+    s.seed = 2006;
+    s.sstsp.l = l;
+    s.sstsp.m = l + 3;  // the Lemma-2 optimum for each l
+    s.sstsp.chain_length = 1400;
+    s.reference_departures_s = {60.0};
+    change.push_back(s);
+  }
+  const auto change_results = run::run_sweep(change);
+
+  // (b) lossy channel.
+  std::vector<run::Scenario> lossy;
+  for (const int l : ls) {
+    run::Scenario s;
+    s.protocol = run::ProtocolKind::kSstsp;
+    s.num_nodes = 100;
+    s.duration_s = 120.0;
+    s.seed = 2007;
+    s.sstsp.l = l;
+    s.sstsp.chain_length = 1400;
+    s.phy.packet_error_rate = 0.02;  // 200x the paper's PER
+    lossy.push_back(s);
+  }
+  const auto lossy_results = run::run_sweep(lossy);
+
+  metrics::TextTable table({"l", "m", "excursion after ref change (us)",
+                            "steady max (us)", "elections @PER=2%",
+                            "p99 @PER=2% (us)"});
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    const auto exc = change_results[i].max_diff.max_in(60.0, 70.0);
+    const auto steady = change_results[i].steady_max_us;
+    const auto lossy_p99 = lossy_results[i].steady_p99_us;
+    table.add_row({std::to_string(ls[i]), std::to_string(ls[i] + 3),
+                   exc ? metrics::fmt(*exc, 1) : "-",
+                   steady ? metrics::fmt(*steady, 1) : "-",
+                   std::to_string(lossy_results[i].honest.elections_won),
+                   lossy_p99 ? metrics::fmt(*lossy_p99, 1) : "-"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench binary prints (a) what the paper reports for this artifact,
+// (b) the measured reproduction as an ASCII table/strip-chart, and (c)
+// writes the raw series to CSV under bench_out/ so the curves can be
+// re-plotted with any tool.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "metrics/report.h"
+#include "runner/experiment.h"
+
+namespace sstsp::bench {
+
+inline std::string out_dir() {
+  const char* env = std::getenv("SSTSP_BENCH_OUT");
+  std::string dir = (env != nullptr) ? env : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_claim) {
+  std::cout << "================================================================\n"
+            << id << " — " << title << '\n'
+            << "paper: " << paper_claim << '\n'
+            << "================================================================\n";
+}
+
+inline void dump_series(const metrics::Series& series, const std::string& name,
+                        double bucket_s, bool log_scale) {
+  metrics::print_ascii_series(std::cout, series, bucket_s, log_scale);
+  const std::string path = out_dir() + "/" + name + ".csv";
+  if (metrics::write_csv(series, path, "max_clock_diff_us")) {
+    std::cout << "(series written to " << path << ")\n";
+  }
+}
+
+inline void summarize(const run::RunResult& r, double duration_s) {
+  std::cout << "sync latency (<25 us sustained): "
+            << (r.sync_latency_s ? metrics::fmt(*r.sync_latency_s, 2) + " s"
+                                 : std::string("never"))
+            << " | steady max: "
+            << (r.steady_max_us ? metrics::fmt(*r.steady_max_us, 2) + " us"
+                                : std::string("n/a"))
+            << " | steady p99: "
+            << (r.steady_p99_us ? metrics::fmt(*r.steady_p99_us, 2) + " us"
+                                : std::string("n/a"))
+            << '\n';
+  std::cout << "traffic: " << r.channel.transmissions << " beacons ("
+            << r.channel.collided_transmissions << " collided), "
+            << r.channel.bytes_on_air << " bytes on air over "
+            << metrics::fmt(duration_s, 0) << " s\n";
+}
+
+}  // namespace sstsp::bench

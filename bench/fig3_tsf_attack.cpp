@@ -1,0 +1,75 @@
+// FIG3 — "Maximum clock difference: TSF, 100 nodes, an attacker"
+// (paper Fig. 3).
+//
+// An attacker beacons at every BP without delay during 400-600 s, carrying
+// timestamps slower than its clock.  It silences the fast stations (it
+// wins/wrecks the contention) while never being adopted, so the honest
+// network free-runs: the paper reports the error exploding to ~2*10^4 us
+// during the window and recovering afterwards.
+//
+// Our CSMA model is less forgiving to the attacker than the paper's
+// contention abstraction: honest stragglers drift out of the attacker's
+// beacon-burst coverage and occasionally re-synchronize their neighbours,
+// capping the excursion at the coverage width (several hundred us) instead
+// of letting it grow unboundedly.  The shape — orders-of-magnitude blowup
+// during the window, prompt recovery after — is preserved; see
+// EXPERIMENTS.md for the discussion.
+#include "bench_common.h"
+
+int main() {
+  using namespace sstsp;
+  bench::banner("FIG3", "Maximum clock difference — TSF, 100 nodes, attacker "
+                        "active 400-600 s",
+                "error explodes (paper: ~2*10^4 us) during the attack, "
+                "recovers after");
+
+  auto scenario = run::Scenario::paper_section5(run::ProtocolKind::kTsf, 100,
+                                                /*seed=*/2006);
+  scenario.attack = run::AttackKind::kTsfSlowBeacon;
+  scenario.tsf_attack.start_s = 400.0;
+  scenario.tsf_attack.end_s = 600.0;
+  const auto result = run::run_scenario(scenario);
+
+  bench::dump_series(result.max_diff, "fig3_tsf_attack", 20.0,
+                     /*log_scale=*/true);
+  bench::summarize(result, scenario.duration_s);
+
+  // TSF's baseline already shows multi-ms *transients* whenever a churned
+  // node returns 50 s of free-run later (it re-enters up to ~5 ms off and
+  // is adopted within seconds), so the attack's signature is the
+  // *sustained* error level: medians and p95s, not maxima.
+  metrics::TextTable table({"window", "median (us)", "p95 (us)", "max (us)"});
+  struct Win {
+    const char* name;
+    double a, b;
+  };
+  for (const Win w : {Win{"before attack (100-400 s)", 100, 400},
+                      Win{"during attack (400-600 s)", 400, 600},
+                      Win{"after attack (650-1000 s)", 650, 1000}}) {
+    const auto med = result.max_diff.quantile_in(0.5, w.a, w.b);
+    const auto p95 = result.max_diff.quantile_in(0.95, w.a, w.b);
+    const auto mx = result.max_diff.max_in(w.a, w.b);
+    table.add_row({w.name, med ? metrics::fmt(*med, 1) : "-",
+                   p95 ? metrics::fmt(*p95, 1) : "-",
+                   mx ? metrics::fmt(*mx, 1) : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "fraction of attack-window samples above 100 us: ";
+  std::size_t above = 0;
+  std::size_t total = 0;
+  for (const auto& p : result.max_diff.points()) {
+    if (p.t_s >= 405.0 && p.t_s <= 600.0) {
+      ++total;
+      if (p.value_us > 100.0) ++above;
+    }
+  }
+  std::cout << metrics::fmt(100.0 * static_cast<double>(above) /
+                                static_cast<double>(total),
+                            1)
+            << " %\n";
+  if (result.attacker) {
+    std::cout << "attacker transmitted " << result.attacker->beacons_sent
+              << " forged beacons\n";
+  }
+  return 0;
+}

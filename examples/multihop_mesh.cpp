@@ -1,0 +1,95 @@
+// Multi-hop mesh: a campus corridor of 802.11 nodes where only neighbours
+// hear each other.  Demonstrates the multi-hop SSTSP extension (the paper's
+// §6 future work): the time reference sits at one end, relays flood its
+// timeline outward one stagger per hop, every hop µTESLA-authenticated with
+// the relay's own chain.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "clock/drift_model.h"
+#include "crypto/hash_chain.h"
+#include "metrics/report.h"
+#include "multihop/sstsp_mh.h"
+
+int main() {
+  using namespace sstsp;
+
+  constexpr int kNodes = 10;        // a 9-hop corridor
+  constexpr double kSpacing = 40.0;  // metres between nodes
+  constexpr double kRange = 55.0;    // radio range: direct neighbours only
+
+  sim::Simulator sim(2024);
+  mac::PhyParams phy;
+  phy.radio_range_m = kRange;
+  mac::Channel channel(sim, phy);
+  core::KeyDirectory directory;
+  multihop::MultiHopConfig cfg;
+  cfg.base.chain_length = 2500;
+  cfg.max_level = kNodes;
+
+  std::vector<std::unique_ptr<proto::Station>> stations;
+  std::vector<multihop::SstspMh*> protos;
+  sim::Rng rng(99);
+  for (int i = 0; i < kNodes; ++i) {
+    const auto id = static_cast<mac::NodeId>(i);
+    auto st = std::make_unique<proto::Station>(
+        sim, channel, id,
+        clk::HardwareClock(clk::DriftModel::uniform(rng),
+                           rng.uniform(-60.0, 60.0)),
+        mac::Position{i * kSpacing, 0.0});
+    directory.register_node(
+        id, crypto::ChainParams{crypto::derive_seed(2024, id),
+                                cfg.base.chain_length});
+    auto proto = std::make_unique<multihop::SstspMh>(
+        *st, cfg, directory, multihop::SstspMh::Options{i == 0});
+    protos.push_back(proto.get());
+    st->set_protocol(std::move(proto));
+    stations.push_back(std::move(st));
+  }
+  for (auto& st : stations) st->power_on();
+
+  std::cout << "multihop_mesh: " << kNodes << " nodes, " << kSpacing
+            << " m apart, radio range " << kRange
+            << " m (neighbours only)\nreference at node 0; watch the tree "
+               "build out one level per few beacons:\n\n";
+  std::cout << "  t(s)  levels (— = not yet synchronized)        "
+               "end-to-end diff\n";
+
+  for (const double t : {0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 30.0}) {
+    sim.run_until(sim::SimTime::from_sec_double(t));
+    std::cout << std::setw(6) << t << "  ";
+    double lo = 1e18, hi = -1e18;
+    for (const auto* p : protos) {
+      if (p->is_synchronized()) {
+        std::cout << std::setw(3) << static_cast<int>(p->level());
+        const double v = p->network_time_us(sim.now());
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      } else {
+        std::cout << "  —";
+      }
+    }
+    std::cout << "   "
+              << (hi > lo ? metrics::fmt(hi - lo, 1) + " us" : std::string("—"))
+              << '\n';
+  }
+
+  std::cout << "\nafter 30 s:\n";
+  for (int i = 0; i < kNodes; ++i) {
+    const auto& st = *protos[static_cast<std::size_t>(i)];
+    std::cout << "  node " << i << ": level " << int(st.level())
+              << (st.is_reference() ? " (reference)" : "")
+              << ", upstream "
+              << (st.upstream() == mac::kNoNode
+                      ? std::string("—")
+                      : std::to_string(st.upstream()))
+              << ", " << st.stats().beacons_sent << " beacons relayed, "
+              << st.stats().adjustments << " clock adjustments\n";
+  }
+  std::cout << "\nEvery relay hop re-signs with its own µTESLA chain — a "
+               "forged or replayed relay\nbeacon is rejected exactly like a "
+               "forged reference beacon in the single-hop case.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Protocol shootout: all five implemented synchronization protocols on the
+// same 150-node IBSS, same seeds, same radio — TSF (IEEE 802.11 baseline),
+// ATSP, TATSP, SATSF (the contention-tuning improvements the paper compares
+// against) and SSTSP (the paper's contribution).
+#include <iostream>
+#include <vector>
+
+#include "metrics/report.h"
+#include "runner/sweep.h"
+
+int main() {
+  using namespace sstsp;
+
+  const std::vector<run::ProtocolKind> kinds{
+      run::ProtocolKind::kTsf, run::ProtocolKind::kAtsp,
+      run::ProtocolKind::kTatsp, run::ProtocolKind::kSatsf,
+      run::ProtocolKind::kRentelKunz, run::ProtocolKind::kSstsp};
+
+  std::vector<run::Scenario> scenarios;
+  for (const auto kind : kinds) {
+    run::Scenario s;
+    s.protocol = kind;
+    s.num_nodes = 150;
+    s.duration_s = 120.0;
+    s.seed = 99;
+    s.sstsp.chain_length = 1400;
+    scenarios.push_back(s);
+  }
+
+  std::cout << "protocol shootout: 150 nodes, 120 s, identical conditions\n"
+            << "(running " << scenarios.size() << " simulations";
+#ifndef NDEBUG
+  std::cout << ", debug build may be slow";
+#endif
+  std::cout << ")\n\n";
+
+  const auto results = run::run_sweep(scenarios);
+
+  metrics::TextTable table({"protocol", "latency (s)", "p99 err (us)",
+                            "max err (us)", "beacons", "collided",
+                            "bytes/s", "secure?"});
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row(
+        {run::protocol_name(kinds[i]),
+         r.sync_latency_s ? metrics::fmt(*r.sync_latency_s, 2) : "never",
+         r.steady_p99_us ? metrics::fmt(*r.steady_p99_us, 2) : "-",
+         r.steady_max_us ? metrics::fmt(*r.steady_max_us, 2) : "-",
+         std::to_string(r.channel.transmissions),
+         std::to_string(r.channel.collided_transmissions),
+         metrics::fmt(static_cast<double>(r.channel.bytes_on_air) / 120.0, 0),
+         kinds[i] == run::ProtocolKind::kSstsp ? "yes (µTESLA)" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nreading guide:\n"
+      << "  * TSF shows the fastest-node-asynchronization / collision "
+         "problem at this size;\n"
+      << "  * ATSP/TATSP/SATSF thin the contention and improve on TSF, but "
+         "keep the same per-BP\n"
+      << "    contention mechanism (and none of them authenticates "
+         "anything);\n"
+      << "  * SSTSP emits exactly one (authenticated) beacon per BP and "
+         "achieves the tightest sync\n"
+      << "    at the lowest airtime despite its bigger 92-byte frames.\n";
+  return 0;
+}

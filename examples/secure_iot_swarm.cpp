@@ -1,0 +1,91 @@
+// A day-in-the-life scenario: a 150-device sensor swarm (single-hop 802.11
+// IBSS) that needs synchronized time for TDMA-style duty cycling.  Devices
+// churn in and out, the elected time reference dies twice, and halfway
+// through a compromised device mounts the §5 internal attack.
+//
+// The example drives the Network directly (rather than run_scenario) to
+// interleave its own probes with the simulation and narrate what happens.
+#include <iomanip>
+#include <iostream>
+
+#include "core/sstsp.h"
+#include "metrics/report.h"
+#include "runner/network.h"
+
+int main() {
+  using namespace sstsp;
+
+  run::Scenario scenario;
+  scenario.protocol = run::ProtocolKind::kSstsp;
+  scenario.num_nodes = 150;
+  scenario.duration_s = 300.0;
+  scenario.seed = 7;
+  scenario.sstsp.m = 3;
+  scenario.sstsp.chain_length = 3200;
+  scenario.churn = run::ChurnSpec{/*period_s=*/60.0, /*fraction=*/0.1,
+                                  /*absence_s=*/25.0};
+  scenario.reference_departures_s = {90.0, 210.0};
+  scenario.attack = run::AttackKind::kSstspInternalReference;
+  scenario.sstsp_attack.start_s = 140.0;
+  scenario.sstsp_attack.end_s = 180.0;
+  scenario.sstsp_attack.skew_rate_us_per_s = 40.0;
+
+  run::Network net(scenario);
+  net.arm();
+
+  std::cout << "secure_iot_swarm: 150 devices, 300 s, churn every 60 s,\n"
+            << "reference dies at 90/210 s, internal attacker 140-180 s\n\n";
+  std::cout << "  t(s)   awake  synced  ref   max_diff(us)  events\n";
+
+  std::size_t last_elections = 0;
+  std::size_t last_demotions = 0;
+  for (int t = 10; t <= 300; t += 10) {
+    net.run_until(t);
+    int awake = 0;
+    int synced = 0;
+    for (std::size_t i = 0; i + 1 < net.station_count(); ++i) {
+      if (net.station(i).awake()) ++awake;
+      if (net.station(i).awake() &&
+          net.station(i).protocol().is_synchronized()) {
+        ++synced;
+      }
+    }
+    const auto agg = net.honest_stats();
+    const auto ref = net.current_reference_index();
+    const auto diff = net.instant_max_diff_us();
+
+    std::string events;
+    if (agg.elections_won > last_elections) events += "ELECTION ";
+    if (agg.demotions > last_demotions) events += "HANDOFF ";
+    if (t == 140) events += "<- attacker seizes reference";
+    if (t == 180) events += "<- attack ends, attacker rescans";
+    last_elections = agg.elections_won;
+    last_demotions = agg.demotions;
+
+    std::cout << std::setw(6) << t << std::setw(8) << awake << std::setw(8)
+              << synced << std::setw(6)
+              << (ref ? std::to_string(*ref) : std::string("--"))
+              << std::setw(13)
+              << (diff ? metrics::fmt(*diff, 1) : std::string("--")) << "  "
+              << events << '\n';
+  }
+
+  const auto agg = net.honest_stats();
+  std::cout << "\nend-of-run accounting:\n"
+            << "  reference elections: " << agg.elections_won << '\n'
+            << "  role hand-offs (RULE R demotions): " << agg.demotions << '\n'
+            << "  coarse re-synchronizations after churn: "
+            << agg.coarse_steps << '\n'
+            << "  clock adjustments applied: " << agg.adjustments << '\n'
+            << "  beacons rejected (guard/interval/key/MAC): "
+            << agg.rejected_guard << '/' << agg.rejected_interval << '/'
+            << agg.rejected_key << '/' << agg.rejected_mac << '\n'
+            << "  beacons on air: " << net.channel_stats().transmissions
+            << " (" << net.channel_stats().collided_transmissions
+            << " collided)\n";
+  std::cout << "\nNote the attack window (140-180 s): the attacker tows the "
+               "swarm's shared timeline\nslowly off true time, but the "
+               "devices stay mutually synchronized — TDMA slots\nkeep "
+               "working.  That is exactly the paper's Fig. 4 claim.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "analysis/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sstsp::analysis {
+
+double lemma1_contraction_ratio(int m, double bp_us, double d_us) {
+  if (m <= 1) {
+    return d_us / (bp_us - d_us);  // paper's m = 1 case
+  }
+  return (static_cast<double>(m - 1) * bp_us) /
+         (static_cast<double>(m) * bp_us - d_us);
+}
+
+int lemma1_convergence_bps(int m, double d0_us, double delta_us, double bp_us,
+                           double d_us) {
+  if (d0_us <= delta_us) return 0;
+  const double ratio = lemma1_contraction_ratio(m, bp_us, d_us);
+  if (ratio <= 0.0) return 1;  // one adjustment nulls the error
+  if (ratio >= 1.0) return -1;  // does not converge (d too large)
+  return static_cast<int>(
+      std::ceil(std::log(delta_us / d0_us) / std::log(ratio)));
+}
+
+double lemma2_blowup_ratio(int m, int l) {
+  return (static_cast<double>(m) - static_cast<double>(l) - 3.0) /
+         static_cast<double>(m);
+}
+
+int lemma2_optimal_m(int l) { return l + 3; }
+
+double steady_error_bound_us(double epsilon_us) { return 2.0 * epsilon_us; }
+
+double reference_change_error_bound_us(int m, int l, double pre_err_us,
+                                       double epsilon_us) {
+  return std::fabs(lemma2_blowup_ratio(m, l)) * pre_err_us +
+         2.0 * epsilon_us;
+}
+
+double tsf_success_probability(int n, int w) {
+  // P(exactly one station draws the occupied minimum slot): sum over the
+  // value k of the minimum slot of
+  //   C(n,1) * (1/(w+1)) * P(remaining n-1 all strictly above k)
+  // with the "all above" probabilities nested properly:
+  //   P(min = k, unique) = n * q^{n-1}(k+1 above) ... computed directly:
+  const double slots = static_cast<double>(w) + 1.0;
+  double p = 0.0;
+  for (int k = 0; k <= w; ++k) {
+    const double above = (static_cast<double>(w) - k) / slots;  // P(slot > k)
+    p += static_cast<double>(n) * (1.0 / slots) *
+         std::pow(above, static_cast<double>(n - 1));
+  }
+  return p;
+}
+
+double tsf_expected_drought_bps(int n, int w) {
+  const double p = tsf_success_probability(n, w);
+  return (p > 0.0) ? 1.0 / p : 1e18;
+}
+
+double tsf_expected_drift_us(int n, int w, double bp_us,
+                             double max_rel_drift_ppm) {
+  return tsf_expected_drought_bps(n, w) * bp_us * 1e-6 * max_rel_drift_ppm;
+}
+
+OverheadModel sstsp_overhead(double bp_us, std::size_t chain_length,
+                             std::size_t beacon_bytes) {
+  OverheadModel model;
+  model.beacons_per_second = 1e6 / bp_us;  // exactly one beacon per BP
+  model.bytes_per_second =
+      model.beacons_per_second * static_cast<double>(beacon_bytes);
+  model.chain_digests_full = chain_length;
+  model.chain_digests_fractal =
+      static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(
+              chain_length, 2))))) +
+      1;
+  // Two buffered beacons (timestamp 8 + interval 8 + level 1 + mac 16 +
+  // bookkeeping ~16 each) plus the cached verified key (32) and its
+  // position (8).
+  model.receiver_buffer_bytes = 2 * (8 + 8 + 1 + 16 + 16) + 32 + 8;
+  return model;
+}
+
+}  // namespace sstsp::analysis

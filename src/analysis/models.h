@@ -1,0 +1,79 @@
+// Closed-form analytical models of the protocols' behaviour, used three
+// ways: (a) property tests compare simulation against prediction, (b) the
+// abl_model_check bench reports model-vs-measured side by side, and (c)
+// users can size parameters (m, l, guard, chain length) without running
+// simulations.
+//
+// Sources: the paper's Lemma 1 / Lemma 2 (SSTSP convergence), its §3.4
+// overhead accounting, and standard balls-into-bins analysis of the IEEE
+// 802.11 beacon contention window for the TSF side.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sstsp::analysis {
+
+// ---------------------------------------------------------------- SSTSP
+
+/// Lemma 1 contraction ratio D^{n+1}/D^n for aggressiveness m, beacon
+/// period bp_us and worst-case emission jitter d_us.
+[[nodiscard]] double lemma1_contraction_ratio(int m, double bp_us,
+                                              double d_us = 0.0);
+
+/// Lemma 1 corollary: beacon periods needed to shrink an initial offset
+/// `d0_us` below `delta_us`.
+[[nodiscard]] int lemma1_convergence_bps(int m, double d0_us, double delta_us,
+                                         double bp_us, double d_us = 0.0);
+
+/// Lemma 2: error ratio D+/D- after the reference changes (the node
+/// free-runs for l+3 BPs after its last adjustment).
+[[nodiscard]] double lemma2_blowup_ratio(int m, int l);
+
+/// The m minimizing |lemma2_blowup_ratio| (the paper's l+3).
+[[nodiscard]] int lemma2_optimal_m(int l);
+
+/// Steady-state synchronization error bound from the paper's analysis:
+/// 2 * epsilon, with epsilon the timestamp-estimate error.
+[[nodiscard]] double steady_error_bound_us(double epsilon_us);
+
+/// Error bound immediately after a reference change (paper §3.4):
+/// |m-l-3|/m * pre-change error + 2 epsilon.
+[[nodiscard]] double reference_change_error_bound_us(int m, int l,
+                                                     double pre_err_us,
+                                                     double epsilon_us);
+
+// ------------------------------------------------------------------ TSF
+
+/// Probability that exactly one of n contenders draws the minimum slot of
+/// a (w+1)-slot beacon generation window — i.e. that the BP produces one
+/// clean beacon under idealized slotted contention.
+[[nodiscard]] double tsf_success_probability(int n, int w);
+
+/// Expected BPs between successful beacons (geometric in the above).
+[[nodiscard]] double tsf_expected_drought_bps(int n, int w);
+
+/// Expected steady-state drift scale for TSF: relative drift accumulated
+/// over an expected drought, max_rel_drift_ppm being the spread of the
+/// oscillator population (2 * tolerance for a uniform +/-tolerance draw).
+[[nodiscard]] double tsf_expected_drift_us(int n, int w, double bp_us,
+                                           double max_rel_drift_ppm);
+
+// ------------------------------------------------------------- overhead
+
+struct OverheadModel {
+  double beacons_per_second;
+  double bytes_per_second;
+  /// Storage for one hash chain under the named strategy, in digests.
+  std::size_t chain_digests_full;
+  std::size_t chain_digests_fractal;  // ceil(log2 n) + 1
+  /// Receiver buffer per tracked sender, in bytes (2 beacons + key cache).
+  std::size_t receiver_buffer_bytes;
+};
+
+/// Paper §3.4's accounting for an SSTSP cell, parameterized.
+[[nodiscard]] OverheadModel sstsp_overhead(double bp_us,
+                                           std::size_t chain_length,
+                                           std::size_t beacon_bytes = 92);
+
+}  // namespace sstsp::analysis

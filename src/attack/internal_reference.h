@@ -1,0 +1,115 @@
+// The §5 attack against SSTSP: an *internal* attacker (compromised node
+// with a valid, published hash chain) seizes the reference role and feeds
+// the network timestamps that run slower than real time.
+//
+// Takeover mechanics: during the attack window the node forces itself into
+// the reference role and emits `advance_us` ahead of the nominal schedule,
+// ignoring carrier sense.  The honest reference, arriving at the nominal
+// instant, senses the medium busy, defers, receives the (cryptographically
+// valid) beacon and yields the role (RULE R).  From then on every node
+// follows the attacker.
+//
+// Dragging mechanics: the attacker maintains a *virtual* clock that runs
+// slower than its real (adjusted) clock by `skew_rate` and runs the
+// reference role against that virtual clock — beacons are emitted when the
+// virtual clock reads T^j and stamped with the virtual reading.  Each
+// individual timestamp therefore differs from a receiver's adjusted clock
+// by only a few microseconds (it passes the guard-time check, exactly the
+// adversary §5 postulates: "we carefully configure the erroneous time
+// values such that they can pass the guard time check"), yet the whole
+// network is gradually towed off true time.  The paper's claim, reproduced
+// in bench/fig4_sstsp_attack.cpp, is that honest nodes nevertheless remain
+// *mutually* synchronized: they all follow the same dragged virtual clock,
+// so the max pairwise difference stays bounded — the attacker cannot
+// desynchronize the network, only bias its common timeline.
+#pragma once
+
+#include <algorithm>
+
+#include "core/sstsp.h"
+
+namespace sstsp::attack {
+
+struct SstspAttackParams {
+  double start_s = 400.0;
+  double end_s = 600.0;
+  /// Emission lead over the honest schedule (must exceed the CCA time so
+  /// the honest reference reliably defers).
+  double advance_us = 20.0;
+  /// How fast the forged clock falls behind the schedule.
+  double skew_rate_us_per_s = 50.0;
+  /// Seconds over which the skew rate ramps from 0 to its full value: a
+  /// sudden rate change is itself a per-beacon step the guard would catch.
+  double skew_ramp_s = 2.0;
+};
+
+class SstspInternalAttacker final : public core::Sstsp {
+ public:
+  SstspInternalAttacker(proto::Station& station,
+                        const core::SstspConfig& cfg,
+                        core::KeyDirectory& directory,
+                        SstspAttackParams params)
+      : Sstsp(station, cfg, directory, Options{true, false}),
+        params_(params) {}
+
+  void start() override {
+    Sstsp::start();
+    arm_window();
+  }
+
+  [[nodiscard]] bool attacking() const { return attacking_; }
+
+ protected:
+  /// Accumulated lag of the virtual clock behind the attacker's adjusted
+  /// clock.  The lag starts accruing a few BPs after the window opens: the
+  /// takeover beacons themselves must land *ahead* of the honest reference
+  /// (advance_us early) or it never defers and the role is never seized.
+  [[nodiscard]] double drag_us() const {
+    if (!attacking_) return 0.0;
+    constexpr double kTakeoverGraceS = 0.3;
+    const double t = std::max(
+        0.0, station_.sim().now().to_sec() - params_.start_s - kTakeoverGraceS);
+    const double ramp = std::max(params_.skew_ramp_s, 1e-9);
+    // Integrated linear ramp: quadratic head, linear tail.
+    if (t < ramp) {
+      return params_.skew_rate_us_per_s * t * t / (2.0 * ramp);
+    }
+    return params_.skew_rate_us_per_s * (t - ramp / 2.0);
+  }
+
+  [[nodiscard]] double emission_advance_us() const override {
+    // Emit when the *virtual* clock reads T^j (i.e. `drag` late on the real
+    // schedule), still `advance_us` early so any honest emitter defers.
+    return attacking_ ? params_.advance_us - drag_us() : 0.0;
+  }
+
+  [[nodiscard]] double timestamp_skew_us() const override {
+    // Stamp the virtual clock: adjusted reading minus the drag.  Stamps
+    // stay consistent with the emission instants, so receivers' guard
+    // checks pass while the common timeline is towed.
+    return attacking_ ? -drag_us() : 0.0;
+  }
+
+  [[nodiscard]] bool ignore_carrier() const override { return attacking_; }
+  [[nodiscard]] bool never_demote() const override { return attacking_; }
+
+ private:
+  void arm_window() {
+    auto& sim = station_.sim();
+    sim.at(sim::SimTime::from_sec_double(params_.start_s), [this] {
+      attacking_ = true;
+      force_reference_role();
+    });
+    sim.at(sim::SimTime::from_sec_double(params_.end_s), [this] {
+      attacking_ = false;
+      // The attacker's own clock never followed the timeline it dragged the
+      // network onto; rejoin like any node with a stale clock would.
+      restart_coarse();
+    });
+  }
+
+  SstspAttackParams params_;
+  bool attacking_{false};
+};
+
+}  // namespace sstsp::attack

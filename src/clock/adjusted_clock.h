@@ -1,0 +1,79 @@
+// The SSTSP adjusted clock: c(t) = k * t + b over the hardware reading t.
+//
+// This is the paper's equation (1).  The two parameters are re-solved on each
+// authenticated reference beacon (see core/adjustment.h); this class only
+// owns the piecewise-affine evaluation and enforces the paper's structural
+// guarantees at the representation level:
+//
+//   * continuity   — set_params_continuous() recomputes b so that the value
+//                    at the switch instant is preserved exactly (eq. 2);
+//   * monotonicity — callers can query k to verify the slope stays positive;
+//                    the protocol clamps pathological solves (see
+//                    core::AdjustmentSolver) so time never flows backwards.
+#pragma once
+
+#include <cstdint>
+
+#include "clock/hardware_clock.h"
+
+namespace sstsp::clk {
+
+class AdjustedClock {
+ public:
+  AdjustedClock() = default;
+  explicit AdjustedClock(const HardwareClock* hw) : hw_(hw) {}
+
+  [[nodiscard]] double k() const { return k_; }
+  [[nodiscard]] double b() const { return b_; }
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+
+  /// Adjusted value as a function of the hardware reading.
+  [[nodiscard]] double value_at_hw(double hw_us) const {
+    return k_ * hw_us + b_;
+  }
+
+  /// Adjusted value at simulation time `real`.
+  [[nodiscard]] double read_us(sim::SimTime real) const {
+    return value_at_hw(hw_->read_us(real));
+  }
+
+  /// Real time at which the adjusted clock reads `value_us`.
+  [[nodiscard]] sim::SimTime real_at(double value_us) const {
+    return hw_->real_at((value_us - b_) / k_);
+  }
+
+  /// Replaces the slope at hardware instant `hw_now_us`, recomputing the
+  /// offset so that c is continuous there (paper eq. 2).
+  void set_slope_continuous(double new_k, double hw_now_us) {
+    const double value_now = value_at_hw(hw_now_us);
+    k_ = new_k;
+    b_ = value_now - new_k * hw_now_us;
+    ++adjustments_;
+  }
+
+  /// One-time coarse step: aligns the adjusted clock to `value_us` at
+  /// hardware instant `hw_now_us` keeping slope 1 relative to the hardware
+  /// clock.  Used only in the coarse synchronization phase, before the
+  /// fine-grained no-leap guarantee is in force.
+  void step_to(double value_us, double hw_now_us) {
+    k_ = 1.0;
+    b_ = value_us - hw_now_us;
+    ++adjustments_;
+  }
+
+  /// Direct parameter install (the SSTSP solver already builds b for
+  /// continuity at the adjustment instant, so no recomputation is needed).
+  void set_params(double k, double b) {
+    k_ = k;
+    b_ = b;
+    ++adjustments_;
+  }
+
+ private:
+  const HardwareClock* hw_{nullptr};
+  double k_{1.0};
+  double b_{0.0};
+  std::uint64_t adjustments_{0};
+};
+
+}  // namespace sstsp::clk

@@ -1,0 +1,39 @@
+// Oscillator drift model.
+//
+// The paper models each station's oscillator as a constant-rate clock with
+// relative frequency uniformly distributed in [1 - 0.01%, 1 + 0.01%]
+// (i.e. +/-100 ppm, the IEEE 802.11 tolerance).  Within the 1000 s horizon a
+// constant-frequency affine model is the paper's stated assumption ("the
+// original clock is regarded as a linear function of real time within a
+// short period of time"), so that is exactly what we implement; frequency
+// aging and temperature effects are out of scope.
+#pragma once
+
+#include "sim/rng.h"
+
+namespace sstsp::clk {
+
+/// IEEE 802.11 worst-case oscillator tolerance.
+inline constexpr double kMaxDriftPpm = 100.0;
+
+struct DriftModel {
+  /// Clock rate relative to real time; 1.0 is a perfect oscillator.
+  double frequency{1.0};
+
+  [[nodiscard]] double ppm() const { return (frequency - 1.0) * 1e6; }
+
+  [[nodiscard]] static DriftModel perfect() { return DriftModel{1.0}; }
+
+  [[nodiscard]] static DriftModel from_ppm(double ppm_offset) {
+    return DriftModel{1.0 + ppm_offset * 1e-6};
+  }
+
+  /// Draws a frequency uniformly from [1 - max_ppm*1e-6, 1 + max_ppm*1e-6],
+  /// the distribution used throughout the paper's evaluation.
+  [[nodiscard]] static DriftModel uniform(sim::Rng& rng,
+                                          double max_ppm = kMaxDriftPpm) {
+    return DriftModel{1.0 + rng.uniform(-max_ppm, max_ppm) * 1e-6};
+  }
+};
+
+}  // namespace sstsp::clk

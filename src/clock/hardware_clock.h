@@ -1,0 +1,54 @@
+// Free-running hardware oscillator.
+//
+// Models the 64-bit, 1 us-resolution counter the 802.11 standard mandates:
+// reading(real) = offset + frequency * real.  The continuous (double) reading
+// is used by protocol math; read_counter() applies the 1 us truncation that a
+// real TSF timer register exhibits and is what gets stamped into beacons.
+//
+// The clock is intentionally *not* settable: protocols that step their time
+// base (TSF adoption) layer a SettableClock on top, and SSTSP layers an
+// AdjustedClock.  Keeping the oscillator immutable mirrors the paper's split
+// between the "original clock" and the "adjusted clock".
+#pragma once
+
+#include <cstdint>
+
+#include "clock/drift_model.h"
+#include "sim/time_types.h"
+
+namespace sstsp::clk {
+
+class HardwareClock {
+ public:
+  HardwareClock() = default;
+  HardwareClock(DriftModel drift, double initial_offset_us)
+      : drift_(drift), offset_us_(initial_offset_us) {}
+
+  [[nodiscard]] const DriftModel& drift() const { return drift_; }
+  [[nodiscard]] double initial_offset_us() const { return offset_us_; }
+
+  /// Continuous reading in microseconds at simulation (real) time `real`.
+  [[nodiscard]] double read_us(sim::SimTime real) const {
+    return offset_us_ + drift_.frequency * real.to_us();
+  }
+
+  /// Quantized counter value: what the TSF register shows.
+  [[nodiscard]] std::int64_t read_counter(sim::SimTime real) const {
+    const double v = read_us(real);
+    const auto f = static_cast<std::int64_t>(v);
+    return (static_cast<double>(f) > v) ? f - 1 : f;  // floor
+  }
+
+  /// Inverse mapping: the real time at which the continuous reading equals
+  /// `hw_us`.  Well-defined because frequency > 0.
+  [[nodiscard]] sim::SimTime real_at(double hw_us) const {
+    return sim::SimTime::from_us_double((hw_us - offset_us_) /
+                                        drift_.frequency);
+  }
+
+ private:
+  DriftModel drift_{};
+  double offset_us_{0.0};
+};
+
+}  // namespace sstsp::clk

@@ -1,0 +1,50 @@
+// Settable timer over a hardware oscillator — the TSF timer abstraction.
+//
+// IEEE 802.11 TSF adoption overwrites the timer register with a received
+// timestamp; the oscillator keeps ticking at its own rate underneath.  We
+// model the register as hw reading + adoption offset so that setting the
+// value is O(1) and the underlying drift is preserved.
+#pragma once
+
+#include <cstdint>
+
+#include "clock/hardware_clock.h"
+
+namespace sstsp::clk {
+
+class SettableClock {
+ public:
+  SettableClock() = default;
+  explicit SettableClock(const HardwareClock* hw) : hw_(hw) {}
+
+  [[nodiscard]] double read_us(sim::SimTime real) const {
+    return hw_->read_us(real) + adoption_offset_us_;
+  }
+
+  [[nodiscard]] std::int64_t read_counter(sim::SimTime real) const {
+    const double v = read_us(real);
+    const auto f = static_cast<std::int64_t>(v);
+    return (static_cast<double>(f) > v) ? f - 1 : f;
+  }
+
+  /// Sets the timer so that its reading at `real` equals `value_us`.
+  /// The caller (protocol) enforces any forward-only policy.
+  void set_value(sim::SimTime real, double value_us) {
+    adoption_offset_us_ = value_us - hw_->read_us(real);
+  }
+
+  /// Real time at which this clock reads `value_us`.
+  [[nodiscard]] sim::SimTime real_at(double value_us) const {
+    return hw_->real_at(value_us - adoption_offset_us_);
+  }
+
+  [[nodiscard]] double adoption_offset_us() const {
+    return adoption_offset_us_;
+  }
+
+ private:
+  const HardwareClock* hw_{nullptr};
+  double adoption_offset_us_{0.0};
+};
+
+}  // namespace sstsp::clk

@@ -1,0 +1,61 @@
+#include "core/adjustment.h"
+
+namespace sstsp::core {
+
+SolveOutcome solve_adjustment(const ClockParams& previous, double t_now_us,
+                              const RefSample& newest, const RefSample& older,
+                              double target_us, const SstspConfig& cfg) {
+  SolveOutcome out;
+
+  const double dts = newest.ts_ref_us - older.ts_ref_us;
+  const double dt = newest.t_local_us - older.t_local_us;
+  if (dts <= 0.0 || dt <= 0.0) {
+    out.reason = SolveRejection::kNonIncreasingSamples;
+    return out;
+  }
+
+  // (4)+(5): expected local hw instant of beacon j+m.
+  const double rate = dt / dts;
+  const double t_star = newest.t_local_us + rate * (target_us - newest.ts_ref_us);
+  out.expected_t_star_us = t_star;
+  if (t_star <= t_now_us) {
+    out.reason = SolveRejection::kTargetNotAhead;
+    return out;
+  }
+
+  // (2)+(3).
+  const double c_now = previous.eval(t_now_us);
+  const double k = (target_us - c_now) / (t_star - t_now_us);
+  if (k < cfg.k_min || k > cfg.k_max) {
+    out.reason = SolveRejection::kSlopeOutOfRange;
+    return out;
+  }
+  out.params = ClockParams{k, c_now - k * t_now_us};
+  return out;
+}
+
+double paper_k_formula(const ClockParams& previous, double t_now_us,
+                       const RefSample& newest, const RefSample& older,
+                       double target_us) {
+  const double c_now = previous.eval(t_now_us);  // k^{j-1} t_i^j + b^{j-1}
+  const double dts = newest.ts_ref_us - older.ts_ref_us;
+  const double numerator = (target_us - c_now) * dts;
+  const double denominator =
+      (newest.t_local_us - older.t_local_us) * (target_us - newest.ts_ref_us) +
+      (newest.t_local_us - t_now_us) * dts;
+  // Note: the paper writes (t_i^{j-1} - t_i^j) in the second product; with
+  // t_i^j = "now" (after t_i^{j-1}) that term is negative, matching the
+  // derivation denominator t* - t_now expanded through (4).
+  return numerator / denominator;
+}
+
+double paper_b_formula(const ClockParams& previous, double t_now_us,
+                       const RefSample& newest, const RefSample& older,
+                       double target_us) {
+  const double c_now = previous.eval(t_now_us);
+  const double k =
+      paper_k_formula(previous, t_now_us, newest, older, target_us);
+  return c_now - k * t_now_us;
+}
+
+}  // namespace sstsp::core

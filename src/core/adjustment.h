@@ -1,0 +1,80 @@
+// The SSTSP clock-adjustment solver (paper §3.3, equations 2-5).
+//
+// On each authenticated reference beacon, a node re-solves the adjusted
+// clock c(t) = k t + b from four constraints:
+//
+//   (2) continuity at the current instant:  k' t_now + b' = k t_now + b
+//   (3) convergence onto the reference at the expected arrival of beacon
+//       j+m:  k t* + b = ts*          (t* = expected local hw time of it)
+//   (4) linearity: the local-hw-vs-reference rate measured from the last
+//       two authenticated beacons extrapolates to t*
+//   (5) the reference emits on schedule: ts* = T^{j+m} = T0 + (j+m) BP
+//
+// Closed form (equivalent to the paper's displayed k^j, b^j):
+//
+//   R  = (t_a - t_b) / (ts_a - ts_b)          — hw ticks per reference tick
+//   t* = t_a + R (T^{j+m} - ts_a)
+//   k  = (T^{j+m} - c_old(t_now)) / (t* - t_now)
+//   b  = c_old(t_now) - k t_now
+//
+// where (t_a, ts_a) and (t_b, ts_b) are the newest and next-newest
+// authenticated (local-arrival, estimated-reference-time) samples.
+// tests/core_adjustment_test.cpp verifies this form satisfies (2)-(5) and
+// matches the paper's printed fraction symbolically for random inputs.
+#pragma once
+
+#include <optional>
+
+#include "core/sstsp_config.h"
+
+namespace sstsp::core {
+
+/// One authenticated reference observation.
+struct RefSample {
+  double t_local_us{0};  ///< local *hardware* clock at beacon arrival
+  double ts_ref_us{0};   ///< estimated reference adjusted time at arrival
+};
+
+struct ClockParams {
+  double k{1.0};
+  double b{0.0};
+
+  [[nodiscard]] double eval(double t_us) const { return k * t_us + b; }
+};
+
+/// Why a solve was rejected (diagnostics / counters).
+enum class SolveRejection {
+  kNonIncreasingSamples,  ///< ts_a <= ts_b or t_a <= t_b
+  kTargetNotAhead,        ///< expected convergence instant not in the future
+  kSlopeOutOfRange,       ///< solved k outside [k_min, k_max]
+};
+
+struct SolveOutcome {
+  std::optional<ClockParams> params;     // nullopt on rejection
+  std::optional<SolveRejection> reason;  // set on rejection
+  double expected_t_star_us{0};          // diagnostic: t* from (4)
+};
+
+/// Solves (k^j, b^j).  `target_us` is T^{j+m}; `t_now_us` is the local
+/// hardware clock at the adjustment instant (the paper's t_i^j).
+[[nodiscard]] SolveOutcome solve_adjustment(const ClockParams& previous,
+                                            double t_now_us,
+                                            const RefSample& newest,
+                                            const RefSample& older,
+                                            double target_us,
+                                            const SstspConfig& cfg);
+
+/// The paper's printed closed form for k^j (the big displayed fraction in
+/// §3.3), kept verbatim for cross-checking the derivation above.  Inputs
+/// map as: t_i^j = t_now, (t_i^{j-1}, ts_ref^{j-1}) = newest,
+/// (t_i^{j-2}, ts_ref^{j-2}) = older, T^{j+m} = target.
+[[nodiscard]] double paper_k_formula(const ClockParams& previous,
+                                     double t_now_us, const RefSample& newest,
+                                     const RefSample& older, double target_us);
+
+/// Same for b^j.
+[[nodiscard]] double paper_b_formula(const ClockParams& previous,
+                                     double t_now_us, const RefSample& newest,
+                                     const RefSample& older, double target_us);
+
+}  // namespace sstsp::core

@@ -1,0 +1,64 @@
+#include "core/beacon_security.h"
+
+namespace sstsp::core {
+
+PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
+                                      mac::NodeId sender, double arrival_hw_us,
+                                      double ts_est_us) {
+  PipelineResult result;
+  const std::int64_t j = body.interval;
+
+  if (j == 1) {
+    // The first interval's beacon discloses v_n (the anchor itself), which
+    // authenticates nothing; accept the frame into the buffer so interval 2
+    // can authenticate it.
+    result.key_valid = true;
+  } else {
+    result.key_valid = verifier_.verify_key(j - 1, body.disclosed_key);
+    if (!result.key_valid) return result;  // suspect frame: do not buffer
+
+    // Step 3: authenticate the stored interval j-1 beacon with K_{j-1}.
+    for (const StoredBeacon& stored : buffer_) {
+      if (stored.interval != j - 1) continue;
+      const auto bytes = mac::serialize_unsecured_beacon(
+          stored.timestamp_us, sender, stored.level);
+      if (crypto::MuTeslaVerifier::verify_mac(
+              body.disclosed_key, stored.interval,
+              std::span<const std::uint8_t>(bytes.data(), bytes.size()),
+              stored.mac)) {
+        result.authenticated = PipelineResult::Authenticated{
+            stored.interval, stored.arrival_hw_us, stored.ts_est_us,
+            stored.level};
+      } else {
+        result.mac_failed = true;
+      }
+      break;
+    }
+  }
+
+  // Buffer this beacon for authentication next interval; keep 2 intervals.
+  buffer_.push_back(StoredBeacon{j, body.timestamp_us, body.level, body.mac,
+                                 arrival_hw_us, ts_est_us});
+  while (buffer_.size() > 2) buffer_.pop_front();
+  return result;
+}
+
+mac::SstspBeaconBody BeaconSigner::sign(std::int64_t j,
+                                        std::int64_t timestamp_us,
+                                        mac::NodeId sender,
+                                        std::uint8_t level) {
+  if (!signer_) signer_.emplace(chain_, schedule_);
+
+  mac::SstspBeaconBody body;
+  body.timestamp_us = timestamp_us;
+  body.interval = j;
+  body.level = level;
+  const auto bytes =
+      mac::serialize_unsecured_beacon(timestamp_us, sender, level);
+  body.mac = signer_->mac(
+      j, std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  body.disclosed_key = signer_->disclosed_key(j);
+  return body;
+}
+
+}  // namespace sstsp::core

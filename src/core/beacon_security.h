@@ -1,0 +1,110 @@
+// Secure beacon construction and the receiver-side verification pipeline.
+//
+// Sender (reference or contender), interval j:
+//     <B, j, HMAC_{K_j}(B, j), K_{j-1}>      with K_j = v_{n-j}
+//
+// Receiver, on a beacon claiming interval j from sender s (paper §3.3):
+//   1. interval check      — local adjusted time must lie inside interval j
+//                            (µTESLA security condition);
+//   2. disclosed-key check — K_{j-1} must hash forward to s's last
+//                            authenticated element / published anchor;
+//   3. deferred MAC check  — the *stored* beacon of interval j-1 is
+//                            authenticated with the now-disclosed K_{j-1};
+//   4. guard-time check    — |timestamp estimate - local adjusted clock|
+//                            must be below delta (applied at arrival).
+//
+// This module owns steps 2-3 plus the per-sender buffering; the protocol
+// (core/sstsp.h) owns 1 and 4 because they need the local clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "core/key_directory.h"
+#include "crypto/mutesla.h"
+#include "mac/frame.h"
+
+namespace sstsp::core {
+
+/// Outcome of feeding one received beacon through the µTESLA pipeline.
+struct PipelineResult {
+  bool key_valid{false};  ///< step 2 passed (or j == 1: nothing disclosed)
+  bool mac_failed{false};  ///< a stored beacon failed its deferred MAC check
+  /// Step 3: the previously stored beacon that just became authenticated,
+  /// if any.  Contains the values the clock adjustment needs.
+  struct Authenticated {
+    std::int64_t interval{0};
+    double arrival_hw_us{0};
+    double ts_est_us{0};
+    std::uint8_t level{0};
+  };
+  std::optional<Authenticated> authenticated;
+};
+
+/// Per-sender µTESLA receiver state: verifier cache plus the short beacon
+/// buffer (the paper notes nodes buffer the beacons of the last 2 BPs).
+class SenderPipeline {
+ public:
+  SenderPipeline(crypto::Digest anchor, crypto::MuTeslaSchedule schedule)
+      : verifier_(anchor, schedule) {}
+
+  /// Processes the secured fields of a beacon received from this sender.
+  /// `arrival_hw_us` / `ts_est_us` are recorded so the beacon can be turned
+  /// into an adjustment sample once authenticated one interval later.
+  PipelineResult ingest(const mac::SstspBeaconBody& body, mac::NodeId sender,
+                        double arrival_hw_us, double ts_est_us);
+
+  [[nodiscard]] const crypto::MuTeslaVerifier& verifier() const {
+    return verifier_;
+  }
+
+  /// Key-freshness check without frame buffering: does `key` verify as the
+  /// not-yet-seen chain element for interval j?  Used by the recovery
+  /// extension to attribute guard failures — only the chain owner can
+  /// produce a fresh disclosure, so a replayed/spoofed frame (stale or
+  /// invalid key) can never be pinned on the identity it claims.  On
+  /// success the verifier cache advances (the key is authentic material).
+  [[nodiscard]] bool verify_key_fresh(std::int64_t j,
+                                      const crypto::Digest& key) {
+    const std::size_t before = verifier_.verified_position();
+    return verifier_.verify_key(j, key) &&
+           verifier_.verified_position() < before;
+  }
+
+ private:
+  struct StoredBeacon {
+    std::int64_t interval;
+    std::int64_t timestamp_us;
+    std::uint8_t level;
+    crypto::Digest128 mac;
+    double arrival_hw_us;
+    double ts_est_us;
+  };
+
+  crypto::MuTeslaVerifier verifier_;
+  std::deque<StoredBeacon> buffer_;  // at most the last 2 intervals
+};
+
+/// Signer wrapper: lazily builds the chain walker the first time the node
+/// actually transmits (most nodes never become reference, and the walker
+/// costs n hash invocations to bootstrap).
+class BeaconSigner {
+ public:
+  BeaconSigner(crypto::ChainParams chain, crypto::MuTeslaSchedule schedule)
+      : chain_(chain), schedule_(schedule) {}
+
+  /// Fills the secured fields for interval j over timestamp/sender/level.
+  [[nodiscard]] mac::SstspBeaconBody sign(std::int64_t j,
+                                          std::int64_t timestamp_us,
+                                          mac::NodeId sender,
+                                          std::uint8_t level = 0);
+
+ private:
+  crypto::ChainParams chain_;
+  crypto::MuTeslaSchedule schedule_;
+  std::optional<crypto::MuTeslaSigner> signer_;  // built on first sign()
+};
+
+}  // namespace sstsp::core

@@ -1,0 +1,58 @@
+// Trusted anchor directory.
+//
+// The paper assumes each node's final hash-chain element h^n(s_i) is
+// distributed authentically (by public-key signature, symmetric-key scheme
+// [11], or imprinting [12]) before the protocol runs; the distribution
+// mechanism itself is explicitly out of scope.  We model it as a shared
+// directory populated at network formation — see DESIGN.md "Substitutions".
+//
+// Anchors are computed lazily: registering a node stores only its chain
+// parameters, and the n-hash anchor derivation runs the first time someone
+// looks the node up (only nodes that ever transmit get looked up).
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/hash_chain.h"
+#include "mac/phy_params.h"
+
+namespace sstsp::core {
+
+class KeyDirectory {
+ public:
+  /// Registers a node's chain.  Idempotent per node id.
+  void register_node(mac::NodeId id, const crypto::ChainParams& chain) {
+    entries_.emplace(id, Entry{chain, std::nullopt});
+  }
+
+  [[nodiscard]] bool known(mac::NodeId id) const {
+    return entries_.contains(id);
+  }
+
+  /// The published anchor h^n(s_id); nullopt for unknown nodes.
+  [[nodiscard]] std::optional<crypto::Digest> anchor_of(mac::NodeId id) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return std::nullopt;
+    if (!it->second.anchor) it->second.anchor = it->second.chain.anchor();
+    return it->second.anchor;
+  }
+
+  /// Chain parameters (used by the owning node to build its signer).
+  [[nodiscard]] std::optional<crypto::ChainParams> chain_of(
+      mac::NodeId id) const {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.chain;
+  }
+
+ private:
+  struct Entry {
+    crypto::ChainParams chain;
+    std::optional<crypto::Digest> anchor;
+  };
+  std::unordered_map<mac::NodeId, Entry> entries_;
+};
+
+}  // namespace sstsp::core

@@ -1,0 +1,96 @@
+// SSTSP protocol parameters (paper §3, defaults from §5 where stated).
+#pragma once
+
+#include <cstddef>
+
+namespace sstsp::core {
+
+struct SstspConfig {
+  /// Aggressiveness m (> 0): the adjusted clock is solved to converge onto
+  /// the reference at the expected time of beacon j+m.  Paper Table 1
+  /// sweeps m = 1..5 and finds m = 2..3 the best accuracy/latency trade-off.
+  int m = 3;
+
+  /// Missed-beacon tolerance l: a node contends for the reference role
+  /// after hearing no beacon for l consecutive BPs (paper §3.3; §5 uses 1).
+  int l = 1;
+
+  /// Fine-phase guard time delta: beacons whose timestamp differs from the
+  /// local adjusted clock by more than the *effective* guard are rejected
+  /// (§3.3 step 3).  The effective guard is
+  ///
+  ///     guard_fine_us + guard_growth_us_per_s * (time since this node
+  ///                             last synchronized: a successful (k, b)
+  ///                             adjustment, a coarse step, or — for the
+  ///                             reference — its own emission)
+  ///
+  /// capped at guard_coarse_us.  The growth term is the physical bound on
+  /// how far two +/-100 ppm clocks can drift apart per second of silence
+  /// (the paper's own premise: "the difference between any two clocks
+  /// cannot drift unboundedly within a certain period of time"); without
+  /// it, re-election after a reference departure would reject legitimate
+  /// beacons from drifted-but-honest successors.  An attacker cannot
+  /// exploit the growth without first suppressing the reference (jamming,
+  /// out of scope per §4).
+  /// The base must exceed twice the worst-case calibration offset of a
+  /// boot-time node (±112 us in the paper's setup), or freshly booted
+  /// networks reject their first elected reference and fragment.
+  double guard_fine_us = 300.0;
+  double guard_growth_us_per_s = 220.0;
+
+  /// Coarse-phase guard (loose by design, §3.3): bounds the offset samples
+  /// a (re)joining node will consider.  Must absorb drift over the longest
+  /// expected absence (50 s at +/-100 ppm is 10 ms relative).
+  double guard_coarse_us = 20000.0;
+
+  /// Tolerance added to the µTESLA interval check (residual sync error +
+  /// propagation + processing); still orders of magnitude below BP/2.
+  double interval_slack_us = 2000.0;
+
+  /// Beacon periods a (re)joining node spends scanning before it steps its
+  /// clock (coarse synchronization phase).
+  int coarse_scan_bps = 8;
+
+  /// Outlier handling in the coarse phase: GESD (Song-Zhu-Cao) runs first
+  /// when enough samples exist, then the threshold filter.
+  bool coarse_use_gesd = true;
+  std::size_t gesd_max_outliers = 3;
+  double gesd_alpha = 0.05;
+
+  /// One-way hash chain length (must cover the deployment's lifetime in
+  /// BPs; 12'000 covers the paper's 1000 s runs with margin).
+  std::size_t chain_length = 12000;
+
+  /// Shared schedule origin T0 (published at network formation).
+  double t0_us = 0.0;
+
+  /// Intervals a contention winner keeps contending (random slot, normal
+  /// deference) before assuming the no-delay reference role.  Breaks the
+  /// two-simultaneous-winners livelock; see DESIGN.md §"contention".
+  int confirm_bps = 2;
+
+  /// Election backoff: the contention window starts at the TSF value and
+  /// doubles for every consecutive unresolved election round (DCF-style),
+  /// capped below.  The paper's contention description does not specify
+  /// collision resolution; without this, a 500-node election never
+  /// terminates (all nodes redraw from 31 slots every BP).
+  int election_cw_min = 30;
+  int election_cw_max = 1023;
+
+  /// Sanity clamp on the solved slope; a solve outside this band is
+  /// rejected (keeps monotonicity under pathological inputs).
+  double k_min = 0.95;
+  double k_max = 1.05;
+
+  /// Recovery extension (paper §3.4 future work: "sending an alert and
+  /// eliminating the attackers from the network").  When > 0, a sender
+  /// whose beacons fail the guard/interval/MAC checks this many times in a
+  /// row is locally blacklisted for `blacklist_penalty_s`: its frames are
+  /// dropped before any processing, so a detected rogue cannot keep a
+  /// victim's election machinery suppressed or its buffers busy.  0 keeps
+  /// the paper's detect-and-discard-only behaviour (the default).
+  int blacklist_threshold = 0;
+  double blacklist_penalty_s = 30.0;
+};
+
+}  // namespace sstsp::core

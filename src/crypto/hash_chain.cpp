@@ -1,0 +1,125 @@
+#include "crypto/hash_chain.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace sstsp::crypto {
+
+Digest hash_once(const Digest& in) {
+  return Sha256::hash(std::span<const std::uint8_t>(in.data(), in.size()));
+}
+
+Digest hash_times(Digest value, std::size_t times) {
+  for (std::size_t i = 0; i < times; ++i) value = hash_once(value);
+  return value;
+}
+
+Digest derive_seed(std::uint64_t scenario_seed, std::uint64_t node_id) {
+  std::array<std::uint8_t, 24> material{};
+  std::memcpy(material.data(), "seed:", 5);
+  for (int i = 0; i < 8; ++i) {
+    material[8 + i] = static_cast<std::uint8_t>(scenario_seed >> (8 * i));
+    material[16 + i] = static_cast<std::uint8_t>(node_id >> (8 * i));
+  }
+  return Sha256::hash(
+      std::span<const std::uint8_t>(material.data(), material.size()));
+}
+
+// ---------------------------------------------------------------- full
+
+FullStorageTraversal::FullStorageTraversal(const ChainParams& params)
+    : pos_(params.length == 0 ? kDone : params.length - 1) {
+  elements_.reserve(params.length);
+  Digest v = params.seed;
+  if (params.length > 0) elements_.push_back(v);  // v_0
+  for (std::size_t i = 1; i < params.length; ++i) {
+    v = hash_once(v);
+    ++hash_ops_;
+    elements_.push_back(v);
+  }
+}
+
+Digest FullStorageTraversal::next() {
+  assert(!exhausted());
+  const Digest out = elements_[pos_];
+  pos_ = (pos_ == 0) ? kDone : pos_ - 1;
+  return out;
+}
+
+// ----------------------------------------------------------- recompute
+
+Digest RecomputeTraversal::next() {
+  assert(!exhausted());
+  const Digest out = hash_times(params_.seed, pos_);
+  hash_ops_ += pos_;
+  pos_ = (pos_ == 0) ? kDone : pos_ - 1;
+  return out;
+}
+
+// -------------------------------------------------------------- fractal
+
+FractalTraversal::FractalTraversal(const ChainParams& params)
+    : pos_(params.length == 0 ? kDone : params.length - 1) {
+  if (params.length > 0) {
+    checkpoints_.push_back(Checkpoint{0, params.seed});
+  }
+}
+
+void FractalTraversal::materialize() {
+  // Invariant: checkpoints_ is non-empty, positions strictly ascend, and
+  // every checkpoint position is <= pos_.  Walk from the top checkpoint to
+  // pos_, dropping a new checkpoint at the midpoint of each remaining gap so
+  // the stack depth stays logarithmic in the original gap.
+  while (checkpoints_.back().pos < pos_) {
+    const Checkpoint& top = checkpoints_.back();
+    const std::size_t gap = pos_ - top.pos;
+    const std::size_t jump = (gap + 1) / 2;  // at least 1
+    Digest v = top.value;
+    for (std::size_t i = 0; i < jump; ++i) {
+      v = hash_once(v);
+      ++hash_ops_;
+    }
+    checkpoints_.push_back(Checkpoint{top.pos + jump, v});
+  }
+}
+
+Digest FractalTraversal::next() {
+  assert(!exhausted());
+  materialize();
+  const Digest out = checkpoints_.back().value;
+  pos_ = (pos_ == 0) ? kDone : pos_ - 1;
+  // Checkpoints above the new position are spent.
+  while (!checkpoints_.empty() && checkpoints_.back().pos > pos_ &&
+         pos_ != kDone) {
+    checkpoints_.pop_back();
+  }
+  if (pos_ == kDone) checkpoints_.clear();
+  return out;
+}
+
+// -------------------------------------------------------- checkpointed
+
+CheckpointedChain::CheckpointedChain(const ChainParams& params,
+                                     std::size_t spacing)
+    : params_(params), spacing_(spacing == 0 ? 1 : spacing) {
+  Digest v = params_.seed;
+  checkpoints_.push_back(v);  // v_0
+  for (std::size_t i = 1; i <= params_.length; ++i) {
+    v = hash_once(v);
+    ++hash_ops_;
+    if (i % spacing_ == 0) checkpoints_.push_back(v);
+  }
+  anchor_ = v;
+}
+
+Digest CheckpointedChain::element(std::size_t i) const {
+  assert(i <= params_.length);
+  if (i == params_.length) return anchor_;
+  const std::size_t idx = i / spacing_;
+  Digest v = checkpoints_[idx];
+  const std::size_t steps = i - idx * spacing_;
+  hash_ops_ += steps;
+  return hash_times(v, steps);
+}
+
+}  // namespace sstsp::crypto

@@ -1,0 +1,170 @@
+// One-way hash chains and traversal/storage strategies.
+//
+// Chain convention used throughout the library:
+//
+//     v_0 = seed,   v_i = H(v_{i-1}),   anchor = v_n
+//
+// µTESLA key for beacon interval j (1 <= j <= n) is K_j = v_{n-j}; the key of
+// interval j-1, v_{n-j+1}, is disclosed inside the interval-j beacon, which
+// is why keys are consumed at *descending* chain positions.  Verifying a
+// disclosed key means hashing it forward until it meets a previously
+// authenticated element (ultimately the anchor): H^{j-1}(K_{j-1}) = v_n.
+//
+// §3.4 of the paper discusses the storage/recomputation trade-off and cites
+// Jakobsson's fractal traversal [6].  We provide all three strategies behind
+// one interface so the trade-off itself is testable and benchmarkable
+// (bench/abl_overhead.cpp):
+//
+//   FullStorageTraversal — O(n) digests stored, O(1) hashes per step
+//   RecomputeTraversal   — O(1) digests stored, O(n) hashes per step
+//   FractalTraversal     — O(log n) digests stored, O(log n) amortized step
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace sstsp::crypto {
+
+/// H applied once to a digest.
+[[nodiscard]] Digest hash_once(const Digest& in);
+
+/// H applied `times` times (times == 0 returns the input).
+[[nodiscard]] Digest hash_times(Digest value, std::size_t times);
+
+/// Derives a chain seed from an integer node identity and a scenario seed;
+/// deterministic so simulations are reproducible.
+[[nodiscard]] Digest derive_seed(std::uint64_t scenario_seed,
+                                 std::uint64_t node_id);
+
+/// Immutable chain description: seed and length n.
+struct ChainParams {
+  Digest seed{};
+  std::size_t length{0};
+
+  /// anchor = H^n(seed).
+  [[nodiscard]] Digest anchor() const { return hash_times(seed, length); }
+  /// v_i = H^i(seed); requires i <= length.
+  [[nodiscard]] Digest element(std::size_t i) const {
+    return hash_times(seed, i);
+  }
+};
+
+/// Sequential producer of v_{n-1}, v_{n-2}, ..., v_0 — the order in which a
+/// µTESLA signer consumes its keys.
+class ChainTraversal {
+ public:
+  virtual ~ChainTraversal() = default;
+
+  /// Chain position (index i of v_i) that the next call to next() returns;
+  /// starts at n-1 and decreases to 0.
+  [[nodiscard]] virtual std::size_t position() const = 0;
+  [[nodiscard]] bool exhausted() const { return position() == kDone; }
+
+  /// Returns the element at position() and advances.  Precondition:
+  /// !exhausted().
+  virtual Digest next() = 0;
+
+  /// Number of digests currently resident (storage footprint metric).
+  [[nodiscard]] virtual std::size_t stored_digests() const = 0;
+  /// Cumulative hash invocations since construction (work metric).
+  [[nodiscard]] virtual std::uint64_t hash_ops() const = 0;
+
+ protected:
+  static constexpr std::size_t kDone = static_cast<std::size_t>(-1);
+};
+
+/// Precomputes the whole chain; the classical memory-heavy option.
+class FullStorageTraversal final : public ChainTraversal {
+ public:
+  explicit FullStorageTraversal(const ChainParams& params);
+
+  [[nodiscard]] std::size_t position() const override { return pos_; }
+  Digest next() override;
+  [[nodiscard]] std::size_t stored_digests() const override {
+    return elements_.size();
+  }
+  [[nodiscard]] std::uint64_t hash_ops() const override { return hash_ops_; }
+
+ private:
+  std::vector<Digest> elements_;  // v_0 .. v_{n-1}
+  std::size_t pos_;
+  std::uint64_t hash_ops_{0};
+};
+
+/// Stores only the seed; recomputes each element from scratch.
+class RecomputeTraversal final : public ChainTraversal {
+ public:
+  explicit RecomputeTraversal(const ChainParams& params)
+      : params_(params), pos_(params.length == 0 ? kDone : params.length - 1) {}
+
+  [[nodiscard]] std::size_t position() const override { return pos_; }
+  Digest next() override;
+  [[nodiscard]] std::size_t stored_digests() const override { return 1; }
+  [[nodiscard]] std::uint64_t hash_ops() const override { return hash_ops_; }
+
+ private:
+  ChainParams params_;
+  std::size_t pos_;
+  std::uint64_t hash_ops_{0};
+};
+
+/// Fractal (Jakobsson-style) traversal: a logarithmic stack of checkpoints
+/// whose gaps halve as the walk descends.  stored_digests() is bounded by
+/// ceil(log2 n) + 1 and the amortized hash cost per step is O(log n); both
+/// bounds are asserted by tests/crypto_chain_test.cpp.
+class FractalTraversal final : public ChainTraversal {
+ public:
+  explicit FractalTraversal(const ChainParams& params);
+
+  [[nodiscard]] std::size_t position() const override { return pos_; }
+  Digest next() override;
+  [[nodiscard]] std::size_t stored_digests() const override {
+    return checkpoints_.size();
+  }
+  [[nodiscard]] std::uint64_t hash_ops() const override { return hash_ops_; }
+
+ private:
+  struct Checkpoint {
+    std::size_t pos;
+    Digest value;
+  };
+
+  /// Walks the checkpoint stack forward until the top sits at pos_.
+  void materialize();
+
+  std::vector<Checkpoint> checkpoints_;  // ascending positions; top <= pos_
+  std::size_t pos_;
+  std::uint64_t hash_ops_{0};
+};
+
+/// Random-access chain reader with lazily built equidistant checkpoints —
+/// what the in-simulator µTESLA signer uses (a reference node may assume the
+/// role at an arbitrary interval).  Costs n hashes once, then at most
+/// `spacing` hashes per access and n/spacing stored digests.
+class CheckpointedChain {
+ public:
+  CheckpointedChain(const ChainParams& params, std::size_t spacing = 128);
+
+  [[nodiscard]] const ChainParams& params() const { return params_; }
+  [[nodiscard]] const Digest& anchor() const { return anchor_; }
+
+  /// v_i for any i in [0, n].
+  [[nodiscard]] Digest element(std::size_t i) const;
+
+  [[nodiscard]] std::size_t stored_digests() const {
+    return checkpoints_.size() + 1;
+  }
+  [[nodiscard]] std::uint64_t hash_ops() const { return hash_ops_; }
+
+ private:
+  ChainParams params_;
+  std::size_t spacing_;
+  std::vector<Digest> checkpoints_;  // v_0, v_spacing, v_2*spacing, ...
+  Digest anchor_{};
+  mutable std::uint64_t hash_ops_{0};
+};
+
+}  // namespace sstsp::crypto

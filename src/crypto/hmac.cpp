@@ -1,0 +1,51 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <array>
+
+namespace sstsp::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> key_block{};
+  if (key.size() > kBlock) {
+    const Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad;
+  std::array<std::uint8_t, kBlock> opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  outer.update(std::span<const std::uint8_t>(inner_digest.data(),
+                                             inner_digest.size()));
+  return outer.finish();
+}
+
+Digest128 hmac_sha256_128(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> message) {
+  return truncate128(hmac_sha256(key, message));
+}
+
+bool digest_equal(std::span<const std::uint8_t> a,
+                  std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace sstsp::crypto

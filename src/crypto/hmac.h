@@ -1,0 +1,26 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// SSTSP authenticates the beacon body (B, j) with
+// HMAC_{h^{n-j}(s_ref)}(B, j); the output is truncated to 128 bits in the
+// frame, matching the paper's 92-byte secured beacon.
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace sstsp::crypto {
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+/// Beacon-field form: truncated to the 128-bit value carried on air.
+[[nodiscard]] Digest128 hmac_sha256_128(std::span<const std::uint8_t> key,
+                                        std::span<const std::uint8_t> message);
+
+/// Constant-time comparison (not strictly needed in a simulator, but the
+/// verifier is written the way a deployment would write it).
+[[nodiscard]] bool digest_equal(std::span<const std::uint8_t> a,
+                                std::span<const std::uint8_t> b);
+
+}  // namespace sstsp::crypto

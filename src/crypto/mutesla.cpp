@@ -1,0 +1,72 @@
+#include "crypto/mutesla.h"
+
+#include <cassert>
+
+namespace sstsp::crypto {
+
+std::vector<std::uint8_t> mac_input(std::int64_t j,
+                                    std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> input;
+  input.reserve(body.size() + 8);
+  input.insert(input.end(), body.begin(), body.end());
+  const auto uj = static_cast<std::uint64_t>(j);
+  for (int i = 0; i < 8; ++i) {
+    input.push_back(static_cast<std::uint8_t>(uj >> (8 * i)));
+  }
+  return input;
+}
+
+MuTeslaSigner::MuTeslaSigner(const ChainParams& chain,
+                             MuTeslaSchedule schedule,
+                             std::size_t checkpoint_spacing)
+    : chain_(chain, checkpoint_spacing), schedule_(schedule) {
+  assert(schedule_.n == chain.length);
+}
+
+Digest MuTeslaSigner::key_for_interval(std::int64_t j) const {
+  assert(j >= 1 && static_cast<std::size_t>(j) <= schedule_.n);
+  return chain_.element(schedule_.n - static_cast<std::size_t>(j));
+}
+
+Digest MuTeslaSigner::disclosed_key(std::int64_t j) const {
+  assert(j >= 1 && static_cast<std::size_t>(j) <= schedule_.n);
+  return chain_.element(schedule_.n - static_cast<std::size_t>(j) + 1);
+}
+
+Digest128 MuTeslaSigner::mac(std::int64_t j,
+                             std::span<const std::uint8_t> body) const {
+  const Digest key = key_for_interval(j);
+  const auto input = mac_input(j, body);
+  return hmac_sha256_128(std::span<const std::uint8_t>(key.data(), key.size()),
+                         std::span<const std::uint8_t>(input.data(),
+                                                       input.size()));
+}
+
+bool MuTeslaVerifier::verify_key(std::int64_t j, const Digest& key) {
+  if (j < 1 || static_cast<std::size_t>(j) > schedule_.n) return false;
+  const std::size_t pos = schedule_.n - static_cast<std::size_t>(j);
+  if (pos >= verified_pos_) {
+    // Stale or already-known disclosure.  Equal positions are accepted only
+    // if the key matches what we already authenticated (idempotent re-check).
+    return pos == verified_pos_ && digest_equal(key, verified_);
+  }
+  const std::size_t distance = verified_pos_ - pos;
+  const Digest walked = hash_times(key, distance);
+  hash_ops_ += distance;
+  if (!digest_equal(walked, verified_)) return false;
+  verified_pos_ = pos;
+  verified_ = key;
+  return true;
+}
+
+bool MuTeslaVerifier::verify_mac(const Digest& key, std::int64_t j,
+                                 std::span<const std::uint8_t> body,
+                                 const Digest128& mac) {
+  const auto input = mac_input(j, body);
+  const Digest128 expected = hmac_sha256_128(
+      std::span<const std::uint8_t>(key.data(), key.size()),
+      std::span<const std::uint8_t>(input.data(), input.size()));
+  return digest_equal(expected, mac);
+}
+
+}  // namespace sstsp::crypto

@@ -1,0 +1,119 @@
+// µTESLA (Perrig et al., SPINS 2001) as used by SSTSP §3.3.
+//
+// The schedule is interval-indexed: interval j spans
+// [T0 + j*BP - BP/2, T0 + j*BP + BP/2] in synchronized ("adjusted") time, and
+// a beacon emitted in interval j is keyed with K_j = v_{n-j} while disclosing
+// K_{j-1} = v_{n-j+1}.  A receiver may only accept the interval-j beacon
+// while K_j is still undisclosed, i.e. while its own (loosely synchronized)
+// clock is inside interval j — the "security condition" enforced by
+// MuTeslaSchedule::interval_check.
+//
+// The signer/verifier pair below is transport-agnostic: it deals in byte
+// spans and interval indices; frame assembly lives in core/beacon_security.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/hash_chain.h"
+#include "crypto/hmac.h"
+
+namespace sstsp::crypto {
+
+/// Interval bookkeeping shared by signer and verifier.
+struct MuTeslaSchedule {
+  double t0_us{0.0};        ///< adjusted-time origin of the chain
+  double interval_us{1e5};  ///< one beacon period
+  std::size_t n{0};         ///< chain length; valid intervals are [1, n]
+
+  /// Interval index whose nominal emission time is closest to `time_us`
+  /// (interval j's beacon is expected at T0 + j*interval).
+  [[nodiscard]] std::int64_t interval_of(double time_us) const {
+    return static_cast<std::int64_t>((time_us - t0_us) / interval_us + 0.5);
+  }
+
+  /// Nominal emission time of interval j's beacon.
+  [[nodiscard]] double emission_time(std::int64_t j) const {
+    return t0_us + static_cast<double>(j) * interval_us;
+  }
+
+  /// Security condition: a beacon claiming interval j, observed at local
+  /// adjusted time `local_us`, is acceptable iff the local clock is still
+  /// inside interval j (with `slack_us` tolerance for residual sync error
+  /// and propagation).  Outside that window the key may already be public.
+  [[nodiscard]] bool interval_check(std::int64_t j, double local_us,
+                                    double slack_us) const {
+    if (j < 1 || static_cast<std::size_t>(j) > n) return false;
+    const double center = emission_time(j);
+    const double half = interval_us / 2.0;
+    return local_us >= center - half - slack_us &&
+           local_us <= center + half + slack_us;
+  }
+};
+
+/// Produces keys and MACs for a node's own chain.
+class MuTeslaSigner {
+ public:
+  MuTeslaSigner(const ChainParams& chain, MuTeslaSchedule schedule,
+                std::size_t checkpoint_spacing = 128);
+
+  [[nodiscard]] const MuTeslaSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] const Digest& anchor() const { return chain_.anchor(); }
+
+  /// K_j = v_{n-j}; requires 1 <= j <= n.
+  [[nodiscard]] Digest key_for_interval(std::int64_t j) const;
+
+  /// Key disclosed inside the interval-j beacon: K_{j-1} (for j == 1 the
+  /// disclosed element is the anchor-adjacent v_n itself, which carries no
+  /// authentication value but keeps the frame layout uniform).
+  [[nodiscard]] Digest disclosed_key(std::int64_t j) const;
+
+  /// MAC over the beacon body for interval j.
+  [[nodiscard]] Digest128 mac(std::int64_t j,
+                              std::span<const std::uint8_t> body) const;
+
+ private:
+  CheckpointedChain chain_;
+  MuTeslaSchedule schedule_;
+};
+
+/// Verifies disclosed keys against a published anchor, caching the most
+/// recent authenticated element so steady-state verification costs one hash
+/// per beacon (the optimization §3.3 calls out).
+class MuTeslaVerifier {
+ public:
+  MuTeslaVerifier(Digest anchor, MuTeslaSchedule schedule)
+      : schedule_(schedule), verified_pos_(schedule.n), verified_(anchor) {}
+
+  [[nodiscard]] const MuTeslaSchedule& schedule() const { return schedule_; }
+
+  /// Checks that `key` is the chain element for interval j (position n-j),
+  /// by hashing it forward to the last authenticated element.  On success
+  /// the cache advances.  Returns false for stale intervals (j older than
+  /// an already-verified disclosure) and for mismatching keys.
+  [[nodiscard]] bool verify_key(std::int64_t j, const Digest& key);
+
+  /// MAC check of an interval-j beacon body against an already-verified key.
+  [[nodiscard]] static bool verify_mac(const Digest& key, std::int64_t j,
+                                       std::span<const std::uint8_t> body,
+                                       const Digest128& mac);
+
+  [[nodiscard]] std::uint64_t hash_ops() const { return hash_ops_; }
+  /// Chain position of the newest verified element (n means "anchor only").
+  [[nodiscard]] std::size_t verified_position() const { return verified_pos_; }
+
+ private:
+  MuTeslaSchedule schedule_;
+  std::size_t verified_pos_;  // position of verified_ in the chain
+  Digest verified_;
+  std::uint64_t hash_ops_{0};
+};
+
+/// Canonical MAC input for beacon interval j: body || LE64(j).  Shared by
+/// signer and verifier so there is exactly one encoding.
+[[nodiscard]] std::vector<std::uint8_t> mac_input(
+    std::int64_t j, std::span<const std::uint8_t> body);
+
+}  // namespace sstsp::crypto

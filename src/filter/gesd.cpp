@@ -1,0 +1,113 @@
+#include "filter/gesd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "filter/student_t.h"
+
+namespace sstsp::filter {
+
+namespace {
+
+struct MeanSd {
+  double mean;
+  double sd;
+};
+
+MeanSd mean_sd(const std::vector<double>& xs,
+               const std::vector<bool>& removed) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!removed[i]) {
+      sum += xs[i];
+      ++n;
+    }
+  }
+  const double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!removed[i]) {
+      const double d = xs[i] - mean;
+      ss += d * d;
+    }
+  }
+  const double sd =
+      (n > 1) ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return {mean, sd};
+}
+
+}  // namespace
+
+GesdResult gesd(const std::vector<double>& samples, std::size_t max_outliers,
+                double alpha) {
+  GesdResult result;
+  const std::size_t n = samples.size();
+  if (n < 5 || max_outliers == 0) return result;
+  max_outliers = std::min(max_outliers, n - 3);
+
+  std::vector<bool> removed(n, false);
+  std::vector<std::size_t> removal_order;
+  removal_order.reserve(max_outliers);
+
+  for (std::size_t i = 1; i <= max_outliers; ++i) {
+    const auto [mean, sd] = mean_sd(samples, removed);
+    // Degenerate spread: identical samples, nothing is an outlier.
+    if (sd <= 0.0) break;
+
+    // Most extreme remaining sample.
+    std::size_t worst = n;
+    double worst_dev = -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (removed[k]) continue;
+      const double dev = std::fabs(samples[k] - mean);
+      if (dev > worst_dev) {
+        worst_dev = dev;
+        worst = k;
+      }
+    }
+    const double r_i = worst_dev / sd;
+
+    // Rosner critical value for round i (remaining count before removal is
+    // n - i + 1; the classical formula is stated with n and i).
+    const auto ni = static_cast<double>(n - i);
+    const double p = 1.0 - alpha / (2.0 * (ni + 1.0));
+    const double t = student_t_quantile(p, ni - 1.0);
+    const double lambda =
+        ni * t / std::sqrt((ni - 1.0 + t * t) * (ni + 1.0));
+
+    result.test_statistics.push_back(r_i);
+    result.critical_values.push_back(lambda);
+
+    removed[worst] = true;
+    removal_order.push_back(worst);
+  }
+
+  // Largest i with R_i > lambda_i determines the outlier count.
+  std::size_t outlier_count = 0;
+  for (std::size_t i = 0; i < result.test_statistics.size(); ++i) {
+    if (result.test_statistics[i] > result.critical_values[i]) {
+      outlier_count = i + 1;
+    }
+  }
+  result.outlier_indices.assign(removal_order.begin(),
+                                removal_order.begin() +
+                                    static_cast<std::ptrdiff_t>(outlier_count));
+  return result;
+}
+
+std::vector<double> gesd_filter(const std::vector<double>& samples,
+                                std::size_t max_outliers, double alpha) {
+  const GesdResult r = gesd(samples, max_outliers, alpha);
+  std::vector<bool> is_outlier(samples.size(), false);
+  for (const std::size_t idx : r.outlier_indices) is_outlier[idx] = true;
+  std::vector<double> kept;
+  kept.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (!is_outlier[i]) kept.push_back(samples[i]);
+  }
+  return kept;
+}
+
+}  // namespace sstsp::filter

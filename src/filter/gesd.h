@@ -1,0 +1,46 @@
+// Generalized Extreme Studentized Deviate (GESD) outlier test.
+//
+// One of the two attack-accommodation filters of Song, Zhu & Cao
+// ("Attack-Resilient Time Synchronization for WSNs", MASS'05), which the
+// paper's coarse synchronization phase adopts to reject biased/malicious
+// timestamp offsets before averaging (§3.3).  Given up to r suspected
+// outliers and significance alpha, the test repeatedly studentizes the most
+// extreme sample and compares against the Rosner critical value
+//
+//   lambda_i = (n-i) * t_{p, n-i-1} / sqrt((n-i-1 + t^2) * (n-i+1)),
+//   p = 1 - alpha / (2 (n-i+1)).
+//
+// The number of outliers is the *largest* i with R_i > lambda_i (this
+// two-sided "masking-proof" rule is what distinguishes GESD from naive
+// sequential ESD).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sstsp::filter {
+
+struct GesdResult {
+  /// Indices into the input vector flagged as outliers, in removal order
+  /// (most extreme first).
+  std::vector<std::size_t> outlier_indices;
+
+  /// Per-round statistics, for diagnostics: R_i and lambda_i.
+  std::vector<double> test_statistics;
+  std::vector<double> critical_values;
+
+  [[nodiscard]] bool has_outliers() const { return !outlier_indices.empty(); }
+};
+
+/// Runs GESD on `samples`.  `max_outliers` is r (must leave at least 3
+/// samples behind); `alpha` is the significance level (0.05 typical).
+/// Fewer than 5 samples: returns no outliers (test undefined).
+[[nodiscard]] GesdResult gesd(const std::vector<double>& samples,
+                              std::size_t max_outliers, double alpha = 0.05);
+
+/// Convenience: the samples that survive the GESD test.
+[[nodiscard]] std::vector<double> gesd_filter(
+    const std::vector<double>& samples, std::size_t max_outliers,
+    double alpha = 0.05);
+
+}  // namespace sstsp::filter

@@ -1,0 +1,114 @@
+#include "filter/student_t.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sstsp::filter {
+
+double ln_gamma(double x) {
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static constexpr double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - ln_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+namespace {
+
+/// Continued-fraction kernel for the incomplete beta (Lentz's algorithm).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry that keeps the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double nu) {
+  assert(nu > 0.0);
+  if (t == 0.0) return 0.5;
+  const double x = nu / (nu + t * t);
+  const double tail = 0.5 * incomplete_beta(nu / 2.0, 0.5, x);
+  return (t > 0.0) ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double nu) {
+  assert(p > 0.0 && p < 1.0);
+  if (p == 0.5) return 0.0;
+  // Symmetric: solve for the upper half only.
+  if (p < 0.5) return -student_t_quantile(1.0 - p, nu);
+
+  // Bracket: CDF is monotone; expand hi until it covers p.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (student_t_cdf(hi, nu) < p && hi < 1e12) hi *= 2.0;
+
+  // Bisection to ~1e-12 of the bracket, then done — Newton is unnecessary
+  // at this accuracy and the density is cheap.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, nu) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-13 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace sstsp::filter

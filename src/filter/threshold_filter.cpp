@@ -1,0 +1,42 @@
+#include "filter/threshold_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sstsp::filter {
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(
+      xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+std::optional<double> ThresholdResult::mean() const {
+  if (kept.empty()) return std::nullopt;
+  const double sum = std::accumulate(kept.begin(), kept.end(), 0.0);
+  return sum / static_cast<double>(kept.size());
+}
+
+ThresholdResult threshold_filter(const std::vector<double>& samples,
+                                 double threshold) {
+  ThresholdResult result;
+  if (samples.empty()) return result;
+  result.center = median(samples);
+  for (const double s : samples) {
+    if (std::fabs(s - result.center) <= threshold) {
+      result.kept.push_back(s);
+    } else {
+      ++result.rejected;
+    }
+  }
+  return result;
+}
+
+}  // namespace sstsp::filter

@@ -1,0 +1,33 @@
+// Threshold-based outlier filter (the second Song-Zhu-Cao mechanism).
+//
+// Operates on clock-offset samples via a "time transformation": offsets are
+// re-expressed relative to a robust center (the sample median, which a
+// minority of malicious samples cannot move arbitrarily), and any sample
+// farther than `threshold` from that center is discarded.  The survivors'
+// mean is the offset estimate the coarse synchronization phase applies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace sstsp::filter {
+
+struct ThresholdResult {
+  std::vector<double> kept;
+  std::size_t rejected{0};
+  double center{0.0};  ///< median used as the transformation origin
+
+  /// Mean of the surviving samples; nullopt when everything was rejected.
+  [[nodiscard]] std::optional<double> mean() const;
+};
+
+/// Filters `samples`, keeping those within `threshold` of the median.
+[[nodiscard]] ThresholdResult threshold_filter(
+    const std::vector<double>& samples, double threshold);
+
+/// Median of a sample vector (by copy; input untouched).  Average of the two
+/// central order statistics for even sizes.
+[[nodiscard]] double median(std::vector<double> xs);
+
+}  // namespace sstsp::filter

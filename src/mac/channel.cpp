@@ -1,0 +1,157 @@
+#include "mac/channel.h"
+
+#include <cassert>
+
+namespace sstsp::mac {
+
+namespace {
+/// Mean distance between two points drawn uniformly from a disc of radius R
+/// is (128/45pi) R ~= 0.9054 R; used as the propagation compensation.
+constexpr double kMeanDiscDistanceFactor = 0.905414787;
+}  // namespace
+
+Channel::Channel(sim::Simulator& sim, const PhyParams& phy)
+    : sim_(sim), phy_(phy), rng_(sim.substream("channel", 0)) {}
+
+std::size_t Channel::add_station(Position pos, RxHandler handler) {
+  stations_.push_back(StationRec{pos, std::move(handler), true,
+                                 sim::SimTime::never(), sim::SimTime::zero()});
+  return stations_.size() - 1;
+}
+
+void Channel::set_listening(std::size_t idx, bool listening) {
+  stations_[idx].listening = listening;
+}
+
+bool Channel::in_range(const Position& a, const Position& b) const {
+  if (phy_.radio_range_m <= 0.0) return true;  // single-hop: everyone hears
+  return distance_m(a, b) <= phy_.radio_range_m;
+}
+
+double Channel::nominal_delay_us(sim::SimTime duration) const {
+  const double reach = (phy_.radio_range_m > 0.0)
+                           ? phy_.radio_range_m
+                           : phy_.placement_radius_m;
+  const double nominal_prop_us =
+      kMeanDiscDistanceFactor * reach / kSpeedOfLightMPerUs;
+  const double nominal_rx_us =
+      0.5 * (phy_.rx_latency_min.to_us() + phy_.rx_latency_max.to_us());
+  return duration.to_us() + nominal_prop_us + nominal_rx_us;
+}
+
+void Channel::prune_old(sim::SimTime now) {
+  // Transmissions are appended in start order; drop the ones that can no
+  // longer influence carrier sense, interference, or pending deliveries.
+  const sim::SimTime horizon =
+      now - phy_.ifs_guard - sim::SimTime::from_ms(1);
+  while (!recent_.empty() && recent_.front().end < horizon &&
+         recent_.front().delivered_processed) {
+    recent_.pop_front();
+  }
+}
+
+void Channel::transmit(std::size_t idx, Frame frame, sim::SimTime duration) {
+  const sim::SimTime now = sim_.now();
+  prune_old(now);
+
+  Tx tx;
+  tx.id = next_tx_id_++;
+  tx.sender = idx;
+  tx.frame = std::move(frame);
+  tx.start = now;
+  tx.end = now + duration;
+
+  ++stats_.transmissions;
+  stats_.bytes_on_air += tx.frame.air_bytes;
+  stations_[idx].last_tx_start = now;
+  stations_[idx].last_tx_end = tx.end;
+
+  const std::uint64_t id = tx.id;
+  recent_.push_back(std::move(tx));
+  sim_.at(recent_.back().end, [this, id] { finish_transmission(id); });
+}
+
+void Channel::finish_transmission(std::uint64_t tx_id) {
+  // Locate the record (the deque is short: only frames within the last
+  // millisecond or so are retained).
+  Tx* tx = nullptr;
+  for (Tx& t : recent_) {
+    if (t.id == tx_id) {
+      tx = &t;
+      break;
+    }
+  }
+  assert(tx != nullptr && "transmission record pruned before completion");
+  tx->delivered_processed = true;
+
+  const Position sender_pos = stations_[tx->sender].pos;
+  const sim::SimTime start = tx->start;
+  const sim::SimTime end = tx->end;
+  const double nominal_us = nominal_delay_us(end - start);
+  bool lost_to_interference = false;
+
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    if (s == tx->sender) continue;
+    StationRec& rx = stations_[s];
+    if (!rx.listening) continue;
+    if (!in_range(sender_pos, rx.pos)) continue;
+    // Half duplex: if the receiver transmitted during this frame it heard
+    // nothing (its own tx would also have collided, but cover the edge
+    // where it started transmitting mid-frame).
+    if (rx.last_tx_start < end && rx.last_tx_end > start) {
+      ++stats_.half_duplex_suppressed;
+      continue;
+    }
+    // Interference is per-receiver: a concurrent transmission corrupts this
+    // frame only where both are audible (this is what produces the hidden
+    // terminal problem once a radio range is configured).
+    bool corrupted = false;
+    for (const Tx& other : recent_) {
+      if (other.id == tx->id) continue;
+      if (other.start >= end || other.end <= start) continue;  // no overlap
+      if (!in_range(stations_[other.sender].pos, rx.pos)) continue;
+      corrupted = true;
+      break;
+    }
+    if (corrupted) {
+      lost_to_interference = true;
+      continue;
+    }
+    if (rng_.bernoulli(phy_.packet_error_rate)) {
+      ++stats_.per_drops;
+      continue;
+    }
+    const sim::SimTime prop = propagation_delay(sender_pos, rx.pos);
+    const sim::SimTime rx_latency = sim::SimTime::from_us_double(rng_.uniform(
+        phy_.rx_latency_min.to_us(), phy_.rx_latency_max.to_us()));
+    const sim::SimTime delivered = end + prop + rx_latency;
+
+    RxInfo info;
+    info.delivered = delivered;
+    info.nominal_delay_us = nominal_us;
+    info.tx_start = start;
+    ++stats_.deliveries;
+
+    // Copy the frame into the closure: the deque entry may be pruned before
+    // the delivery event fires.
+    sim_.at(delivered, [this, s, frame = tx->frame, info] {
+      if (stations_[s].listening) stations_[s].handler(frame, info);
+    });
+  }
+  if (lost_to_interference) ++stats_.collided_transmissions;
+}
+
+bool Channel::would_detect_busy(std::size_t idx, sim::SimTime at) const {
+  const Position& me = stations_[idx].pos;
+  for (const Tx& tx : recent_) {
+    if (tx.sender == idx) continue;
+    if (!in_range(stations_[tx.sender].pos, me)) continue;
+    const sim::SimTime prop = propagation_delay(stations_[tx.sender].pos, me);
+    const sim::SimTime detectable_from = tx.start + prop + phy_.cca_time;
+    const sim::SimTime busy_until = tx.end + prop + phy_.ifs_guard;
+    if (at >= detectable_from && at <= busy_until) return true;
+  }
+  return false;
+}
+
+}  // namespace sstsp::mac

@@ -1,0 +1,124 @@
+// Single-hop broadcast channel (IBSS: every station hears every other).
+//
+// Semantics:
+//   * A transmission occupies the medium for its full on-air duration.
+//     Overlapping transmissions corrupt each other — no capture effect.
+//     Corruption is decided per receiver: a concurrent frame destroys this
+//     one only where both senders are audible, so with a finite radio range
+//     (PhyParams::radio_range_m) the model exhibits the hidden-terminal
+//     problem; in the default single-hop configuration every overlap
+//     corrupts everywhere, as before.
+//   * Carrier sense honours the CCA latency: a station whose backoff timer
+//     expires less than cca_time after another transmission started cannot
+//     have detected it and will transmit anyway (-> collision), which is
+//     the physical root of the paper's "beacon collision" problem.
+//   * After a frame ends, the medium counts as busy for one more ifs_guard
+//     so deferred stations do not fire in the turnaround gap.
+//   * Each delivery independently suffers the packet error rate, a
+//     per-receiver propagation delay (speed of light over actual distance)
+//     and a uniformly distributed receive-chain latency; the receiver's MAC
+//     sees the frame only at sim-time `delivered`.
+//   * Half duplex: a station never receives a frame that overlapped one of
+//     its own transmissions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mac/frame.h"
+#include "mac/phy_params.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace sstsp::mac {
+
+/// What a receiver's MAC learns about a frame, besides its content.
+struct RxInfo {
+  sim::SimTime delivered;      ///< when the receiver timestamps the frame
+  double nominal_delay_us{0};  ///< receiver's estimate of stamp->delivered
+  sim::SimTime tx_start;       ///< ground truth, for diagnostics only
+};
+
+struct ChannelStats {
+  std::uint64_t transmissions{0};
+  std::uint64_t collided_transmissions{0};
+  std::uint64_t deliveries{0};
+  std::uint64_t per_drops{0};
+  std::uint64_t half_duplex_suppressed{0};
+  std::uint64_t bytes_on_air{0};
+};
+
+class Channel {
+ public:
+  using RxHandler = std::function<void(const Frame&, const RxInfo&)>;
+
+  Channel(sim::Simulator& sim, const PhyParams& phy);
+
+  /// Registers a station; returns its channel index.  The handler fires at
+  /// the frame's delivery instant.
+  std::size_t add_station(Position pos, RxHandler handler);
+
+  /// Stations that are powered off neither receive nor sense.
+  void set_listening(std::size_t idx, bool listening);
+  [[nodiscard]] bool listening(std::size_t idx) const {
+    return stations_[idx].listening;
+  }
+
+  [[nodiscard]] const Position& position(std::size_t idx) const {
+    return stations_[idx].pos;
+  }
+
+  /// Starts a transmission now; duration is the on-air time.
+  void transmit(std::size_t idx, Frame frame, sim::SimTime duration);
+
+  /// Would station `idx`, checking at time `at`, find the medium busy?
+  /// Only transmissions within radio range are sensed.
+  [[nodiscard]] bool would_detect_busy(std::size_t idx, sim::SimTime at) const;
+
+  /// Mutual audibility under the configured radio range (always true in
+  /// the default single-hop configuration).
+  [[nodiscard]] bool in_range(const Position& a, const Position& b) const;
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const PhyParams& phy() const { return phy_; }
+
+  /// Receiver-side compensation constant for a frame of `duration`:
+  /// the delay estimate added to a beacon timestamp to place it on the
+  /// receiver's timeline (frame air time + nominal propagation + nominal
+  /// receive latency).  The residual between this and the actual delay is
+  /// the paper's epsilon.
+  [[nodiscard]] double nominal_delay_us(sim::SimTime duration) const;
+
+ private:
+  struct StationRec {
+    Position pos;
+    RxHandler handler;
+    bool listening{true};
+    sim::SimTime last_tx_start{sim::SimTime::never()};
+    sim::SimTime last_tx_end{sim::SimTime::zero()};
+  };
+
+  struct Tx {
+    std::uint64_t id{0};
+    std::size_t sender{0};
+    Frame frame;
+    sim::SimTime start;
+    sim::SimTime end;
+    bool delivered_processed{false};
+  };
+
+  void finish_transmission(std::uint64_t tx_id);
+  void prune_old(sim::SimTime now);
+
+  sim::Simulator& sim_;
+  PhyParams phy_;
+  std::vector<StationRec> stations_;
+  std::deque<Tx> recent_;  // transmissions still relevant for CS/delivery
+  std::uint64_t next_tx_id_{1};
+  ChannelStats stats_;
+  sim::Rng rng_;
+};
+
+}  // namespace sstsp::mac

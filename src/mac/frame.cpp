@@ -1,0 +1,21 @@
+#include "mac/frame.h"
+
+namespace sstsp::mac {
+
+std::vector<std::uint8_t> serialize_unsecured_beacon(std::int64_t timestamp_us,
+                                                     NodeId sender,
+                                                     std::uint8_t level) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(13);
+  const auto ts = static_cast<std::uint64_t>(timestamp_us);
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(ts >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(sender >> (8 * i)));
+  }
+  bytes.push_back(level);
+  return bytes;
+}
+
+}  // namespace sstsp::mac

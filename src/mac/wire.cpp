@@ -1,0 +1,109 @@
+#include "mac/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sstsp::mac {
+
+namespace {
+
+constexpr std::size_t kPreambleBytes = 24;  // PLCP preamble+header surrogate
+constexpr std::uint8_t kMagic0 = 0x53;      // 'S'
+constexpr std::uint8_t kMagic1 = 0x54;      // 'T'
+constexpr std::uint8_t kTypeTsf = 0x01;
+constexpr std::uint8_t kTypeSstsp = 0x02;
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+[[nodiscard]] std::uint64_t get_u64(std::span<const std::uint8_t> in,
+                                    std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> in,
+                                    std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[at + static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.assign(kPreambleBytes, 0x00);  // preamble surrogate
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+
+  if (frame.is_tsf()) {
+    out.push_back(kTypeTsf);
+    put_u64(out, static_cast<std::uint64_t>(frame.tsf().timestamp_us));
+    put_u32(out, frame.sender);
+    out.resize(kTsfWireBytes, 0x00);  // fixed beacon fields surrogate
+    return out;
+  }
+
+  const SstspBeaconBody& b = frame.sstsp();
+  out.push_back(kTypeSstsp);
+  put_u64(out, static_cast<std::uint64_t>(b.timestamp_us));
+  put_u32(out, frame.sender);
+  out.push_back(b.level);
+  put_u64(out, static_cast<std::uint64_t>(b.interval));
+  out.insert(out.end(), b.mac.begin(), b.mac.end());
+  out.insert(out.end(), b.disclosed_key.begin(), b.disclosed_key.end());
+  // 24+2+1+8+4+1+8+16+32 = 96 exactly.
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kTsfWireBytes && bytes.size() != kSstspWireBytes) {
+    return std::nullopt;
+  }
+  if (bytes[kPreambleBytes] != kMagic0 ||
+      bytes[kPreambleBytes + 1] != kMagic1) {
+    return std::nullopt;
+  }
+  const std::uint8_t type = bytes[kPreambleBytes + 2];
+  std::size_t at = kPreambleBytes + 3;
+
+  Frame frame;
+  if (type == kTypeTsf && bytes.size() == kTsfWireBytes) {
+    TsfBeaconBody body;
+    body.timestamp_us = static_cast<std::int64_t>(get_u64(bytes, at));
+    at += 8;
+    frame.sender = get_u32(bytes, at);
+    frame.body = body;
+    frame.air_bytes = kTsfWireBytes;
+    return frame;
+  }
+  if (type == kTypeSstsp && bytes.size() == kSstspWireBytes) {
+    SstspBeaconBody body;
+    body.timestamp_us = static_cast<std::int64_t>(get_u64(bytes, at));
+    at += 8;
+    frame.sender = get_u32(bytes, at);
+    at += 4;
+    body.level = bytes[at];
+    at += 1;
+    body.interval = static_cast<std::int64_t>(get_u64(bytes, at));
+    at += 8;
+    std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                body.mac.size(), body.mac.begin());
+    at += body.mac.size();
+    std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                body.disclosed_key.size(), body.disclosed_key.begin());
+    frame.body = body;
+    frame.air_bytes = kSstspWireBytes;
+    return frame;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sstsp::mac

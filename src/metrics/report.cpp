@@ -1,0 +1,117 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sstsp::metrics {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = (c < cells.size()) ? cells[c] : std::string{};
+      os << ' ' << v << std::string(widths[c] - v.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+bool write_csv(const Series& series, const std::string& path,
+               const std::string& value_label) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t_s," << value_label << '\n';
+  for (const SeriesPoint& p : series.points()) {
+    out << p.t_s << ',' << p.value_us << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+void print_ascii_series(std::ostream& os, const Series& series,
+                        double bucket_s, bool log_scale, int width) {
+  if (series.empty()) {
+    os << "(empty series)\n";
+    return;
+  }
+  const auto& pts = series.points();
+  const double t_end = pts.back().t_s;
+
+  struct Bucket {
+    double max = 0.0;
+    bool any = false;
+  };
+  const auto nbuckets =
+      static_cast<std::size_t>(std::ceil(t_end / bucket_s)) + 1;
+  std::vector<Bucket> buckets(nbuckets);
+  double global_max = 0.0;
+  for (const SeriesPoint& p : pts) {
+    auto& b = buckets[static_cast<std::size_t>(p.t_s / bucket_s)];
+    b.max = b.any ? std::max(b.max, p.value_us) : p.value_us;
+    b.any = true;
+    global_max = std::max(global_max, p.value_us);
+  }
+  if (global_max <= 0.0) global_max = 1.0;
+
+  auto scale = [&](double v) -> int {
+    if (v <= 0.0) return 0;
+    double frac;
+    if (log_scale) {
+      // Map [0.1 us, global_max] logarithmically.
+      const double lo = std::log10(0.1);
+      const double hi = std::log10(std::max(global_max, 0.2));
+      frac = (std::log10(std::max(v, 0.1)) - lo) / (hi - lo);
+    } else {
+      frac = v / global_max;
+    }
+    return static_cast<int>(std::lround(frac * width));
+  };
+
+  os << "  t(s)    max_diff(us)  " << (log_scale ? "[log scale]" : "")
+     << '\n';
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (!buckets[i].any) continue;
+    const double t = static_cast<double>(i) * bucket_s;
+    os << std::setw(6) << std::fixed << std::setprecision(0) << t << "  "
+       << std::setw(12) << std::setprecision(2) << buckets[i].max << "  |"
+       << std::string(static_cast<std::size_t>(scale(buckets[i].max)), '#')
+       << '\n';
+  }
+}
+
+}  // namespace sstsp::metrics

@@ -1,0 +1,43 @@
+// Plain-text reporting helpers shared by the bench binaries and examples:
+// fixed-width tables, CSV dumps, and a coarse ASCII rendering of a series
+// so figure benches show the *shape* the paper plots directly on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/series.h"
+
+namespace sstsp::metrics {
+
+/// Simple fixed-width table: set headers, add string rows, stream out.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+/// Writes "t_s,value_us" lines (with a header) to a CSV file; returns false
+/// on I/O failure.
+[[nodiscard]] bool write_csv(const Series& series, const std::string& path,
+                             const std::string& value_label = "value_us");
+
+/// Renders the series as an ASCII strip chart: one output row per time
+/// bucket (bucket_s wide, showing the bucket max), bar length scaled to the
+/// global max (or log-scaled when `log_scale`).  This is what the figure
+/// benches print so the paper's curves can be eyeballed in a terminal.
+void print_ascii_series(std::ostream& os, const Series& series,
+                        double bucket_s, bool log_scale = false,
+                        int width = 60);
+
+}  // namespace sstsp::metrics

@@ -1,0 +1,60 @@
+#include "metrics/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sstsp::metrics {
+
+std::optional<double> Series::max_in(double from_s, double to_s) const {
+  std::optional<double> best;
+  for (const SeriesPoint& p : points_) {
+    if (p.t_s < from_s || p.t_s > to_s) continue;
+    if (!best || p.value_us > *best) best = p.value_us;
+  }
+  return best;
+}
+
+std::optional<double> Series::mean_in(double from_s, double to_s) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const SeriesPoint& p : points_) {
+    if (p.t_s < from_s || p.t_s > to_s) continue;
+    sum += p.value_us;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+std::optional<double> Series::quantile_in(double p, double from_s,
+                                          double to_s) const {
+  std::vector<double> vals;
+  for (const SeriesPoint& pt : points_) {
+    if (pt.t_s >= from_s && pt.t_s <= to_s) vals.push_back(pt.value_us);
+  }
+  if (vals.empty()) return std::nullopt;
+  std::sort(vals.begin(), vals.end());
+  const double idx = p * static_cast<double>(vals.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - std::floor(idx);
+  return vals[lo] * (1.0 - frac) + vals[hi] * frac;
+}
+
+std::optional<double> Series::first_sustained_below(double threshold_us,
+                                                    double hold_s,
+                                                    double from_s) const {
+  std::optional<double> run_start;
+  for (const SeriesPoint& p : points_) {
+    if (p.t_s < from_s) continue;
+    if (p.value_us < threshold_us) {
+      if (!run_start) run_start = p.t_s;
+      if (p.t_s - *run_start >= hold_s) return run_start;
+    } else {
+      run_start.reset();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sstsp::metrics

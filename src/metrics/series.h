@@ -1,0 +1,47 @@
+// Time series of a scalar metric (e.g. max pairwise clock difference).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace sstsp::metrics {
+
+struct SeriesPoint {
+  double t_s;       ///< simulation time, seconds
+  double value_us;  ///< metric value, microseconds
+};
+
+class Series {
+ public:
+  void push(double t_s, double value_us) {
+    points_.push_back(SeriesPoint{t_s, value_us});
+  }
+
+  [[nodiscard]] const std::vector<SeriesPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Maximum value over [from_s, to_s].
+  [[nodiscard]] std::optional<double> max_in(double from_s, double to_s) const;
+  /// Mean value over [from_s, to_s].
+  [[nodiscard]] std::optional<double> mean_in(double from_s,
+                                              double to_s) const;
+  /// p-quantile (0..1) of values in [from_s, to_s].
+  [[nodiscard]] std::optional<double> quantile_in(double p, double from_s,
+                                                  double to_s) const;
+
+  /// First time t >= from_s such that the value stays strictly below
+  /// `threshold_us` for at least `hold_s` of consecutive samples — the
+  /// "synchronization latency" detector (paper Table 1: the network counts
+  /// as synchronized when the max clock difference is under 25 us).
+  [[nodiscard]] std::optional<double> first_sustained_below(
+      double threshold_us, double hold_s, double from_s = 0.0) const;
+
+ private:
+  std::vector<SeriesPoint> points_;
+};
+
+}  // namespace sstsp::metrics

@@ -1,0 +1,52 @@
+// Configuration for the multi-hop SSTSP extension (the paper's §6 future
+// work: "extending SSTSP to multi-hop ad hoc networks").
+//
+// Design (documented in DESIGN.md §7): the reference beacons at T^j as in
+// single-hop SSTSP; synchronized nodes at hop distance (level) L re-emit a
+// beacon — signed with their *own* hash chain, carrying their own adjusted
+// timestamp and their level — at T^j + L * relay_stagger, inside a small
+// deterministic per-node slot.  Nodes follow the lowest-level upstream they
+// hear, so timing information floods outward one stagger per hop, and
+// estimation error accumulates per hop (the classical multi-hop trade-off).
+// Every relay hop is authenticated end-to-middle: µTESLA per relay, trust
+// transitive through synchronized relays, with the same guard/interval
+// bounds per hop.
+#pragma once
+
+#include "core/sstsp_config.h"
+
+namespace sstsp::multihop {
+
+struct MultiHopConfig {
+  /// All single-hop SSTSP parameters (guard, m, chain length, ...).
+  core::SstspConfig base{};
+
+  /// Per-level emission offset: level-L relays emit at T^j + L * stagger.
+  /// Must exceed beacon air time + processing so each level can re-emit
+  /// information received in the same interval.
+  double relay_stagger_us = 2000.0;
+
+  /// Relays pick a *fixed* slot (id-derived) in [0, relay_window] within
+  /// their stagger window: deterministic, so it adds no timestamp jitter,
+  /// but spread out, so nearby same-level relays usually defer via CSMA
+  /// instead of colliding.
+  int relay_window = 16;
+
+  /// Deepest level that still relays (bounds flood depth and beacon count).
+  int max_level = 8;
+
+  /// Rate-estimation baseline in beacon intervals.  Single-hop SSTSP uses
+  /// adjacent beacons (baseline 1); in a relay cascade each hop re-amplifies
+  /// its upstream's timestamp noise by the rate-extrapolation factor, so
+  /// adjacent-beacon estimation has per-hop gain > 1 and deep lines diverge
+  /// exponentially.  A baseline of B divides the rate noise by B and brings
+  /// the cascade gain below 1.  (See DESIGN.md §7.)
+  int rate_baseline_bps = 6;
+
+  /// Intervals of total silence a node tolerates before concluding the
+  /// tree is gone.  Takeover is level-staggered (closest nodes first); this
+  /// must exceed the tree build-out time at the configured depth.
+  int takeover_patience_bps = 50;
+};
+
+}  // namespace sstsp::multihop

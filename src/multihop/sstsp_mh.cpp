@@ -1,0 +1,254 @@
+#include "multihop/sstsp_mh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sstsp::multihop {
+
+namespace {
+constexpr double kTickFraction = 0.75;
+}
+
+SstspMh::SstspMh(proto::Station& station, const MultiHopConfig& cfg,
+                 core::KeyDirectory& directory, Options options)
+    : SyncProtocol(station),
+      cfg_(cfg),
+      directory_(directory),
+      schedule_{cfg.base.t0_us,
+                station.channel().phy().beacon_period.to_us(),
+                cfg.base.chain_length},
+      adjusted_(&station.hw()),
+      signer_(directory.chain_of(station.id()).value(), schedule_),
+      options_(options),
+      relay_slot_(static_cast<int>(station.id()) %
+                  (cfg.relay_window + 1)) {}
+
+void SstspMh::start() {
+  running_ = true;
+  tracks_.clear();
+  last_upstream_interval_ = -1;
+  last_tick_j_ = INT64_MIN;
+  silent_bps_ = 0;
+  last_sync_hw_us_ = station_.hw_us_now();
+  reference_ = options_.start_as_reference;
+  if (reference_) {
+    level_ = 0;
+    synced_ = true;
+  } else {
+    level_ = kNoLevel;
+    synced_ = false;
+  }
+  schedule_tick();
+}
+
+void SstspMh::stop() {
+  running_ = false;
+  if (tick_event_ != 0) {
+    station_.sim().cancel(tick_event_);
+    tick_event_ = 0;
+  }
+  cancel_tx_event();
+}
+
+void SstspMh::cancel_tx_event() {
+  if (tx_event_ != 0) {
+    station_.sim().cancel(tx_event_);
+    tx_event_ = 0;
+  }
+}
+
+double SstspMh::effective_guard_us(double hw_now_us) const {
+  const double silence_s =
+      std::max(0.0, (hw_now_us - last_sync_hw_us_) * 1e-6);
+  const double guard = cfg_.base.guard_fine_us +
+                       cfg_.base.guard_growth_us_per_s * silence_s;
+  return std::min(guard, cfg_.base.guard_coarse_us);
+}
+
+void SstspMh::schedule_tick() {
+  if (tick_event_ != 0) station_.sim().cancel(tick_event_);
+  const double bp = schedule_.interval_us;
+  auto next_j =
+      static_cast<std::int64_t>(std::floor(adjusted_now() / bp -
+                                           kTickFraction)) +
+      1;
+  if (next_j <= last_tick_j_) next_j = last_tick_j_ + 1;
+  const double tick_time =
+      schedule_.emission_time(next_j) + kTickFraction * bp;
+  tick_event_ = station_.sim().at(adjusted_.real_at(tick_time),
+                                  [this, next_j] { handle_tick(next_j); });
+}
+
+void SstspMh::handle_tick(std::int64_t j) {
+  tick_event_ = 0;
+  if (!running_) return;
+  last_tick_j_ = j;
+
+  if (reference_) {
+    schedule_emission(j + 1);
+  } else {
+    if (last_upstream_interval_ < j) {
+      ++silent_bps_;
+      // Level-staggered takeover: closest survivors first.
+      const int patience =
+          cfg_.takeover_patience_bps +
+          2 * static_cast<int>(level_ == kNoLevel ? cfg_.max_level : level_);
+      if (synced_ && silent_bps_ >= patience) {
+        reference_ = true;
+        level_ = 0;
+        ++stats_.elections_won;
+        schedule_emission(j + 1);
+      }
+    } else {
+      silent_bps_ = 0;
+    }
+    // Relay duty for the next interval (conditional at fire time on having
+    // fresh upstream data for it).
+    if (!reference_ && synced_ && level_ != kNoLevel &&
+        level_ <= cfg_.max_level) {
+      schedule_emission(j + 1);
+    }
+  }
+  schedule_tick();
+}
+
+void SstspMh::schedule_emission(std::int64_t j) {
+  if (j < 1 || static_cast<std::size_t>(j) > schedule_.n) return;
+  const double stagger =
+      reference_ ? 0.0
+                 : static_cast<double>(level_) * cfg_.relay_stagger_us +
+                       static_cast<double>(relay_slot_) * 9.0;
+  cancel_tx_event();
+  tx_event_ =
+      station_.sim().at(adjusted_.real_at(schedule_.emission_time(j) + stagger),
+                        [this, j] { handle_emission(j); });
+}
+
+void SstspMh::handle_emission(std::int64_t j) {
+  tx_event_ = 0;
+  if (!running_) return;
+  if (!reference_) {
+    // Relay only fresh time: an upstream beacon for this very interval must
+    // have been accepted already (it arrived one stagger earlier).
+    if (last_upstream_interval_ < j) return;
+    if (station_.medium_busy(station_.sim().now())) return;  // spatial reuse
+  }
+  transmit_beacon(j);
+}
+
+void SstspMh::transmit_beacon(std::int64_t j) {
+  const auto& phy = station_.channel().phy();
+  const auto ts = static_cast<std::int64_t>(std::floor(adjusted_now()));
+  mac::Frame frame;
+  frame.sender = station_.id();
+  frame.air_bytes = phy.sstsp_beacon_bytes + 1;  // + level byte
+  frame.body = signer_.sign(j, ts, station_.id(), level_);
+  station_.transmit(std::move(frame), phy.sstsp_beacon_duration);
+  ++stats_.beacons_sent;
+  if (reference_) last_sync_hw_us_ = station_.hw_us_now();
+}
+
+SstspMh::SenderTrack* SstspMh::track_for(mac::NodeId sender) {
+  auto it = tracks_.find(sender);
+  if (it != tracks_.end()) return &it->second;
+  const auto anchor = directory_.anchor_of(sender);
+  if (!anchor) return nullptr;
+  if (tracks_.size() >= 8) {
+    for (auto evict = tracks_.begin(); evict != tracks_.end(); ++evict) {
+      if (evict->first != upstream_) {
+        tracks_.erase(evict);
+        break;
+      }
+    }
+  }
+  auto [ins, _] = tracks_.emplace(sender, SenderTrack(*anchor, schedule_));
+  return &ins->second;
+}
+
+void SstspMh::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
+  if (!frame.is_sstsp()) return;
+  ++stats_.beacons_received;
+  const auto& body = frame.sstsp();
+  const double c_now = adjusted_.read_us(rx.delivered);
+  const double ts_est =
+      static_cast<double>(body.timestamp_us) + rx.nominal_delay_us;
+  const std::int64_t j = body.interval;
+
+  // Reference ignores relayed copies of its own timeline; deeper levels
+  // than our own carry nothing new either.
+  if (reference_) return;
+  if (level_ != kNoLevel && body.level >= level_ && synced_ &&
+      frame.sender != upstream_) {
+    return;  // peer or downstream relay: not an upstream for us
+  }
+
+  if (!schedule_.interval_check(j, c_now, cfg_.base.interval_slack_us)) {
+    ++stats_.rejected_interval;
+    return;
+  }
+  // Guard: a relay stamps its (synchronized) clock at its own staggered
+  // emission instant, so ts_est estimates the sender's clock at arrival
+  // and the plain difference applies — stagger offsets cancel.
+  const double arrival_hw = station_.hw().read_us(rx.delivered);
+  if (std::fabs(ts_est - c_now) > effective_guard_us(arrival_hw)) {
+    ++stats_.rejected_guard;
+    return;
+  }
+
+  SenderTrack* track = track_for(frame.sender);
+  if (track == nullptr) {
+    ++stats_.rejected_key;
+    return;
+  }
+  const core::PipelineResult res =
+      track->pipeline.ingest(body, frame.sender, arrival_hw, ts_est);
+  if (!res.key_valid) {
+    ++stats_.rejected_key;
+    return;
+  }
+  if (res.mac_failed) ++stats_.rejected_mac;
+
+  track->level = body.level;
+  track->last_seen_interval = std::max(track->last_seen_interval, j);
+
+  // Upstream selection: adopt the lowest-level live sender.
+  const std::uint8_t my_new_level =
+      static_cast<std::uint8_t>(std::min<int>(body.level + 1, kNoLevel - 1));
+  if (upstream_ == mac::kNoNode || frame.sender == upstream_ ||
+      my_new_level < level_) {
+    upstream_ = frame.sender;
+    level_ = my_new_level;
+    last_upstream_interval_ = std::max(last_upstream_interval_, j);
+    silent_bps_ = 0;
+  }
+
+  if (res.authenticated && frame.sender == upstream_) {
+    track->samples.push_back(core::RefSample{
+        res.authenticated->arrival_hw_us, res.authenticated->ts_est_us});
+    const auto max_samples =
+        static_cast<std::size_t>(std::max(cfg_.rate_baseline_bps, 1)) + 1;
+    while (track->samples.size() > max_samples) track->samples.pop_front();
+    try_adjust(*track, j);
+  }
+}
+
+void SstspMh::try_adjust(SenderTrack& track, std::int64_t cur_interval) {
+  if (reference_ || track.samples.size() < 2) return;
+  // Target the shared schedule; the upstream's constant emission offset is
+  // absorbed by the rate extrapolation (see DESIGN.md §7).
+  const double target = schedule_.emission_time(cur_interval + cfg_.base.m);
+  const core::ClockParams previous{adjusted_.k(), adjusted_.b()};
+  const core::SolveOutcome outcome = core::solve_adjustment(
+      previous, station_.hw_us_now(), track.samples.back(),
+      track.samples.front(), target, cfg_.base);
+  if (!outcome.params) {
+    ++stats_.solver_rejections;
+    return;
+  }
+  adjusted_.set_params(outcome.params->k, outcome.params->b);
+  ++stats_.adjustments;
+  last_sync_hw_us_ = station_.hw_us_now();
+  synced_ = true;
+}
+
+}  // namespace sstsp::multihop

@@ -1,0 +1,120 @@
+// SstspMh — multi-hop SSTSP (the paper's stated future work, built on the
+// single-hop components: BeaconSigner/SenderPipeline for µTESLA, the
+// (k, b) adjustment solver, and the coarse-sync filters).
+//
+// Roles:
+//   * The reference (level 0) behaves exactly as in single-hop SSTSP:
+//     one secured beacon at every T^j.
+//   * A synchronized follower at level L (= its upstream's level + 1)
+//     re-emits a secured beacon at T^j + L * stagger + own_slot, signed
+//     with its own chain and carrying its own adjusted timestamp — but
+//     only in intervals where it actually accepted an upstream beacon
+//     (stale time is never relayed).
+//   * Followers track the lowest-level sender they hear; the adjustment
+//     solver is the unmodified single-hop one (a constant per-upstream
+//     emission offset is absorbed by the rate extrapolation of eq. (4)).
+//
+// Security carries over per hop: each relay's beacons are µTESLA-verified
+// against its own published anchor, and the guard bounds how far any
+// single relay can pull its subtree per beacon.  The guard compares the
+// timestamp against the *expected* offset for the claimed level
+// (level * stagger + slot window), so a relay lying about its level gains
+// at most one stagger of slack.
+//
+// Liveness: if the whole upstream tree falls silent, takeover is
+// level-staggered — a node waits takeover_patience + 2*level BPs before
+// seizing the reference role, so the node closest to the old reference
+// wins and the rebuilt tree re-captures deeper nodes before their own
+// timers expire.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "clock/adjusted_clock.h"
+#include "core/adjustment.h"
+#include "core/beacon_security.h"
+#include "core/key_directory.h"
+#include "multihop/mh_config.h"
+#include "protocols/station.h"
+#include "protocols/sync_protocol.h"
+
+namespace sstsp::multihop {
+
+class SstspMh : public proto::SyncProtocol {
+ public:
+  static constexpr std::uint8_t kNoLevel = 0xFF;
+
+  struct Options {
+    bool start_as_reference = false;
+  };
+
+  SstspMh(proto::Station& station, const MultiHopConfig& cfg,
+          core::KeyDirectory& directory, Options options);
+
+  void start() override;
+  void stop() override;
+  void on_receive(const mac::Frame& frame, const mac::RxInfo& rx) override;
+
+  [[nodiscard]] double network_time_us(sim::SimTime real) const override {
+    return adjusted_.read_us(real);
+  }
+  [[nodiscard]] bool is_synchronized() const override { return synced_; }
+  [[nodiscard]] bool is_reference() const override { return reference_; }
+
+  /// Hop distance from the reference (kNoLevel until first adoption).
+  [[nodiscard]] std::uint8_t level() const { return level_; }
+  [[nodiscard]] mac::NodeId upstream() const { return upstream_; }
+  [[nodiscard]] const clk::AdjustedClock& adjusted() const {
+    return adjusted_;
+  }
+
+ private:
+  struct SenderTrack {
+    SenderTrack(crypto::Digest anchor, crypto::MuTeslaSchedule schedule)
+        : pipeline(anchor, schedule) {}
+    core::SenderPipeline pipeline;
+    std::deque<core::RefSample> samples;  // newest at back; at most 2
+    std::uint8_t level{kNoLevel};
+    std::int64_t last_seen_interval{-1};
+  };
+
+  void schedule_tick();
+  void handle_tick(std::int64_t j);
+  void schedule_emission(std::int64_t j);
+  void handle_emission(std::int64_t j);
+  void transmit_beacon(std::int64_t j);
+  void try_adjust(SenderTrack& track, std::int64_t cur_interval);
+  SenderTrack* track_for(mac::NodeId sender);
+  [[nodiscard]] double effective_guard_us(double hw_now_us) const;
+  [[nodiscard]] double adjusted_now() const {
+    return adjusted_.read_us(station_.sim().now());
+  }
+  void cancel_tx_event();
+
+  MultiHopConfig cfg_;
+  core::KeyDirectory& directory_;
+  crypto::MuTeslaSchedule schedule_;
+  clk::AdjustedClock adjusted_;
+  core::BeaconSigner signer_;
+  Options options_;
+
+  bool running_{false};
+  bool reference_{false};
+  bool synced_{false};
+  std::uint8_t level_{kNoLevel};
+  mac::NodeId upstream_{mac::kNoNode};
+  int relay_slot_;  // fixed per node
+
+  std::unordered_map<mac::NodeId, SenderTrack> tracks_;
+  std::int64_t last_upstream_interval_{-1};
+  std::int64_t last_tick_j_{INT64_MIN};
+  int silent_bps_{0};
+  double last_sync_hw_us_{0.0};
+
+  sim::EventId tick_event_{0};
+  sim::EventId tx_event_{0};
+};
+
+}  // namespace sstsp::multihop

@@ -1,0 +1,57 @@
+// ATSP — Adaptive Timing Synchronization Procedure (Lai & Zhou, AINA'03).
+//
+// The paper's §2 summary: "let the fastest node compete for beacon
+// transmission every BP and let other nodes compete only every Imax BPs".
+// A station cannot know directly that it is fastest, so ATSP infers it from
+// received beacons:
+//
+//   * hearing a timestamp *later* than its own clock proves a faster node
+//     exists -> back off to I(i) = Imax;
+//   * hearing beacons whose timestamps are *not* later — i.e. the station's
+//     own clock led everything it observed — is evidence of being fastest;
+//     after `fast_evidence` consecutive such observations, I(i) = 1.
+//
+// Inference only advances on actual receptions: silent BPs (collisions,
+// losses) carry no information about relative clock speed, so they neither
+// promote nor demote.  Station i contends only in BPs where
+// bp_count % I(i) == 0.
+#pragma once
+
+#include "protocols/tsf_family.h"
+
+namespace sstsp::proto {
+
+struct AtspParams {
+  std::uint64_t i_max = 20;
+  /// Consecutive lead observations before a station claims the fast role.
+  std::uint64_t fast_evidence = 3;
+};
+
+class Atsp final : public TsfFamilyBase {
+ public:
+  Atsp(Station& station, AtspParams params)
+      : TsfFamilyBase(station), params_(params) {}
+
+  [[nodiscard]] std::uint64_t current_interval() const { return interval_; }
+
+ protected:
+  [[nodiscard]] bool participates(std::uint64_t bp_count) override {
+    return bp_count % interval_ == 0;
+  }
+
+  void on_beacon_observation(bool heard_later) override {
+    if (heard_later) {
+      interval_ = params_.i_max;  // a faster clock exists; back off
+      lead_observations_ = 0;
+    } else if (++lead_observations_ >= params_.fast_evidence) {
+      interval_ = 1;  // everything heard trails us: act as the fastest
+    }
+  }
+
+ private:
+  AtspParams params_;
+  std::uint64_t interval_{1};
+  std::uint64_t lead_observations_{0};
+};
+
+}  // namespace sstsp::proto

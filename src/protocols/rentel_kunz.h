@@ -1,0 +1,102 @@
+// Rentel-Kunz network synchronization (reference [1] of the paper:
+// C. Rentel & T. Kunz, "Network Synchronization in Wireless Ad Hoc
+// Networks", Carleton SCE-04-08, 2004).
+//
+// The paper's §2 summary, which this implementation follows: "all nodes
+// participate equally in the synchronization of the network.  The authors
+// define a controlled clock, which is an adjusted clock of the real clock,
+// and a parameter s = controlled clock / real clock.  Each node
+// participates in the contention with probability p every T_DELAY BPs if
+// no beacons are received within the last T_DELAY beacons.  When receiving
+// a beacon, the node updates s and p to synchronize to the sender."
+//
+// Concrete rules (faithful to that summary; internals of [1] are not in
+// the paper, so the update laws are standard control-loop choices,
+// documented here):
+//   * controlled clock c(t) = s * t + b over the hardware clock;
+//   * on each received beacon: offset half-steps toward the sender
+//     (b += alpha * (ts_est - c)), and s slews toward the sender's observed
+//     rate via the last two observations (EMA with gain beta);
+//   * a node whose last T_DELAY BPs were beacon-silent contends with
+//     probability p at its next TBTT; p decays multiplicatively after each
+//     heard beacon (someone else is covering the duty) and recovers toward
+//     1 during silence.
+//
+// Unlike TSF there is no forward-only rule: the controlled clock converges
+// from both sides (and is therefore not leap-free; SSTSP's continuity
+// guarantee is the paper's answer to that).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "clock/settable_clock.h"
+#include "protocols/station.h"
+#include "protocols/sync_protocol.h"
+
+namespace sstsp::proto {
+
+struct RentelKunzParams {
+  int t_delay_bps = 3;       ///< silent BPs before joining the contention
+  double p_initial = 0.3;    ///< initial contention probability
+  double p_decay = 0.5;      ///< p *= decay on every heard beacon
+  double p_recovery = 1.15;  ///< p *= recovery per silent BP
+  double p_max = 0.5;        ///< cap: keeps duty shared — the node whose
+                             ///< controlled clock runs ahead reaches its
+                             ///< TBTT first every round, so an uncapped p
+                             ///< would let it monopolize beaconing
+  double alpha = 0.5;        ///< offset half-step gain
+  double beta = 0.3;         ///< rate EMA gain
+  /// Physical bound on the controlled-clock rate: oscillators are within
+  /// +/-100 ppm, so s outside ~3x that tolerance is estimation noise, and
+  /// an unbounded s random-walks whole networks off by milliseconds.
+  double s_max_ppm = 300.0;
+};
+
+class RentelKunz final : public SyncProtocol {
+ public:
+  RentelKunz(Station& station, RentelKunzParams params)
+      : SyncProtocol(station), params_(params), p_(params.p_initial) {}
+
+  void start() override;
+  void stop() override;
+  void on_receive(const mac::Frame& frame, const mac::RxInfo& rx) override;
+
+  [[nodiscard]] double network_time_us(sim::SimTime real) const override {
+    return value_at_hw(station_.hw().read_us(real));
+  }
+  [[nodiscard]] bool is_synchronized() const override { return true; }
+
+  [[nodiscard]] double s() const { return s_; }
+  [[nodiscard]] double p() const { return p_; }
+
+ private:
+  [[nodiscard]] double value_at_hw(double hw_us) const {
+    return s_ * hw_us + b_;
+  }
+  void schedule_next_tbtt();
+  void handle_tbtt();
+  void handle_backoff_expiry();
+
+  RentelKunzParams params_;
+  // Controlled clock c = s * hw + b.
+  double s_{1.0};
+  double b_{0.0};
+  double p_;
+  int silent_bps_{0};
+
+  /// Last (hw, ts_est) observation *per sender*: a rate estimated across
+  /// two different senders would read their clock offset as frequency and
+  /// random-walk s into divergence.
+  std::unordered_map<mac::NodeId, std::pair<double, double>> last_obs_;
+
+  sim::EventId tbtt_event_{0};
+  sim::EventId backoff_event_{0};
+  double last_tbtt_us_{-1.0};
+  double next_tbtt_us_{0.0};
+  bool beacon_seen_this_bp_{false};
+  bool running_{false};
+};
+
+}  // namespace sstsp::proto

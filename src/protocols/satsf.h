@@ -1,0 +1,54 @@
+// SATSF — Scalable/compatible clock synchronization (Zhou & Lai, ICPP'05).
+//
+// Per the paper's §2 summary: "node i competes for beacon transmission every
+// FFT(i) BPs.  FFT(i) is adjusted at the end of each BP in the way that fast
+// nodes will gradually increase their FFT value, thus competing more
+// frequently than slow nodes."  We encode FFT as a contention *frequency*
+// score in [1, fft_max]: a station contends in a BP when
+// bp_count % ceil(fft_max / FFT) == 0, so FFT = fft_max means every BP and
+// FFT = 1 means once in fft_max BPs.
+//
+//   * FFT += 1 after a reception whose timestamp trailed the local clock
+//     (evidence of being fast), saturating at fft_max;
+//   * FFT halves when a later timestamp is heard (evidence of being slow),
+//     flooring at 1.
+//
+// Silent BPs carry no speed information and leave FFT unchanged.
+#pragma once
+
+#include "protocols/tsf_family.h"
+
+namespace sstsp::proto {
+
+struct SatsfParams {
+  std::uint64_t fft_max = 16;
+};
+
+class Satsf final : public TsfFamilyBase {
+ public:
+  Satsf(Station& station, SatsfParams params)
+      : TsfFamilyBase(station), params_(params), fft_(1) {}
+
+  [[nodiscard]] std::uint64_t fft() const { return fft_; }
+
+ protected:
+  [[nodiscard]] bool participates(std::uint64_t bp_count) override {
+    const std::uint64_t stride =
+        (params_.fft_max + fft_ - 1) / fft_;  // ceil(fft_max / FFT)
+    return bp_count % stride == 0;
+  }
+
+  void on_beacon_observation(bool heard_later) override {
+    if (heard_later) {
+      fft_ = (fft_ > 1) ? fft_ / 2 : 1;
+    } else if (fft_ < params_.fft_max) {
+      ++fft_;
+    }
+  }
+
+ private:
+  SatsfParams params_;
+  std::uint64_t fft_;
+};
+
+}  // namespace sstsp::proto

@@ -1,0 +1,82 @@
+// Station: one IBSS node — hardware clock, radio attachment, RNG streams,
+// power state — mediating between the simulation substrate and the protocol.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clock/hardware_clock.h"
+#include "mac/channel.h"
+#include "protocols/sync_protocol.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "trace/event_trace.h"
+
+namespace sstsp::proto {
+
+class Station {
+ public:
+  Station(sim::Simulator& sim, mac::Channel& channel, mac::NodeId id,
+          clk::HardwareClock hw, mac::Position pos);
+
+  Station(const Station&) = delete;
+  Station& operator=(const Station&) = delete;
+
+  [[nodiscard]] mac::NodeId id() const { return id_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] mac::Channel& channel() { return channel_; }
+  [[nodiscard]] const clk::HardwareClock& hw() const { return hw_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// Hardware clock reading now.
+  [[nodiscard]] double hw_us_now() const { return hw_.read_us(sim_.now()); }
+
+  [[nodiscard]] bool awake() const { return awake_; }
+
+  /// Installs the protocol; must happen before the first power_on().
+  void set_protocol(std::unique_ptr<SyncProtocol> proto) {
+    proto_ = std::move(proto);
+  }
+  [[nodiscard]] SyncProtocol& protocol() { return *proto_; }
+  [[nodiscard]] const SyncProtocol& protocol() const { return *proto_; }
+  [[nodiscard]] bool has_protocol() const { return proto_ != nullptr; }
+
+  void power_on();
+  void power_off();
+
+  /// Radio: transmit a frame of the given on-air duration, starting now.
+  void transmit(mac::Frame frame, sim::SimTime duration) {
+    channel_.transmit(channel_index_, std::move(frame), duration);
+  }
+
+  /// Carrier sense at time `at` (usually now).
+  [[nodiscard]] bool medium_busy(sim::SimTime at) const {
+    return channel_.would_detect_busy(channel_index_, at);
+  }
+
+  /// Attaches a trace sink (nullptr detaches).  Shared across stations by
+  /// the scenario runner when Scenario::trace_capacity > 0.
+  void set_trace(trace::EventTrace* sink) { trace_ = sink; }
+  [[nodiscard]] trace::EventTrace* trace() { return trace_; }
+
+  /// Records a protocol event when a sink is attached; no-op otherwise.
+  void trace_event(trace::EventKind kind, mac::NodeId peer = mac::kNoNode,
+                   double value_us = 0.0) {
+    if (trace_ != nullptr) {
+      trace_->record(trace::TraceEvent{sim_.now(), id_, kind, peer, value_us});
+    }
+  }
+
+ private:
+  sim::Simulator& sim_;
+  mac::Channel& channel_;
+  mac::NodeId id_;
+  clk::HardwareClock hw_;
+  sim::Rng rng_;
+  std::size_t channel_index_;
+  std::unique_ptr<SyncProtocol> proto_;
+  trace::EventTrace* trace_{nullptr};
+  bool awake_{false};
+};
+
+}  // namespace sstsp::proto

@@ -1,0 +1,65 @@
+// TATSP — Tiered ATSP (Lai & Zhou [4], improved variant).
+//
+// Stations are dynamically classified into three tiers by inferred clock
+// speed: tier 1 contends every BP, tier 2 once in a while, tier 3 rarely.
+// Classification uses the same observable as ATSP — received timestamps
+// relative to the local clock — with a consecutive-lead counter:
+//
+//   heard a later timestamp          -> tier 3 (a faster node exists)
+//   lead count >= promote_to_tier2   -> tier 2 (among the faster ones)
+//   lead count >= promote_to_tier1   -> tier 1 (probably fastest)
+//
+// As in our ATSP, inference only advances on actual receptions.
+#pragma once
+
+#include "protocols/tsf_family.h"
+
+namespace sstsp::proto {
+
+struct TatspParams {
+  std::uint64_t tier2_interval = 5;
+  std::uint64_t tier3_interval = 20;
+  std::uint64_t promote_to_tier2_leads = 2;  ///< lead observations for tier 2
+  std::uint64_t promote_to_tier1_leads = 5;  ///< lead observations for tier 1
+};
+
+class Tatsp final : public TsfFamilyBase {
+ public:
+  Tatsp(Station& station, TatspParams params)
+      : TsfFamilyBase(station), params_(params) {}
+
+  [[nodiscard]] int tier() const { return tier_; }
+
+ protected:
+  [[nodiscard]] bool participates(std::uint64_t bp_count) override {
+    switch (tier_) {
+      case 1:
+        return true;
+      case 2:
+        return bp_count % params_.tier2_interval == 0;
+      default:
+        return bp_count % params_.tier3_interval == 0;
+    }
+  }
+
+  void on_beacon_observation(bool heard_later) override {
+    if (heard_later) {
+      leads_ = 0;
+      tier_ = 3;
+      return;
+    }
+    ++leads_;
+    if (leads_ >= params_.promote_to_tier1_leads) {
+      tier_ = 1;
+    } else if (leads_ >= params_.promote_to_tier2_leads) {
+      tier_ = 2;
+    }
+  }
+
+ private:
+  TatspParams params_;
+  int tier_{1};  // start optimistic, like ATSP's I = 1
+  std::uint64_t leads_{0};
+};
+
+}  // namespace sstsp::proto

@@ -1,0 +1,91 @@
+// Shared machinery for the TSF protocol family (TSF, ATSP, TATSP, SATSF).
+//
+// All four follow the IEEE 802.11 IBSS beacon generation scheme: at each
+// Target Beacon Transmission Time (a multiple of the beacon period on the
+// station's own TSF timer) a participating station draws a random delay
+// uniform in [0, w] slots, cancels its pending beacon if one is received
+// first, defers if the medium is sensed busy at expiry, and otherwise
+// transmits a beacon carrying its TSF timestamp.  Receivers adopt a
+// timestamp if and only if it is later than their own timer (forward-only —
+// TSF's "no backward leap" guarantee).
+//
+// The variants differ *only* in the participation policy (which BPs a
+// station contends in) — exactly the axis ATSP/TATSP/SATSF explore — so the
+// base class exposes that policy as a virtual and keeps everything else.
+#pragma once
+
+#include "clock/settable_clock.h"
+#include "protocols/station.h"
+#include "protocols/sync_protocol.h"
+
+namespace sstsp::proto {
+
+class TsfFamilyBase : public SyncProtocol {
+ public:
+  explicit TsfFamilyBase(Station& station);
+
+  void start() override;
+  void stop() override;
+  void on_receive(const mac::Frame& frame, const mac::RxInfo& rx) override;
+
+  [[nodiscard]] double network_time_us(sim::SimTime real) const override {
+    return timer_.read_us(real);
+  }
+  [[nodiscard]] bool is_synchronized() const override { return true; }
+
+  [[nodiscard]] const clk::SettableClock& timer() const { return timer_; }
+
+ protected:
+  /// Does this station contend for beacon transmission in this BP?
+  [[nodiscard]] virtual bool participates(std::uint64_t bp_count) = 0;
+
+  /// Backoff draw in slots; the standard behaviour is uniform [0, w].
+  /// Attackers override this to seize the window.
+  [[nodiscard]] virtual std::int64_t backoff_slots();
+
+  /// When true, the station transmits even if the medium is busy or a
+  /// beacon was already received this BP (malicious behaviour).
+  [[nodiscard]] virtual bool force_transmit() const { return false; }
+
+  /// Timestamp stamped into an outgoing beacon; the standard behaviour is
+  /// the TSF register.  Attackers override this to lie.
+  [[nodiscard]] virtual std::int64_t beacon_timestamp(sim::SimTime now) const {
+    return timer_.read_counter(now);
+  }
+
+  /// End-of-reception hook: `heard_later` is true when the received
+  /// timestamp was ahead of the local timer (i.e. the sender is faster).
+  virtual void on_beacon_observation(bool /*heard_later*/) {}
+
+  /// Per-BP hook, fired at TBTT before the contention draw.
+  virtual void on_bp_begin(std::uint64_t /*bp_count*/) {}
+
+  clk::SettableClock timer_;
+
+  /// Re-derives the next TBTT from the current timer value (needed after
+  /// any externally induced timer jump, e.g. an attacker biasing itself).
+  void schedule_next_tbtt();
+
+ private:
+  void handle_tbtt();
+  void handle_backoff_expiry();
+
+  sim::EventId tbtt_event_{0};
+  sim::EventId backoff_event_{0};
+  double last_tbtt_us_{-1.0};
+  double next_tbtt_us_{0.0};
+  std::uint64_t bp_count_{0};
+  bool beacon_seen_this_bp_{false};
+  bool running_{false};
+};
+
+/// Plain IEEE 802.11 TSF: every station contends in every beacon period.
+class Tsf final : public TsfFamilyBase {
+ public:
+  using TsfFamilyBase::TsfFamilyBase;
+
+ protected:
+  [[nodiscard]] bool participates(std::uint64_t) override { return true; }
+};
+
+}  // namespace sstsp::proto

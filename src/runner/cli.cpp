@@ -1,0 +1,237 @@
+#include "runner/cli.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace sstsp::run {
+
+namespace {
+
+bool parse_double(const std::string& s, double* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& s, long long* out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) parts.push_back(item);
+  return parts;
+}
+
+std::optional<ProtocolKind> parse_protocol(const std::string& name) {
+  if (name == "tsf") return ProtocolKind::kTsf;
+  if (name == "atsp") return ProtocolKind::kAtsp;
+  if (name == "tatsp") return ProtocolKind::kTatsp;
+  if (name == "satsf") return ProtocolKind::kSatsf;
+  if (name == "rentel-kunz" || name == "rk") return ProtocolKind::kRentelKunz;
+  if (name == "sstsp") return ProtocolKind::kSstsp;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return R"(usage: sstsp_sim [options]
+
+scenario:
+  --protocol P          tsf | atsp | tatsp | satsf | rentel-kunz | sstsp
+                        (default sstsp)
+  --nodes N             honest station count (default 100)
+  --duration S          simulated seconds (default 200)
+  --seed S              RNG seed; identical seeds reproduce bit-exactly
+  --paper-env           the paper's §5 environment: 1000 s, 5% churn every
+                        200 s, reference departures at 300/500/800 s
+
+protocol parameters:
+  --m M                 SSTSP aggressiveness (default 3)
+  --l L                 SSTSP missed-beacon tolerance (default 1)
+  --guard US            SSTSP base guard time in us
+  --chain-length N      µTESLA chain length (default sized to duration)
+  --per P               packet error rate (default 1e-4)
+  --preestablished      node 0 boots as the SSTSP reference
+
+environment:
+  --churn P,F,A         period_s, fraction, absence_s (e.g. 200,0.05,50)
+  --departures T1,T2    reference departure times (SSTSP)
+
+attack:
+  --attack KIND         tsf-slow | internal-ref
+  --attack-window A,B   active interval in seconds (default 400,600)
+  --skew R              internal-ref skew rate in us/s (default 50)
+
+output:
+  --csv PATH            write the max-clock-difference series as CSV
+  --chart               print an ASCII strip chart of the series
+  --trace               record and print the newest protocol events
+  --help                this text
+)";
+}
+
+std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
+                                    std::string* error) {
+  CliOptions opts;
+  Scenario& s = opts.scenario;
+  s.num_nodes = 100;
+  s.duration_s = 200.0;
+  bool chain_set = false;
+
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= args.size()) return false;
+      *out = args[++i];
+      return true;
+    };
+    std::string v;
+
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+      return opts;
+    } else if (arg == "--protocol") {
+      if (!next(&v)) return fail("--protocol needs a value");
+      const auto kind = parse_protocol(v);
+      if (!kind) return fail("unknown protocol: " + v);
+      s.protocol = *kind;
+    } else if (arg == "--nodes") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 1 || n > 100000) {
+        return fail("--nodes needs a positive integer");
+      }
+      s.num_nodes = static_cast<int>(n);
+    } else if (arg == "--duration") {
+      double d = 0;
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--duration needs a positive number of seconds");
+      }
+      s.duration_s = d;
+    } else if (arg == "--seed") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n)) return fail("--seed needs an integer");
+      s.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--paper-env") {
+      s.churn = ChurnSpec{};
+      s.duration_s = 1000.0;
+      if (s.protocol == ProtocolKind::kSstsp) {
+        s.reference_departures_s = {300.0, 500.0, 800.0};
+      }
+    } else if (arg == "--m") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--m needs a positive integer");
+      }
+      s.sstsp.m = static_cast<int>(n);
+    } else if (arg == "--l") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--l needs a positive integer");
+      }
+      s.sstsp.l = static_cast<int>(n);
+    } else if (arg == "--guard") {
+      double g = 0;
+      if (!next(&v) || !parse_double(v, &g) || g <= 0) {
+        return fail("--guard needs a positive value in us");
+      }
+      s.sstsp.guard_fine_us = g;
+    } else if (arg == "--chain-length") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 10) {
+        return fail("--chain-length needs an integer >= 10");
+      }
+      s.sstsp.chain_length = static_cast<std::size_t>(n);
+      chain_set = true;
+    } else if (arg == "--per") {
+      double p = 0;
+      if (!next(&v) || !parse_double(v, &p) || p < 0 || p >= 1) {
+        return fail("--per needs a probability in [0, 1)");
+      }
+      s.phy.packet_error_rate = p;
+    } else if (arg == "--preestablished") {
+      s.preestablished_reference = true;
+    } else if (arg == "--churn") {
+      if (!next(&v)) return fail("--churn needs period,fraction,absence");
+      const auto parts = split(v, ',');
+      ChurnSpec churn;
+      if (parts.size() != 3 || !parse_double(parts[0], &churn.period_s) ||
+          !parse_double(parts[1], &churn.fraction) ||
+          !parse_double(parts[2], &churn.absence_s)) {
+        return fail("--churn needs period,fraction,absence");
+      }
+      s.churn = churn;
+    } else if (arg == "--departures") {
+      if (!next(&v)) return fail("--departures needs t1,t2,...");
+      s.reference_departures_s.clear();
+      for (const auto& part : split(v, ',')) {
+        double t = 0;
+        if (!parse_double(part, &t)) {
+          return fail("--departures needs numeric times");
+        }
+        s.reference_departures_s.push_back(t);
+      }
+    } else if (arg == "--attack") {
+      if (!next(&v)) return fail("--attack needs a kind");
+      if (v == "tsf-slow") {
+        s.attack = AttackKind::kTsfSlowBeacon;
+      } else if (v == "internal-ref") {
+        s.attack = AttackKind::kSstspInternalReference;
+      } else {
+        return fail("unknown attack: " + v);
+      }
+    } else if (arg == "--attack-window") {
+      if (!next(&v)) return fail("--attack-window needs start,end");
+      const auto parts = split(v, ',');
+      double a = 0;
+      double b = 0;
+      if (parts.size() != 2 || !parse_double(parts[0], &a) ||
+          !parse_double(parts[1], &b) || b <= a) {
+        return fail("--attack-window needs start,end with end > start");
+      }
+      s.tsf_attack.start_s = a;
+      s.tsf_attack.end_s = b;
+      s.sstsp_attack.start_s = a;
+      s.sstsp_attack.end_s = b;
+    } else if (arg == "--skew") {
+      double r = 0;
+      if (!next(&v) || !parse_double(v, &r)) {
+        return fail("--skew needs a rate in us/s");
+      }
+      s.sstsp_attack.skew_rate_us_per_s = r;
+    } else if (arg == "--csv") {
+      if (!next(&opts.csv_path)) return fail("--csv needs a path");
+    } else if (arg == "--chart") {
+      opts.ascii_chart = true;
+    } else if (arg == "--trace") {
+      opts.dump_trace = true;
+      s.trace_capacity = 1 << 18;
+    } else {
+      return fail("unknown option: " + arg);
+    }
+  }
+
+  if (!chain_set) {
+    // Size the chain to the run, with slack for the coarse/election phases.
+    s.sstsp.chain_length =
+        static_cast<std::size_t>(s.duration_s * 10.0) + 200;
+  }
+  return opts;
+}
+
+}  // namespace sstsp::run

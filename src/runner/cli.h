@@ -1,0 +1,31 @@
+// Command-line front end for the scenario runner (used by tools/sstsp_sim).
+//
+// Kept in the library (rather than the tool's main.cpp) so the parsing is
+// unit-testable; see tests/runner_cli_test.cpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.h"
+
+namespace sstsp::run {
+
+struct CliOptions {
+  Scenario scenario;
+  std::string csv_path;      ///< empty: no CSV dump
+  bool ascii_chart = false;  ///< print the strip chart
+  bool dump_trace = false;   ///< print the newest trace events
+  bool help = false;
+};
+
+/// Parses argv-style arguments (without the program name).  On failure
+/// returns nullopt and stores a one-line message in *error.
+[[nodiscard]] std::optional<CliOptions> parse_cli(
+    const std::vector<std::string>& args, std::string* error);
+
+/// Usage text for --help and parse failures.
+[[nodiscard]] std::string cli_usage();
+
+}  // namespace sstsp::run

@@ -1,0 +1,31 @@
+#include "runner/experiment.h"
+
+#include <algorithm>
+
+#include "runner/network.h"
+
+namespace sstsp::run {
+
+RunResult run_scenario(const Scenario& scenario) {
+  Network net(scenario);
+  net.run();
+
+  RunResult result;
+  result.max_diff = net.max_diff_series();
+  result.channel = net.channel_stats();
+  result.honest = net.honest_stats();
+  if (const auto* atk = net.attacker_stats()) result.attacker = *atk;
+
+  result.sync_latency_s =
+      result.max_diff.first_sustained_below(kSyncThresholdUs, 1.0);
+
+  const double steady_from =
+      std::max(20.0, result.sync_latency_s.value_or(0.0) + 5.0);
+  result.steady_max_us =
+      result.max_diff.max_in(steady_from, scenario.duration_s);
+  result.steady_p99_us =
+      result.max_diff.quantile_in(0.99, steady_from, scenario.duration_s);
+  return result;
+}
+
+}  // namespace sstsp::run

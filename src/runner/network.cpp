@@ -1,0 +1,263 @@
+#include "runner/network.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "attack/replay.h"
+#include "core/sstsp.h"
+#include "crypto/hash_chain.h"
+#include "protocols/tsf_family.h"
+
+namespace sstsp::run {
+
+Network::Network(const Scenario& scenario)
+    : scenario_(scenario),
+      sim_(scenario.seed),
+      channel_(sim_, scenario.phy),
+      attacker_index_(0) {
+  build_stations();
+}
+
+void Network::build_stations() {
+  const int n = scenario_.num_nodes;
+  const bool has_attacker = scenario_.attack != AttackKind::kNone;
+  const int total = n + (has_attacker ? 1 : 0);
+  attacker_index_ = has_attacker ? static_cast<std::size_t>(n)
+                                 : static_cast<std::size_t>(total);
+
+  sim::Rng placement = sim_.substream("placement", 0);
+  sim::Rng clocks = sim_.substream("clocks", 0);
+
+  const bool is_sstsp = scenario_.protocol == ProtocolKind::kSstsp;
+
+  for (int i = 0; i < total; ++i) {
+    // Uniform position in the deployment disc.
+    const double r =
+        scenario_.phy.placement_radius_m * std::sqrt(placement.uniform());
+    const double theta = placement.uniform(0.0, 2.0 * M_PI);
+    const mac::Position pos{r * std::cos(theta), r * std::sin(theta)};
+
+    auto drift = clk::DriftModel::uniform(clocks, scenario_.max_drift_ppm);
+    const double offset = clocks.uniform(-scenario_.initial_offset_us,
+                                         scenario_.initial_offset_us);
+    const auto id = static_cast<mac::NodeId>(i);
+    if (has_attacker && static_cast<std::size_t>(i) == attacker_index_ &&
+        scenario_.attack == AttackKind::kTsfSlowBeacon) {
+      // The TSF attacker brings deliberately fast oscillator hardware —
+      // near the tolerance ceiling, slightly below it so that its anchor
+      // never races ahead of the burst coverage — keeping every honest
+      // TBTT inside its beacon-burst window for the whole attack
+      // (§5: "the attacker always wins the contentions").
+      drift = clk::DriftModel::from_ppm(0.9 * scenario_.max_drift_ppm);
+    }
+
+    auto station = std::make_unique<proto::Station>(
+        sim_, channel_, id, clk::HardwareClock(drift, offset), pos);
+
+    if (is_sstsp) {
+      // Every node (including the internal attacker) owns a published
+      // chain; see core/key_directory.h for the trust-bootstrap model.
+      directory_.register_node(
+          id, crypto::ChainParams{crypto::derive_seed(scenario_.seed, id),
+                                  scenario_.sstsp.chain_length});
+    }
+    stations_.push_back(std::move(station));
+  }
+
+  for (int i = 0; i < total; ++i) {
+    proto::Station& st = *stations_[static_cast<std::size_t>(i)];
+    const bool is_attacker =
+        has_attacker && static_cast<std::size_t>(i) == attacker_index_;
+
+    std::unique_ptr<proto::SyncProtocol> proto;
+    if (is_attacker) {
+      switch (scenario_.attack) {
+        case AttackKind::kTsfSlowBeacon:
+          proto = std::make_unique<attack::TsfSlowBeaconAttacker>(
+              st, scenario_.tsf_attack);
+          break;
+        case AttackKind::kSstspInternalReference:
+          proto = std::make_unique<attack::SstspInternalAttacker>(
+              st, scenario_.sstsp, directory_, scenario_.sstsp_attack);
+          break;
+        case AttackKind::kNone:
+          break;
+      }
+    } else {
+      switch (scenario_.protocol) {
+        case ProtocolKind::kTsf:
+          proto = std::make_unique<proto::Tsf>(st);
+          break;
+        case ProtocolKind::kAtsp:
+          proto = std::make_unique<proto::Atsp>(st, scenario_.atsp);
+          break;
+        case ProtocolKind::kTatsp:
+          proto = std::make_unique<proto::Tatsp>(st, scenario_.tatsp);
+          break;
+        case ProtocolKind::kSatsf:
+          proto = std::make_unique<proto::Satsf>(st, scenario_.satsf);
+          break;
+        case ProtocolKind::kRentelKunz:
+          proto = std::make_unique<proto::RentelKunz>(st,
+                                                      scenario_.rentel_kunz);
+          break;
+        case ProtocolKind::kSstsp: {
+          core::Sstsp::Options opts;
+          opts.calibrated_boot = true;
+          opts.start_as_reference =
+              scenario_.preestablished_reference && i == 0;
+          proto = std::make_unique<core::Sstsp>(st, scenario_.sstsp,
+                                                directory_, opts);
+          break;
+        }
+      }
+    }
+    st.set_protocol(std::move(proto));
+  }
+
+  if (scenario_.trace_capacity > 0) {
+    trace_ = std::make_unique<trace::EventTrace>(scenario_.trace_capacity);
+    for (auto& station : stations_) station->set_trace(trace_.get());
+  }
+}
+
+void Network::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (auto& st : stations_) st->power_on();
+  schedule_environment();
+  schedule_sampling();
+}
+
+void Network::schedule_environment() {
+  // Churn: `fraction` of the honest, non-reference stations leave at each
+  // multiple of period_s and return absence_s later.
+  if (scenario_.churn) {
+    const ChurnSpec churn = *scenario_.churn;
+    for (double t = churn.period_s; t < scenario_.duration_s;
+         t += churn.period_s) {
+      sim_.at(sim::SimTime::from_sec_double(t), [this, churn] {
+        sim::Rng pick = sim_.substream(
+            "churn", static_cast<std::uint64_t>(sim_.now().to_sec()));
+        const auto ref = current_reference_index();
+        const auto honest_count = std::min(
+            stations_.size(), attacker_index_);
+        const auto leavers = static_cast<std::size_t>(
+            std::lround(churn.fraction * static_cast<double>(honest_count)));
+        std::size_t left = 0;
+        std::size_t guardrail = 0;
+        while (left < leavers && guardrail++ < honest_count * 20) {
+          const auto idx = static_cast<std::size_t>(
+              pick.uniform_int(0, honest_count - 1));
+          if (!stations_[idx]->awake()) continue;
+          if (ref && *ref == idx) continue;  // ref departures are separate
+          stations_[idx]->power_off();
+          sim_.after(sim::SimTime::from_sec_double(churn.absence_s),
+                     [this, idx] { stations_[idx]->power_on(); });
+          ++left;
+        }
+      });
+    }
+  }
+
+  // Reference departures (SSTSP experiments).
+  for (const double t : scenario_.reference_departures_s) {
+    sim_.at(sim::SimTime::from_sec_double(t), [this] {
+      const auto ref = current_reference_index();
+      if (!ref) return;
+      const std::size_t idx = *ref;
+      stations_[idx]->power_off();
+      sim_.after(sim::SimTime::from_sec_double(scenario_.departure_absence_s),
+                 [this, idx] { stations_[idx]->power_on(); });
+    });
+  }
+}
+
+void Network::schedule_sampling() {
+  const auto period =
+      sim::SimTime::from_sec_double(scenario_.sample_period_s);
+  // Each sample schedules the next; the recursive closure lives in a
+  // shared_ptr so the copies the event queue stores stay coherent.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, tick] {
+    if (const auto diff = instant_max_diff_us()) {
+      max_diff_.push(sim_.now().to_sec(), *diff);
+    }
+    if (sim_.now() + period <=
+        sim::SimTime::from_sec_double(scenario_.duration_s)) {
+      sim_.after(period, *tick);
+    }
+  };
+  sim_.at(period, *tick);
+}
+
+std::optional<std::size_t> Network::current_reference_index() const {
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (i == attacker_index_) continue;
+    if (stations_[i]->awake() && stations_[i]->protocol().is_reference()) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Network::instant_max_diff_us() const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  const sim::SimTime now = sim_.now();
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (i == attacker_index_) continue;  // honest clocks only
+    const proto::Station& st = *stations_[i];
+    if (!st.awake() || !st.protocol().is_synchronized()) continue;
+    const double v = st.protocol().network_time_us(now);
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!any) return std::nullopt;
+  return hi - lo;
+}
+
+void Network::run() { run_until(scenario_.duration_s); }
+
+void Network::run_until(double horizon_s) {
+  arm();
+  sim_.run_until(sim::SimTime::from_sec_double(horizon_s));
+}
+
+const mac::ChannelStats& Network::channel_stats() const {
+  return channel_.stats();
+}
+
+proto::ProtocolStats Network::honest_stats() const {
+  proto::ProtocolStats agg;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (i == attacker_index_) continue;
+    const auto& s = stations_[i]->protocol().stats();
+    agg.beacons_sent += s.beacons_sent;
+    agg.beacons_received += s.beacons_received;
+    agg.adoptions += s.adoptions;
+    agg.adjustments += s.adjustments;
+    agg.rejected_interval += s.rejected_interval;
+    agg.rejected_key += s.rejected_key;
+    agg.rejected_mac += s.rejected_mac;
+    agg.rejected_guard += s.rejected_guard;
+    agg.elections_won += s.elections_won;
+    agg.demotions += s.demotions;
+    agg.coarse_steps += s.coarse_steps;
+    agg.solver_rejections += s.solver_rejections;
+  }
+  return agg;
+}
+
+const proto::ProtocolStats* Network::attacker_stats() const {
+  if (attacker_index_ >= stations_.size()) return nullptr;
+  return &stations_[attacker_index_]->protocol().stats();
+}
+
+}  // namespace sstsp::run

@@ -1,0 +1,77 @@
+// Network: materializes a Scenario into a simulator, channel, stations and
+// schedule of environmental events (churn, reference departures, attacks,
+// metric sampling), then runs it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/key_directory.h"
+#include "trace/event_trace.h"
+#include "metrics/series.h"
+#include "protocols/station.h"
+#include "runner/scenario.h"
+
+namespace sstsp::run {
+
+class Network {
+ public:
+  explicit Network(const Scenario& scenario);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Runs the full scenario (power-on through duration_s).
+  void run();
+
+  /// Runs up to `horizon_s` only; callable repeatedly (examples use this to
+  /// interleave their own probes).
+  void run_until(double horizon_s);
+
+  /// Call once before the first run_until(); run() does this itself.
+  void arm();
+
+  [[nodiscard]] const metrics::Series& max_diff_series() const {
+    return max_diff_;
+  }
+  [[nodiscard]] const mac::ChannelStats& channel_stats() const;
+  [[nodiscard]] proto::ProtocolStats honest_stats() const;
+  [[nodiscard]] const proto::ProtocolStats* attacker_stats() const;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+
+  [[nodiscard]] std::size_t station_count() const { return stations_.size(); }
+  [[nodiscard]] proto::Station& station(std::size_t i) {
+    return *stations_[i];
+  }
+
+  /// Index of the station currently holding the reference role (SSTSP),
+  /// or nullopt.
+  [[nodiscard]] std::optional<std::size_t> current_reference_index() const;
+
+  /// Instantaneous max pairwise difference of the synchronized clocks of
+  /// awake, synchronized, honest stations (max - min; O(N)).
+  [[nodiscard]] std::optional<double> instant_max_diff_us() const;
+
+  /// The shared protocol-event trace; nullptr unless
+  /// Scenario::trace_capacity > 0.
+  [[nodiscard]] trace::EventTrace* trace() { return trace_.get(); }
+
+ private:
+  void build_stations();
+  void schedule_environment();
+  void schedule_sampling();
+
+  Scenario scenario_;
+  sim::Simulator sim_;
+  mac::Channel channel_;
+  core::KeyDirectory directory_;
+  std::vector<std::unique_ptr<proto::Station>> stations_;
+  std::unique_ptr<trace::EventTrace> trace_;
+  std::size_t attacker_index_;  // == stations_.size() when no attacker
+  metrics::Series max_diff_;
+  bool armed_{false};
+};
+
+}  // namespace sstsp::run

@@ -1,0 +1,37 @@
+#include "runner/scenario.h"
+
+namespace sstsp::run {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kTsf:
+      return "TSF";
+    case ProtocolKind::kAtsp:
+      return "ATSP";
+    case ProtocolKind::kTatsp:
+      return "TATSP";
+    case ProtocolKind::kSatsf:
+      return "SATSF";
+    case ProtocolKind::kRentelKunz:
+      return "RENTEL-KUNZ";
+    case ProtocolKind::kSstsp:
+      return "SSTSP";
+  }
+  return "?";
+}
+
+Scenario Scenario::paper_section5(ProtocolKind protocol, int num_nodes,
+                                  std::uint64_t seed) {
+  Scenario s;
+  s.protocol = protocol;
+  s.num_nodes = num_nodes;
+  s.seed = seed;
+  s.duration_s = 1000.0;
+  s.churn = ChurnSpec{};  // 5 % leave at k*200 s, return after 50 s
+  if (protocol == ProtocolKind::kSstsp) {
+    s.reference_departures_s = {300.0, 500.0, 800.0};
+  }
+  return s;
+}
+
+}  // namespace sstsp::run

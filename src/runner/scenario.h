@@ -1,0 +1,84 @@
+// Scenario description: everything needed to reproduce one simulation run
+// of the paper's evaluation (§5), as plain data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/internal_reference.h"
+#include "attack/tsf_attacker.h"
+#include "core/sstsp_config.h"
+#include "mac/phy_params.h"
+#include "protocols/atsp.h"
+#include "protocols/rentel_kunz.h"
+#include "protocols/satsf.h"
+#include "protocols/tatsp.h"
+
+namespace sstsp::run {
+
+enum class ProtocolKind { kTsf, kAtsp, kTatsp, kSatsf, kRentelKunz, kSstsp };
+
+[[nodiscard]] const char* protocol_name(ProtocolKind kind);
+
+/// Periodic churn: `fraction` of the stations leave every `period_s`
+/// seconds and return `absence_s` later (paper §5: 5 % at k*200 s, back
+/// after 50 s).
+struct ChurnSpec {
+  double period_s = 200.0;
+  double fraction = 0.05;
+  double absence_s = 50.0;
+};
+
+enum class AttackKind { kNone, kTsfSlowBeacon, kSstspInternalReference };
+
+struct Scenario {
+  ProtocolKind protocol = ProtocolKind::kSstsp;
+  int num_nodes = 100;          ///< honest stations (attacker is extra)
+  double duration_s = 1000.0;   ///< paper: 1000 s runs
+  std::uint64_t seed = 1;
+
+  mac::PhyParams phy{};
+  core::SstspConfig sstsp{};
+  proto::AtspParams atsp{};
+  proto::TatspParams tatsp{};
+  proto::SatsfParams satsf{};
+  proto::RentelKunzParams rentel_kunz{};
+
+  /// Hardware clocks start offset uniform in (-x, +x) us (paper Table 1
+  /// setup uses 112 us) and drift uniform in +/-max_drift_ppm.
+  double initial_offset_us = 112.0;
+  double max_drift_ppm = 100.0;
+
+  /// When true (SSTSP only) node 0 boots directly in the reference role —
+  /// used by convergence experiments that must not mix election time into
+  /// the measured latency.
+  bool preestablished_reference = false;
+
+  std::optional<ChurnSpec> churn{};
+
+  /// Times at which the current reference departs (SSTSP; paper: 300, 500,
+  /// 800 s), returning after `departure_absence_s`.
+  std::vector<double> reference_departures_s{};
+  double departure_absence_s = 50.0;
+
+  AttackKind attack = AttackKind::kNone;
+  attack::TsfAttackParams tsf_attack{};
+  attack::SstspAttackParams sstsp_attack{};
+
+  /// Max-clock-difference sampling cadence.
+  double sample_period_s = 0.1;
+
+  /// When > 0, the network attaches a shared protocol-event trace (ring
+  /// buffer of this capacity) to every station; read it back through
+  /// Network::trace().
+  std::size_t trace_capacity = 0;
+
+  /// Convenience: the paper's §5 environment (churn + reference
+  /// departures) on top of the defaults.
+  [[nodiscard]] static Scenario paper_section5(ProtocolKind protocol,
+                                               int num_nodes,
+                                               std::uint64_t seed = 1);
+};
+
+}  // namespace sstsp::run

@@ -1,0 +1,20 @@
+#include "runner/sweep.h"
+
+#include "runner/thread_pool.h"
+
+namespace sstsp::run {
+
+std::vector<RunResult> run_sweep(const std::vector<Scenario>& scenarios,
+                                 unsigned threads) {
+  std::vector<RunResult> results(scenarios.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    tasks.push_back(
+        [&results, &scenarios, i] { results[i] = run_scenario(scenarios[i]); });
+  }
+  run_parallel(std::move(tasks), threads);
+  return results;
+}
+
+}  // namespace sstsp::run

@@ -1,0 +1,15 @@
+// Parameter sweeps: run many scenarios concurrently, results in input order.
+#pragma once
+
+#include <vector>
+
+#include "runner/experiment.h"
+
+namespace sstsp::run {
+
+/// Runs every scenario (one Simulator per pool task) and returns results in
+/// the same order.  `threads` == 0: hardware concurrency.
+[[nodiscard]] std::vector<RunResult> run_sweep(
+    const std::vector<Scenario>& scenarios, unsigned threads = 0);
+
+}  // namespace sstsp::run

@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool for embarrassingly parallel sweeps.
+//
+// Parallelism in this library is explicit and coarse-grained, following the
+// HPC guides: one Simulator per task, zero shared mutable state between
+// tasks, results written to pre-sized slots (no locking on the data path).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sstsp::run {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw (simulation code reports errors
+  /// through result objects); an escaping exception terminates, by design.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_{0};
+  bool stop_{false};
+};
+
+/// Runs `tasks` on a temporary pool and returns when all are done.
+void run_parallel(std::vector<std::function<void()>> tasks,
+                  unsigned threads = 0);
+
+}  // namespace sstsp::run

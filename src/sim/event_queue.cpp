@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sstsp::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;  // fired, cancelled, or unknown
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+SimTime EventQueue::next_time() const {
+  if (live_ == 0) return SimTime::never();
+  if (!heap_.empty() && !cancelled_.contains(heap_.front().id)) {
+    return heap_.front().time;
+  }
+  // Head is stale; the earliest live entry is what callers care about.  This
+  // path only runs when the next event to fire was cancelled, which is rare.
+  SimTime best = SimTime::never();
+  for (const Entry& e : heap_) {
+    if (pending_.contains(e.id) && e.time < best) best = e.time;
+  }
+  return best;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  --live_;
+  return Fired{e.time, e.id, std::move(e.fn)};
+}
+
+}  // namespace sstsp::sim

@@ -1,0 +1,70 @@
+// Priority event queue for the discrete-event kernel.
+//
+// A binary heap keyed by (time, sequence number).  The sequence number gives
+// FIFO ordering among simultaneous events, which keeps runs deterministic.
+// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
+// when popped, so cancel() is O(1) and pop() stays amortized O(log n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time_types.h"
+
+namespace sstsp::sim {
+
+/// Opaque handle identifying a scheduled event; 0 is never issued.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to fire at `at`.  Returns a handle usable with cancel().
+  EventId schedule(SimTime at, Callback fn);
+
+  /// Cancels a pending event.  Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event; SimTime::never() when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops the earliest pending event.  Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled, still in the heap
+  std::uint64_t next_seq_{0};
+  EventId next_id_{1};
+  std::size_t live_{0};
+};
+
+}  // namespace sstsp::sim

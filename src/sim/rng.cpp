@@ -1,0 +1,38 @@
+#include "sim/rng.h"
+
+namespace sstsp::sim {
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t range = hi - lo + 1;  // hi >= lo; range==0 means full
+  if (range == 0) return (*this)();
+  // Lemire's nearly-divisionless method with rejection to remove bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+Rng Rng::substream(std::string_view label, std::uint64_t index) const {
+  // FNV-1a over the label, folded with the parent state and index through
+  // splitmix64 so substreams are decorrelated from the parent and each other.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  std::uint64_t mix = state_[0] ^ rotl(state_[2], 31);
+  mix ^= splitmix64(h);
+  std::uint64_t idx = index;
+  mix ^= splitmix64(idx);
+  return Rng{splitmix64(mix)};
+}
+
+}  // namespace sstsp::sim

@@ -1,0 +1,28 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace sstsp::sim {
+
+EventId Simulator::at(SimTime when, EventQueue::Callback fn) {
+  if (when < now_) when = now_;
+  return queue_.schedule(when, std::move(fn));
+}
+
+bool Simulator::step(SimTime horizon) {
+  if (queue_.empty()) return false;
+  if (queue_.next_time() > horizon) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++processed_;
+  fired.fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime horizon) {
+  while (step(horizon)) {
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+}  // namespace sstsp::sim

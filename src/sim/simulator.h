@@ -1,0 +1,66 @@
+// Discrete-event simulation driver.
+//
+// Owns the master clock and the event queue; everything else in the library
+// (channel, stations, attackers, metric probes) schedules callbacks here.
+// The simulator is strictly single-threaded per instance — parallelism in
+// this project lives one level up, in runner::Sweep, which runs independent
+// Simulator instances on a thread pool (one scenario per task, no shared
+// mutable state), following the explicit-parallelism discipline of the HPC
+// guides.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time_types.h"
+
+namespace sstsp::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : root_rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at`; clamps scheduling into the past
+  /// to `now` (fires next, preserving causality).
+  EventId at(SimTime when, EventQueue::Callback fn);
+
+  /// Schedules `fn` after a relative delay from now.
+  EventId after(SimTime delay, EventQueue::Callback fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the horizon is passed.  Events
+  /// scheduled exactly at the horizon still fire.
+  void run_until(SimTime horizon);
+
+  /// Runs a single event if one is pending before or at `horizon`.
+  /// Returns false when nothing fired.
+  bool step(SimTime horizon = SimTime::never());
+
+  [[nodiscard]] std::size_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+  /// Root RNG of the scenario; consumers should derive substreams rather
+  /// than draw from it directly (see sim::Rng::substream).
+  [[nodiscard]] const Rng& root_rng() const { return root_rng_; }
+  [[nodiscard]] Rng substream(std::string_view label,
+                              std::uint64_t index) const {
+    return root_rng_.substream(label, index);
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_{SimTime::zero()};
+  Rng root_rng_;
+  std::size_t processed_{0};
+};
+
+}  // namespace sstsp::sim

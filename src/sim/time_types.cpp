@@ -1,0 +1,15 @@
+#include "sim/time_types.h"
+
+#include <cmath>
+
+namespace sstsp::sim {
+
+SimTime SimTime::from_us_double(double us) {
+  return SimTime{static_cast<std::int64_t>(std::llround(us * 1e6))};
+}
+
+SimTime SimTime::from_sec_double(double sec) {
+  return SimTime{static_cast<std::int64_t>(std::llround(sec * 1e12))};
+}
+
+}  // namespace sstsp::sim

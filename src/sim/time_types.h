@@ -1,0 +1,103 @@
+// Time representation for the discrete-event simulator.
+//
+// Simulation ("real" / wall) time is an integer count of picoseconds so that
+// event ordering is exact and runs are bit-reproducible.  Clock *readings*
+// (what a station observes on its hardware counter) are expressed in
+// microseconds, matching the 1 us resolution of the IEEE 802.11 TSF timer;
+// analysis code uses double microseconds where sub-tick precision matters.
+//
+// The picosecond range of int64 covers +/- 106 days, far beyond the 1000 s
+// horizon of every experiment in the paper.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace sstsp::sim {
+
+/// Integer picoseconds since simulation start.  A plain strong typedef with
+/// explicit conversion helpers; arithmetic stays in int64 space.
+struct SimTime {
+  std::int64_t ps{0};
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t picoseconds) : ps(picoseconds) {}
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  /// Largest representable instant; used as "never" by the event queue.
+  [[nodiscard]] static constexpr SimTime never() {
+    return SimTime{INT64_MAX};
+  }
+
+  [[nodiscard]] static constexpr SimTime from_ps(std::int64_t v) {
+    return SimTime{v};
+  }
+  [[nodiscard]] static constexpr SimTime from_ns(std::int64_t v) {
+    return SimTime{v * 1'000};
+  }
+  [[nodiscard]] static constexpr SimTime from_us(std::int64_t v) {
+    return SimTime{v * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime from_ms(std::int64_t v) {
+    return SimTime{v * 1'000'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime from_sec(std::int64_t v) {
+    return SimTime{v * 1'000'000'000'000};
+  }
+  /// Nearest-picosecond conversion from a floating-point microsecond value.
+  [[nodiscard]] static SimTime from_us_double(double us);
+  /// Nearest-picosecond conversion from a floating-point second value.
+  [[nodiscard]] static SimTime from_sec_double(double sec);
+
+  [[nodiscard]] constexpr double to_us() const {
+    return static_cast<double>(ps) * 1e-6;
+  }
+  [[nodiscard]] constexpr double to_sec() const {
+    return static_cast<double>(ps) * 1e-12;
+  }
+  /// TSF-style truncation to whole microseconds.
+  [[nodiscard]] constexpr std::int64_t to_us_floor() const {
+    // ps is non-negative in every simulation path, but keep floor semantics
+    // for negative intermediate differences.
+    const std::int64_t q = ps / 1'000'000;
+    return (ps % 1'000'000 < 0) ? q - 1 : q;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime d) {
+    ps += d.ps;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) {
+    ps -= d.ps;
+    return *this;
+  }
+};
+
+[[nodiscard]] constexpr SimTime operator+(SimTime a, SimTime b) {
+  return SimTime{a.ps + b.ps};
+}
+[[nodiscard]] constexpr SimTime operator-(SimTime a, SimTime b) {
+  return SimTime{a.ps - b.ps};
+}
+[[nodiscard]] constexpr SimTime operator*(SimTime a, std::int64_t n) {
+  return SimTime{a.ps * n};
+}
+[[nodiscard]] constexpr SimTime operator*(std::int64_t n, SimTime a) {
+  return a * n;
+}
+
+namespace literals {
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::from_us(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::from_ms(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_sec(unsigned long long v) {
+  return SimTime::from_sec(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace sstsp::sim

@@ -1,0 +1,80 @@
+#include "trace/event_trace.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace sstsp::trace {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBeaconTx:
+      return "beacon-tx";
+    case EventKind::kBeaconRx:
+      return "beacon-rx";
+    case EventKind::kAdoption:
+      return "adoption";
+    case EventKind::kAdjustment:
+      return "adjustment";
+    case EventKind::kCoarseStep:
+      return "coarse-step";
+    case EventKind::kElectionWon:
+      return "election-won";
+    case EventKind::kDemotion:
+      return "demotion";
+    case EventKind::kTakeover:
+      return "takeover";
+    case EventKind::kRejectGuard:
+      return "reject-guard";
+    case EventKind::kRejectInterval:
+      return "reject-interval";
+    case EventKind::kRejectKey:
+      return "reject-key";
+    case EventKind::kRejectMac:
+      return "reject-mac";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> EventTrace::select(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> EventTrace::by_kind(EventKind kind) const {
+  return select([kind](const TraceEvent& e) { return e.kind == kind; });
+}
+
+std::vector<TraceEvent> EventTrace::by_node(mac::NodeId node) const {
+  return select([node](const TraceEvent& e) {
+    return e.node == node || e.peer == node;
+  });
+}
+
+void EventTrace::dump(std::ostream& os, std::size_t limit) const {
+  const std::size_t start =
+      events_.size() > limit ? events_.size() - limit : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    os << std::fixed << std::setprecision(6) << std::setw(12)
+       << e.time.to_sec() << "s  node " << std::setw(4) << e.node << "  "
+       << std::setw(16) << to_string(e.kind);
+    if (e.peer != mac::kNoNode) os << "  peer " << e.peer;
+    if (e.value_us != 0.0) {
+      os << "  (" << std::setprecision(2) << e.value_us << " us)";
+    }
+    os << '\n';
+  }
+}
+
+void EventTrace::clear() {
+  events_.clear();
+  total_recorded_ = 0;
+  dropped_ = 0;
+  counts_.fill(0);
+}
+
+}  // namespace sstsp::trace

@@ -1,0 +1,95 @@
+// Structured protocol event tracing.
+//
+// A bounded ring buffer of timestamped protocol events (transmissions,
+// adjustments, security rejections, role changes) that stations record
+// into when a sink is attached.  Used by the forensics tooling and tests;
+// zero overhead when no sink is attached (a null check per event).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "mac/phy_params.h"
+#include "sim/time_types.h"
+
+namespace sstsp::trace {
+
+enum class EventKind : std::uint8_t {
+  kBeaconTx,
+  kBeaconRx,
+  kAdoption,        // TSF family: timestamp adopted
+  kAdjustment,      // SSTSP: (k, b) re-solved
+  kCoarseStep,
+  kElectionWon,
+  kDemotion,
+  kTakeover,        // multi-hop / attacker role seizure
+  kRejectGuard,
+  kRejectInterval,
+  kRejectKey,
+  kRejectMac,
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+struct TraceEvent {
+  sim::SimTime time;
+  mac::NodeId node{mac::kNoNode};  ///< the node recording the event
+  EventKind kind{EventKind::kBeaconTx};
+  mac::NodeId peer{mac::kNoNode};  ///< sender/subject, where applicable
+  double value_us{0.0};            ///< kind-specific payload (offset, ...)
+};
+
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  void record(TraceEvent event) {
+    ++total_recorded_;
+    ++counts_[static_cast<std::size_t>(event.kind)];
+    if (events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(event);
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return total_recorded_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Count of events of a kind over the whole run (drops included).
+  [[nodiscard]] std::uint64_t count(EventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Retained events matching the predicate, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> select(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Retained events of one kind / involving one node.
+  [[nodiscard]] std::vector<TraceEvent> by_kind(EventKind kind) const;
+  [[nodiscard]] std::vector<TraceEvent> by_node(mac::NodeId node) const;
+
+  /// Human-readable dump of the newest `limit` retained events.
+  void dump(std::ostream& os, std::size_t limit = 50) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_recorded_{0};
+  std::uint64_t dropped_{0};
+  std::array<std::uint64_t, 12> counts_{};
+};
+
+}  // namespace sstsp::trace

@@ -1,0 +1,154 @@
+// Analytical models (src/analysis/): internal consistency plus
+// model-vs-simulation cross-checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/models.h"
+#include "runner/experiment.h"
+#include "sim/rng.h"
+
+namespace sstsp::analysis {
+namespace {
+
+constexpr double kBpUs = 1e5;
+
+TEST(Lemma1Model, RatioMatchesPaperFormula) {
+  EXPECT_NEAR(lemma1_contraction_ratio(2, kBpUs), 0.5, 1e-12);
+  EXPECT_NEAR(lemma1_contraction_ratio(3, kBpUs), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(lemma1_contraction_ratio(5, kBpUs), 4.0 / 5.0, 1e-12);
+  // Jitter slows the contraction.
+  EXPECT_GT(lemma1_contraction_ratio(3, kBpUs, 1000.0),
+            lemma1_contraction_ratio(3, kBpUs, 0.0));
+  // m = 1: ratio d/(BP-d) — near-instant for small jitter.
+  EXPECT_NEAR(lemma1_contraction_ratio(1, kBpUs, 100.0), 100.0 / 99900.0,
+              1e-12);
+}
+
+TEST(Lemma1Model, ConvergenceBpsMonotoneInM) {
+  int prev = 0;
+  for (int m = 2; m <= 6; ++m) {
+    const int bps = lemma1_convergence_bps(m, 112.0, 1.0, kBpUs);
+    EXPECT_GT(bps, prev) << m;
+    prev = bps;
+  }
+  EXPECT_EQ(lemma1_convergence_bps(3, 0.5, 1.0, kBpUs), 0);  // already there
+  EXPECT_EQ(lemma1_convergence_bps(1, 112.0, 1.0, kBpUs, 0.0), 1);
+}
+
+TEST(Lemma2Model, BlowupAndOptimum) {
+  EXPECT_NEAR(lemma2_blowup_ratio(4, 1), 0.0, 1e-12);  // m = l+3
+  EXPECT_NEAR(lemma2_blowup_ratio(1, 1), -3.0, 1e-12);
+  EXPECT_NEAR(std::fabs(lemma2_blowup_ratio(1, 1)),
+              static_cast<double>(1 + 2), 1e-12);  // worst case = l+2
+  for (int l = 1; l <= 4; ++l) EXPECT_EQ(lemma2_optimal_m(l), l + 3);
+}
+
+TEST(Lemma2Model, ErrorBoundComposition) {
+  // |m-l-3|/m * err + 2 eps
+  EXPECT_NEAR(reference_change_error_bound_us(4, 1, 10.0, 3.0), 6.0, 1e-12);
+  EXPECT_NEAR(reference_change_error_bound_us(1, 1, 10.0, 3.0), 36.0, 1e-12);
+  EXPECT_NEAR(steady_error_bound_us(5.0), 10.0, 1e-12);
+}
+
+TEST(TsfModel, SuccessProbabilityBasics) {
+  // One contender always succeeds.
+  EXPECT_NEAR(tsf_success_probability(1, 30), 1.0, 1e-12);
+  // Monotone decreasing in n.
+  double prev = 1.0;
+  for (const int n : {2, 5, 20, 100, 300}) {
+    const double p = tsf_success_probability(n, 30);
+    EXPECT_LT(p, prev) << n;
+    EXPECT_GT(p, 0.0);
+    prev = p;
+  }
+  // Two contenders over w+1 slots collide iff they draw the same slot.
+  EXPECT_NEAR(tsf_success_probability(2, 30), 30.0 / 31.0, 1e-12);
+}
+
+TEST(TsfModel, MonteCarloAgreement) {
+  // The closed form must match a direct Monte Carlo of the slotted window.
+  sim::Rng rng(5);
+  for (const int n : {5, 31, 100}) {
+    int unique_min = 0;
+    constexpr int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t) {
+      int min_slot = 31;
+      int count_at_min = 0;
+      for (int i = 0; i < n; ++i) {
+        const int slot = static_cast<int>(rng.uniform_int(0, 30));
+        if (slot < min_slot) {
+          min_slot = slot;
+          count_at_min = 1;
+        } else if (slot == min_slot) {
+          ++count_at_min;
+        }
+      }
+      if (count_at_min == 1) ++unique_min;
+    }
+    const double mc = static_cast<double>(unique_min) / kTrials;
+    EXPECT_NEAR(tsf_success_probability(n, 30), mc, 0.015) << n;
+  }
+}
+
+TEST(TsfModel, DroughtAndDriftScale) {
+  const double drought = tsf_expected_drought_bps(300, 30);
+  EXPECT_GT(drought, 100.0);  // at N=300 successes are rare
+  // Drift scale = drought * BP * rel-drift.
+  EXPECT_NEAR(tsf_expected_drift_us(300, 30, kBpUs, 200.0),
+              drought * 0.1 * 200.0, 1e-6);
+}
+
+TEST(OverheadModel, MatchesPaperNumbers) {
+  const auto model = sstsp_overhead(kBpUs, 12000);
+  EXPECT_NEAR(model.beacons_per_second, 10.0, 1e-12);
+  EXPECT_NEAR(model.bytes_per_second, 920.0, 1e-12);
+  EXPECT_EQ(model.chain_digests_full, 12000u);
+  EXPECT_EQ(model.chain_digests_fractal, 15u);  // ceil(log2 12000)+1
+  // Paper: "in most cases 300-500 bytes of memory can meet the requirement"
+  // for the beacon buffer; our tighter layout fits well inside.
+  EXPECT_LE(model.receiver_buffer_bytes, 500u);
+}
+
+// ---- model vs simulation ------------------------------------------------
+
+TEST(ModelVsSim, Lemma1LatencyPredictsSimLatency) {
+  // The predicted convergence BPs (plus the µTESLA pipeline's fixed 3-BP
+  // lead-in) must upper-bound and roughly match the simulated latency.
+  for (const int m : {2, 3, 4}) {
+    run::Scenario s;
+    s.protocol = run::ProtocolKind::kSstsp;
+    s.num_nodes = 20;
+    s.duration_s = 30.0;
+    s.seed = 77;
+    s.preestablished_reference = true;
+    s.sstsp.m = m;
+    s.sstsp.chain_length = 400;
+    const auto r = run::run_scenario(s);
+    ASSERT_TRUE(r.sync_latency_s.has_value()) << m;
+
+    const int predicted_bps =
+        lemma1_convergence_bps(m, 112.0, run::kSyncThresholdUs, kBpUs) + 4;
+    EXPECT_LE(*r.sync_latency_s, 0.1 * predicted_bps + 0.35) << "m=" << m;
+  }
+}
+
+TEST(ModelVsSim, TsfDriftScaleBracketsSimulation) {
+  // TSF's simulated steady p99 should be within an order of magnitude of
+  // the drought-based drift scale (the model idealizes slotted contention,
+  // the simulator uses CCA-window physics, so only the scale is expected
+  // to match).
+  run::Scenario s;
+  s.protocol = run::ProtocolKind::kTsf;
+  s.num_nodes = 60;
+  s.duration_s = 120.0;
+  s.seed = 77;
+  const auto r = run::run_scenario(s);
+  ASSERT_TRUE(r.steady_p99_us.has_value());
+  const double model = tsf_expected_drift_us(60, 30, kBpUs, 190.0);
+  EXPECT_GT(*r.steady_p99_us, model / 10.0);
+  EXPECT_LT(*r.steady_p99_us, model * 10.0);
+}
+
+}  // namespace
+}  // namespace sstsp::analysis

@@ -1,0 +1,197 @@
+#include "core/adjustment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace sstsp::core {
+namespace {
+
+constexpr double kBpUs = 1e5;
+
+SstspConfig cfg() { return SstspConfig{}; }
+
+struct SolveInputs {
+  ClockParams prev;
+  double t_now;
+  RefSample newest;
+  RefSample older;
+  double target;
+};
+
+/// Random-but-physical inputs: a local clock with drift f observing a
+/// reference that emits every BP, with the node slightly out of sync.
+SolveInputs random_inputs(sim::Rng& rng) {
+  const double f = 1.0 + rng.uniform(-100.0, 100.0) * 1e-6;
+  const double base_ts = 1e6 + rng.uniform(0.0, 1e6);
+  SolveInputs in;
+  in.older = RefSample{f * base_ts + rng.uniform(-50, 50),
+                       base_ts};
+  in.newest = RefSample{in.older.t_local_us + f * kBpUs + rng.uniform(-3, 3),
+                        base_ts + kBpUs};
+  in.t_now = in.newest.t_local_us + f * kBpUs;  // one BP later
+  in.prev = ClockParams{1.0 + rng.uniform(-50, 50) * 1e-6,
+                        rng.uniform(-100, 100)};
+  const int m = 1 + static_cast<int>(rng.uniform_int(0, 4));
+  in.target = base_ts + kBpUs * (2 + m);
+  return in;
+}
+
+TEST(Adjustment, SatisfiesPaperConstraints) {
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const SolveInputs in = random_inputs(rng);
+    const SolveOutcome out = solve_adjustment(in.prev, in.t_now, in.newest,
+                                              in.older, in.target, cfg());
+    ASSERT_TRUE(out.params.has_value()) << "trial " << trial;
+    const ClockParams& kb = *out.params;
+
+    // (2): continuity at t_now.
+    EXPECT_NEAR(kb.eval(in.t_now), in.prev.eval(in.t_now), 1e-6);
+
+    // (4)+(5): t* extrapolates the measured rate to the target.
+    const double rate = (in.newest.t_local_us - in.older.t_local_us) /
+                        (in.newest.ts_ref_us - in.older.ts_ref_us);
+    const double t_star = in.newest.t_local_us +
+                          rate * (in.target - in.newest.ts_ref_us);
+    EXPECT_NEAR(out.expected_t_star_us, t_star, 1e-6);
+
+    // (3): the new clock hits the target value at t*.
+    EXPECT_NEAR(kb.eval(t_star), in.target, 1e-5);
+  }
+}
+
+TEST(Adjustment, MatchesPaperClosedForm) {
+  sim::Rng rng(32);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const SolveInputs in = random_inputs(rng);
+    const SolveOutcome out = solve_adjustment(in.prev, in.t_now, in.newest,
+                                              in.older, in.target, cfg());
+    ASSERT_TRUE(out.params.has_value());
+    const double k_paper =
+        paper_k_formula(in.prev, in.t_now, in.newest, in.older, in.target);
+    const double b_paper =
+        paper_b_formula(in.prev, in.t_now, in.newest, in.older, in.target);
+    EXPECT_NEAR(out.params->k, k_paper, 1e-12 * std::abs(k_paper));
+    EXPECT_NEAR(out.params->b, b_paper, 1e-3);  // b ~ 1e6-scale cancellation
+  }
+}
+
+TEST(Adjustment, RejectsNonIncreasingSamples) {
+  const RefSample a{2e6, 2e6};
+  const RefSample same_ts{2.1e6, 2e6};
+  const auto out =
+      solve_adjustment(ClockParams{}, 2.2e6, same_ts, a, 2.5e6, cfg());
+  EXPECT_FALSE(out.params.has_value());
+  EXPECT_EQ(out.reason, SolveRejection::kNonIncreasingSamples);
+
+  const RefSample ts_back{2.1e6, 1.9e6};
+  const auto out2 =
+      solve_adjustment(ClockParams{}, 2.2e6, ts_back, a, 2.5e6, cfg());
+  EXPECT_EQ(out2.reason, SolveRejection::kNonIncreasingSamples);
+}
+
+TEST(Adjustment, RejectsTargetBehindNow) {
+  const RefSample older{1e6, 1e6};
+  const RefSample newest{1.1e6, 1.1e6};
+  // Target equal to the newest sample's time: t* == t_newest < t_now.
+  const auto out =
+      solve_adjustment(ClockParams{}, 1.2e6, newest, older, 1.1e6, cfg());
+  EXPECT_FALSE(out.params.has_value());
+  EXPECT_EQ(out.reason, SolveRejection::kTargetNotAhead);
+}
+
+TEST(Adjustment, RejectsWildSlope) {
+  // An adjusted clock 1 BP off, asked to converge within one BP, needs
+  // k ~ 2 — outside the sanity band.
+  const RefSample older{1e6, 1e6};
+  const RefSample newest{1.1e6, 1.1e6};
+  const ClockParams way_off{1.0, -1e5};
+  const auto out =
+      solve_adjustment(way_off, 1.15e6, newest, older, 1.2e6, cfg());
+  EXPECT_FALSE(out.params.has_value());
+  EXPECT_EQ(out.reason, SolveRejection::kSlopeOutOfRange);
+}
+
+TEST(Adjustment, PerfectlySyncedStaysPut) {
+  // A node already tracking the reference exactly keeps k ~= 1, b ~= 0
+  // (relative to a drift-free clock).
+  const RefSample older{1e6, 1e6};
+  const RefSample newest{1.1e6, 1.1e6};
+  const auto out = solve_adjustment(ClockParams{1.0, 0.0}, 1.2e6, newest,
+                                    older, 1.5e6, cfg());
+  ASSERT_TRUE(out.params.has_value());
+  EXPECT_NEAR(out.params->k, 1.0, 1e-12);
+  EXPECT_NEAR(out.params->b, 0.0, 1e-6);
+}
+
+class ConvergenceByM : public ::testing::TestWithParam<int> {};
+
+// Lemma 1 in its cleanest form: iterating the solver on ideal beacons
+// contracts the error geometrically with ratio (m-1)/m (for d ~ 0), and the
+// adjusted clock converges onto the reference timeline.
+TEST_P(ConvergenceByM, ErrorContractsGeometrically) {
+  const int m = GetParam();
+  SstspConfig c = cfg();
+  c.m = m;
+
+  const double f = 1.0 + 80e-6;  // local oscillator +80 ppm
+  ClockParams kb{1.0, 250.0};    // initial offset 250 us
+  RefSample older{f * 1e6, 1e6};
+  RefSample newest{f * (1e6 + kBpUs), 1e6 + kBpUs};
+
+  // Note: eq. (2) keeps the clock value unchanged *at* the adjustment
+  // instant, so the error measured when beacon j arrives reflects the
+  // previous adjustment's convergence; the first contraction is observable
+  // from the second adjustment onwards.
+  double prev_err = -1.0;
+  for (int j = 2; j < 40; ++j) {
+    const double ts = 1e6 + j * kBpUs;
+    const double t_local = f * ts;
+    // Adjust on receipt of beacon j, targeting T^{j+m}.
+    const auto out = solve_adjustment(kb, t_local, newest, older,
+                                      ts + m * kBpUs, c);
+    ASSERT_TRUE(out.params.has_value()) << "j=" << j;
+    kb = *out.params;
+    older = newest;
+    newest = RefSample{t_local, ts};
+
+    const double err = std::abs(kb.eval(t_local) - ts);
+    if (j > 2 && prev_err > 1.0) {
+      // Contraction ratio <= (m-1)/m, with slack for m = 1 (full snap).
+      const double bound = (m == 1) ? 0.05 : (static_cast<double>(m - 1) / m) + 0.02;
+      EXPECT_LE(err / prev_err, bound) << "j=" << j;
+    }
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1.0);  // converged well below a microsecond
+}
+
+INSTANTIATE_TEST_SUITE_P(MValues, ConvergenceByM, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Adjustment, SolvedSlopeCompensatesDrift) {
+  // After convergence the slope k must cancel the oscillator drift:
+  // k ~= 1/f.
+  const double f = 1.0 - 60e-6;
+  SstspConfig c = cfg();
+  c.m = 2;
+  ClockParams kb{1.0, 100.0};
+  RefSample older{f * 1e6, 1e6};
+  RefSample newest{f * (1e6 + kBpUs), 1e6 + kBpUs};
+  for (int j = 2; j < 30; ++j) {
+    const double ts = 1e6 + j * kBpUs;
+    const double t_local = f * ts;
+    const auto out =
+        solve_adjustment(kb, t_local, newest, older, ts + 2 * kBpUs, c);
+    ASSERT_TRUE(out.params.has_value());
+    kb = *out.params;
+    older = newest;
+    newest = RefSample{t_local, ts};
+  }
+  EXPECT_NEAR(kb.k, 1.0 / f, 1e-9);
+}
+
+}  // namespace
+}  // namespace sstsp::core

@@ -1,0 +1,186 @@
+// Analytic verification of the paper's Lemma 1 and Lemma 2 on a noise-free
+// harness (direct iteration of the update equations, no DES): the bounds are
+// stated for ideal conditions, so they are checked there, while the
+// integration tests check the end-to-end behaviour with noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adjustment.h"
+#include "sim/rng.h"
+
+namespace sstsp::core {
+namespace {
+
+constexpr double kBpUs = 1e5;
+
+struct Harness {
+  double f;        // local oscillator frequency
+  ClockParams kb{1.0, 0.0};
+  RefSample older;
+  RefSample newest;
+  SstspConfig cfg;
+
+  Harness(double freq, double initial_offset_us, int m) : f(freq) {
+    cfg.m = m;
+    kb = ClockParams{1.0, initial_offset_us};
+    older = RefSample{f * 1e6, 1e6};
+    newest = RefSample{f * (1e6 + kBpUs), 1e6 + kBpUs};
+  }
+
+  /// Feeds the beacon of interval j (emitted d_j after its schedule) and
+  /// returns the post-adjustment error D = c(t_rx) - ts.
+  double step(int j, double d_j = 0.0) {
+    const double ts = 1e6 + j * kBpUs + d_j;
+    const double t_local = f * ts;
+    const auto out = solve_adjustment(
+        kb, t_local, newest, older, 1e6 + (j + cfg.m) * kBpUs, cfg);
+    if (out.params) kb = *out.params;
+    older = newest;
+    newest = RefSample{t_local, ts};
+    return kb.eval(t_local) - ts;
+  }
+
+  [[nodiscard]] double error_at(int j) const {
+    const double ts = 1e6 + j * kBpUs;
+    return kb.eval(f * ts) - ts;
+  }
+};
+
+class Lemma1 : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+// D^{n+1}/D^n < (m-1)*BP / (m*BP - d) for m > 1 (paper, proof of Lemma 1),
+// including nonzero emission jitter d.
+TEST_P(Lemma1, ContractionRatioBound) {
+  const auto [m, d_us] = GetParam();
+  sim::Rng rng(71);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double f = 1.0 + rng.uniform(-100.0, 100.0) * 1e-6;
+    const double d0 = rng.uniform(-112.0, 112.0);
+    Harness h(f, d0, m);
+
+    double prev = std::abs(h.step(2, rng.uniform(0.0, d_us)));
+    for (int j = 3; j < 25; ++j) {
+      const double err = std::abs(h.step(j, rng.uniform(0.0, d_us)));
+      if (prev > 0.5) {
+        const double bound =
+            (m == 1) ? (d_us + 1.0) / (m * kBpUs - d_us)
+                     : (m - 1) * kBpUs / (m * kBpUs - d_us);
+        EXPECT_LE(err / prev, bound + 0.03)
+            << "m=" << m << " j=" << j << " trial=" << trial;
+      }
+      prev = err;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma1,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.0, 100.0, 1000.0)));
+
+class Lemma1Latency : public ::testing::TestWithParam<int> {};
+
+// The convergence-time corollary: error drops below Delta within
+// log_{(m-1)BP/(mBP-d)}(Delta/D0) beacon periods.
+TEST_P(Lemma1Latency, ConvergesWithinPredictedBPs) {
+  const int m = GetParam();
+  const double d0 = 112.0;
+  const double delta = 1.0;
+  Harness h(1.0 + 50e-6, d0, m);
+
+  const double ratio = (m == 1) ? 0.02 : static_cast<double>(m - 1) / m;
+  const int predicted =
+      static_cast<int>(std::ceil(std::log(delta / d0) / std::log(ratio))) + 2;
+
+  int j = 2;
+  while (std::abs(h.error_at(j)) > delta && j < 200) h.step(j++);
+  EXPECT_LE(j - 2, predicted) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(MValues, Lemma1Latency,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Lemma 2: after the reference leaves, a node free-runs for l+3 BPs (l+1 of
+// election plus 2 of µTESLA validation) before it can re-adjust.  With the
+// last adjustment at beacon n aiming to null the error at beacon n+m, the
+// error is affine in reference time — D(n+q) = D_n (m-q)/m exactly — so
+// D+/D- = (m-l-3)/m and |D+| <= (l+2)|D-| with the worst case at m = 1.
+TEST(Lemma2, ReferenceChangeBlowupBound) {
+  sim::Rng rng(72);
+  for (int l = 1; l <= 3; ++l) {
+    for (int m = 1; m <= 6; ++m) {
+      for (int trial = 0; trial < 20; ++trial) {
+        const double f = 1.0 + rng.uniform(-100.0, 100.0) * 1e-6;
+        Harness h(f, rng.uniform(50.0, 112.0) *
+                         (rng.bernoulli(0.5) ? 1.0 : -1.0), m);
+        // A few adjustment rounds: enough to be in the fine regime, few
+        // enough that a measurable residual error D^- remains.
+        for (int j = 2; j <= 4; ++j) h.step(j);
+        const double d_minus = h.error_at(4);  // right after the last solve
+
+        // Reference gone: free-run (no step() calls) for l+3 BPs.
+        const int gap = l + 3;
+        const double d_plus = h.error_at(4 + gap);
+
+        if (std::abs(d_minus) > 1e-4) {
+          const double predicted = (static_cast<double>(m) - gap) / m;
+          EXPECT_NEAR(d_plus / d_minus, predicted,
+                      1e-3 + std::abs(predicted) * 1e-3)
+              << "l=" << l << " m=" << m << " trial=" << trial;
+          EXPECT_LE(std::abs(d_plus),
+                    (l + 2) * std::abs(d_minus) * (1.0 + 1e-6) + 1e-6)
+              << "l=" << l << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma2, OptimalMIsLPlus3) {
+  // |D+/D-| = |m - l - 3| / m is minimized (0) at m = l + 3.
+  for (int l = 1; l <= 3; ++l) {
+    const int opt = l + 3;
+    double best = 1e18;
+    int best_m = -1;
+    for (int m = 1; m <= 10; ++m) {
+      const double blowup = std::abs(static_cast<double>(m - l - 3)) / m;
+      if (blowup < best) {
+        best = blowup;
+        best_m = m;
+      }
+    }
+    EXPECT_EQ(best_m, opt);
+    EXPECT_NEAR(best, 0.0, 1e-12);
+  }
+}
+
+TEST(Lemma1, SteadyStateErrorBelow2Epsilon) {
+  // With timestamp estimation error bounded by eps, the converged
+  // synchronization error stays under 2*eps (paper: "maximum
+  // synchronization error bounded by 2*eps, typically 10us").
+  sim::Rng rng(73);
+  const double eps = 5.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const double f = 1.0 + rng.uniform(-100.0, 100.0) * 1e-6;
+    Harness h(f, rng.uniform(-112.0, 112.0), 3);
+    double worst_tail = 0.0;
+    for (int j = 2; j < 60; ++j) {
+      // Jittered timestamp estimate: ts_est = ts_true + U(-eps, eps).
+      const double ts = 1e6 + j * kBpUs;
+      const double t_local = h.f * ts;
+      const auto out = solve_adjustment(
+          h.kb, t_local, h.newest, h.older, 1e6 + (j + 3) * kBpUs, h.cfg);
+      if (out.params) h.kb = *out.params;
+      h.older = h.newest;
+      h.newest = RefSample{t_local, ts + rng.uniform(-eps, eps)};
+      if (j > 30) {
+        worst_tail = std::max(worst_tail, std::abs(h.kb.eval(t_local) - ts));
+      }
+    }
+    EXPECT_LT(worst_tail, 2 * eps) << "trial=" << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sstsp::core

@@ -1,0 +1,99 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sstsp::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+std::string hmac_hex(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> msg) {
+  const Digest d = hmac_sha256(key, msg);
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// RFC 4231 test cases.
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto msg = bytes_of("Hi There");
+  EXPECT_EQ(hmac_hex(key, msg),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto key = bytes_of("Jefe");
+  const auto msg = bytes_of("what do ya want for nothing?");
+  EXPECT_EQ(hmac_hex(key, msg),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(hmac_hex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case4) {
+  std::vector<std::uint8_t> key;
+  for (std::uint8_t i = 1; i <= 25; ++i) key.push_back(i);
+  const std::vector<std::uint8_t> msg(50, 0xcd);
+  EXPECT_EQ(hmac_hex(key, msg),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto msg = bytes_of("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(hmac_hex(key, msg),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyLongData) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto msg = bytes_of(
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.");
+  EXPECT_EQ(hmac_hex(key, msg),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hmac, TruncatedFormMatchesPrefix) {
+  const auto key = bytes_of("key");
+  const auto msg = bytes_of("message");
+  const Digest full = hmac_sha256(key, msg);
+  const Digest128 trunc = hmac_sha256_128(key, msg);
+  for (std::size_t i = 0; i < trunc.size(); ++i) EXPECT_EQ(trunc[i], full[i]);
+}
+
+TEST(Hmac, KeySensitivity) {
+  const auto msg = bytes_of("beacon body");
+  const auto k1 = bytes_of("k1");
+  const auto k2 = bytes_of("k2");
+  EXPECT_NE(hmac_sha256(k1, msg), hmac_sha256(k2, msg));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  const auto key = bytes_of("k");
+  EXPECT_NE(hmac_sha256(key, bytes_of("a")), hmac_sha256(key, bytes_of("b")));
+}
+
+TEST(DigestEqual, Basics) {
+  const auto a = bytes_of("0123456789abcdef");
+  auto b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[15] ^= 0x01;
+  EXPECT_FALSE(digest_equal(a, b));
+  const auto shorter = bytes_of("0123");
+  EXPECT_FALSE(digest_equal(a, shorter));
+}
+
+}  // namespace
+}  // namespace sstsp::crypto

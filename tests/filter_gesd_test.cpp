@@ -1,0 +1,120 @@
+#include "filter/gesd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sstsp::filter {
+namespace {
+
+std::vector<double> gaussian(sim::Rng& rng, std::size_t n, double mean,
+                             double sd) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Box-Muller.
+    const double u1 = std::max(rng.uniform(), 1e-15);
+    const double u2 = rng.uniform();
+    xs.push_back(mean +
+                 sd * std::sqrt(-2.0 * std::log(u1)) * std::cos(2 * M_PI * u2));
+  }
+  return xs;
+}
+
+TEST(Gesd, CleanDataHasNoOutliers) {
+  sim::Rng rng(21);
+  int false_positive_runs = 0;
+  for (int run = 0; run < 50; ++run) {
+    const auto xs = gaussian(rng, 30, 10.0, 2.0);
+    if (gesd(xs, 3, 0.05).has_outliers()) ++false_positive_runs;
+  }
+  // alpha = 0.05: a few false positives are expected, but not many.
+  EXPECT_LE(false_positive_runs, 10);
+}
+
+TEST(Gesd, FindsSinglePlantedOutlier) {
+  sim::Rng rng(22);
+  auto xs = gaussian(rng, 25, 0.0, 1.0);
+  xs.push_back(15.0);  // wildly offset timestamp
+  const GesdResult r = gesd(xs, 3, 0.05);
+  // The planted outlier must be flagged, and as the most extreme sample it
+  // must be the first removed.  (At alpha = 0.05 the test may legitimately
+  // flag an extra borderline sample or two from the Gaussian tail.)
+  ASSERT_GE(r.outlier_indices.size(), 1u);
+  EXPECT_EQ(r.outlier_indices[0], xs.size() - 1);
+  EXPECT_GT(r.test_statistics[0], r.critical_values[0] * 1.5);
+}
+
+TEST(Gesd, FindsMaskedPairOfOutliers) {
+  // Two nearby large outliers mask each other for a naive sequential test;
+  // GESD's "largest i with R_i > lambda_i" rule still finds both.
+  sim::Rng rng(23);
+  auto xs = gaussian(rng, 30, 0.0, 1.0);
+  xs.push_back(11.8);
+  xs.push_back(12.0);
+  const GesdResult r = gesd(xs, 5, 0.05);
+  EXPECT_EQ(r.outlier_indices.size(), 2u);
+}
+
+TEST(Gesd, RespectsMaxOutliers) {
+  sim::Rng rng(24);
+  auto xs = gaussian(rng, 20, 0.0, 1.0);
+  xs.push_back(50.0);
+  xs.push_back(60.0);
+  xs.push_back(70.0);
+  const GesdResult r = gesd(xs, 2, 0.05);
+  EXPECT_LE(r.outlier_indices.size(), 2u);
+  EXPECT_EQ(r.test_statistics.size(), 2u);
+}
+
+TEST(Gesd, TooFewSamplesNoTest) {
+  const std::vector<double> xs{1.0, 2.0, 100.0, 3.0};
+  EXPECT_FALSE(gesd(xs, 2, 0.05).has_outliers());
+}
+
+TEST(Gesd, IdenticalSamplesDegenerate) {
+  const std::vector<double> xs(10, 5.0);
+  EXPECT_FALSE(gesd(xs, 3, 0.05).has_outliers());
+}
+
+TEST(Gesd, FilterRemovesExactlyTheOutliers) {
+  sim::Rng rng(25);
+  auto xs = gaussian(rng, 40, 100.0, 3.0);
+  xs[5] = 400.0;
+  xs[17] = -150.0;
+  const auto kept = gesd_filter(xs, 4, 0.05);
+  EXPECT_EQ(kept.size(), xs.size() - 2);
+  EXPECT_EQ(std::count(kept.begin(), kept.end(), 400.0), 0);
+  EXPECT_EQ(std::count(kept.begin(), kept.end(), -150.0), 0);
+}
+
+TEST(Gesd, AttackScenarioBiasedMinority) {
+  // Coarse-sync threat model: a minority of malicious offsets at +5000 us
+  // among honest offsets near 40 us.
+  sim::Rng rng(26);
+  auto xs = gaussian(rng, 12, 40.0, 4.0);
+  xs.push_back(5000.0);
+  xs.push_back(5020.0);
+  const auto kept = gesd_filter(xs, 4, 0.05);
+  for (const double v : kept) EXPECT_LT(v, 1000.0);
+  EXPECT_EQ(kept.size(), 12u);
+}
+
+TEST(Gesd, StatisticsAreOrderedAndPositive) {
+  sim::Rng rng(27);
+  auto xs = gaussian(rng, 30, 0.0, 1.0);
+  xs.push_back(9.0);
+  const GesdResult r = gesd(xs, 3, 0.05);
+  ASSERT_EQ(r.test_statistics.size(), r.critical_values.size());
+  for (std::size_t i = 0; i < r.test_statistics.size(); ++i) {
+    EXPECT_GT(r.test_statistics[i], 0.0);
+    EXPECT_GT(r.critical_values[i], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sstsp::filter

@@ -1,0 +1,103 @@
+#include "filter/student_t.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sstsp::filter {
+namespace {
+
+TEST(LnGamma, KnownValues) {
+  EXPECT_NEAR(ln_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(ln_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(ln_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(ln_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(ln_gamma(10.5), 13.940625219403763, 1e-9);
+}
+
+TEST(IncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_{1/2}(a, a) = 1/2.
+  for (const double a : {0.5, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-10) << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.1, 0.25, 0.75, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-10) << x;
+  }
+}
+
+TEST(IncompleteBeta, AgainstClosedForm) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  for (const double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), x * x * (3 - 2 * x), 1e-10);
+  }
+}
+
+TEST(StudentT, CdfSymmetry) {
+  for (const double nu : {1.0, 3.0, 10.0, 30.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, nu), 0.5, 1e-12);
+    for (const double t : {0.5, 1.7, 4.2}) {
+      EXPECT_NEAR(student_t_cdf(t, nu) + student_t_cdf(-t, nu), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(StudentT, CauchyClosedForm) {
+  // nu = 1 is Cauchy: CDF(t) = 1/2 + atan(t)/pi.
+  for (const double t : {-3.0, -1.0, 0.3, 2.5, 10.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-9) << t;
+  }
+}
+
+TEST(StudentT, Nu2ClosedForm) {
+  // nu = 2: CDF(t) = 1/2 + t / (2 sqrt(2 + t^2)).
+  for (const double t : {-2.0, -0.5, 0.0, 1.0, 4.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 2.0),
+                0.5 + t / (2.0 * std::sqrt(2.0 + t * t)), 1e-9)
+        << t;
+  }
+}
+
+TEST(StudentT, ReferenceQuantiles) {
+  // Classical table values.
+  EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.228, 2e-3);
+  EXPECT_NEAR(student_t_quantile(0.95, 5.0), 2.015, 2e-3);
+  EXPECT_NEAR(student_t_quantile(0.99, 20.0), 2.528, 2e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 1.0), 12.706, 2e-2);
+  EXPECT_DOUBLE_EQ(student_t_quantile(0.5, 7.0), 0.0);
+}
+
+class QuantileRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsP) {
+  const auto [p, nu] = GetParam();
+  const double t = student_t_quantile(p, nu);
+  EXPECT_NEAR(student_t_cdf(t, nu), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuantileRoundTrip,
+    ::testing::Combine(::testing::Values(0.005, 0.05, 0.25, 0.5, 0.9, 0.975,
+                                         0.999),
+                       ::testing::Values(1.0, 2.0, 4.0, 9.0, 29.0, 100.0)));
+
+TEST(StudentT, QuantileMonotoneInP) {
+  double prev = -1e18;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double t = student_t_quantile(p, 6.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace sstsp::filter

@@ -1,0 +1,64 @@
+#include "filter/threshold_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace sstsp::filter {
+namespace {
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Median, RobustToExtremes) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 1e9}), 2.5);
+}
+
+TEST(ThresholdFilter, KeepsWithinThreshold) {
+  const auto r = threshold_filter({10.0, 11.0, 9.5, 10.2, 50.0}, 5.0);
+  EXPECT_EQ(r.kept.size(), 4u);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_DOUBLE_EQ(r.center, 10.2);
+  EXPECT_NEAR(*r.mean(), (10.0 + 11.0 + 9.5 + 10.2) / 4.0, 1e-12);
+}
+
+TEST(ThresholdFilter, CenterIsMedianNotMean) {
+  // A huge outlier cannot move the center (mean would be ~2e8).
+  const auto r = threshold_filter({1.0, 2.0, 3.0, 1e9}, 10.0);
+  EXPECT_EQ(r.kept.size(), 3u);
+  EXPECT_EQ(r.rejected, 1u);
+}
+
+TEST(ThresholdFilter, MajorityAttackStillBoundedByMedian) {
+  // With attackers in the minority, the median sits among honest samples
+  // and the attack offsets fall outside the window.
+  const auto r =
+      threshold_filter({40.0, 42.0, 38.0, 41.0, 39.0, 9000.0, 9001.0}, 100.0);
+  EXPECT_EQ(r.kept.size(), 5u);
+  for (const double v : r.kept) EXPECT_LT(v, 100.0);
+}
+
+TEST(ThresholdFilter, EmptyInput) {
+  const auto r = threshold_filter({}, 10.0);
+  EXPECT_TRUE(r.kept.empty());
+  EXPECT_FALSE(r.mean().has_value());
+}
+
+TEST(ThresholdFilter, AllRejectedImpossibleSinceMedianIsASample) {
+  // The median is always within threshold of itself, so at least one sample
+  // survives any non-empty input.
+  const auto r = threshold_filter({5.0, 500.0, 50000.0}, 1.0);
+  EXPECT_GE(r.kept.size(), 1u);
+  EXPECT_TRUE(r.mean().has_value());
+}
+
+TEST(ThresholdFilter, BoundaryInclusive) {
+  const auto r = threshold_filter({0.0, 10.0}, 5.0);
+  // center = 5.0; both exactly at the threshold -> kept.
+  EXPECT_EQ(r.kept.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sstsp::filter

@@ -1,0 +1,252 @@
+#include "mac/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sstsp::mac {
+namespace {
+
+using sim::SimTime;
+using namespace sstsp::sim::literals;
+
+struct Receiver {
+  std::vector<Frame> frames;
+  std::vector<RxInfo> infos;
+
+  Channel::RxHandler handler() {
+    return [this](const Frame& f, const RxInfo& i) {
+      frames.push_back(f);
+      infos.push_back(i);
+    };
+  }
+};
+
+Frame tsf_frame(NodeId sender, std::int64_t ts) {
+  Frame f;
+  f.sender = sender;
+  f.air_bytes = 56;
+  f.body = TsfBeaconBody{ts};
+  return f;
+}
+
+PhyParams no_loss_phy() {
+  PhyParams phy;
+  phy.packet_error_rate = 0.0;
+  return phy;
+}
+
+TEST(Channel, DeliversToAllListenersExceptSender) {
+  sim::Simulator sim(1);
+  Channel ch(sim, no_loss_phy());
+  Receiver r0;
+  Receiver r1;
+  Receiver r2;
+  const auto s0 = ch.add_station({0, 0}, r0.handler());
+  ch.add_station({10, 0}, r1.handler());
+  ch.add_station({0, 20}, r2.handler());
+
+  sim.at(1_ms, [&] { ch.transmit(s0, tsf_frame(0, 42), 36_us); });
+  sim.run_until(1_sec);
+
+  EXPECT_TRUE(r0.frames.empty());  // sender does not hear itself
+  ASSERT_EQ(r1.frames.size(), 1u);
+  ASSERT_EQ(r2.frames.size(), 1u);
+  EXPECT_EQ(r1.frames[0].tsf().timestamp_us, 42);
+  EXPECT_EQ(ch.stats().deliveries, 2u);
+}
+
+TEST(Channel, DeliveryTimingWindow) {
+  sim::Simulator sim(2);
+  PhyParams phy = no_loss_phy();
+  Channel ch(sim, phy);
+  Receiver rx;
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({30, 0}, rx.handler());
+
+  const SimTime start = 1_ms;
+  sim.at(start, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.run_until(1_sec);
+
+  ASSERT_EQ(rx.infos.size(), 1u);
+  const SimTime prop = propagation_delay({0, 0}, {30, 0});
+  const SimTime lo = start + 36_us + prop + phy.rx_latency_min;
+  const SimTime hi = start + 36_us + prop + phy.rx_latency_max;
+  EXPECT_GE(rx.infos[0].delivered, lo);
+  EXPECT_LE(rx.infos[0].delivered, hi);
+  EXPECT_EQ(rx.infos[0].tx_start, start);
+}
+
+TEST(Channel, NominalDelayCompensatesWithinEpsilon) {
+  // |estimated delay - actual delay| must stay below the paper's 5 us bound.
+  sim::Simulator sim(3);
+  PhyParams phy = no_loss_phy();
+  Channel ch(sim, phy);
+  Receiver rx;
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({40, 0}, rx.handler());
+
+  for (int i = 0; i < 200; ++i) {
+    sim.at(SimTime::from_ms(i + 1), [&, i] {
+      (void)i;
+      ch.transmit(s0, tsf_frame(0, 0), 36_us);
+    });
+  }
+  sim.run_until(1_sec);
+  ASSERT_EQ(rx.infos.size(), 200u);
+  for (const RxInfo& info : rx.infos) {
+    const double actual_us = (info.delivered - info.tx_start).to_us();
+    EXPECT_LT(std::abs(actual_us - info.nominal_delay_us), 5.0);
+  }
+}
+
+TEST(Channel, OverlappingTransmissionsCollide) {
+  sim::Simulator sim(4);
+  Channel ch(sim, no_loss_phy());
+  Receiver rx;
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto s1 = ch.add_station({5, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({10, 0}, rx.handler());
+
+  sim.at(1_ms, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.at(1_ms + 10_us, [&] { ch.transmit(s1, tsf_frame(1, 2), 36_us); });
+  sim.run_until(1_sec);
+
+  EXPECT_TRUE(rx.frames.empty());  // both corrupted
+  EXPECT_EQ(ch.stats().collided_transmissions, 2u);
+}
+
+TEST(Channel, BackToBackTransmissionsDoNotCollide) {
+  sim::Simulator sim(5);
+  Channel ch(sim, no_loss_phy());
+  Receiver rx;
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto s1 = ch.add_station({5, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({10, 0}, rx.handler());
+
+  sim.at(1_ms, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.at(1_ms + 40_us, [&] { ch.transmit(s1, tsf_frame(1, 2), 36_us); });
+  sim.run_until(1_sec);
+
+  EXPECT_EQ(rx.frames.size(), 2u);
+  EXPECT_EQ(ch.stats().collided_transmissions, 0u);
+}
+
+TEST(Channel, OnlyOverlappingTransmissionsCollide) {
+  sim::Simulator sim(6);
+  Channel ch(sim, no_loss_phy());
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(ch.add_station({static_cast<double>(i), 0},
+                                 Channel::RxHandler([](auto&&...) {})));
+  }
+  Receiver rx;
+  ch.add_station({20, 0}, rx.handler());
+  sim.at(1_ms, [&] { ch.transmit(ids[0], tsf_frame(0, 1), 36_us); });
+  sim.at(1_ms + 5_us, [&] { ch.transmit(ids[1], tsf_frame(1, 2), 36_us); });
+  sim.at(1_ms + 50_us, [&] { ch.transmit(ids[2], tsf_frame(2, 3), 36_us); });
+  sim.run_until(1_sec);
+  // First two overlap ([0, 36us] and [5us, 41us]) and collide; the third
+  // starts at +50us, clear of both, and is delivered intact.
+  EXPECT_EQ(ch.stats().collided_transmissions, 2u);
+  ASSERT_EQ(rx.frames.size(), 1u);
+  EXPECT_EQ(rx.frames[0].tsf().timestamp_us, 3);
+}
+
+TEST(Channel, PacketErrorRateDropsIndependently) {
+  sim::Simulator sim(7);
+  PhyParams phy = no_loss_phy();
+  phy.packet_error_rate = 0.3;
+  Channel ch(sim, phy);
+  Receiver rx;
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({10, 0}, rx.handler());
+  constexpr int kSends = 2000;
+  for (int i = 0; i < kSends; ++i) {
+    sim.at(SimTime::from_ms(1 + i), [&] {
+      ch.transmit(s0, tsf_frame(0, 0), 36_us);
+    });
+  }
+  sim.run_until(10_sec);
+  const double rate = static_cast<double>(rx.frames.size()) / kSends;
+  EXPECT_NEAR(rate, 0.7, 0.05);
+  EXPECT_EQ(ch.stats().per_drops, kSends - rx.frames.size());
+}
+
+TEST(Channel, NotListeningReceivesNothingAndResumes) {
+  sim::Simulator sim(8);
+  Channel ch(sim, no_loss_phy());
+  Receiver rx;
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto s1 = ch.add_station({10, 0}, rx.handler());
+  ch.set_listening(s1, false);
+  sim.at(1_ms, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.at(10_ms, [&] { ch.set_listening(s1, true); });
+  sim.at(20_ms, [&] { ch.transmit(s0, tsf_frame(0, 2), 36_us); });
+  sim.run_until(1_sec);
+  ASSERT_EQ(rx.frames.size(), 1u);
+  EXPECT_EQ(rx.frames[0].tsf().timestamp_us, 2);
+}
+
+TEST(Channel, HalfDuplexSuppression) {
+  sim::Simulator sim(9);
+  Channel ch(sim, no_loss_phy());
+  Receiver r0;
+  Receiver r1;
+  const auto s0 = ch.add_station({0, 0}, r0.handler());
+  const auto s1 = ch.add_station({5, 0}, r1.handler());
+  // Overlapping: both collide, and even aside from corruption neither may
+  // hear the other while transmitting.
+  sim.at(1_ms, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.at(1_ms + 1_us, [&] { ch.transmit(s1, tsf_frame(1, 2), 36_us); });
+  sim.run_until(1_sec);
+  EXPECT_TRUE(r0.frames.empty());
+  EXPECT_TRUE(r1.frames.empty());
+}
+
+TEST(Channel, CarrierSenseDetectionWindow) {
+  sim::Simulator sim(10);
+  PhyParams phy = no_loss_phy();
+  Channel ch(sim, phy);
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto s1 = ch.add_station({3, 0}, Channel::RxHandler([](auto&&...) {}));
+
+  const SimTime start = 1_ms;
+  sim.at(start, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.run_until(10_sec);
+
+  const SimTime prop = propagation_delay({0, 0}, {3, 0});
+  // Within CCA latency of tx start: undetectable.
+  EXPECT_FALSE(ch.would_detect_busy(s1, start + prop + 2_us));
+  // After CCA latency: busy.
+  EXPECT_TRUE(ch.would_detect_busy(s1, start + prop + 5_us));
+  // During the frame: busy.
+  EXPECT_TRUE(ch.would_detect_busy(s1, start + 30_us));
+  // Just after the frame, within the IFS guard: still busy.
+  EXPECT_TRUE(ch.would_detect_busy(s1, start + 36_us + prop + 10_us));
+  // Well after: idle.
+  EXPECT_FALSE(ch.would_detect_busy(s1, start + 36_us + prop +
+                                            phy.ifs_guard + 1_us));
+}
+
+TEST(Channel, BytesOnAirAccounting) {
+  sim::Simulator sim(11);
+  Channel ch(sim, no_loss_phy());
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({1, 0}, Channel::RxHandler([](auto&&...) {}));
+  sim.at(1_ms, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.run_until(1_sec);
+  EXPECT_EQ(ch.stats().bytes_on_air, 56u);
+  EXPECT_EQ(ch.stats().transmissions, 1u);
+}
+
+TEST(Propagation, SpeedOfLight) {
+  EXPECT_NEAR(propagation_delay({0, 0}, {299.792458, 0}).to_us(), 1.0, 1e-9);
+  EXPECT_EQ(propagation_delay({5, 5}, {5, 5}).ps, 0);
+  EXPECT_NEAR(distance_m({0, 0}, {3, 4}), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sstsp::mac

@@ -1,0 +1,119 @@
+// Range-limited channel semantics: reception range, per-receiver
+// interference (hidden terminal), and range-aware carrier sense.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mac/channel.h"
+#include "sim/simulator.h"
+
+namespace sstsp::mac {
+namespace {
+
+using namespace sstsp::sim::literals;
+
+struct Receiver {
+  std::vector<Frame> frames;
+  Channel::RxHandler handler() {
+    return [this](const Frame& f, const RxInfo&) { frames.push_back(f); };
+  }
+};
+
+Frame beacon(NodeId sender, std::int64_t ts) {
+  Frame f;
+  f.sender = sender;
+  f.air_bytes = 56;
+  f.body = TsfBeaconBody{ts};
+  return f;
+}
+
+PhyParams ranged_phy(double range_m) {
+  PhyParams phy;
+  phy.packet_error_rate = 0.0;
+  phy.radio_range_m = range_m;
+  return phy;
+}
+
+TEST(RangedChannel, OutOfRangeStationsHearNothing) {
+  sim::Simulator sim(1);
+  Channel ch(sim, ranged_phy(50.0));
+  Receiver near;
+  Receiver far;
+  const auto tx = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({40, 0}, near.handler());
+  ch.add_station({80, 0}, far.handler());
+  sim.at(1_ms, [&] { ch.transmit(tx, beacon(0, 1), 36_us); });
+  sim.run_until(1_sec);
+  EXPECT_EQ(near.frames.size(), 1u);
+  EXPECT_TRUE(far.frames.empty());
+}
+
+TEST(RangedChannel, HiddenTerminalCollidesOnlyInTheMiddle) {
+  // Classic A --- M --- B line: A and B cannot hear each other (hidden),
+  // M hears both.  Simultaneous transmissions from A and B are corrupted
+  // at M but received intact by A's and B's *own* neighbours.
+  sim::Simulator sim(2);
+  Channel ch(sim, ranged_phy(50.0));
+  Receiver at_m;
+  Receiver near_a;
+  Receiver near_b;
+  const auto a = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto b = ch.add_station({80, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({40, 0}, at_m.handler());    // hears both A and B
+  ch.add_station({-30, 0}, near_a.handler());  // hears only A
+  ch.add_station({110, 0}, near_b.handler());  // hears only B
+
+  sim.at(1_ms, [&] { ch.transmit(a, beacon(0, 1), 36_us); });
+  sim.at(1_ms + 5_us, [&] { ch.transmit(b, beacon(1, 2), 36_us); });
+  sim.run_until(1_sec);
+
+  EXPECT_TRUE(at_m.frames.empty());  // corrupted by the overlap
+  ASSERT_EQ(near_a.frames.size(), 1u);
+  EXPECT_EQ(near_a.frames[0].sender, 0u);
+  ASSERT_EQ(near_b.frames.size(), 1u);
+  EXPECT_EQ(near_b.frames[0].sender, 1u);
+}
+
+TEST(RangedChannel, CarrierSenseIsRangeLimited) {
+  sim::Simulator sim(3);
+  Channel ch(sim, ranged_phy(50.0));
+  const auto tx = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto near = ch.add_station({30, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto far = ch.add_station({90, 0}, Channel::RxHandler([](auto&&...) {}));
+  sim.at(1_ms, [&] { ch.transmit(tx, beacon(0, 1), 36_us); });
+  sim.run_until(2_sec);
+  const sim::SimTime mid = 1_ms + 20_us;
+  EXPECT_TRUE(ch.would_detect_busy(near, mid));
+  EXPECT_FALSE(ch.would_detect_busy(far, mid));  // cannot sense: hidden
+}
+
+TEST(RangedChannel, InRangeHelper) {
+  sim::Simulator sim(4);
+  Channel limited(sim, ranged_phy(50.0));
+  EXPECT_TRUE(limited.in_range({0, 0}, {50, 0}));
+  EXPECT_FALSE(limited.in_range({0, 0}, {50.1, 0}));
+  Channel unlimited(sim, ranged_phy(0.0));
+  EXPECT_TRUE(unlimited.in_range({0, 0}, {1e6, 0}));
+}
+
+TEST(RangedChannel, SpatialReuseDeliversBothFrames) {
+  // Two far-apart transmitters overlapping in time: each neighbourhood
+  // receives its own frame (no global collision).
+  sim::Simulator sim(5);
+  Channel ch(sim, ranged_phy(50.0));
+  Receiver left;
+  Receiver right;
+  const auto a = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto b = ch.add_station({300, 0}, Channel::RxHandler([](auto&&...) {}));
+  ch.add_station({20, 0}, left.handler());
+  ch.add_station({320, 0}, right.handler());
+  sim.at(1_ms, [&] { ch.transmit(a, beacon(0, 1), 36_us); });
+  sim.at(1_ms, [&] { ch.transmit(b, beacon(1, 2), 36_us); });
+  sim.run_until(1_sec);
+  EXPECT_EQ(left.frames.size(), 1u);
+  EXPECT_EQ(right.frames.size(), 1u);
+  EXPECT_EQ(ch.stats().collided_transmissions, 0u);
+}
+
+}  // namespace
+}  // namespace sstsp::mac

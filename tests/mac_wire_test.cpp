@@ -1,0 +1,128 @@
+// On-air frame encoding (src/mac/wire.h): exact round-trips and rejection
+// of malformed inputs.
+#include <gtest/gtest.h>
+
+#include "crypto/hash_chain.h"
+#include "mac/wire.h"
+#include "sim/rng.h"
+
+namespace sstsp::mac {
+namespace {
+
+Frame tsf_frame(NodeId sender, std::int64_t ts) {
+  Frame f;
+  f.sender = sender;
+  f.air_bytes = kTsfWireBytes;
+  f.body = TsfBeaconBody{ts};
+  return f;
+}
+
+Frame sstsp_frame(NodeId sender, std::int64_t ts, std::int64_t j,
+                  std::uint8_t level) {
+  Frame f;
+  f.sender = sender;
+  f.air_bytes = kSstspWireBytes;
+  SstspBeaconBody b;
+  b.timestamp_us = ts;
+  b.interval = j;
+  b.level = level;
+  const crypto::Digest d = crypto::derive_seed(9, sender);
+  b.disclosed_key = d;
+  b.mac = crypto::truncate128(crypto::hash_once(d));
+  f.body = b;
+  return f;
+}
+
+TEST(Wire, TsfRoundTripAndSize) {
+  const Frame f = tsf_frame(42, 123456789012345);
+  const auto bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kTsfWireBytes);
+  const auto decoded = decode_frame(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->is_tsf());
+  EXPECT_EQ(decoded->sender, 42u);
+  EXPECT_EQ(decoded->tsf().timestamp_us, 123456789012345);
+}
+
+TEST(Wire, SstspRoundTripAndSize) {
+  const Frame f = sstsp_frame(7, 987654321, 314, 3);
+  const auto bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kSstspWireBytes);
+  const auto decoded = decode_frame(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->is_sstsp());
+  EXPECT_EQ(decoded->sender, 7u);
+  const auto& b = decoded->sstsp();
+  EXPECT_EQ(b.timestamp_us, 987654321);
+  EXPECT_EQ(b.interval, 314);
+  EXPECT_EQ(b.level, 3);
+  EXPECT_EQ(b.mac, f.sstsp().mac);
+  EXPECT_EQ(b.disclosed_key, f.sstsp().disclosed_key);
+}
+
+class WireRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireRoundTrip, RandomizedSstspFrames) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Frame f = sstsp_frame(
+      static_cast<NodeId>(rng.uniform_int(0, 1000)),
+      static_cast<std::int64_t>(rng.uniform_int(0, std::uint64_t{1} << 50)),
+      static_cast<std::int64_t>(rng.uniform_int(1, 16000)),
+      static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+  const auto decoded = decode_frame(encode_frame(f));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, f.sender);
+  EXPECT_EQ(decoded->sstsp().timestamp_us, f.sstsp().timestamp_us);
+  EXPECT_EQ(decoded->sstsp().interval, f.sstsp().interval);
+  EXPECT_EQ(decoded->sstsp().level, f.sstsp().level);
+  EXPECT_EQ(decoded->sstsp().disclosed_key, f.sstsp().disclosed_key);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Range(1, 25));
+
+TEST(Wire, RejectsWrongLength) {
+  auto bytes = encode_frame(tsf_frame(1, 2));
+  bytes.pop_back();
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+  bytes.push_back(0);
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+  EXPECT_FALSE(decode_frame({}).has_value());
+}
+
+TEST(Wire, RejectsBadMagicOrType) {
+  auto bytes = encode_frame(tsf_frame(1, 2));
+  auto corrupted = bytes;
+  corrupted[24] = 0xFF;  // magic
+  EXPECT_FALSE(decode_frame(corrupted).has_value());
+  corrupted = bytes;
+  corrupted[26] = 0x7F;  // type
+  EXPECT_FALSE(decode_frame(corrupted).has_value());
+}
+
+TEST(Wire, TypeLengthMismatchRejected) {
+  // An SSTSP type byte inside a TSF-sized frame must not decode.
+  auto bytes = encode_frame(tsf_frame(1, 2));
+  bytes[26] = 0x02;  // claim SSTSP
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+}
+
+TEST(Wire, TruncationSweepNeverCrashes) {
+  const auto full = encode_frame(sstsp_frame(3, 42, 7, 1));
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(full.data(), len);
+    EXPECT_FALSE(decode_frame(prefix).has_value()) << len;
+  }
+}
+
+TEST(Wire, NegativeTimestampSurvives) {
+  // Timestamps are int64; pre-epoch values (misconfigured T0) must round
+  // trip rather than corrupt.
+  const Frame f = tsf_frame(5, -123456);
+  const auto decoded = decode_frame(encode_frame(f));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tsf().timestamp_us, -123456);
+}
+
+}  // namespace
+}  // namespace sstsp::mac

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "metrics/report.h"
+#include "metrics/series.h"
+
+namespace sstsp::metrics {
+namespace {
+
+Series ramp() {
+  Series s;
+  for (int i = 0; i <= 100; ++i) {
+    s.push(0.1 * i, static_cast<double>(100 - i));
+  }
+  return s;
+}
+
+TEST(Series, MaxMeanInWindow) {
+  const Series s = ramp();
+  EXPECT_DOUBLE_EQ(*s.max_in(0.0, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(*s.max_in(5.0, 10.0), 50.0);
+  EXPECT_DOUBLE_EQ(*s.mean_in(0.0, 10.0), 50.0);
+  EXPECT_FALSE(s.max_in(11.0, 20.0).has_value());
+}
+
+TEST(Series, Quantiles) {
+  Series s;
+  for (int i = 1; i <= 100; ++i) s.push(i, static_cast<double>(i));
+  EXPECT_NEAR(*s.quantile_in(0.5, 0, 1000), 50.5, 1e-9);
+  EXPECT_NEAR(*s.quantile_in(0.99, 0, 1000), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(*s.quantile_in(0.0, 0, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(*s.quantile_in(1.0, 0, 1000), 100.0);
+}
+
+TEST(Series, FirstSustainedBelow) {
+  Series s;
+  // Above threshold until t=5, dips briefly at 6, stays below from 8.
+  for (int i = 0; i <= 200; ++i) {
+    const double t = 0.1 * i;
+    double v = 100.0;
+    if (t >= 6.0 && t < 6.3) v = 1.0;
+    if (t >= 8.0) v = 2.0;
+    s.push(t, v);
+  }
+  const auto lat = s.first_sustained_below(25.0, 1.0);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_NEAR(*lat, 8.0, 1e-9);
+  // The brief dip is too short to count.
+  EXPECT_FALSE(s.first_sustained_below(25.0, 1.0, 5.9).has_value() &&
+               *s.first_sustained_below(25.0, 1.0, 5.9) < 7.0);
+}
+
+TEST(Series, FirstSustainedBelowNeverReached) {
+  const Series s = ramp();  // values 100 down to 0 over 10 s
+  EXPECT_FALSE(s.first_sustained_below(0.5, 5.0).has_value());
+}
+
+TEST(TextTable, RendersAlignedAscii) {
+  TextTable t({"m", "latency", "error"});
+  t.add_row({"1", "0.1", "12"});
+  t.add_row({"22", "0.44", "7"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| m  |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 |"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);  // 3 rules + header + 2 rows
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(WriteCsv, RoundTrips) {
+  Series s;
+  s.push(0.1, 5.5);
+  s.push(0.2, 6.5);
+  const std::string path = ::testing::TempDir() + "/series_test.csv";
+  ASSERT_TRUE(write_csv(s, path, "max_diff_us"));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t_s,max_diff_us");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.1,5.5");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsv, FailsOnBadPath) {
+  Series s;
+  EXPECT_FALSE(write_csv(s, "/nonexistent-dir-xyz/foo.csv"));
+}
+
+TEST(AsciiSeries, ShowsShape) {
+  Series s;
+  for (int i = 0; i < 100; ++i) {
+    s.push(i, (i > 40 && i < 60) ? 100.0 : 5.0);
+  }
+  std::ostringstream ss;
+  print_ascii_series(ss, s, 10.0);
+  const std::string out = ss.str();
+  // The attack-window bucket must render a longer bar than quiet buckets.
+  EXPECT_NE(out.find("100.00"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiSeries, EmptySeries) {
+  std::ostringstream ss;
+  print_ascii_series(ss, Series{}, 1.0);
+  EXPECT_NE(ss.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sstsp::metrics

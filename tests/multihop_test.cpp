@@ -1,0 +1,214 @@
+// Multi-hop SSTSP (src/multihop/): line and cluster topologies on the
+// range-limited channel.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clock/drift_model.h"
+#include "crypto/hash_chain.h"
+#include "multihop/sstsp_mh.h"
+#include "sim/simulator.h"
+
+namespace sstsp::multihop {
+namespace {
+
+using namespace sstsp::sim::literals;
+
+struct MhNet {
+  sim::Simulator sim{31};
+  mac::PhyParams phy;
+  std::unique_ptr<mac::Channel> channel;
+  core::KeyDirectory directory;
+  MultiHopConfig cfg;
+  std::vector<std::unique_ptr<proto::Station>> stations;
+  std::vector<SstspMh*> protos;
+
+  explicit MhNet(double range_m) {
+    phy.packet_error_rate = 0.0;
+    phy.radio_range_m = range_m;
+    cfg.base.chain_length = 1500;
+    channel = std::make_unique<mac::Channel>(sim, phy);
+  }
+
+  SstspMh& add(mac::Position pos, double ppm, double offset_us,
+               bool reference = false) {
+    const auto id = static_cast<mac::NodeId>(stations.size());
+    auto st = std::make_unique<proto::Station>(
+        sim, *channel, id,
+        clk::HardwareClock(clk::DriftModel::from_ppm(ppm), offset_us), pos);
+    directory.register_node(
+        id, crypto::ChainParams{crypto::derive_seed(31, id),
+                                cfg.base.chain_length});
+    auto proto = std::make_unique<SstspMh>(*st, cfg, directory,
+                                           SstspMh::Options{reference});
+    protos.push_back(proto.get());
+    st->set_protocol(std::move(proto));
+    stations.push_back(std::move(st));
+    return *protos.back();
+  }
+
+  bool armed = false;
+
+  void run(double until_s) {
+    if (!armed) {
+      armed = true;
+      for (auto& st : stations) st->power_on();
+    }
+    sim.run_until(sim::SimTime::from_sec_double(until_s));
+  }
+
+  /// Max pairwise difference of awake, synchronized nodes' adjusted clocks.
+  double spread_us() const {
+    double lo = 1e18, hi = -1e18;
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      if (!stations[i]->awake() || !protos[i]->is_synchronized()) continue;
+      const double v = protos[i]->network_time_us(sim.now());
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  }
+
+  int synced_count() const {
+    int n = 0;
+    for (const auto* p : protos) {
+      if (p->is_synchronized()) ++n;
+    }
+    return n;
+  }
+};
+
+/// A straight line: node i at (i * spacing, 0); with range in
+/// (spacing, 2*spacing) each node only hears its direct neighbours.
+void build_line(MhNet& net, int n, double spacing_m,
+                std::uint64_t drift_seed) {
+  sim::Rng rng(drift_seed);
+  for (int i = 0; i < n; ++i) {
+    net.add({i * spacing_m, 0.0}, rng.uniform(-100.0, 100.0),
+            rng.uniform(-50.0, 50.0), /*reference=*/i == 0);
+  }
+}
+
+TEST(MultiHop, LineTopologySynchronizesEndToEnd) {
+  MhNet net(50.0);
+  build_line(net, 6, 40.0, 5);
+  net.run(20.0);
+  EXPECT_EQ(net.synced_count(), 6);
+  // Levels must be the hop distances along the line.
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_EQ(net.protos[static_cast<std::size_t>(i)]->level(), i) << i;
+    EXPECT_EQ(net.protos[static_cast<std::size_t>(i)]->upstream(),
+              static_cast<mac::NodeId>(i - 1))
+        << i;
+  }
+  EXPECT_LT(net.spread_us(), 60.0);  // per-hop error accumulates
+}
+
+TEST(MultiHop, ErrorGrowsWithHopCount) {
+  // End-to-end error over a long line vs a short one: per-hop accumulation.
+  MhNet short_line(50.0);
+  build_line(short_line, 3, 40.0, 6);
+  short_line.run(30.0);
+  const double short_spread = short_line.spread_us();
+
+  MhNet long_line(50.0);
+  build_line(long_line, 8, 40.0, 6);
+  long_line.run(30.0);
+  const double long_spread = long_line.spread_us();
+
+  EXPECT_EQ(short_line.synced_count(), 3);
+  EXPECT_EQ(long_line.synced_count(), 8);
+  EXPECT_GT(long_spread, short_spread);
+}
+
+TEST(MultiHop, SingleCellBehavesLikeSingleHop) {
+  // Everyone in range of the reference: all level 1, tight sync.
+  MhNet net(200.0);
+  sim::Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    net.add({static_cast<double>(i), 0.0}, rng.uniform(-100.0, 100.0),
+            rng.uniform(-50.0, 50.0), i == 0);
+  }
+  net.run(15.0);
+  EXPECT_EQ(net.synced_count(), 12);
+  for (int i = 1; i < 12; ++i) {
+    EXPECT_EQ(net.protos[static_cast<std::size_t>(i)]->level(), 1);
+  }
+  EXPECT_LT(net.spread_us(), 25.0);
+}
+
+TEST(MultiHop, RelaysOnlyForwardFreshTime) {
+  // Kill the reference: relays must go quiet within an interval or two
+  // (stale time is never relayed), rather than flooding old timestamps.
+  MhNet net(50.0);
+  build_line(net, 4, 40.0, 8);
+  net.run(10.0);
+  ASSERT_EQ(net.synced_count(), 4);
+  net.stations[0]->power_off();
+  const auto sent_before = net.protos[1]->stats().beacons_sent +
+                           net.protos[2]->stats().beacons_sent;
+  net.run(12.0);
+  const auto sent_after = net.protos[1]->stats().beacons_sent +
+                          net.protos[2]->stats().beacons_sent;
+  EXPECT_LE(sent_after - sent_before, 4u);
+  net.run(15.0);
+  const auto sent_final = net.protos[1]->stats().beacons_sent +
+                          net.protos[2]->stats().beacons_sent;
+  EXPECT_LE(sent_final - sent_after, 1u);
+}
+
+TEST(MultiHop, LevelStaggeredTakeoverAfterReferenceLoss) {
+  MhNet net(50.0);
+  net.cfg.takeover_patience_bps = 20;  // speed the test up
+  build_line(net, 4, 40.0, 9);
+  net.run(10.0);
+  ASSERT_EQ(net.synced_count(), 4);
+  net.stations[0]->power_off();
+  net.run(10.0 + 0.1 * (20 + 2) + 8.0);  // patience + rebuild slack
+  // The level-1 node must have seized the reference role and re-captured
+  // the rest.
+  EXPECT_TRUE(net.protos[1]->is_reference());
+  EXPECT_FALSE(net.protos[2]->is_reference());
+  EXPECT_EQ(net.protos[2]->upstream(), 1u);
+  // Reconvergence: the outage accumulated ~0.6 ms of free-run divergence;
+  // the rebuilt tree must pull everyone back together.
+  net.run(32.0);
+  EXPECT_LT(net.spread_us(), 100.0);
+}
+
+TEST(MultiHop, BeaconsArePerHopAuthenticated) {
+  MhNet net(50.0);
+  build_line(net, 4, 40.0, 10);
+  net.run(15.0);
+  proto::ProtocolStats agg;
+  for (const auto* p : net.protos) {
+    agg.rejected_key += p->stats().rejected_key;
+    agg.rejected_mac += p->stats().rejected_mac;
+    agg.beacons_sent += p->stats().beacons_sent;
+  }
+  EXPECT_EQ(agg.rejected_key, 0u);
+  EXPECT_EQ(agg.rejected_mac, 0u);
+  // Reference + up to 3 relays each interval.
+  EXPECT_GT(agg.beacons_sent, 300u);
+}
+
+TEST(MultiHop, AdjustedClocksNeverLeap) {
+  MhNet net(50.0);
+  build_line(net, 5, 40.0, 11);
+  std::vector<double> prev(5, -1e18);
+  for (int step = 1; step <= 1500; ++step) {
+    net.run(0.01 * step);
+    for (std::size_t i = 0; i < 5; ++i) {
+      const double v = net.protos[i]->network_time_us(net.sim.now());
+      if (prev[i] > -1e17) {
+        ASSERT_GT(v, prev[i]) << "station " << i;
+        ASSERT_LT(v - prev[i], 10'200.0) << "station " << i;
+      }
+      prev[i] = v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sstsp::multihop

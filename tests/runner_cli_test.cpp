@@ -1,0 +1,126 @@
+// CLI parser (src/runner/cli.h).
+#include <gtest/gtest.h>
+
+#include "runner/cli.h"
+
+namespace sstsp::run {
+namespace {
+
+std::optional<CliOptions> parse(std::vector<std::string> args,
+                                std::string* err = nullptr) {
+  std::string local;
+  return parse_cli(args, err != nullptr ? err : &local);
+}
+
+TEST(Cli, DefaultsAreSane) {
+  const auto opts = parse({});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->scenario.protocol, ProtocolKind::kSstsp);
+  EXPECT_EQ(opts->scenario.num_nodes, 100);
+  EXPECT_DOUBLE_EQ(opts->scenario.duration_s, 200.0);
+  // Chain auto-sized to the duration.
+  EXPECT_EQ(opts->scenario.sstsp.chain_length, 2200u);
+  EXPECT_FALSE(opts->help);
+}
+
+TEST(Cli, ParsesEveryProtocolName) {
+  EXPECT_EQ(parse({"--protocol", "tsf"})->scenario.protocol,
+            ProtocolKind::kTsf);
+  EXPECT_EQ(parse({"--protocol", "atsp"})->scenario.protocol,
+            ProtocolKind::kAtsp);
+  EXPECT_EQ(parse({"--protocol", "tatsp"})->scenario.protocol,
+            ProtocolKind::kTatsp);
+  EXPECT_EQ(parse({"--protocol", "satsf"})->scenario.protocol,
+            ProtocolKind::kSatsf);
+  EXPECT_EQ(parse({"--protocol", "rentel-kunz"})->scenario.protocol,
+            ProtocolKind::kRentelKunz);
+  EXPECT_EQ(parse({"--protocol", "rk"})->scenario.protocol,
+            ProtocolKind::kRentelKunz);
+  EXPECT_EQ(parse({"--protocol", "sstsp"})->scenario.protocol,
+            ProtocolKind::kSstsp);
+}
+
+TEST(Cli, NumericOptions) {
+  const auto opts = parse({"--nodes", "42", "--duration", "33.5", "--seed",
+                           "7", "--m", "4", "--l", "2", "--per", "0.01",
+                           "--guard", "250"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->scenario.num_nodes, 42);
+  EXPECT_DOUBLE_EQ(opts->scenario.duration_s, 33.5);
+  EXPECT_EQ(opts->scenario.seed, 7u);
+  EXPECT_EQ(opts->scenario.sstsp.m, 4);
+  EXPECT_EQ(opts->scenario.sstsp.l, 2);
+  EXPECT_DOUBLE_EQ(opts->scenario.phy.packet_error_rate, 0.01);
+  EXPECT_DOUBLE_EQ(opts->scenario.sstsp.guard_fine_us, 250.0);
+}
+
+TEST(Cli, ChurnAndDepartures) {
+  const auto opts =
+      parse({"--churn", "100,0.1,20", "--departures", "50,150.5"});
+  ASSERT_TRUE(opts.has_value());
+  ASSERT_TRUE(opts->scenario.churn.has_value());
+  EXPECT_DOUBLE_EQ(opts->scenario.churn->period_s, 100.0);
+  EXPECT_DOUBLE_EQ(opts->scenario.churn->fraction, 0.1);
+  EXPECT_DOUBLE_EQ(opts->scenario.churn->absence_s, 20.0);
+  ASSERT_EQ(opts->scenario.reference_departures_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(opts->scenario.reference_departures_s[1], 150.5);
+}
+
+TEST(Cli, PaperEnvForSstsp) {
+  const auto opts = parse({"--paper-env"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_DOUBLE_EQ(opts->scenario.duration_s, 1000.0);
+  ASSERT_TRUE(opts->scenario.churn.has_value());
+  EXPECT_EQ(opts->scenario.reference_departures_s.size(), 3u);
+  // Chain auto-sizing follows the new duration.
+  EXPECT_EQ(opts->scenario.sstsp.chain_length, 10200u);
+}
+
+TEST(Cli, AttackConfiguration) {
+  const auto opts = parse({"--attack", "internal-ref", "--attack-window",
+                           "100,250", "--skew", "75"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->scenario.attack, AttackKind::kSstspInternalReference);
+  EXPECT_DOUBLE_EQ(opts->scenario.sstsp_attack.start_s, 100.0);
+  EXPECT_DOUBLE_EQ(opts->scenario.sstsp_attack.end_s, 250.0);
+  EXPECT_DOUBLE_EQ(opts->scenario.sstsp_attack.skew_rate_us_per_s, 75.0);
+}
+
+TEST(Cli, OutputOptions) {
+  const auto opts = parse({"--csv", "/tmp/x.csv", "--chart", "--trace"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->csv_path, "/tmp/x.csv");
+  EXPECT_TRUE(opts->ascii_chart);
+  EXPECT_TRUE(opts->dump_trace);
+  EXPECT_GT(opts->scenario.trace_capacity, 0u);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  const auto opts = parse({"--help"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_TRUE(opts->help);
+  EXPECT_NE(cli_usage().find("--protocol"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadInput) {
+  std::string err;
+  EXPECT_FALSE(parse({"--protocol", "ntp"}, &err).has_value());
+  EXPECT_NE(err.find("unknown protocol"), std::string::npos);
+  EXPECT_FALSE(parse({"--nodes", "-3"}, &err).has_value());
+  EXPECT_FALSE(parse({"--nodes"}, &err).has_value());
+  EXPECT_FALSE(parse({"--duration", "abc"}, &err).has_value());
+  EXPECT_FALSE(parse({"--per", "1.5"}, &err).has_value());
+  EXPECT_FALSE(parse({"--churn", "1,2"}, &err).has_value());
+  EXPECT_FALSE(parse({"--attack-window", "50,40"}, &err).has_value());
+  EXPECT_FALSE(parse({"--frobnicate"}, &err).has_value());
+  EXPECT_NE(err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, ExplicitChainLengthWins) {
+  const auto opts = parse({"--duration", "500", "--chain-length", "999"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->scenario.sstsp.chain_length, 999u);
+}
+
+}  // namespace
+}  // namespace sstsp::run

@@ -1,0 +1,118 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sstsp::sim {
+namespace {
+
+using namespace sstsp::sim::literals;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30_us, [&] { fired.push_back(3); });
+  q.schedule(10_us, [&] { fired.push_back(1); });
+  q.schedule(20_us, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5_us, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1_us, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelReturnsFalseForUnknownOrFired) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(12345));
+  const EventId id = q.schedule(1_us, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));  // already fired
+}
+
+TEST(EventQueue, DoubleCancelRejected) {
+  EventQueue q;
+  const EventId id = q.schedule(1_us, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId early = q.schedule(1_us, [] {});
+  q.schedule(9_us, [] {});
+  EXPECT_EQ(q.next_time(), 1_us);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 9_us);
+}
+
+TEST(EventQueue, NextTimeEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), SimTime::never());
+  const EventId id = q.schedule(1_us, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), SimTime::never());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1_us, [] {});
+  q.schedule(2_us, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PopSkipsCancelledEntries) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.schedule(1_us, [&] { fired.push_back(1); });
+  q.schedule(2_us, [&] { fired.push_back(2); });
+  const EventId c = q.schedule(3_us, [&] { fired.push_back(3); });
+  q.schedule(4_us, [&] { fired.push_back(4); });
+  q.cancel(a);
+  q.cancel(c);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{2, 4}));
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::uint64_t mix = 42;
+  std::vector<std::int64_t> times;
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = static_cast<std::int64_t>(splitmix64(mix) % 1'000'000);
+    times.push_back(t);
+    q.schedule(SimTime::from_ps(t), [] {});
+  }
+  SimTime prev = SimTime::zero();
+  while (!q.empty()) {
+    auto f = q.pop();
+    EXPECT_GE(f.time, prev);
+    prev = f.time;
+  }
+}
+
+}  // namespace
+}  // namespace sstsp::sim

@@ -1,0 +1,136 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sstsp::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(-112.0, 112.0);
+    ASSERT_GE(v, -112.0);
+    ASSERT_LT(v, 112.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.uniform_int(0, 30);
+    ASSERT_LE(v, 30u);
+    seen.insert(v);
+  }
+  // Every slot of the beacon window must be reachable.
+  EXPECT_EQ(seen.size(), 31u);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+}
+
+TEST(Rng, UniformIntUnbiasedMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.uniform_int(0, 9));
+  }
+  EXPECT_NEAR(sum / kN, 4.5, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kN = 1'000'000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(1e-3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 1e-3, 3e-4);
+}
+
+TEST(Rng, SubstreamsAreIndependentAndStable) {
+  const Rng root(99);
+  Rng s1 = root.substream("drift", 0);
+  Rng s1_again = root.substream("drift", 0);
+  Rng s2 = root.substream("drift", 1);
+  Rng s3 = root.substream("slots", 0);
+
+  // Stable: same (label, index) gives the identical stream.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s1(), s1_again());
+
+  // Distinct across index and label.
+  Rng s1b = root.substream("drift", 0);
+  int eq_idx = 0;
+  int eq_label = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = s1b();
+    if (v == s2()) ++eq_idx;
+    if (v == s3()) ++eq_label;
+  }
+  EXPECT_LT(eq_idx, 3);
+  EXPECT_LT(eq_label, 3);
+}
+
+TEST(Rng, SubstreamIndependentOfParentDrawOrder) {
+  // Deriving substreams must not consume parent state.
+  Rng parent(123);
+  Rng before = parent.substream("x", 7);
+  (void)parent();
+  (void)parent();
+  // state_ changed, so substream derivation would change too if it read
+  // mutable state; the API takes const&, so this checks stream stability
+  // for the same parent value instead.
+  Rng parent2(123);
+  Rng again = parent2.substream("x", 7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(before(), again());
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  EXPECT_NE(a, b);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), a);
+}
+
+}  // namespace
+}  // namespace sstsp::sim

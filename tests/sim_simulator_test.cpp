@@ -1,0 +1,104 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sstsp::sim {
+namespace {
+
+using namespace sstsp::sim::literals;
+
+TEST(Simulator, RunsEventsAndAdvancesClock) {
+  Simulator sim;
+  std::vector<std::int64_t> at_us;
+  sim.at(10_us, [&] { at_us.push_back(sim.now().to_us_floor()); });
+  sim.at(5_us, [&] { at_us.push_back(sim.now().to_us_floor()); });
+  sim.run_until(1_ms);
+  EXPECT_EQ(at_us, (std::vector<std::int64_t>{5, 10}));
+  EXPECT_EQ(sim.now(), 1_ms);  // clock lands on the horizon
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, HorizonIsInclusive) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(100_us, [&] { fired = true; });
+  sim.run_until(100_us);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsBeyondHorizonStayPending) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(200_us, [&] { fired = true; });
+  sim.run_until(100_us);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run_until(300_us);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SchedulingInPastClampsToNow) {
+  Simulator sim;
+  sim.at(50_us, [&] {
+    // From inside an event at t=50, schedule "at 10": must fire, at >= 50.
+    sim.at(10_us, [&] { EXPECT_EQ(sim.now(), 50_us); });
+  });
+  sim.run_until(1_ms);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  std::int64_t fired_at = -1;
+  sim.at(30_us, [&] {
+    sim.after(12_us, [&] { fired_at = sim.now().to_us_floor(); });
+  });
+  sim.run_until(1_ms);
+  EXPECT_EQ(fired_at, 42);
+}
+
+TEST(Simulator, CancelWorksThroughSimulator) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(10_us, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(1_ms);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StepProcessesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1_us, [&] { ++count; });
+  sim.at(2_us, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsCanChainIndefinitelyUntilHorizon) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    sim.after(100_us, chain);
+  };
+  sim.at(SimTime::zero(), chain);
+  sim.run_until(10_ms);
+  EXPECT_EQ(fired, 101);  // t = 0, 100us, ..., 10ms inclusive
+}
+
+TEST(Simulator, SubstreamsFromSeed) {
+  Simulator a(5);
+  Simulator b(5);
+  Rng ra = a.substream("x", 1);
+  Rng rb = b.substream("x", 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ra(), rb());
+}
+
+}  // namespace
+}  // namespace sstsp::sim

@@ -1,0 +1,63 @@
+#include "sim/time_types.h"
+
+#include <gtest/gtest.h>
+
+namespace sstsp::sim {
+namespace {
+
+using namespace sstsp::sim::literals;
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::from_us(5).ps, 5'000'000);
+  EXPECT_EQ(SimTime::from_ms(3).ps, 3'000'000'000);
+  EXPECT_EQ(SimTime::from_sec(2).ps, 2'000'000'000'000);
+  EXPECT_EQ(SimTime::from_ns(7).ps, 7'000);
+  EXPECT_DOUBLE_EQ(SimTime::from_us(123).to_us(), 123.0);
+  EXPECT_DOUBLE_EQ(SimTime::from_sec(1000).to_sec(), 1000.0);
+}
+
+TEST(SimTime, FromDoubleRounds) {
+  EXPECT_EQ(SimTime::from_us_double(1.4999994).ps, 1'499'999);
+  EXPECT_EQ(SimTime::from_us_double(2.0000001).ps, 2'000'000);
+  EXPECT_EQ(SimTime::from_sec_double(0.5).ps, 500'000'000'000);
+  EXPECT_EQ(SimTime::from_us_double(-3.25).ps, -3'250'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = 100_us;
+  const SimTime b = 40_us;
+  EXPECT_EQ((a + b).ps, SimTime::from_us(140).ps);
+  EXPECT_EQ((a - b).ps, SimTime::from_us(60).ps);
+  EXPECT_EQ((a * 3).ps, SimTime::from_us(300).ps);
+  EXPECT_EQ((3 * a).ps, SimTime::from_us(300).ps);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, 140_us);
+  c -= 100_us;
+  EXPECT_EQ(c, 40_us);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_LE(2_us, 2_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_EQ(1_sec, 1000_ms);
+  EXPECT_LT(SimTime::zero(), SimTime::never());
+}
+
+TEST(SimTime, FloorToMicroseconds) {
+  EXPECT_EQ(SimTime::from_ps(1'999'999).to_us_floor(), 1);
+  EXPECT_EQ(SimTime::from_ps(2'000'000).to_us_floor(), 2);
+  EXPECT_EQ(SimTime::from_ps(-1).to_us_floor(), -1);  // floor, not trunc
+  EXPECT_EQ(SimTime::from_ps(-2'000'000).to_us_floor(), -2);
+  EXPECT_EQ(SimTime::from_ps(-2'000'001).to_us_floor(), -3);
+}
+
+TEST(SimTime, CoversExperimentHorizon) {
+  // 1000 s experiments must be far from overflow.
+  const SimTime horizon = SimTime::from_sec(1000);
+  EXPECT_LT(horizon * 1000, SimTime::never());
+}
+
+}  // namespace
+}  // namespace sstsp::sim

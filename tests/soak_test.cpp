@@ -1,0 +1,105 @@
+// Soak tests: everything enabled at once, asserting the global invariants
+// that must survive any combination of features.
+#include <gtest/gtest.h>
+
+#include "core/sstsp.h"
+#include "runner/experiment.h"
+#include "runner/network.h"
+
+namespace sstsp::run {
+namespace {
+
+TEST(Soak, EverythingOnAtOnce) {
+  // 120 nodes, churn, reference departures, an internal attacker mid-run,
+  // blacklisting armed, trace attached.
+  Scenario s;
+  s.protocol = ProtocolKind::kSstsp;
+  s.num_nodes = 120;
+  s.duration_s = 150.0;
+  s.seed = 2027;
+  s.sstsp.chain_length = 1800;
+  s.sstsp.blacklist_threshold = 5;
+  s.churn = ChurnSpec{40.0, 0.08, 15.0};
+  s.reference_departures_s = {50.0, 110.0};
+  s.attack = AttackKind::kSstspInternalReference;
+  s.sstsp_attack.start_s = 70.0;
+  s.sstsp_attack.end_s = 100.0;
+  s.sstsp_attack.skew_rate_us_per_s = 30.0;
+  s.trace_capacity = 1 << 16;
+
+  Network net(s);
+  net.arm();
+
+  // Invariant 1: every synchronized clock is strictly monotone with a
+  // bounded rate, across every event in the scenario.
+  std::vector<double> prev(net.station_count(), -1e18);
+  for (int step = 1; step <= 1500; ++step) {
+    net.run_until(0.1 * step);
+    for (std::size_t i = 0; i + 1 < net.station_count(); ++i) {
+      if (!net.station(i).awake()) {
+        prev[i] = -1e18;  // clock state resets meaningfully on power cycles
+        continue;
+      }
+      const double v =
+          net.station(i).protocol().network_time_us(net.simulator().now());
+      if (prev[i] > -1e17) {
+        ASSERT_GT(v, prev[i]) << "station " << i << " step " << step;
+        ASSERT_LT(v - prev[i], 100'000.0 * 1.01) << "station " << i;
+      }
+      prev[i] = v;
+    }
+  }
+
+  // Invariant 2: the run ends synchronized.
+  const auto diff = net.instant_max_diff_us();
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_LT(*diff, kSyncThresholdUs);
+
+  // Invariant 3: exactly one reference survives.
+  int refs = 0;
+  for (std::size_t i = 0; i + 1 < net.station_count(); ++i) {
+    const auto* p = dynamic_cast<const core::Sstsp*>(&net.station(i).protocol());
+    if (net.station(i).awake() &&
+        p->state() == core::Sstsp::State::kReference) {
+      ++refs;
+    }
+  }
+  EXPECT_EQ(refs, 1);
+
+  // Invariant 4: the honest network never blacklisted anybody (the smooth
+  // attacker is followed, not rejected) and the µTESLA pipeline never saw
+  // a forged key or MAC.
+  const auto agg = net.honest_stats();
+  EXPECT_EQ(agg.rejected_key, 0u);
+  EXPECT_EQ(agg.rejected_mac, 0u);
+}
+
+TEST(Soak, RepeatedPowerCyclesStayCoherent) {
+  // One node power-cycles every 8 s for the whole run: each return must go
+  // through coarse rescan and re-integrate without destabilizing anyone.
+  Scenario s;
+  s.protocol = ProtocolKind::kSstsp;
+  s.num_nodes = 15;
+  s.duration_s = 100.0;
+  s.seed = 6;
+  s.sstsp.chain_length = 1300;
+  Network net(s);
+  net.arm();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    net.run_until(8.0 * cycle + 4.0);
+    if (net.current_reference_index() != 14u) {  // don't cycle the reference
+      net.station(14).power_off();
+      net.run_until(8.0 * cycle + 6.0);
+      net.station(14).power_on();
+    }
+  }
+  net.run_until(100.0);
+  const auto agg = net.honest_stats();
+  EXPECT_GE(agg.coarse_steps, 5u);
+  const auto diff = net.instant_max_diff_us();
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_LT(*diff, kSyncThresholdUs);
+}
+
+}  // namespace
+}  // namespace sstsp::run

@@ -1,0 +1,167 @@
+// End-to-end SSTSP behaviour on the full simulated IBSS: synchronization
+// quality, continuity of the adjusted clocks, election dynamics, churn
+// recovery, and traffic discipline.
+#include <gtest/gtest.h>
+
+#include "core/sstsp.h"
+#include "runner/experiment.h"
+#include "runner/network.h"
+
+namespace sstsp::run {
+namespace {
+
+Scenario small_sstsp(int n, double duration_s, std::uint64_t seed = 7) {
+  Scenario s;
+  s.protocol = ProtocolKind::kSstsp;
+  s.num_nodes = n;
+  s.duration_s = duration_s;
+  s.seed = seed;
+  s.sstsp.chain_length = static_cast<std::size_t>(duration_s * 10) + 100;
+  return s;
+}
+
+TEST(SstspIntegration, SynchronizesWellBelowIndustrialThreshold) {
+  const auto r = run_scenario(small_sstsp(25, 60));
+  ASSERT_TRUE(r.sync_latency_s.has_value());
+  ASSERT_TRUE(r.steady_max_us.has_value());
+  EXPECT_LT(*r.steady_max_us, kSyncThresholdUs);
+  EXPECT_LT(*r.steady_p99_us, 15.0);  // paper: below 10 us typical
+}
+
+TEST(SstspIntegration, ExactlyOneBeaconPerBpAfterStabilization) {
+  const auto r = run_scenario(small_sstsp(25, 60));
+  // ~600 BPs; election may add a handful of extra beacons at the start.
+  EXPECT_GE(r.honest.beacons_sent, 550u);
+  EXPECT_LE(r.honest.beacons_sent, 640u);
+}
+
+TEST(SstspIntegration, SecuredBeaconBytesAccounted) {
+  const auto r = run_scenario(small_sstsp(10, 30));
+  // Every SSTSP beacon is 92 bytes on air (paper §3.4).
+  EXPECT_EQ(r.channel.bytes_on_air, r.channel.transmissions * 92u);
+}
+
+TEST(SstspIntegration, NoRejectionsInBenignRun) {
+  const auto r = run_scenario(small_sstsp(25, 60));
+  EXPECT_EQ(r.honest.rejected_key, 0u);
+  EXPECT_EQ(r.honest.rejected_mac, 0u);
+  EXPECT_EQ(r.honest.rejected_guard, 0u);
+  EXPECT_EQ(r.honest.rejected_interval, 0u);
+}
+
+TEST(SstspIntegration, AdjustedClocksNeverLeap) {
+  // The paper's structural guarantee: no backward or discontinuous leaps.
+  // Drive the network manually and sample every node's adjusted clock at
+  // 10 ms granularity; consecutive readings must increase and never jump by
+  // more than the sampling step +/- a generous slope band.
+  Scenario s = small_sstsp(12, 40);
+  Network net(s);
+  net.arm();
+  std::vector<double> prev(net.station_count(), -1e18);
+  for (int step = 1; step <= 4000; ++step) {
+    net.run_until(0.01 * step);
+    for (std::size_t i = 0; i < net.station_count(); ++i) {
+      if (!net.station(i).awake()) continue;
+      const double v = net.station(i).protocol().network_time_us(
+          net.simulator().now());
+      if (prev[i] > -1e17) {
+        const double delta = v - prev[i];
+        ASSERT_GT(delta, 0.0) << "backward leap, station " << i;
+        ASSERT_LT(delta, 10'000.0 * 1.01) << "forward jump, station " << i;
+        ASSERT_GT(delta, 10'000.0 * 0.99) << "stall, station " << i;
+      }
+      prev[i] = v;
+    }
+  }
+}
+
+TEST(SstspIntegration, ExactlyOneReferenceAfterStabilization) {
+  Scenario s = small_sstsp(20, 30);
+  Network net(s);
+  net.run_until(30.0);
+  int refs = 0;
+  for (std::size_t i = 0; i < net.station_count(); ++i) {
+    const auto* proto =
+        dynamic_cast<const core::Sstsp*>(&net.station(i).protocol());
+    ASSERT_NE(proto, nullptr);
+    if (proto->state() == core::Sstsp::State::kReference) ++refs;
+  }
+  EXPECT_EQ(refs, 1);
+}
+
+TEST(SstspIntegration, ReferenceDepartureTriggersReElection) {
+  Scenario s = small_sstsp(20, 120);
+  s.reference_departures_s = {40.0};
+  const auto r = run_scenario(s);
+  // The old reference left at 40 s; a new one must have been elected and
+  // the network must re-stabilize.
+  EXPECT_GE(r.honest.elections_won, 2u);
+  const auto post = r.max_diff.max_in(60.0, 120.0);
+  ASSERT_TRUE(post.has_value());
+  EXPECT_LT(*post, kSyncThresholdUs);
+  // During the election gap the error may exceed the threshold briefly.
+  const auto during = r.max_diff.max_in(40.0, 45.0);
+  ASSERT_TRUE(during.has_value());
+  EXPECT_LT(*during, 500.0);  // bounded by Lemma 2 + guard machinery
+}
+
+TEST(SstspIntegration, ChurnReturnersResyncThroughCoarsePhase) {
+  Scenario s = small_sstsp(20, 120);
+  s.churn = ChurnSpec{/*period_s=*/30.0, /*fraction=*/0.2, /*absence_s=*/20.0};
+  const auto r = run_scenario(s);
+  EXPECT_GT(r.honest.coarse_steps, 0u);
+  const auto tail = r.max_diff.max_in(100.0, 120.0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_LT(*tail, kSyncThresholdUs);
+}
+
+TEST(SstspIntegration, PreestablishedReferenceSkipsElection) {
+  Scenario s = small_sstsp(15, 30);
+  s.preestablished_reference = true;
+  Network net(s);
+  net.run_until(30.0);
+  const auto ref = net.current_reference_index();
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(*ref, 0u);
+  // Node 0 never had to win a contention.
+  EXPECT_EQ(net.station(0).protocol().stats().elections_won, 0u);
+}
+
+class MSweepLatency : public ::testing::TestWithParam<int> {};
+
+// Table 1's qualitative law: latency increases with m while the converged
+// error saturates.  (The quantitative table is bench/tab1_m_sweep.)
+TEST_P(MSweepLatency, ConvergesAndRespectsLatencyOrdering) {
+  Scenario s = small_sstsp(15, 40, /*seed=*/21);
+  s.preestablished_reference = true;
+  s.sstsp.m = GetParam();
+  const auto r = run_scenario(s);
+  ASSERT_TRUE(r.sync_latency_s.has_value()) << "m=" << GetParam();
+  EXPECT_LT(*r.sync_latency_s, 3.0);
+  ASSERT_TRUE(r.steady_max_us.has_value());
+  EXPECT_LT(*r.steady_max_us, kSyncThresholdUs);
+}
+
+INSTANTIATE_TEST_SUITE_P(MValues, MSweepLatency, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SstspIntegration, SurvivesHeavyPacketLoss) {
+  Scenario s = small_sstsp(15, 60);
+  s.phy.packet_error_rate = 0.02;  // 200x the paper's rate
+  s.sstsp.l = 3;                   // the paper's suggested mitigation
+  const auto r = run_scenario(s);
+  const auto tail = r.max_diff.max_in(40.0, 60.0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_LT(*tail, 50.0);
+}
+
+TEST(SstspIntegration, ChainExhaustionStopsBeaconing) {
+  // A chain that only covers 100 intervals: after it runs out the reference
+  // must stop emitting (keys would be invalid) rather than misbehave.
+  Scenario s = small_sstsp(5, 30);
+  s.sstsp.chain_length = 100;
+  const auto r = run_scenario(s);
+  EXPECT_LE(r.honest.beacons_sent, 110u);
+}
+
+}  // namespace
+}  // namespace sstsp::run

@@ -1,0 +1,152 @@
+// Event trace subsystem: ring-buffer mechanics plus end-to-end recording
+// through the scenario runner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runner/network.h"
+#include "trace/event_trace.h"
+
+namespace sstsp::trace {
+namespace {
+
+TraceEvent ev(double t_s, mac::NodeId node, EventKind kind,
+              mac::NodeId peer = mac::kNoNode, double value = 0.0) {
+  return TraceEvent{sim::SimTime::from_sec_double(t_s), node, kind, peer,
+                    value};
+}
+
+TEST(EventTrace, RecordsAndCounts) {
+  EventTrace trace(16);
+  trace.record(ev(0.1, 1, EventKind::kBeaconTx));
+  trace.record(ev(0.2, 2, EventKind::kAdjustment, 1, 12.5));
+  trace.record(ev(0.3, 2, EventKind::kRejectGuard, 9, 400.0));
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.total_recorded(), 3u);
+  EXPECT_EQ(trace.count(EventKind::kBeaconTx), 1u);
+  EXPECT_EQ(trace.count(EventKind::kAdjustment), 1u);
+  EXPECT_EQ(trace.count(EventKind::kDemotion), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(EventTrace, RingBufferDropsOldestButKeepsCounts) {
+  EventTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(ev(0.1 * i, static_cast<mac::NodeId>(i),
+                    EventKind::kBeaconTx));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.count(EventKind::kBeaconTx), 10u);  // drops still counted
+  const auto retained = trace.by_kind(EventKind::kBeaconTx);
+  ASSERT_EQ(retained.size(), 4u);
+  EXPECT_EQ(retained.front().node, 6u);  // oldest retained
+  EXPECT_EQ(retained.back().node, 9u);
+}
+
+TEST(EventTrace, SelectByKindAndNode) {
+  EventTrace trace(64);
+  trace.record(ev(0.1, 1, EventKind::kBeaconTx));
+  trace.record(ev(0.2, 2, EventKind::kRejectKey, 7));
+  trace.record(ev(0.3, 3, EventKind::kRejectKey, 1));
+  EXPECT_EQ(trace.by_kind(EventKind::kRejectKey).size(), 2u);
+  // by_node matches both recorder and peer roles.
+  EXPECT_EQ(trace.by_node(1).size(), 2u);
+  EXPECT_EQ(trace.by_node(7).size(), 1u);
+  EXPECT_EQ(trace.select([](const TraceEvent& e) {
+              return e.time.to_sec() > 0.15;
+            }).size(),
+            2u);
+}
+
+TEST(EventTrace, DumpIsHumanReadable) {
+  EventTrace trace(8);
+  trace.record(ev(1.5, 42, EventKind::kDemotion, 7));
+  std::ostringstream ss;
+  trace.dump(ss);
+  EXPECT_NE(ss.str().find("demotion"), std::string::npos);
+  EXPECT_NE(ss.str().find("42"), std::string::npos);
+  EXPECT_NE(ss.str().find("peer 7"), std::string::npos);
+}
+
+TEST(EventTrace, ClearResetsEverything) {
+  EventTrace trace(4);
+  for (int i = 0; i < 8; ++i) trace.record(ev(0.1, 1, EventKind::kBeaconRx));
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_EQ(trace.count(EventKind::kBeaconRx), 0u);
+}
+
+TEST(EventTrace, AllKindsHaveNames) {
+  for (int k = 0; k < 12; ++k) {
+    EXPECT_NE(to_string(static_cast<EventKind>(k)), "?");
+  }
+}
+
+// ---- end to end ---------------------------------------------------------
+
+TEST(EventTraceIntegration, SstspRunRecordsProtocolLife) {
+  run::Scenario s;
+  s.protocol = run::ProtocolKind::kSstsp;
+  s.num_nodes = 12;
+  s.duration_s = 30.0;
+  s.seed = 3;
+  s.sstsp.chain_length = 400;
+  s.trace_capacity = 1 << 16;
+  run::Network net(s);
+  ASSERT_NE(net.trace(), nullptr);
+  net.run();
+
+  const auto& trace = *net.trace();
+  // One beacon per BP from the reference.
+  EXPECT_GE(trace.count(EventKind::kBeaconTx), 280u);
+  // Every follower adjusts every BP.
+  EXPECT_GT(trace.count(EventKind::kAdjustment), 2000u);
+  EXPECT_GE(trace.count(EventKind::kElectionWon), 1u);
+  EXPECT_EQ(trace.count(EventKind::kRejectKey), 0u);
+
+  // Events are time-ordered.
+  sim::SimTime prev = sim::SimTime::zero();
+  for (const auto& e :
+       trace.select([](const TraceEvent&) { return true; })) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(EventTraceIntegration, AttackRunRecordsRejections) {
+  // Same configuration as attack_test's GuardRejectsStepAttacks, with the
+  // trace attached: the rejections and the takeover demotion must appear
+  // as structured events.
+  run::Scenario s;
+  s.protocol = run::ProtocolKind::kSstsp;
+  s.num_nodes = 15;
+  s.duration_s = 120.0;
+  s.seed = 9;
+  s.sstsp.chain_length = 1400;
+  s.trace_capacity = 1 << 16;
+  s.attack = run::AttackKind::kSstspInternalReference;
+  s.sstsp_attack.start_s = 40.0;
+  s.sstsp_attack.end_s = 100.0;
+  s.sstsp_attack.skew_rate_us_per_s = 1e5;  // stepped: rejected by guard
+  run::Network net(s);
+  net.run();
+  EXPECT_GE(net.trace()->count(EventKind::kRejectGuard), 10u);
+  EXPECT_GE(net.trace()->count(EventKind::kDemotion), 1u);
+  EXPECT_GE(net.trace()->count(EventKind::kElectionWon), 2u);
+}
+
+TEST(EventTraceIntegration, NoTraceByDefault) {
+  run::Scenario s;
+  s.protocol = run::ProtocolKind::kTsf;
+  s.num_nodes = 5;
+  s.duration_s = 5.0;
+  run::Network net(s);
+  EXPECT_EQ(net.trace(), nullptr);
+  net.run();  // and nothing crashes without a sink
+}
+
+}  // namespace
+}  // namespace sstsp::trace

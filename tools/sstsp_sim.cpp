@@ -1,0 +1,88 @@
+// sstsp_sim — command-line scenario runner.
+//
+//   $ sstsp_sim --protocol sstsp --nodes 200 --duration 300 --chart
+//   $ sstsp_sim --protocol tsf --nodes 300 --paper-env --csv tsf300.csv
+//   $ sstsp_sim --attack internal-ref --attack-window 100,200 --trace
+//
+// See --help for the full option list.  Everything the tool does is also
+// available programmatically through runner::run_scenario.
+#include <iostream>
+
+#include "metrics/report.h"
+#include "runner/cli.h"
+#include "runner/experiment.h"
+#include "runner/network.h"
+
+int main(int argc, char** argv) {
+  using namespace sstsp;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const auto opts = run::parse_cli(args, &error);
+  if (!opts) {
+    std::cerr << "error: " << error << "\n\n" << run::cli_usage();
+    return 2;
+  }
+  if (opts->help) {
+    std::cout << run::cli_usage();
+    return 0;
+  }
+
+  const run::Scenario& s = opts->scenario;
+  std::cout << "running " << run::protocol_name(s.protocol) << ", "
+            << s.num_nodes << " nodes, " << s.duration_s << " s, seed "
+            << s.seed;
+  if (s.attack != run::AttackKind::kNone) std::cout << ", with attacker";
+  std::cout << " ...\n";
+
+  run::Network net(s);
+  net.run();
+
+  const auto& series = net.max_diff_series();
+  const auto honest = net.honest_stats();
+  const auto latency =
+      series.first_sustained_below(run::kSyncThresholdUs, 1.0);
+  const double steady_from = std::max(20.0, latency.value_or(0.0) + 5.0);
+  const auto steady_max = series.max_in(steady_from, s.duration_s);
+  const auto steady_p99 =
+      series.quantile_in(0.99, steady_from, s.duration_s);
+
+  std::cout << "\nsync latency (<25 us sustained): "
+            << (latency ? metrics::fmt(*latency, 2) + " s"
+                        : std::string("never"))
+            << "\nsteady max / p99 clock difference: "
+            << (steady_max ? metrics::fmt(*steady_max, 2) : std::string("-"))
+            << " / "
+            << (steady_p99 ? metrics::fmt(*steady_p99, 2) : std::string("-"))
+            << " us\nbeacons: " << net.channel_stats().transmissions << " ("
+            << net.channel_stats().collided_transmissions << " collided), "
+            << net.channel_stats().bytes_on_air << " bytes on air\n"
+            << "adjustments/adoptions: " << honest.adjustments << "/"
+            << honest.adoptions << ", elections " << honest.elections_won
+            << ", rejections g/i/k/m " << honest.rejected_guard << "/"
+            << honest.rejected_interval << "/" << honest.rejected_key << "/"
+            << honest.rejected_mac << '\n';
+
+  if (opts->ascii_chart) {
+    std::cout << '\n';
+    metrics::print_ascii_series(std::cout, series,
+                                std::max(1.0, s.duration_s / 50.0),
+                                /*log_scale=*/true);
+  }
+  if (!opts->csv_path.empty()) {
+    if (metrics::write_csv(series, opts->csv_path, "max_clock_diff_us")) {
+      std::cout << "series written to " << opts->csv_path << '\n';
+    } else {
+      std::cerr << "error: could not write " << opts->csv_path << '\n';
+      return 1;
+    }
+  }
+  if (opts->dump_trace && net.trace() != nullptr) {
+    std::cout << "\nnewest protocol events:\n";
+    net.trace()->dump(std::cout, 40);
+    std::cout << "(recorded " << net.trace()->total_recorded()
+              << " events total, " << net.trace()->dropped()
+              << " dropped from the ring)\n";
+  }
+  return 0;
+}
