@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_guard_sweep.dir/abl_guard_sweep.cpp.o"
+  "CMakeFiles/abl_guard_sweep.dir/abl_guard_sweep.cpp.o.d"
+  "abl_guard_sweep"
+  "abl_guard_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_guard_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

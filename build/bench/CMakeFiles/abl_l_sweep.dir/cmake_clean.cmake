@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_l_sweep.dir/abl_l_sweep.cpp.o"
+  "CMakeFiles/abl_l_sweep.dir/abl_l_sweep.cpp.o.d"
+  "abl_l_sweep"
+  "abl_l_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_l_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

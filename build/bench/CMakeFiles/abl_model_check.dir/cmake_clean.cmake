@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_check.dir/abl_model_check.cpp.o"
+  "CMakeFiles/abl_model_check.dir/abl_model_check.cpp.o.d"
+  "abl_model_check"
+  "abl_model_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

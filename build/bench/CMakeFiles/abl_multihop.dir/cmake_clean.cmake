@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multihop.dir/abl_multihop.cpp.o"
+  "CMakeFiles/abl_multihop.dir/abl_multihop.cpp.o.d"
+  "abl_multihop"
+  "abl_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

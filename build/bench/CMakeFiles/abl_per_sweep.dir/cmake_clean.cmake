@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_per_sweep.dir/abl_per_sweep.cpp.o"
+  "CMakeFiles/abl_per_sweep.dir/abl_per_sweep.cpp.o.d"
+  "abl_per_sweep"
+  "abl_per_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_per_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tsf_drift.dir/fig1_tsf_drift.cpp.o"
+  "CMakeFiles/fig1_tsf_drift.dir/fig1_tsf_drift.cpp.o.d"
+  "fig1_tsf_drift"
+  "fig1_tsf_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tsf_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sstsp_drift.dir/fig2_sstsp_drift.cpp.o"
+  "CMakeFiles/fig2_sstsp_drift.dir/fig2_sstsp_drift.cpp.o.d"
+  "fig2_sstsp_drift"
+  "fig2_sstsp_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sstsp_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sstsp_attack.dir/fig4_sstsp_attack.cpp.o"
+  "CMakeFiles/fig4_sstsp_attack.dir/fig4_sstsp_attack.cpp.o.d"
+  "fig4_sstsp_attack"
+  "fig4_sstsp_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sstsp_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihop_mesh.dir/multihop_mesh.cpp.o"
+  "CMakeFiles/multihop_mesh.dir/multihop_mesh.cpp.o.d"
+  "multihop_mesh"
+  "multihop_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_iot_swarm.dir/secure_iot_swarm.cpp.o"
+  "CMakeFiles/secure_iot_swarm.dir/secure_iot_swarm.cpp.o.d"
+  "secure_iot_swarm"
+  "secure_iot_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_iot_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/models.cpp" "src/CMakeFiles/sstsp.dir/analysis/models.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/analysis/models.cpp.o.d"
+  "/root/repo/src/core/adjustment.cpp" "src/CMakeFiles/sstsp.dir/core/adjustment.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/core/adjustment.cpp.o.d"
+  "/root/repo/src/core/beacon_security.cpp" "src/CMakeFiles/sstsp.dir/core/beacon_security.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/core/beacon_security.cpp.o.d"
+  "/root/repo/src/core/coarse_sync.cpp" "src/CMakeFiles/sstsp.dir/core/coarse_sync.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/core/coarse_sync.cpp.o.d"
+  "/root/repo/src/core/sstsp.cpp" "src/CMakeFiles/sstsp.dir/core/sstsp.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/core/sstsp.cpp.o.d"
+  "/root/repo/src/crypto/hash_chain.cpp" "src/CMakeFiles/sstsp.dir/crypto/hash_chain.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/crypto/hash_chain.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/sstsp.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/mutesla.cpp" "src/CMakeFiles/sstsp.dir/crypto/mutesla.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/crypto/mutesla.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/sstsp.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/filter/gesd.cpp" "src/CMakeFiles/sstsp.dir/filter/gesd.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/filter/gesd.cpp.o.d"
+  "/root/repo/src/filter/student_t.cpp" "src/CMakeFiles/sstsp.dir/filter/student_t.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/filter/student_t.cpp.o.d"
+  "/root/repo/src/filter/threshold_filter.cpp" "src/CMakeFiles/sstsp.dir/filter/threshold_filter.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/filter/threshold_filter.cpp.o.d"
+  "/root/repo/src/mac/channel.cpp" "src/CMakeFiles/sstsp.dir/mac/channel.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/mac/channel.cpp.o.d"
+  "/root/repo/src/mac/frame.cpp" "src/CMakeFiles/sstsp.dir/mac/frame.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/mac/frame.cpp.o.d"
+  "/root/repo/src/mac/phy_params.cpp" "src/CMakeFiles/sstsp.dir/mac/phy_params.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/mac/phy_params.cpp.o.d"
+  "/root/repo/src/mac/wire.cpp" "src/CMakeFiles/sstsp.dir/mac/wire.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/mac/wire.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/sstsp.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/series.cpp" "src/CMakeFiles/sstsp.dir/metrics/series.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/metrics/series.cpp.o.d"
+  "/root/repo/src/multihop/sstsp_mh.cpp" "src/CMakeFiles/sstsp.dir/multihop/sstsp_mh.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/multihop/sstsp_mh.cpp.o.d"
+  "/root/repo/src/protocols/rentel_kunz.cpp" "src/CMakeFiles/sstsp.dir/protocols/rentel_kunz.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/protocols/rentel_kunz.cpp.o.d"
+  "/root/repo/src/protocols/station.cpp" "src/CMakeFiles/sstsp.dir/protocols/station.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/protocols/station.cpp.o.d"
+  "/root/repo/src/protocols/tsf_family.cpp" "src/CMakeFiles/sstsp.dir/protocols/tsf_family.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/protocols/tsf_family.cpp.o.d"
+  "/root/repo/src/runner/cli.cpp" "src/CMakeFiles/sstsp.dir/runner/cli.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/runner/cli.cpp.o.d"
+  "/root/repo/src/runner/experiment.cpp" "src/CMakeFiles/sstsp.dir/runner/experiment.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/runner/experiment.cpp.o.d"
+  "/root/repo/src/runner/network.cpp" "src/CMakeFiles/sstsp.dir/runner/network.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/runner/network.cpp.o.d"
+  "/root/repo/src/runner/scenario.cpp" "src/CMakeFiles/sstsp.dir/runner/scenario.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/runner/scenario.cpp.o.d"
+  "/root/repo/src/runner/sweep.cpp" "src/CMakeFiles/sstsp.dir/runner/sweep.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/runner/sweep.cpp.o.d"
+  "/root/repo/src/runner/thread_pool.cpp" "src/CMakeFiles/sstsp.dir/runner/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/runner/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/sstsp.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/sstsp.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/sstsp.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/time_types.cpp" "src/CMakeFiles/sstsp.dir/sim/time_types.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/sim/time_types.cpp.o.d"
+  "/root/repo/src/trace/event_trace.cpp" "src/CMakeFiles/sstsp.dir/trace/event_trace.cpp.o" "gcc" "src/CMakeFiles/sstsp.dir/trace/event_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_models_test.dir/analysis_models_test.cpp.o"
+  "CMakeFiles/analysis_models_test.dir/analysis_models_test.cpp.o.d"
+  "analysis_models_test"
+  "analysis_models_test.pdb"
+  "analysis_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

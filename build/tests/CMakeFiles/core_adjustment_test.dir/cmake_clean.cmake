@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_adjustment_test.dir/core_adjustment_test.cpp.o"
+  "CMakeFiles/core_adjustment_test.dir/core_adjustment_test.cpp.o.d"
+  "core_adjustment_test"
+  "core_adjustment_test.pdb"
+  "core_adjustment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_adjustment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coarse_test.dir/core_coarse_test.cpp.o"
+  "CMakeFiles/core_coarse_test.dir/core_coarse_test.cpp.o.d"
+  "core_coarse_test"
+  "core_coarse_test.pdb"
+  "core_coarse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coarse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_recovery_test.dir/core_recovery_test.cpp.o"
+  "CMakeFiles/core_recovery_test.dir/core_recovery_test.cpp.o.d"
+  "core_recovery_test"
+  "core_recovery_test.pdb"
+  "core_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_sha256_test.dir/crypto_sha256_test.cpp.o"
+  "CMakeFiles/crypto_sha256_test.dir/crypto_sha256_test.cpp.o.d"
+  "crypto_sha256_test"
+  "crypto_sha256_test.pdb"
+  "crypto_sha256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_sha256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

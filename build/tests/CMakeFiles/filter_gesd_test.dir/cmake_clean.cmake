@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_gesd_test.dir/filter_gesd_test.cpp.o"
+  "CMakeFiles/filter_gesd_test.dir/filter_gesd_test.cpp.o.d"
+  "filter_gesd_test"
+  "filter_gesd_test.pdb"
+  "filter_gesd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_gesd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_student_t_test.dir/filter_student_t_test.cpp.o"
+  "CMakeFiles/filter_student_t_test.dir/filter_student_t_test.cpp.o.d"
+  "filter_student_t_test"
+  "filter_student_t_test.pdb"
+  "filter_student_t_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_student_t_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_threshold_test.dir/filter_threshold_test.cpp.o"
+  "CMakeFiles/filter_threshold_test.dir/filter_threshold_test.cpp.o.d"
+  "filter_threshold_test"
+  "filter_threshold_test.pdb"
+  "filter_threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

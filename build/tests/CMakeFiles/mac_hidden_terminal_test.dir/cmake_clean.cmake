@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_hidden_terminal_test.dir/mac_hidden_terminal_test.cpp.o"
+  "CMakeFiles/mac_hidden_terminal_test.dir/mac_hidden_terminal_test.cpp.o.d"
+  "mac_hidden_terminal_test"
+  "mac_hidden_terminal_test.pdb"
+  "mac_hidden_terminal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_hidden_terminal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_rentel_kunz_test.dir/protocols_rentel_kunz_test.cpp.o"
+  "CMakeFiles/protocols_rentel_kunz_test.dir/protocols_rentel_kunz_test.cpp.o.d"
+  "protocols_rentel_kunz_test"
+  "protocols_rentel_kunz_test.pdb"
+  "protocols_rentel_kunz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_rentel_kunz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

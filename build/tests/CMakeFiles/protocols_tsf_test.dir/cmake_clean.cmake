@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_tsf_test.dir/protocols_tsf_test.cpp.o"
+  "CMakeFiles/protocols_tsf_test.dir/protocols_tsf_test.cpp.o.d"
+  "protocols_tsf_test"
+  "protocols_tsf_test.pdb"
+  "protocols_tsf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_tsf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_variants_test.dir/protocols_variants_test.cpp.o"
+  "CMakeFiles/protocols_variants_test.dir/protocols_variants_test.cpp.o.d"
+  "protocols_variants_test"
+  "protocols_variants_test.pdb"
+  "protocols_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_cli_test.dir/runner_cli_test.cpp.o"
+  "CMakeFiles/runner_cli_test.dir/runner_cli_test.cpp.o.d"
+  "runner_cli_test"
+  "runner_cli_test.pdb"
+  "runner_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

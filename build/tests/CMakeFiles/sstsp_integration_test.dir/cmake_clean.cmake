@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstsp_integration_test.dir/sstsp_integration_test.cpp.o"
+  "CMakeFiles/sstsp_integration_test.dir/sstsp_integration_test.cpp.o.d"
+  "sstsp_integration_test"
+  "sstsp_integration_test.pdb"
+  "sstsp_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstsp_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

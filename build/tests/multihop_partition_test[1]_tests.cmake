@@ -1,0 +1,3 @@
+add_test([=[MultiHopPartition.SeveredLineFormsTwoCoherentIslands]=]  /root/repo/build/tests/multihop_partition_test [==[--gtest_filter=MultiHopPartition.SeveredLineFormsTwoCoherentIslands]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MultiHopPartition.SeveredLineFormsTwoCoherentIslands]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  multihop_partition_test_TESTS MultiHopPartition.SeveredLineFormsTwoCoherentIslands)

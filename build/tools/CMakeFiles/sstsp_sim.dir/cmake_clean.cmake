@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstsp_sim.dir/sstsp_sim.cpp.o"
+  "CMakeFiles/sstsp_sim.dir/sstsp_sim.cpp.o.d"
+  "sstsp_sim"
+  "sstsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
