@@ -35,6 +35,12 @@ int main() {
   }
   const auto results = run::run_sweep(scenarios);
 
+  bench::JsonReport report("abl_guard_sweep");
+  for (std::size_t i = 0; i < skews.size(); ++i) {
+    report.add_run("skew" + metrics::fmt(skews[i], 0), scenarios[i],
+                   results[i]);
+  }
+
   metrics::TextTable table({"skew (us/s)", "skew/beacon (us)",
                             "guard rejections", "honest max diff (us)",
                             "demotions", "elections"});
@@ -77,6 +83,10 @@ int main() {
     run::Scenario benign = gsweep[i];
     benign.attack = run::AttackKind::kNone;
     const auto b = run::run_scenario(benign);
+    report.add_run("guard" + metrics::fmt(guards[i], 0), gsweep[i],
+                   gresults[i]);
+    report.add_run("guard" + metrics::fmt(guards[i], 0) + "_benign", benign,
+                   b);
     const auto during = gresults[i].max_diff.max_in(45.0, 140.0);
     const auto benign_max = b.steady_max_us;
     gtable.add_row({metrics::fmt(guards[i], 0),
@@ -87,5 +97,6 @@ int main() {
   gtable.print(std::cout);
   std::cout << "(too-tight guards start rejecting honest beacons after "
                "elections; too-loose guards admit bigger per-beacon lies)\n";
+  report.write();
   return 0;
 }

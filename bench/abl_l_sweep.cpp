@@ -54,6 +54,14 @@ int main() {
   }
   const auto lossy_results = run::run_sweep(lossy);
 
+  bench::JsonReport report("abl_l_sweep");
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    report.add_run("l" + std::to_string(ls[i]) + "_refchange", change[i],
+                   change_results[i]);
+    report.add_run("l" + std::to_string(ls[i]) + "_lossy", lossy[i],
+                   lossy_results[i]);
+  }
+
   metrics::TextTable table({"l", "m", "excursion after ref change (us)",
                             "steady max (us)", "elections @PER=2%",
                             "p99 @PER=2% (us)"});
@@ -68,5 +76,6 @@ int main() {
                    lossy_p99 ? metrics::fmt(*lossy_p99, 1) : "-"});
   }
   table.print(std::cout);
+  report.write();
   return 0;
 }

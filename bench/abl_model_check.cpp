@@ -17,6 +17,7 @@ int main() {
                 "should bracket the measured values");
 
   constexpr double kBpUs = 1e5;
+  bench::JsonReport report("abl_model_check");
 
   // ---- Lemma 1 latency ---------------------------------------------------
   std::cout << "\n-- Lemma 1: convergence latency vs m (N=50, offsets "
@@ -35,6 +36,10 @@ int main() {
       scenarios.push_back(s);
     }
     const auto results = run::run_sweep(scenarios);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      report.add_run("lemma1_m" + std::to_string(scenarios[i].sstsp.m),
+                     scenarios[i], results[i]);
+    }
     metrics::TextTable table({"m", "model BPs (+3 pipeline)",
                               "model latency (s)", "measured latency (s)"});
     for (int m = 1; m <= 5; ++m) {
@@ -73,6 +78,11 @@ int main() {
       scenarios.push_back(s);
     }
     const auto results = run::run_sweep(scenarios);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      report.add_run("lemma2_l" + std::to_string(cases[i].l) + "_m" +
+                         std::to_string(cases[i].m),
+                     scenarios[i], results[i]);
+    }
     metrics::TextTable table({"l", "m", "model bound (us)",
                               "measured excursion (us)"});
     for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -104,6 +114,10 @@ int main() {
       scenarios.push_back(s);
     }
     const auto results = run::run_sweep(scenarios);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      report.add_run("tsf_n" + std::to_string(scenarios[i].num_nodes),
+                     scenarios[i], results[i]);
+    }
     metrics::TextTable table({"N", "P(success)/BP", "expected drought (BPs)",
                               "model drift scale (us)",
                               "measured p99 (us)"});
@@ -123,5 +137,6 @@ int main() {
                  "CCA-window physics differ,\n so agreement in scale — not "
                  "value — is the success criterion)\n";
   }
+  report.write();
   return 0;
 }

@@ -94,11 +94,19 @@ int main() {
                 "per-hop error accumulation; local (adjacent) sync stays at "
                 "the single-hop level");
 
+  bench::JsonReport report("abl_multihop");
   metrics::TextTable table({"hops", "end-to-end max (us)",
                             "adjacent max (us)", "beacons/BP", "collided",
                             "all synced"});
   for (const int hops : {1, 2, 4, 6, 8}) {
     const LineResult r = run_line(hops, 2006);
+    report.add_values(
+        "hops" + std::to_string(hops),
+        {{"end_to_end_max_us", r.end_to_end_max_us},
+         {"adjacent_max_us", r.adjacent_max_us},
+         {"beacons", static_cast<double>(r.beacons)},
+         {"collided", static_cast<double>(r.collided)},
+         {"all_synced", r.all_synced ? 1.0 : 0.0}});
     table.add_row({std::to_string(hops),
                    metrics::fmt(r.end_to_end_max_us, 2),
                    metrics::fmt(r.adjacent_max_us, 2),
@@ -110,5 +118,6 @@ int main() {
   std::cout << "(beacons/BP = reference + one relay per intermediate hop; "
                "the relay stagger\n serializes levels so spatial reuse "
                "needs no extra contention)\n";
+  report.write();
   return 0;
 }

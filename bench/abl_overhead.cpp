@@ -21,6 +21,7 @@ int main() {
 
   // ---- traffic ---------------------------------------------------------
   std::cout << "\n-- traffic over 200 s, 100 nodes --\n";
+  bench::JsonReport report("abl_overhead");
   metrics::TextTable traffic({"protocol", "beacons", "collided",
                               "bytes on air", "bytes/beacon", "bytes/s"});
   for (const auto kind : {run::ProtocolKind::kTsf, run::ProtocolKind::kSstsp}) {
@@ -31,6 +32,7 @@ int main() {
     s.seed = 2006;
     s.sstsp.chain_length = 2200;
     const auto r = run::run_scenario(s);
+    report.add_run(std::string("traffic_") + run::protocol_name(kind), s, r);
     traffic.add_row(
         {run::protocol_name(kind), std::to_string(r.channel.transmissions),
          std::to_string(r.channel.collided_transmissions),
@@ -53,6 +55,10 @@ int main() {
     crypto::FullStorageTraversal full(params);
     std::size_t full_peak = full.stored_digests();
     for (std::size_t i = 0; i < n; ++i) (void)full.next();
+    report.add_values(
+        "chain_full_n" + std::to_string(n),
+        {{"peak_stored", static_cast<double>(full_peak)},
+         {"hash_ops", static_cast<double>(full.hash_ops())}});
     chain.add_row({std::to_string(n), "full storage",
                    std::to_string(full_peak),
                    std::to_string(full.hash_ops()),
@@ -76,6 +82,10 @@ int main() {
       (void)frac.next();
       frac_peak = std::max(frac_peak, frac.stored_digests());
     }
+    report.add_values(
+        "chain_fractal_n" + std::to_string(n),
+        {{"peak_stored", static_cast<double>(frac_peak)},
+         {"hash_ops", static_cast<double>(frac.hash_ops())}});
     chain.add_row({std::to_string(n), "fractal (Jakobsson)",
                    std::to_string(frac_peak),
                    std::to_string(frac.hash_ops()),
@@ -101,5 +111,6 @@ int main() {
   std::cout << "per-receiver beacon buffer: 2 stored beacons x ~46 B + "
                "verifier state (32 B) -- within the paper's 300-500 B "
                "estimate.\n";
+  report.write();
   return 0;
 }

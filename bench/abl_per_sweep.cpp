@@ -32,6 +32,14 @@ int main() {
   }
   const auto results = run::run_sweep(scenarios);
 
+  bench::JsonReport report("abl_per_sweep");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    report.add_run(
+        std::string(run::protocol_name(scenarios[i].protocol)) + "_per" +
+            metrics::fmt(scenarios[i].phy.packet_error_rate * 100.0, 2),
+        scenarios[i], results[i]);
+  }
+
   metrics::TextTable table({"protocol", "PER", "p99 err (us)", "max err (us)",
                             "elections", "PER drops"});
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -45,5 +53,6 @@ int main() {
                    std::to_string(r.channel.per_drops)});
   }
   table.print(std::cout);
+  report.write();
   return 0;
 }

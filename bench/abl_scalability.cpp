@@ -37,6 +37,13 @@ int main() {
   }
   const auto results = run::run_sweep(scenarios);
 
+  bench::JsonReport report("abl_scalability");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    report.add_run(std::string(run::protocol_name(scenarios[i].protocol)) +
+                       "_n" + std::to_string(scenarios[i].num_nodes),
+                   scenarios[i], results[i]);
+  }
+
   metrics::TextTable table(
       {"protocol", "N", "p99 err (us)", "max err (us)", "latency (s)",
        "beacons", "collided"});
@@ -52,5 +59,6 @@ int main() {
          std::to_string(r.channel.collided_transmissions)});
   }
   table.print(std::cout);
+  report.write();
   return 0;
 }

@@ -8,11 +8,16 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "metrics/report.h"
+#include "obs/json.h"
 #include "runner/experiment.h"
+#include "runner/json_report.h"
 
 namespace sstsp::bench {
 
@@ -57,5 +62,60 @@ inline void summarize(const run::RunResult& r, double duration_s) {
             << r.channel.bytes_on_air << " bytes on air over "
             << metrics::fmt(duration_s, 0) << " s\n";
 }
+
+/// Machine-readable companion to each bench's text output: accumulates the
+/// bench's runs (full RunResult serialization, metrics registry included)
+/// into bench_out/<id>.metrics.json as
+///
+///   {"bench":"fig2","runs":[{"label":...,"run":{...}},
+///                           {"label":...,"values":{...}}]}
+///
+/// Benches that don't go through run_scenario (abl_multihop's line-topology
+/// driver) use add_values() to report their custom quantities instead.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& id)
+      : path_(out_dir() + "/" + id + ".metrics.json"), os_(path_), w_(os_) {
+    w_.begin_object();
+    w_.kv("bench", id);
+    w_.key("runs").begin_array();
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add_run(const std::string& label, const run::Scenario& scenario,
+               const run::RunResult& result) {
+    w_.begin_object();
+    w_.kv("label", label);
+    w_.key("run");
+    run::append_run_json(w_, scenario, result);
+    w_.end_object();
+  }
+
+  void add_values(const std::string& label,
+                  const std::vector<std::pair<std::string, double>>& values) {
+    w_.begin_object();
+    w_.kv("label", label);
+    w_.key("values").begin_object();
+    for (const auto& [key, value] : values) w_.kv(key, value);
+    w_.end_object();
+    w_.end_object();
+  }
+
+  /// Finishes the document; call once at the end of main.
+  void write() {
+    w_.end_array();
+    w_.end_object();
+    os_ << '\n';
+    os_.close();
+    std::cout << "(metrics written to " << path_ << ")\n";
+  }
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+  obs::json::Writer w_;
+};
 
 }  // namespace sstsp::bench

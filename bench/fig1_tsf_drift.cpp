@@ -13,10 +13,12 @@ int main() {
                 "drift grows with N; sawtooth spikes of 100s-1000s of us "
                 "(scalability problem)");
 
+  bench::JsonReport report("fig1");
   for (const int n : {100, 300}) {
     auto scenario = run::Scenario::paper_section5(run::ProtocolKind::kTsf, n,
                                                   /*seed=*/2006);
     const auto result = run::run_scenario(scenario);
+    report.add_run("tsf_n" + std::to_string(n), scenario, result);
     std::cout << "\n--- TSF, N = " << n << " ---\n";
     bench::dump_series(result.max_diff, "fig1_tsf_n" + std::to_string(n),
                        /*bucket_s=*/20.0, /*log_scale=*/true);
@@ -31,5 +33,6 @@ int main() {
                               1)
               << " %\n";
   }
+  report.write();
   return 0;
 }

@@ -17,6 +17,8 @@ int main() {
                                     /*seed=*/2006);
   scenario.sstsp.m = 4;
   const auto result = run::run_scenario(scenario);
+  bench::JsonReport report("fig2");
+  report.add_run("sstsp_n500_m4", scenario, result);
 
   bench::dump_series(result.max_diff, "fig2_sstsp_n500_m4", 20.0,
                      /*log_scale=*/false);
@@ -44,5 +46,6 @@ int main() {
     exc.add_row({metrics::fmt(t, 0), mx ? metrics::fmt(*mx, 2) : "-"});
   }
   exc.print(std::cout);
+  report.write();
   return 0;
 }

@@ -29,6 +29,8 @@ int main() {
   scenario.tsf_attack.start_s = 400.0;
   scenario.tsf_attack.end_s = 600.0;
   const auto result = run::run_scenario(scenario);
+  bench::JsonReport report("fig3");
+  report.add_run("tsf_attack", scenario, result);
 
   bench::dump_series(result.max_diff, "fig3_tsf_attack", 20.0,
                      /*log_scale=*/true);
@@ -71,5 +73,6 @@ int main() {
     std::cout << "attacker transmitted " << result.attacker->beacons_sent
               << " forged beacons\n";
   }
+  report.write();
   return 0;
 }

@@ -23,6 +23,8 @@ int main() {
   scenario.sstsp_attack.start_s = 400.0;
   scenario.sstsp_attack.end_s = 600.0;
   const auto result = run::run_scenario(scenario);
+  bench::JsonReport report("fig4");
+  report.add_run("sstsp_attack", scenario, result);
 
   bench::dump_series(result.max_diff, "fig4_sstsp_attack", 20.0,
                      /*log_scale=*/false);
@@ -50,5 +52,6 @@ int main() {
     std::cout << "attacker transmitted " << result.attacker->beacons_sent
               << " secured beacons while holding the reference role\n";
   }
+  report.write();
   return 0;
 }

@@ -43,6 +43,14 @@ int main() {
   }
   const auto results = run::run_sweep(scenarios);
 
+  bench::JsonReport report("tab1");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& s = scenarios[i];
+    report.add_run("m" + std::to_string(s.sstsp.m) +
+                       (s.preestablished_reference ? "_pre" : "_cold"),
+                   s, results[i]);
+  }
+
   metrics::TextTable table({"m", "latency (s)", "error (us)",
                             "latency cold (s)", "error cold (us)"});
   for (std::size_t i = 0; i < ms.size(); ++i) {
@@ -59,5 +67,6 @@ int main() {
   std::cout << "(latency: first time the max clock difference stays below "
                "25 us; error: max difference after stabilization;\n "
                "'cold' columns include the initial reference election)\n";
+  report.write();
   return 0;
 }

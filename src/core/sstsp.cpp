@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/profiler.h"
+
 namespace sstsp::core {
 
 namespace {
@@ -218,6 +220,7 @@ void Sstsp::transmit_beacon(std::int64_t j) {
 }
 
 void Sstsp::finish_coarse() {
+  obs::Span span(station_.profiler(), obs::Phase::kFilterEval);
   const auto estimate = coarse_.estimate();
   if (!estimate) {
     // Nothing heard (or everything rejected): keep scanning another window.
@@ -321,6 +324,7 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
     // beacon carries an already-public key and must not frame its victim.
     if (cfg_.blacklist_threshold > 0 && j > 1) {
       SenderTrack* track = track_for(frame.sender);
+      obs::Span span(station_.profiler(), obs::Phase::kCryptoVerify);
       if (track != nullptr &&
           track->pipeline.verify_key_fresh(j - 1, body.disclosed_key)) {
         note_rejection(frame.sender, arrival_hw);
@@ -335,8 +339,11 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
     station_.trace_event(trace::EventKind::kRejectKey, frame.sender);
     return;
   }
-  const PipelineResult res =
-      track->pipeline.ingest(body, frame.sender, arrival_hw, ts_est);
+  PipelineResult res;
+  {
+    obs::Span span(station_.profiler(), obs::Phase::kCryptoVerify);
+    res = track->pipeline.ingest(body, frame.sender, arrival_hw, ts_est);
+  }
   if (!res.key_valid) {
     ++stats_.rejected_key;
     station_.trace_event(trace::EventKind::kRejectKey, frame.sender);
@@ -381,6 +388,7 @@ void Sstsp::try_adjust(SenderTrack& track, std::int64_t cur_interval) {
   const double target =
       schedule_.emission_time(cur_interval + cfg_.m);
   const ClockParams previous{adjusted_.k(), adjusted_.b()};
+  obs::Span span(station_.profiler(), obs::Phase::kFilterEval);
   const SolveOutcome outcome =
       solve_adjustment(previous, station_.hw_us_now(), track.samples.back(),
                        track.samples.front(), target, cfg_);

@@ -72,6 +72,7 @@ void Channel::transmit(std::size_t idx, Frame frame, sim::SimTime duration) {
 }
 
 void Channel::finish_transmission(std::uint64_t tx_id) {
+  obs::Span span(profiler_, obs::Phase::kChannelDelivery);
   // Locate the record (the deque is short: only frames within the last
   // millisecond or so are retained).
   Tx* tx = nullptr;
@@ -131,6 +132,9 @@ void Channel::finish_transmission(std::uint64_t tx_id) {
     info.nominal_delay_us = nominal_us;
     info.tx_start = start;
     ++stats_.deliveries;
+    if (instruments_ != nullptr) {
+      instruments_->on_delivery((delivered - start).to_us());
+    }
 
     // Copy the frame into the closure: the deque entry may be pruned before
     // the delivery event fires.

@@ -29,6 +29,8 @@
 
 #include "mac/frame.h"
 #include "mac/phy_params.h"
+#include "obs/instruments.h"
+#include "obs/profiler.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -84,6 +86,14 @@ class Channel {
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] const PhyParams& phy() const { return phy_; }
 
+  /// Observability (both may be nullptr): the instruments record each
+  /// frame's tx-start -> delivery latency; the profiler attributes the
+  /// end-of-frame interference/delivery fan-out to channel-delivery.
+  void set_instruments(obs::Instruments* instruments) {
+    instruments_ = instruments;
+  }
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
   /// Receiver-side compensation constant for a frame of `duration`:
   /// the delay estimate added to a beacon timestamp to place it on the
   /// receiver's timeline (frame air time + nominal propagation + nominal
@@ -119,6 +129,8 @@ class Channel {
   std::uint64_t next_tx_id_{1};
   ChannelStats stats_;
   sim::Rng rng_;
+  obs::Instruments* instruments_{nullptr};
+  obs::Profiler* profiler_{nullptr};
 };
 
 }  // namespace sstsp::mac

@@ -1,0 +1,39 @@
+#include "obs/export.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace sstsp::obs {
+
+void write_event_jsonl(std::ostream& os, const trace::TraceEvent& event) {
+  json::Writer w(os);
+  w.begin_object();
+  w.kv("type", "event");
+  w.kv("t_s", event.time.to_sec());
+  w.kv("node", static_cast<std::uint64_t>(event.node));
+  w.kv("kind", to_string(event.kind));
+  if (event.peer != mac::kNoNode) {
+    w.kv("peer", static_cast<std::uint64_t>(event.peer));
+  }
+  w.kv("value_us", event.value_us);
+  w.end_object();
+  os << '\n';
+}
+
+void write_trace_jsonl(std::ostream& os, const trace::EventTrace& trace,
+                       std::size_t limit) {
+  const auto events =
+      trace.select([](const trace::TraceEvent&) { return true; });
+  const std::size_t start = events.size() > limit ? events.size() - limit : 0;
+  for (std::size_t i = start; i < events.size(); ++i) {
+    write_event_jsonl(os, events[i]);
+  }
+}
+
+void attach_jsonl_sink(trace::EventTrace& trace, std::ostream& os) {
+  trace.set_sink(
+      [&os](const trace::TraceEvent& event) { write_event_jsonl(os, event); });
+}
+
+}  // namespace sstsp::obs

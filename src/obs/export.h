@@ -1,0 +1,35 @@
+// Structured export of protocol-event traces: JSON Lines.
+//
+// Each trace event becomes one self-describing JSON object per line:
+//
+//   {"type":"event","t_s":12.345678,"node":3,"kind":"adjustment",
+//    "peer":0,"value_us":-4.25}
+//
+// "peer" is omitted when the event has none (mac::kNoNode).  The same
+// stream conventionally ends with a {"type":"summary",...} record written
+// by the run-result serializer (runner/json_report.h), so one file captures
+// a whole run; see README "Observability" for jq recipes.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <limits>
+
+#include "trace/event_trace.h"
+
+namespace sstsp::obs {
+
+/// Writes one event as a single JSONL line (newline included).
+void write_event_jsonl(std::ostream& os, const trace::TraceEvent& event);
+
+/// Dumps the newest `limit` *retained* events of the ring as JSONL.
+void write_trace_jsonl(
+    std::ostream& os, const trace::EventTrace& trace,
+    std::size_t limit = std::numeric_limits<std::size_t>::max());
+
+/// Attaches a streaming JSONL sink: every event recorded from now on is
+/// written to `os` immediately (independent of ring-buffer eviction).  The
+/// stream must outlive the trace or be detached with set_sink({}).
+void attach_jsonl_sink(trace::EventTrace& trace, std::ostream& os);
+
+}  // namespace sstsp::obs

@@ -1,0 +1,23 @@
+#include "obs/instruments.h"
+
+#include <string>
+
+namespace sstsp::obs {
+
+Instruments::Instruments(Registry& registry)
+    : adjustment_rate_ppm_(&registry.histogram("station.adjustment_rate_ppm")),
+      coarse_step_us_(&registry.histogram("station.coarse_step_us")),
+      reject_offset_us_(&registry.histogram("station.reject_offset_us")),
+      delivery_latency_us_(
+          &registry.histogram("channel.delivery_latency_us")),
+      queue_depth_(&registry.histogram("sim.event_queue_depth")),
+      max_diff_us_(&registry.histogram("sync.max_diff_us")),
+      node_error_us_(&registry.histogram("sync.node_error_us")) {
+  for (std::size_t k = 0; k < trace::kEventKindCount; ++k) {
+    const std::string name =
+        "event." + std::string(to_string(static_cast<trace::EventKind>(k)));
+    event_counters_[k] = &registry.counter(name);
+  }
+}
+
+}  // namespace sstsp::obs

@@ -1,0 +1,76 @@
+// Pre-resolved metric handles for the simulation hot paths.
+//
+// One Instruments object per Network, shared by every station, the channel
+// and the simulator — the same sharing pattern as trace::EventTrace.  It
+// resolves every handle out of the Registry once at construction, so the
+// per-event cost is an increment through a pointer; components hold an
+// `Instruments*` that is nullptr when metrics collection is off.
+//
+// Metric name -> paper quantity mapping lives in DESIGN.md ("Observability").
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "obs/metrics.h"
+#include "trace/event_trace.h"
+
+namespace sstsp::obs {
+
+class Instruments {
+ public:
+  explicit Instruments(Registry& registry);
+
+  /// Station-side protocol event (mirrors Station::trace_event): bumps the
+  /// per-kind counter and feeds the kind-specific histograms.
+  void on_protocol_event(trace::EventKind kind, double value_us) {
+    event_counters_[static_cast<std::size_t>(kind)]->inc();
+    switch (kind) {
+      case trace::EventKind::kAdjustment:
+        adjustment_rate_ppm_->record(value_us);  // (k-1) in ppm
+        break;
+      case trace::EventKind::kCoarseStep:
+        coarse_step_us_->record(value_us);
+        break;
+      case trace::EventKind::kRejectGuard:
+      case trace::EventKind::kRejectInterval:
+        reject_offset_us_->record(value_us);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Channel: a frame reached a receiver; latency is tx start -> delivered.
+  void on_delivery(double latency_us) {
+    delivery_latency_us_->record(latency_us);
+  }
+
+  /// Simulator: queue depth observed when dispatching an event.
+  void on_dispatch(std::size_t queue_depth) {
+    queue_depth_->record(static_cast<double>(queue_depth));
+  }
+
+  /// Sampler: network-wide max pairwise clock difference at a sample tick.
+  void on_max_diff_sample(double max_diff_us) {
+    max_diff_us_->record(max_diff_us);
+  }
+
+  /// Sampler: one node's |deviation| from the network mean at a sample
+  /// tick (the per-node synchronization error behind Fig. 2).
+  void on_node_error_sample(double abs_error_us) {
+    node_error_us_->record(abs_error_us);
+  }
+
+ private:
+  std::array<Counter*, trace::kEventKindCount> event_counters_{};
+  Histogram* adjustment_rate_ppm_;
+  Histogram* coarse_step_us_;
+  Histogram* reject_offset_us_;
+  Histogram* delivery_latency_us_;
+  Histogram* queue_depth_;
+  Histogram* max_diff_us_;
+  Histogram* node_error_us_;
+};
+
+}  // namespace sstsp::obs

@@ -1,0 +1,158 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace sstsp::obs {
+
+namespace {
+
+// Bucket 0 holds magnitudes in [0, 2^kMinExp); bucket i >= 1 holds
+// [2^(kMinExp + i - 1), 2^(kMinExp + i)); the last bucket also absorbs
+// everything above its upper bound.
+constexpr int kMinExp = -16;
+
+std::size_t bucket_index(double magnitude) {
+  if (!(magnitude >= std::ldexp(1.0, kMinExp))) return 0;  // incl. NaN
+  int exp = 0;
+  (void)std::frexp(magnitude, &exp);  // magnitude = f * 2^exp, f in [0.5, 1)
+  const int idx = (exp - 1) - kMinExp + 1;
+  return std::min(static_cast<std::size_t>(std::max(idx, 1)),
+                  Histogram::kBuckets - 1);
+}
+
+double bucket_lower(std::size_t idx) {
+  return idx == 0 ? 0.0 : std::ldexp(1.0, kMinExp + static_cast<int>(idx) - 1);
+}
+
+double bucket_upper(std::size_t idx) {
+  return std::ldexp(1.0, kMinExp + static_cast<int>(idx));
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  const double magnitude = std::fabs(v);
+  ++buckets_[bucket_index(magnitude)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested order statistic, 1-based.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] >= target) {
+      const double within =
+          (static_cast<double>(target - cumulative) - 0.5) /
+          static_cast<double>(buckets_[i]);
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      // Cap at the observed magnitude ceiling so p=1.0 never exceeds the
+      // true max.
+      return std::min(lo + within * (hi - lo),
+                      std::max(std::fabs(min_), std::fabs(max_)));
+    }
+    cumulative += buckets_[i];
+  }
+  return std::fabs(max_);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge_from(h);
+  }
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c.value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g.value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h.snapshot());
+  }
+  return s;
+}
+
+void RegistrySnapshot::write_json(std::ostream& os) const {
+  json::Writer w(os);
+  append_json(w);
+}
+
+void RegistrySnapshot::append_json(json::Writer& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("mean", h.mean);
+    w.kv("p50", h.p50);
+    w.kv("p90", h.p90);
+    w.kv("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace sstsp::obs

@@ -1,0 +1,155 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms.
+//
+// Design constraints, in order:
+//   * Hot-path recording must be a couple of arithmetic ops — consumers
+//     resolve a Counter*/Histogram* handle once (Registry::counter(...))
+//     and record through it; no string lookups on the data path.
+//   * A Registry is single-threaded, like everything per-Simulator in this
+//     library.  Parallel sweeps keep one Registry per task and combine them
+//     afterwards with merge_from() (histograms merge exactly: bucketed
+//     representation is closed under addition).
+//   * Snapshots are plain data (name -> value / quantile summary) so run
+//     results can carry them across threads and serialize to JSON without
+//     touching the live registry.
+//
+// Histogram: 64 logarithmic buckets over the magnitude of the recorded
+// value, base 2, covering [2^-16, 2^47] (~1.5e-5 .. 1.4e14) — wide enough
+// for microsecond-scale clock errors and nanosecond-scale spans alike.
+// Negative values are folded into their magnitude for bucketing (the sign
+// carries no information for the error/latency distributions we track; the
+// exact min/max/sum keep it).  Quantiles interpolate within the bucket, so
+// the relative error is bounded by the bucket width (a factor of 2); tests
+// assert within that.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sstsp::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count{0};
+  double sum{0.0};
+  double min{0.0};
+  double max{0.0};
+  double mean{0.0};
+  double p50{0.0};
+  double p90{0.0};
+  double p99{0.0};
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// p-quantile (p in [0, 1]) of the recorded magnitudes, interpolated
+  /// within the log bucket; 0 when empty.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Exact under the bucketed representation.
+  void merge_from(const Histogram& other);
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_{0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+namespace json {
+class Writer;
+}  // namespace json
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}.
+  void write_json(std::ostream& os) const;
+  /// Same object appended as one value of an enclosing document.
+  void append_json(json::Writer& w) const;
+};
+
+/// Named metric directory.  Handles returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (node-based map
+/// storage), so consumers resolve them once at wiring time.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+  [[nodiscard]] Gauge& gauge(std::string_view name) {
+    return gauges_[std::string(name)];
+  }
+  [[nodiscard]] Histogram& histogram(std::string_view name) {
+    return histograms_[std::string(name)];
+  }
+
+  /// Adds every metric of `other` into this registry (same-named counters
+  /// add, gauges take the other's value, histograms merge bucket-wise).
+  void merge_from(const Registry& other);
+
+  /// Sorted-by-name plain-data copy of the current values; zero-valued
+  /// counters and empty histograms are included (they document what the
+  /// run *could* have recorded).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+ private:
+  // std::map: deterministic iteration order and stable node addresses.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace sstsp::obs

@@ -1,0 +1,136 @@
+#include "obs/profiler.h"
+
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace sstsp::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kDispatch:
+      return "event-dispatch";
+    case Phase::kChannelDelivery:
+      return "channel-delivery";
+    case Phase::kCryptoVerify:
+      return "crypto-verify";
+    case Phase::kFilterEval:
+      return "filter-eval";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+Profiler::Profiler(std::function<std::uint64_t()> clock_ns)
+    : clock_ns_(clock_ns ? std::move(clock_ns) : steady_now_ns) {
+  stack_.reserve(8);
+}
+
+void Profiler::begin(Phase phase) {
+  const std::uint64_t now = clock_ns_();
+  if (!stack_.empty()) {
+    // Pause the enclosing span: charge what it accrued so far.
+    Open& parent = stack_.back();
+    phases_[static_cast<std::size_t>(parent.phase)].exclusive_ns +=
+        now - parent.resumed_at;
+  }
+  ++phases_[static_cast<std::size_t>(phase)].spans;
+  stack_.push_back(Open{phase, now});
+}
+
+void Profiler::end() {
+  if (stack_.empty()) return;  // unbalanced end: ignore rather than corrupt
+  const std::uint64_t now = clock_ns_();
+  const Open closing = stack_.back();
+  stack_.pop_back();
+  phases_[static_cast<std::size_t>(closing.phase)].exclusive_ns +=
+      now - closing.resumed_at;
+  if (!stack_.empty()) stack_.back().resumed_at = now;  // resume parent
+}
+
+std::uint64_t Profiler::total_ns() const {
+  std::uint64_t total = 0;
+  for (const PhaseStats& p : phases_) total += p.exclusive_ns;
+  return total;
+}
+
+ProfileSnapshot Profiler::snapshot(std::uint64_t events,
+                                   double wall_seconds) const {
+  ProfileSnapshot s;
+  s.phases = phases_;
+  s.total_ns = total_ns();
+  s.events = events;
+  s.wall_seconds = wall_seconds;
+  return s;
+}
+
+void Profiler::reset() {
+  phases_ = {};
+  stack_.clear();
+}
+
+void ProfileSnapshot::print(std::ostream& os) const {
+  os << "profile: " << events << " events in " << std::fixed
+     << std::setprecision(3) << wall_seconds << " s wall ("
+     << std::setprecision(0) << events_per_second() << " events/s)\n";
+  os << "  " << std::left << std::setw(18) << "phase" << std::right
+     << std::setw(12) << "time (ms)" << std::setw(12) << "spans"
+     << std::setw(9) << "share" << '\n';
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseStats& p = phases[i];
+    const double share =
+        total_ns > 0
+            ? 100.0 * static_cast<double>(p.exclusive_ns) /
+                  static_cast<double>(total_ns)
+            : 0.0;
+    os << "  " << std::left << std::setw(18)
+       << phase_name(static_cast<Phase>(i)) << std::right << std::setw(12)
+       << std::setprecision(2)
+       << static_cast<double>(p.exclusive_ns) * 1e-6 << std::setw(12)
+       << p.spans << std::setw(8) << std::setprecision(1) << share << "%\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void ProfileSnapshot::write_json(std::ostream& os) const {
+  json::Writer w(os);
+  append_json(w);
+}
+
+void ProfileSnapshot::append_json(json::Writer& w) const {
+  w.begin_object();
+  w.kv("events", events);
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("events_per_second", events_per_second());
+  w.kv("total_ns", total_ns);
+  w.key("phases").begin_object();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseStats& p = phases[i];
+    w.key(phase_name(static_cast<Phase>(i))).begin_object();
+    w.kv("exclusive_ns", p.exclusive_ns);
+    w.kv("spans", p.spans);
+    w.kv("fraction", total_ns > 0
+                         ? static_cast<double>(p.exclusive_ns) /
+                               static_cast<double>(total_ns)
+                         : 0.0);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace sstsp::obs

@@ -7,6 +7,8 @@
 
 #include "clock/hardware_clock.h"
 #include "mac/channel.h"
+#include "obs/instruments.h"
+#include "obs/profiler.h"
 #include "protocols/sync_protocol.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -59,12 +61,21 @@ class Station {
   void set_trace(trace::EventTrace* sink) { trace_ = sink; }
   [[nodiscard]] trace::EventTrace* trace() { return trace_; }
 
-  /// Records a protocol event when a sink is attached; no-op otherwise.
+  /// Attaches the shared metrics instruments / profiler (nullptr detaches);
+  /// wired by the scenario runner, same sharing model as the trace.
+  void set_instruments(obs::Instruments* instruments) { obs_ = instruments; }
+  [[nodiscard]] obs::Instruments* instruments() { return obs_; }
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] obs::Profiler* profiler() { return profiler_; }
+
+  /// Records a protocol event into the attached trace and/or metrics
+  /// registry; no-op (two null checks) when neither is attached.
   void trace_event(trace::EventKind kind, mac::NodeId peer = mac::kNoNode,
                    double value_us = 0.0) {
     if (trace_ != nullptr) {
       trace_->record(trace::TraceEvent{sim_.now(), id_, kind, peer, value_us});
     }
+    if (obs_ != nullptr) obs_->on_protocol_event(kind, value_us);
   }
 
  private:
@@ -76,6 +87,8 @@ class Station {
   std::size_t channel_index_;
   std::unique_ptr<SyncProtocol> proto_;
   trace::EventTrace* trace_{nullptr};
+  obs::Instruments* obs_{nullptr};
+  obs::Profiler* profiler_{nullptr};
   bool awake_{false};
 };
 

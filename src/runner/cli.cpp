@@ -1,5 +1,6 @@
 #include "runner/cli.h"
 
+#include <algorithm>
 #include <charconv>
 #include <sstream>
 
@@ -77,6 +78,15 @@ output:
   --csv PATH            write the max-clock-difference series as CSV
   --chart               print an ASCII strip chart of the series
   --trace               record and print the newest protocol events
+  --trace-limit N       how many events --trace prints (default 40)
+  --trace-kind KIND     only print events of KIND (e.g. adjustment,
+                        reject-guard; implies --trace)
+  --json-out PATH       stream every protocol event as JSON Lines to PATH,
+                        terminated by a {"type":"summary"} record
+  --metrics-out PATH    write the run's metrics registry (+ profile when
+                        --profile) as one JSON document
+  --profile             profile the hot paths; prints the per-phase
+                        wall-time breakdown and events/sec after the run
   --help                this text
 )";
 }
@@ -220,7 +230,32 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       opts.ascii_chart = true;
     } else if (arg == "--trace") {
       opts.dump_trace = true;
-      s.trace_capacity = 1 << 18;
+      s.trace_capacity = std::max<std::size_t>(s.trace_capacity, 1 << 18);
+    } else if (arg == "--trace-limit") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--trace-limit needs a positive integer");
+      }
+      opts.trace_limit = static_cast<std::size_t>(n);
+      opts.dump_trace = true;
+      s.trace_capacity = std::max<std::size_t>(s.trace_capacity, 1 << 18);
+    } else if (arg == "--trace-kind") {
+      if (!next(&v)) return fail("--trace-kind needs an event kind");
+      const auto kind = trace::kind_from_string(v);
+      if (!kind) return fail("unknown event kind: " + v);
+      opts.trace_kind = *kind;
+      opts.dump_trace = true;
+      s.trace_capacity = std::max<std::size_t>(s.trace_capacity, 1 << 18);
+    } else if (arg == "--json-out") {
+      if (!next(&opts.json_out_path)) return fail("--json-out needs a path");
+      // The sink streams at record time, so a modest ring suffices.
+      s.trace_capacity = std::max<std::size_t>(s.trace_capacity, 1 << 12);
+    } else if (arg == "--metrics-out") {
+      if (!next(&opts.metrics_out_path)) {
+        return fail("--metrics-out needs a path");
+      }
+    } else if (arg == "--profile") {
+      s.profile = true;
     } else {
       return fail("unknown option: " + arg);
     }

@@ -4,19 +4,25 @@
 // unit-testable; see tests/runner_cli_test.cpp.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "runner/scenario.h"
+#include "trace/event_trace.h"
 
 namespace sstsp::run {
 
 struct CliOptions {
   Scenario scenario;
-  std::string csv_path;      ///< empty: no CSV dump
-  bool ascii_chart = false;  ///< print the strip chart
-  bool dump_trace = false;   ///< print the newest trace events
+  std::string csv_path;       ///< empty: no CSV dump
+  std::string json_out_path;  ///< empty: no JSONL event/summary stream
+  std::string metrics_out_path;  ///< empty: no metrics/profile JSON document
+  bool ascii_chart = false;   ///< print the strip chart
+  bool dump_trace = false;    ///< print the newest trace events
+  std::size_t trace_limit = 40;  ///< how many events --trace prints
+  std::optional<trace::EventKind> trace_kind;  ///< --trace filter, if any
   bool help = false;
 };
 

@@ -1,20 +1,26 @@
 #include "runner/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "runner/network.h"
 
 namespace sstsp::run {
 
-RunResult run_scenario(const Scenario& scenario) {
-  Network net(scenario);
-  net.run();
-
+RunResult collect_result(Network& net, double wall_seconds) {
+  const Scenario& scenario = net.scenario();
   RunResult result;
   result.max_diff = net.max_diff_series();
   result.channel = net.channel_stats();
   result.honest = net.honest_stats();
   if (const auto* atk = net.attacker_stats()) result.attacker = *atk;
+  result.metrics = net.metrics_registry().snapshot();
+  result.events_processed = net.simulator().events_processed();
+  result.wall_seconds = wall_seconds;
+  if (net.profiler() != nullptr) {
+    result.profile =
+        net.profiler()->snapshot(result.events_processed, wall_seconds);
+  }
 
   result.sync_latency_s =
       result.max_diff.first_sustained_below(kSyncThresholdUs, 1.0);
@@ -26,6 +32,17 @@ RunResult run_scenario(const Scenario& scenario) {
   result.steady_p99_us =
       result.max_diff.quantile_in(0.99, steady_from, scenario.duration_s);
   return result;
+}
+
+RunResult run_scenario(const Scenario& scenario) {
+  Network net(scenario);
+  const auto wall_start = std::chrono::steady_clock::now();
+  net.run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return collect_result(net, wall_seconds);
 }
 
 }  // namespace sstsp::run

@@ -1,10 +1,13 @@
 // One-call experiment execution + the derived quantities the paper reports.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "mac/channel.h"
 #include "metrics/series.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "protocols/sync_protocol.h"
 #include "runner/scenario.h"
 
@@ -30,8 +33,24 @@ struct RunResult {
   /// stabilizes" claim of Fig. 2.
   std::optional<double> steady_max_us;
   std::optional<double> steady_p99_us;
+
+  /// Observability: metric values recorded during the run (empty when
+  /// Scenario::collect_metrics was off), the per-phase wall-time profile
+  /// (present when Scenario::profile was set), and the run's raw cost.
+  obs::RegistrySnapshot metrics;
+  std::optional<obs::ProfileSnapshot> profile;
+  std::uint64_t events_processed{0};
+  double wall_seconds{0.0};
 };
 
 [[nodiscard]] RunResult run_scenario(const Scenario& scenario);
+
+class Network;
+
+/// Derives a RunResult from a Network whose run() has completed —
+/// run_scenario's second half, exposed for callers (tools/sstsp_sim) that
+/// drive the Network themselves to attach trace sinks before running.
+/// `wall_seconds` is the caller-measured wall-clock cost of the run.
+[[nodiscard]] RunResult collect_result(Network& net, double wall_seconds);
 
 }  // namespace sstsp::run

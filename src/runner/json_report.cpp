@@ -1,0 +1,115 @@
+#include "runner/json_report.h"
+
+#include <ostream>
+
+namespace sstsp::run {
+
+namespace {
+
+const char* attack_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kTsfSlowBeacon:
+      return "tsf-slow";
+    case AttackKind::kSstspInternalReference:
+      return "internal-ref";
+  }
+  return "?";
+}
+
+void append_optional(obs::json::Writer& w, std::string_view key,
+                     const std::optional<double>& v) {
+  if (v) {
+    w.kv(key, *v);
+  } else {
+    w.kv_null(key);
+  }
+}
+
+void append_protocol_stats(obs::json::Writer& w,
+                           const proto::ProtocolStats& s) {
+  w.begin_object();
+  w.kv("beacons_sent", s.beacons_sent);
+  w.kv("beacons_received", s.beacons_received);
+  w.kv("adoptions", s.adoptions);
+  w.kv("adjustments", s.adjustments);
+  w.kv("rejected_interval", s.rejected_interval);
+  w.kv("rejected_key", s.rejected_key);
+  w.kv("rejected_mac", s.rejected_mac);
+  w.kv("rejected_guard", s.rejected_guard);
+  w.kv("elections_won", s.elections_won);
+  w.kv("demotions", s.demotions);
+  w.kv("coarse_steps", s.coarse_steps);
+  w.kv("solver_rejections", s.solver_rejections);
+  w.end_object();
+}
+
+void append_body(obs::json::Writer& w, const Scenario& scenario,
+                 const RunResult& result) {
+  w.kv("protocol", protocol_name(scenario.protocol));
+  w.kv("nodes", static_cast<std::int64_t>(scenario.num_nodes));
+  w.kv("duration_s", scenario.duration_s);
+  w.kv("seed", static_cast<std::uint64_t>(scenario.seed));
+  w.kv("attack", attack_name(scenario.attack));
+  append_optional(w, "sync_latency_s", result.sync_latency_s);
+  append_optional(w, "steady_max_us", result.steady_max_us);
+  append_optional(w, "steady_p99_us", result.steady_p99_us);
+  w.kv("events_processed", result.events_processed);
+  w.kv("wall_seconds", result.wall_seconds);
+
+  w.key("channel").begin_object();
+  w.kv("transmissions", result.channel.transmissions);
+  w.kv("collided", result.channel.collided_transmissions);
+  w.kv("deliveries", result.channel.deliveries);
+  w.kv("per_drops", result.channel.per_drops);
+  w.kv("half_duplex_suppressed", result.channel.half_duplex_suppressed);
+  w.kv("bytes_on_air", result.channel.bytes_on_air);
+  w.end_object();
+
+  w.key("honest");
+  append_protocol_stats(w, result.honest);
+  if (result.attacker) {
+    w.key("attacker");
+    append_protocol_stats(w, *result.attacker);
+  } else {
+    w.kv_null("attacker");
+  }
+
+  w.key("metrics");
+  result.metrics.append_json(w);
+  if (result.profile) {
+    w.key("profile");
+    result.profile->append_json(w);
+  } else {
+    w.kv_null("profile");
+  }
+}
+
+}  // namespace
+
+void append_run_json(obs::json::Writer& w, const Scenario& scenario,
+                     const RunResult& result) {
+  w.begin_object();
+  append_body(w, scenario, result);
+  w.end_object();
+}
+
+void write_summary_jsonl(std::ostream& os, const Scenario& scenario,
+                         const RunResult& result) {
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.kv("type", "summary");
+  append_body(w, scenario, result);
+  w.end_object();
+  os << '\n';
+}
+
+void write_run_json(std::ostream& os, const Scenario& scenario,
+                    const RunResult& result) {
+  obs::json::Writer w(os);
+  append_run_json(w, scenario, result);
+  os << '\n';
+}
+
+}  // namespace sstsp::run

@@ -1,0 +1,43 @@
+// RunResult -> JSON: the machine-readable counterpart of the text summary
+// every tool/bench prints.
+//
+// Two shapes, one schema:
+//   * write_run_json      — a standalone document per run (--metrics-out,
+//                           bench_out/*.metrics.json);
+//   * write_summary_jsonl — the same object with "type":"summary" on one
+//                           line, terminating a --json-out event stream.
+//
+// Schema (stable keys; absent quantities are null, never omitted):
+//   protocol, nodes, duration_s, seed, attack,
+//   sync_latency_s, steady_max_us, steady_p99_us,
+//   events_processed, wall_seconds,
+//   channel{transmissions, collided, deliveries, per_drops,
+//           half_duplex_suppressed, bytes_on_air},
+//   honest{beacons_sent, beacons_received, adoptions, adjustments,
+//          rejected_interval, rejected_key, rejected_mac, rejected_guard,
+//          elections_won, demotions, coarse_steps, solver_rejections},
+//   attacker (same keys | null),
+//   metrics{counters, gauges, histograms}, profile{...} | null
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/json.h"
+#include "runner/experiment.h"
+
+namespace sstsp::run {
+
+/// Appends one run as a JSON object value into an enclosing document
+/// (bench reports nest these in a "runs" array).
+void append_run_json(obs::json::Writer& w, const Scenario& scenario,
+                     const RunResult& result);
+
+/// One JSONL line: {"type":"summary", ...}\n.
+void write_summary_jsonl(std::ostream& os, const Scenario& scenario,
+                         const RunResult& result);
+
+/// Standalone document (newline-terminated).
+void write_run_json(std::ostream& os, const Scenario& scenario,
+                    const RunResult& result);
+
+}  // namespace sstsp::run

@@ -15,6 +15,16 @@ Network::Network(const Scenario& scenario)
       sim_(scenario.seed),
       channel_(sim_, scenario.phy),
       attacker_index_(0) {
+  if (scenario_.collect_metrics) {
+    instruments_ = std::make_unique<obs::Instruments>(registry_);
+    sim_.set_instruments(instruments_.get());
+    channel_.set_instruments(instruments_.get());
+  }
+  if (scenario_.profile) {
+    profiler_ = std::make_unique<obs::Profiler>();
+    sim_.set_profiler(profiler_.get());
+    channel_.set_profiler(profiler_.get());
+  }
   build_stations();
 }
 
@@ -119,6 +129,10 @@ void Network::build_stations() {
     trace_ = std::make_unique<trace::EventTrace>(scenario_.trace_capacity);
     for (auto& station : stations_) station->set_trace(trace_.get());
   }
+  for (auto& station : stations_) {
+    station->set_instruments(instruments_.get());
+    station->set_profiler(profiler_.get());
+  }
 }
 
 void Network::arm() {
@@ -180,15 +194,42 @@ void Network::schedule_sampling() {
   // shared_ptr so the copies the event queue stores stay coherent.
   auto tick = std::make_shared<std::function<void()>>();
   *tick = [this, period, tick] {
-    if (const auto diff = instant_max_diff_us()) {
-      max_diff_.push(sim_.now().to_sec(), *diff);
-    }
+    sample_clock_spread();
     if (sim_.now() + period <=
         sim::SimTime::from_sec_double(scenario_.duration_s)) {
       sim_.after(period, *tick);
     }
   };
   sim_.at(period, *tick);
+}
+
+void Network::sample_clock_spread() {
+  sample_values_.clear();
+  const sim::SimTime now = sim_.now();
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (i == attacker_index_) continue;  // honest clocks only
+    const proto::Station& st = *stations_[i];
+    if (!st.awake() || !st.protocol().is_synchronized()) continue;
+    sample_values_.push_back(st.protocol().network_time_us(now));
+  }
+  if (sample_values_.empty()) return;
+  double lo = sample_values_.front();
+  double hi = lo;
+  double sum = 0.0;
+  for (const double v : sample_values_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  const double diff = hi - lo;
+  max_diff_.push(now.to_sec(), diff);
+  if (instruments_ != nullptr) {
+    instruments_->on_max_diff_sample(diff);
+    const double mean = sum / static_cast<double>(sample_values_.size());
+    for (const double v : sample_values_) {
+      instruments_->on_node_error_sample(std::fabs(v - mean));
+    }
+  }
 }
 
 std::optional<std::size_t> Network::current_reference_index() const {

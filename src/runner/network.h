@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "core/key_directory.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "trace/event_trace.h"
 #include "metrics/series.h"
 #include "protocols/station.h"
@@ -58,10 +61,21 @@ class Network {
   /// Scenario::trace_capacity > 0.
   [[nodiscard]] trace::EventTrace* trace() { return trace_.get(); }
 
+  /// The run's metrics registry (always present; empty when
+  /// Scenario::collect_metrics is false).
+  [[nodiscard]] obs::Registry& metrics_registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& metrics_registry() const {
+    return registry_;
+  }
+
+  /// The hot-path profiler; nullptr unless Scenario::profile is set.
+  [[nodiscard]] obs::Profiler* profiler() { return profiler_.get(); }
+
  private:
   void build_stations();
   void schedule_environment();
   void schedule_sampling();
+  void sample_clock_spread();
 
   Scenario scenario_;
   sim::Simulator sim_;
@@ -69,8 +83,12 @@ class Network {
   core::KeyDirectory directory_;
   std::vector<std::unique_ptr<proto::Station>> stations_;
   std::unique_ptr<trace::EventTrace> trace_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::Instruments> instruments_;
+  std::unique_ptr<obs::Profiler> profiler_;
   std::size_t attacker_index_;  // == stations_.size() when no attacker
   metrics::Series max_diff_;
+  std::vector<double> sample_values_;  // reused per sampling tick
   bool armed_{false};
 };
 

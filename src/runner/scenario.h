@@ -74,6 +74,16 @@ struct Scenario {
   /// Network::trace().
   std::size_t trace_capacity = 0;
 
+  /// Metrics collection (counters/histograms through obs::Instruments).
+  /// On by default: the recording cost is a pointer-indirect increment per
+  /// event; RunResult carries the snapshot.
+  bool collect_metrics = true;
+
+  /// Wall-clock profiling of the simulation hot paths (obs::Profiler).
+  /// Off by default; when off, the only cost is a null-pointer test at
+  /// each span site.
+  bool profile = false;
+
   /// Convenience: the paper's §5 environment (churn + reference
   /// departures) on top of the defaults.
   [[nodiscard]] static Scenario paper_section5(ProtocolKind protocol,

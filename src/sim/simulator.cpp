@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/instruments.h"
+
 namespace sstsp::sim {
 
 EventId Simulator::at(SimTime when, EventQueue::Callback fn) {
@@ -15,6 +17,8 @@ bool Simulator::step(SimTime horizon) {
   auto fired = queue_.pop();
   now_ = fired.time;
   ++processed_;
+  if (instruments_ != nullptr) instruments_->on_dispatch(queue_.size());
+  obs::Span span(profiler_, obs::Phase::kDispatch);
   fired.fn();
   return true;
 }

@@ -11,9 +11,14 @@
 
 #include <cstdint>
 
+#include "obs/profiler.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time_types.h"
+
+namespace sstsp::obs {
+class Instruments;
+}  // namespace sstsp::obs
 
 namespace sstsp::sim {
 
@@ -56,11 +61,22 @@ class Simulator {
     return root_rng_.substream(label, index);
   }
 
+  /// Observability hooks (both may be nullptr, the default): the profiler
+  /// wraps every dispatched callback in an event-dispatch span; the
+  /// instruments record the queue depth seen at each dispatch.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] obs::Profiler* profiler() const { return profiler_; }
+  void set_instruments(obs::Instruments* instruments) {
+    instruments_ = instruments;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_{SimTime::zero()};
   Rng root_rng_;
   std::size_t processed_{0};
+  obs::Profiler* profiler_{nullptr};
+  obs::Instruments* instruments_{nullptr};
 };
 
 }  // namespace sstsp::sim

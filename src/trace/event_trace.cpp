@@ -31,8 +31,18 @@ std::string_view to_string(EventKind kind) {
       return "reject-key";
     case EventKind::kRejectMac:
       return "reject-mac";
+    case EventKind::kEventKindCount:
+      break;
   }
   return "?";
+}
+
+std::optional<EventKind> kind_from_string(std::string_view name) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
 }
 
 std::vector<TraceEvent> EventTrace::select(
@@ -54,11 +64,16 @@ std::vector<TraceEvent> EventTrace::by_node(mac::NodeId node) const {
   });
 }
 
-void EventTrace::dump(std::ostream& os, std::size_t limit) const {
-  const std::size_t start =
-      events_.size() > limit ? events_.size() - limit : 0;
-  for (std::size_t i = start; i < events_.size(); ++i) {
-    const TraceEvent& e = events_[i];
+void EventTrace::dump(std::ostream& os, std::size_t limit,
+                      std::optional<EventKind> kind) const {
+  std::vector<const TraceEvent*> rows;
+  rows.reserve(events_.size());
+  for (const TraceEvent& e : events_) {
+    if (!kind || e.kind == *kind) rows.push_back(&e);
+  }
+  const std::size_t start = rows.size() > limit ? rows.size() - limit : 0;
+  for (std::size_t i = start; i < rows.size(); ++i) {
+    const TraceEvent& e = *rows[i];
     os << std::fixed << std::setprecision(6) << std::setw(12)
        << e.time.to_sec() << "s  node " << std::setw(4) << e.node << "  "
        << std::setw(16) << to_string(e.kind);

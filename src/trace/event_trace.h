@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -33,9 +34,17 @@ enum class EventKind : std::uint8_t {
   kRejectInterval,
   kRejectKey,
   kRejectMac,
+  kEventKindCount,  // sentinel: keep last, never record it
 };
 
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kEventKindCount);
+
 [[nodiscard]] std::string_view to_string(EventKind kind);
+
+/// Inverse of to_string ("beacon-tx" -> kBeaconTx); nullopt for unknown
+/// names.  Used by the CLI's --trace-kind filter.
+[[nodiscard]] std::optional<EventKind> kind_from_string(std::string_view name);
 
 struct TraceEvent {
   sim::SimTime time;
@@ -47,17 +56,26 @@ struct TraceEvent {
 
 class EventTrace {
  public:
+  /// Streaming observer: sees every recorded event at record time, before
+  /// any ring-buffer eviction — so a JSONL sink exports the *complete*
+  /// event stream even when the ring only retains the newest slice.
+  using Sink = std::function<void(const TraceEvent&)>;
+
   explicit EventTrace(std::size_t capacity = 65536) : capacity_(capacity) {}
 
   void record(TraceEvent event) {
     ++total_recorded_;
     ++counts_[static_cast<std::size_t>(event.kind)];
+    if (sink_) sink_(event);
     if (events_.size() == capacity_) {
       events_.pop_front();
       ++dropped_;
     }
     events_.push_back(event);
   }
+
+  /// Attaches (or, with an empty function, detaches) the streaming sink.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
 
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -79,17 +97,20 @@ class EventTrace {
   [[nodiscard]] std::vector<TraceEvent> by_kind(EventKind kind) const;
   [[nodiscard]] std::vector<TraceEvent> by_node(mac::NodeId node) const;
 
-  /// Human-readable dump of the newest `limit` retained events.
-  void dump(std::ostream& os, std::size_t limit = 50) const;
+  /// Human-readable dump of the newest `limit` retained events, optionally
+  /// restricted to one kind.
+  void dump(std::ostream& os, std::size_t limit = 50,
+            std::optional<EventKind> kind = std::nullopt) const;
 
   void clear();
 
  private:
   std::size_t capacity_;
   std::deque<TraceEvent> events_;
+  Sink sink_;
   std::uint64_t total_recorded_{0};
   std::uint64_t dropped_{0};
-  std::array<std::uint64_t, 12> counts_{};
+  std::array<std::uint64_t, kEventKindCount> counts_{};
 };
 
 }  // namespace sstsp::trace

@@ -1,0 +1,194 @@
+// Structured export round-trip: the JSONL event stream, the summary record,
+// and the standalone run document all parse back with the documented schema.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "runner/experiment.h"
+#include "runner/json_report.h"
+#include "runner/network.h"
+
+namespace sstsp {
+namespace {
+
+run::Scenario small_scenario() {
+  run::Scenario s;
+  s.protocol = run::ProtocolKind::kSstsp;
+  s.num_nodes = 8;
+  s.duration_s = 10.0;
+  s.seed = 42;
+  s.sstsp.chain_length = 400;
+  s.trace_capacity = 1 << 12;
+  s.profile = true;
+  return s;
+}
+
+TEST(ExportJsonl, SingleEventShape) {
+  trace::TraceEvent e;
+  e.time = sim::SimTime::from_sec_double(1.5);
+  e.node = 3;
+  e.kind = trace::EventKind::kAdjustment;
+  e.peer = 0;
+  e.value_us = -4.25;
+
+  std::ostringstream os;
+  obs::write_event_jsonl(os, e);
+  const std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+
+  const auto doc = obs::json::parse(line);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("type")->string, "event");
+  EXPECT_DOUBLE_EQ(doc->find("t_s")->number, 1.5);
+  EXPECT_DOUBLE_EQ(doc->find("node")->number, 3.0);
+  EXPECT_EQ(doc->find("kind")->string, "adjustment");
+  EXPECT_DOUBLE_EQ(doc->find("peer")->number, 0.0);
+  EXPECT_DOUBLE_EQ(doc->find("value_us")->number, -4.25);
+}
+
+TEST(ExportJsonl, PeerOmittedWhenAbsent) {
+  trace::TraceEvent e;
+  e.time = sim::SimTime::from_sec(0.1);
+  e.node = 1;
+  e.kind = trace::EventKind::kBeaconTx;
+
+  std::ostringstream os;
+  obs::write_event_jsonl(os, e);
+  const auto doc = obs::json::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("peer"), nullptr);
+}
+
+// End to end: stream a real (small) run through the sink, terminate with the
+// summary record, and parse every line back.
+TEST(ExportJsonl, FullRunRoundTrips) {
+  const run::Scenario s = small_scenario();
+  run::Network net(s);
+  ASSERT_NE(net.trace(), nullptr);
+
+  std::ostringstream stream;
+  obs::attach_jsonl_sink(*net.trace(), stream);
+  net.run();
+  net.trace()->set_sink({});
+  const run::RunResult result = run::collect_result(net, /*wall_seconds=*/0.1);
+  run::write_summary_jsonl(stream, s, result);
+
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::size_t events = 0;
+  std::size_t summaries = 0;
+  while (std::getline(lines, line)) {
+    const auto doc = obs::json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << "unparseable line: " << line;
+    ASSERT_TRUE(doc->is_object());
+    const obs::json::Value* type = doc->find("type");
+    ASSERT_NE(type, nullptr);
+    if (type->string == "event") {
+      ++events;
+      EXPECT_NE(doc->find("t_s"), nullptr);
+      EXPECT_NE(doc->find("node"), nullptr);
+      // Every kind string maps back to a real EventKind.
+      EXPECT_TRUE(
+          trace::kind_from_string(doc->find("kind")->string).has_value());
+    } else {
+      ASSERT_EQ(type->string, "summary");
+      ++summaries;
+    }
+  }
+  // The sink sees the complete stream, independent of ring eviction.
+  EXPECT_EQ(events, net.trace()->total_recorded());
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(summaries, 1u);
+}
+
+TEST(RunJson, DocumentMatchesSchema) {
+  const run::Scenario s = small_scenario();
+  const run::RunResult result = run::run_scenario(s);
+
+  std::ostringstream os;
+  run::write_run_json(os, s, result);
+  const auto doc = obs::json::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+
+  EXPECT_EQ(doc->find("protocol")->string, "SSTSP");
+  EXPECT_DOUBLE_EQ(doc->find("nodes")->number, 8.0);
+  EXPECT_DOUBLE_EQ(doc->find("duration_s")->number, 10.0);
+  EXPECT_EQ(doc->find("attack")->string, "none");
+  // Absent quantities are null, never omitted.
+  ASSERT_NE(doc->find("attacker"), nullptr);
+  EXPECT_TRUE(doc->find("attacker")->is_null());
+
+  const obs::json::Value* channel = doc->find("channel");
+  ASSERT_NE(channel, nullptr);
+  EXPECT_GT(channel->find("transmissions")->number, 0.0);
+
+  const obs::json::Value* honest = doc->find("honest");
+  ASSERT_NE(honest, nullptr);
+  EXPECT_NE(honest->find("adjustments"), nullptr);
+
+  // Metrics were collected (default) and carry the wired instrument names.
+  const obs::json::Value* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::json::Value* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("event.beacon-tx"), nullptr);
+  EXPECT_GT(counters->find("event.beacon-tx")->number, 0.0);
+  const obs::json::Value* hists = metrics->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::json::Value* max_diff = hists->find("sync.max_diff_us");
+  ASSERT_NE(max_diff, nullptr);
+  EXPECT_GT(max_diff->find("count")->number, 0.0);
+
+  // profile was requested, so the document carries the phase breakdown.
+  const obs::json::Value* profile = doc->find("profile");
+  ASSERT_NE(profile, nullptr);
+  ASSERT_TRUE(profile->is_object());
+  EXPECT_GT(profile->find("events")->number, 0.0);
+  ASSERT_NE(profile->find("phases"), nullptr);
+  EXPECT_NE(profile->find("phases")->find("event-dispatch"), nullptr);
+}
+
+TEST(RunJson, ProfileNullWhenDisabled) {
+  run::Scenario s = small_scenario();
+  s.profile = false;
+  s.duration_s = 5.0;
+  const run::RunResult result = run::run_scenario(s);
+
+  std::ostringstream os;
+  run::write_run_json(os, s, result);
+  const auto doc = obs::json::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->find("profile"), nullptr);
+  EXPECT_TRUE(doc->find("profile")->is_null());
+}
+
+TEST(ExportJsonl, WriteTraceJsonlHonorsLimit) {
+  trace::EventTrace trace(16);
+  for (int i = 0; i < 10; ++i) {
+    trace::TraceEvent e;
+    e.time = sim::SimTime::from_sec(i);
+    e.node = static_cast<mac::NodeId>(i);
+    e.kind = trace::EventKind::kBeaconRx;
+    trace.record(e);
+  }
+  std::ostringstream os;
+  obs::write_trace_jsonl(os, trace, 3);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<double> nodes;
+  while (std::getline(lines, line)) {
+    const auto doc = obs::json::parse(line);
+    ASSERT_TRUE(doc.has_value());
+    nodes.push_back(doc->find("node")->number);
+  }
+  // Newest 3 of 10.
+  EXPECT_EQ(nodes, (std::vector<double>{7.0, 8.0, 9.0}));
+}
+
+}  // namespace
+}  // namespace sstsp

@@ -1,0 +1,168 @@
+// Scoped profiler: exclusive-time attribution with nested spans, fake-clock
+// determinism, and the null-profiler (disabled) contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/profiler.h"
+
+namespace sstsp::obs {
+namespace {
+
+// Injectable clock: each test advances `now` by hand, so attribution is
+// checked exactly, not statistically.
+struct FakeClock {
+  std::uint64_t now = 0;
+  Profiler make() {
+    return Profiler([this] { return now; });
+  }
+};
+
+TEST(Profiler, SingleSpanChargesItsPhase) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  p.begin(Phase::kDispatch);
+  clk.now += 100;
+  p.end();
+  EXPECT_EQ(p.stats(Phase::kDispatch).exclusive_ns, 100u);
+  EXPECT_EQ(p.stats(Phase::kDispatch).spans, 1u);
+  EXPECT_EQ(p.total_ns(), 100u);
+}
+
+TEST(Profiler, NestedSpanPausesParent) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  p.begin(Phase::kDispatch);
+  clk.now += 10;  // dispatch alone
+  p.begin(Phase::kCryptoVerify);
+  clk.now += 70;  // crypto, dispatch paused
+  p.end();
+  clk.now += 20;  // dispatch resumes
+  p.end();
+
+  EXPECT_EQ(p.stats(Phase::kDispatch).exclusive_ns, 30u);
+  EXPECT_EQ(p.stats(Phase::kCryptoVerify).exclusive_ns, 70u);
+  EXPECT_EQ(p.total_ns(), 100u);  // breakdown sums to total, no double count
+}
+
+TEST(Profiler, SamePhaseNestedStillSumsToTotal) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  p.begin(Phase::kDispatch);
+  clk.now += 5;
+  p.begin(Phase::kDispatch);  // recursive dispatch (nested simulator step)
+  clk.now += 15;
+  p.end();
+  clk.now += 5;
+  p.end();
+  EXPECT_EQ(p.stats(Phase::kDispatch).exclusive_ns, 25u);
+  EXPECT_EQ(p.stats(Phase::kDispatch).spans, 2u);
+}
+
+TEST(Profiler, ThreeLevelNesting) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  p.begin(Phase::kDispatch);
+  clk.now += 1;
+  p.begin(Phase::kChannelDelivery);
+  clk.now += 2;
+  p.begin(Phase::kFilterEval);
+  clk.now += 4;
+  p.end();
+  clk.now += 8;
+  p.end();
+  clk.now += 16;
+  p.end();
+  EXPECT_EQ(p.stats(Phase::kDispatch).exclusive_ns, 17u);
+  EXPECT_EQ(p.stats(Phase::kChannelDelivery).exclusive_ns, 10u);
+  EXPECT_EQ(p.stats(Phase::kFilterEval).exclusive_ns, 4u);
+  EXPECT_EQ(p.total_ns(), 31u);
+}
+
+TEST(Profiler, UnbalancedEndIsIgnored) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  p.end();  // no open span: must not corrupt anything
+  p.begin(Phase::kFilterEval);
+  clk.now += 3;
+  p.end();
+  p.end();
+  EXPECT_EQ(p.total_ns(), 3u);
+}
+
+TEST(Profiler, ResetClearsEverything) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  p.begin(Phase::kDispatch);
+  clk.now += 9;
+  p.end();
+  p.reset();
+  EXPECT_EQ(p.total_ns(), 0u);
+  EXPECT_EQ(p.stats(Phase::kDispatch).spans, 0u);
+}
+
+// The disabled contract: a null profiler makes Span construction and
+// destruction no-ops, so instrumented code needs no branches of its own.
+TEST(Span, NullProfilerIsANoOp) {
+  for (int i = 0; i < 1000; ++i) {
+    Span outer(nullptr, Phase::kDispatch);
+    Span inner(nullptr, Phase::kCryptoVerify);
+  }
+  SUCCEED();
+}
+
+TEST(Span, RaiiMatchesBeginEnd) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  {
+    Span outer(&p, Phase::kDispatch);
+    clk.now += 10;
+    {
+      Span inner(&p, Phase::kFilterEval);
+      clk.now += 30;
+    }
+    clk.now += 2;
+  }
+  EXPECT_EQ(p.stats(Phase::kDispatch).exclusive_ns, 12u);
+  EXPECT_EQ(p.stats(Phase::kFilterEval).exclusive_ns, 30u);
+}
+
+TEST(ProfileSnapshot, EventsPerSecondAndJson) {
+  FakeClock clk;
+  Profiler p = clk.make();
+  p.begin(Phase::kCryptoVerify);
+  clk.now += 500;
+  p.end();
+
+  const ProfileSnapshot s = p.snapshot(/*events=*/1000, /*wall_seconds=*/0.5);
+  EXPECT_DOUBLE_EQ(s.events_per_second(), 2000.0);
+  EXPECT_EQ(s.total_ns, 500u);
+
+  std::ostringstream os;
+  s.write_json(os);
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->find("events")->number, 1000.0);
+  const json::Value* phases = doc->find("phases");
+  ASSERT_NE(phases, nullptr);
+  const json::Value* crypto = phases->find("crypto-verify");
+  ASSERT_NE(crypto, nullptr);
+  EXPECT_DOUBLE_EQ(crypto->find("exclusive_ns")->number, 500.0);
+  EXPECT_DOUBLE_EQ(crypto->find("fraction")->number, 1.0);
+
+  std::ostringstream table;
+  s.print(table);
+  EXPECT_NE(table.str().find("crypto-verify"), std::string::npos);
+  EXPECT_NE(table.str().find("events/s"), std::string::npos);
+}
+
+TEST(Phase, AllPhasesHaveNames) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    EXPECT_NE(phase_name(static_cast<Phase>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace sstsp::obs

@@ -80,9 +80,19 @@ TEST(EventTrace, ClearResetsEverything) {
 }
 
 TEST(EventTrace, AllKindsHaveNames) {
-  for (int k = 0; k < 12; ++k) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
     EXPECT_NE(to_string(static_cast<EventKind>(k)), "?");
   }
+}
+
+TEST(EventTrace, KindFromStringRoundTrips) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto back = kind_from_string(to_string(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(kind_from_string("no-such-kind").has_value());
 }
 
 // ---- end to end ---------------------------------------------------------

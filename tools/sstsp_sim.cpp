@@ -3,14 +3,19 @@
 //   $ sstsp_sim --protocol sstsp --nodes 200 --duration 300 --chart
 //   $ sstsp_sim --protocol tsf --nodes 300 --paper-env --csv tsf300.csv
 //   $ sstsp_sim --attack internal-ref --attack-window 100,200 --trace
+//   $ sstsp_sim --json-out run.jsonl --metrics-out metrics.json --profile
 //
 // See --help for the full option list.  Everything the tool does is also
 // available programmatically through runner::run_scenario.
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "metrics/report.h"
+#include "obs/export.h"
 #include "runner/cli.h"
 #include "runner/experiment.h"
+#include "runner/json_report.h"
 #include "runner/network.h"
 
 int main(int argc, char** argv) {
@@ -36,32 +41,57 @@ int main(int argc, char** argv) {
   std::cout << " ...\n";
 
   run::Network net(s);
+
+  // The JSONL sink must be attached before the run: it streams every event
+  // at record time, so the file captures the complete stream even though
+  // the in-memory ring only retains the newest slice.
+  std::ofstream json_out;
+  if (!opts->json_out_path.empty()) {
+    json_out.open(opts->json_out_path);
+    if (!json_out) {
+      std::cerr << "error: could not open " << opts->json_out_path << '\n';
+      return 1;
+    }
+    if (net.trace() == nullptr) {
+      std::cerr << "error: --json-out needs an event trace (internal)\n";
+      return 1;
+    }
+    obs::attach_jsonl_sink(*net.trace(), json_out);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
   net.run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const run::RunResult result = run::collect_result(net, wall_seconds);
 
-  const auto& series = net.max_diff_series();
-  const auto honest = net.honest_stats();
-  const auto latency =
-      series.first_sustained_below(run::kSyncThresholdUs, 1.0);
-  const double steady_from = std::max(20.0, latency.value_or(0.0) + 5.0);
-  const auto steady_max = series.max_in(steady_from, s.duration_s);
-  const auto steady_p99 =
-      series.quantile_in(0.99, steady_from, s.duration_s);
-
+  const auto& series = result.max_diff;
+  const auto& honest = result.honest;
   std::cout << "\nsync latency (<25 us sustained): "
-            << (latency ? metrics::fmt(*latency, 2) + " s"
-                        : std::string("never"))
+            << (result.sync_latency_s
+                    ? metrics::fmt(*result.sync_latency_s, 2) + " s"
+                    : std::string("never"))
             << "\nsteady max / p99 clock difference: "
-            << (steady_max ? metrics::fmt(*steady_max, 2) : std::string("-"))
+            << (result.steady_max_us ? metrics::fmt(*result.steady_max_us, 2)
+                                     : std::string("-"))
             << " / "
-            << (steady_p99 ? metrics::fmt(*steady_p99, 2) : std::string("-"))
-            << " us\nbeacons: " << net.channel_stats().transmissions << " ("
-            << net.channel_stats().collided_transmissions << " collided), "
-            << net.channel_stats().bytes_on_air << " bytes on air\n"
+            << (result.steady_p99_us ? metrics::fmt(*result.steady_p99_us, 2)
+                                     : std::string("-"))
+            << " us\nbeacons: " << result.channel.transmissions << " ("
+            << result.channel.collided_transmissions << " collided), "
+            << result.channel.bytes_on_air << " bytes on air\n"
             << "adjustments/adoptions: " << honest.adjustments << "/"
             << honest.adoptions << ", elections " << honest.elections_won
             << ", rejections g/i/k/m " << honest.rejected_guard << "/"
             << honest.rejected_interval << "/" << honest.rejected_key << "/"
             << honest.rejected_mac << '\n';
+
+  if (result.profile) {
+    std::cout << '\n';
+    result.profile->print(std::cout);
+  }
 
   if (opts->ascii_chart) {
     std::cout << '\n';
@@ -77,9 +107,33 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (json_out.is_open()) {
+    net.trace()->set_sink({});
+    run::write_summary_jsonl(json_out, s, result);
+    if (!json_out) {
+      std::cerr << "error: failed writing " << opts->json_out_path << '\n';
+      return 1;
+    }
+    std::cout << "event stream written to " << opts->json_out_path << " ("
+              << net.trace()->total_recorded() << " events + summary)\n";
+  }
+  if (!opts->metrics_out_path.empty()) {
+    std::ofstream metrics_out(opts->metrics_out_path);
+    if (!metrics_out) {
+      std::cerr << "error: could not write " << opts->metrics_out_path
+                << '\n';
+      return 1;
+    }
+    run::write_run_json(metrics_out, s, result);
+    std::cout << "metrics written to " << opts->metrics_out_path << '\n';
+  }
   if (opts->dump_trace && net.trace() != nullptr) {
-    std::cout << "\nnewest protocol events:\n";
-    net.trace()->dump(std::cout, 40);
+    std::cout << "\nnewest protocol events";
+    if (opts->trace_kind) {
+      std::cout << " (" << trace::to_string(*opts->trace_kind) << " only)";
+    }
+    std::cout << ":\n";
+    net.trace()->dump(std::cout, opts->trace_limit, opts->trace_kind);
     std::cout << "(recorded " << net.trace()->total_recorded()
               << " events total, " << net.trace()->dropped()
               << " dropped from the ring)\n";
