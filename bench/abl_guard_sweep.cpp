@@ -31,6 +31,7 @@ int main() {
     s.sstsp_attack.start_s = 40.0;
     s.sstsp_attack.end_s = 140.0;
     s.sstsp_attack.skew_rate_us_per_s = skew;
+    s.monitor = true;
     scenarios.push_back(s);
   }
   const auto results = run::run_sweep(scenarios);
@@ -72,6 +73,7 @@ int main() {
     s.sstsp_attack.start_s = 40.0;
     s.sstsp_attack.end_s = 140.0;
     s.sstsp_attack.skew_rate_us_per_s = 200.0;
+    s.monitor = true;
     gsweep.push_back(s);
   }
   const auto gresults = run::run_sweep(gsweep);

@@ -35,6 +35,7 @@ int main() {
     s.sstsp.m = l + 3;  // the Lemma-2 optimum for each l
     s.sstsp.chain_length = 1400;
     s.reference_departures_s = {60.0};
+    s.monitor = true;
     change.push_back(s);
   }
   const auto change_results = run::run_sweep(change);
@@ -50,6 +51,7 @@ int main() {
     s.sstsp.l = l;
     s.sstsp.chain_length = 1400;
     s.phy.packet_error_rate = 0.02;  // 200x the paper's PER
+    s.monitor = true;
     lossy.push_back(s);
   }
   const auto lossy_results = run::run_sweep(lossy);

@@ -33,6 +33,7 @@ int main() {
       s.preestablished_reference = true;
       s.sstsp.m = m;
       s.sstsp.chain_length = 500;
+      s.monitor = true;
       scenarios.push_back(s);
     }
     const auto results = run::run_sweep(scenarios);
@@ -75,6 +76,7 @@ int main() {
       s.sstsp.m = c.m;
       s.sstsp.chain_length = 1100;
       s.reference_departures_s = {60.0};
+      s.monitor = true;
       scenarios.push_back(s);
     }
     const auto results = run::run_sweep(scenarios);
@@ -111,6 +113,7 @@ int main() {
       s.num_nodes = n;
       s.duration_s = 120.0;
       s.seed = 2006;
+      s.monitor = true;
       scenarios.push_back(s);
     }
     const auto results = run::run_sweep(scenarios);

@@ -31,6 +31,7 @@ int main() {
     s.duration_s = 200.0;
     s.seed = 2006;
     s.sstsp.chain_length = 2200;
+    s.monitor = true;
     const auto r = run::run_scenario(s);
     report.add_run(std::string("traffic_") + run::protocol_name(kind), s, r);
     traffic.add_row(

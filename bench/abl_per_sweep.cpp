@@ -27,6 +27,7 @@ int main() {
       s.phy.packet_error_rate = per;
       s.sstsp.l = 3;  // the paper's own mitigation for lossy channels
       s.sstsp.chain_length = 2200;
+      s.monitor = true;
       scenarios.push_back(s);
     }
   }

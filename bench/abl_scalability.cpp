@@ -32,6 +32,7 @@ int main() {
       s.duration_s = 200.0;
       s.seed = 2006;
       s.sstsp.chain_length = 2200;
+      s.monitor = true;
       scenarios.push_back(s);
     }
   }

@@ -17,6 +17,7 @@ int main() {
   for (const int n : {100, 300}) {
     auto scenario = run::Scenario::paper_section5(run::ProtocolKind::kTsf, n,
                                                   /*seed=*/2006);
+    scenario.monitor = true;
     const auto result = run::run_scenario(scenario);
     report.add_run("tsf_n" + std::to_string(n), scenario, result);
     std::cout << "\n--- TSF, N = " << n << " ---\n";

@@ -16,6 +16,7 @@ int main() {
       run::Scenario::paper_section5(run::ProtocolKind::kSstsp, 500,
                                     /*seed=*/2006);
   scenario.sstsp.m = 4;
+  scenario.monitor = true;
   const auto result = run::run_scenario(scenario);
   bench::JsonReport report("fig2");
   report.add_run("sstsp_n500_m4", scenario, result);

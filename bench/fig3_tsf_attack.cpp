@@ -28,6 +28,7 @@ int main() {
   scenario.attack = run::AttackKind::kTsfSlowBeacon;
   scenario.tsf_attack.start_s = 400.0;
   scenario.tsf_attack.end_s = 600.0;
+  scenario.monitor = true;
   const auto result = run::run_scenario(scenario);
   bench::JsonReport report("fig3");
   report.add_run("tsf_attack", scenario, result);

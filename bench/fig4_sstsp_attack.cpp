@@ -22,6 +22,7 @@ int main() {
   scenario.attack = run::AttackKind::kSstspInternalReference;
   scenario.sstsp_attack.start_s = 400.0;
   scenario.sstsp_attack.end_s = 600.0;
+  scenario.monitor = true;
   const auto result = run::run_scenario(scenario);
   bench::JsonReport report("fig4");
   report.add_run("sstsp_attack", scenario, result);

@@ -38,6 +38,7 @@ int main() {
       s.sstsp.m = m;
       s.sstsp.chain_length = 2200;
       s.preestablished_reference = preestablished;
+      s.monitor = true;
       scenarios.push_back(s);
     }
   }

@@ -4,7 +4,8 @@ namespace sstsp::core {
 
 PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
                                       mac::NodeId sender, double arrival_hw_us,
-                                      double ts_est_us) {
+                                      double ts_est_us,
+                                      std::uint64_t trace_id) {
   PipelineResult result;
   const std::int64_t j = body.interval;
 
@@ -28,7 +29,7 @@ PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
               stored.mac)) {
         result.authenticated = PipelineResult::Authenticated{
             stored.interval, stored.arrival_hw_us, stored.ts_est_us,
-            stored.level};
+            stored.level, stored.trace_id};
       } else {
         result.mac_failed = true;
       }
@@ -38,7 +39,7 @@ PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
 
   // Buffer this beacon for authentication next interval; keep 2 intervals.
   buffer_.push_back(StoredBeacon{j, body.timestamp_us, body.level, body.mac,
-                                 arrival_hw_us, ts_est_us});
+                                 arrival_hw_us, ts_est_us, trace_id});
   while (buffer_.size() > 2) buffer_.pop_front();
   return result;
 }

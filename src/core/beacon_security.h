@@ -39,6 +39,10 @@ struct PipelineResult {
     double arrival_hw_us{0};
     double ts_est_us{0};
     std::uint8_t level{0};
+    /// Lifecycle ID of the (previous-interval) transmission that just
+    /// became authenticated — the causal subject of any resulting
+    /// adjustment, one interval after its time on air.
+    std::uint64_t trace_id{0};
   };
   std::optional<Authenticated> authenticated;
 };
@@ -52,9 +56,11 @@ class SenderPipeline {
 
   /// Processes the secured fields of a beacon received from this sender.
   /// `arrival_hw_us` / `ts_est_us` are recorded so the beacon can be turned
-  /// into an adjustment sample once authenticated one interval later.
+  /// into an adjustment sample once authenticated one interval later;
+  /// `trace_id` rides along for the same deferred hand-back.
   PipelineResult ingest(const mac::SstspBeaconBody& body, mac::NodeId sender,
-                        double arrival_hw_us, double ts_est_us);
+                        double arrival_hw_us, double ts_est_us,
+                        std::uint64_t trace_id = 0);
 
   [[nodiscard]] const crypto::MuTeslaVerifier& verifier() const {
     return verifier_;
@@ -81,6 +87,7 @@ class SenderPipeline {
     crypto::Digest128 mac;
     double arrival_hw_us;
     double ts_est_us;
+    std::uint64_t trace_id;
   };
 
   crypto::MuTeslaVerifier verifier_;

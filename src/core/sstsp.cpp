@@ -45,6 +45,12 @@ void Sstsp::start() {
   if (options_.start_as_reference && !started_before_) {
     state_ = State::kReference;
     synced_ = true;
+    // A preestablished reference is a legitimate role acquisition (the
+    // experiment's stand-in for an already-completed election).
+    if (auto* mon = station_.monitor()) {
+      mon->on_role_change(station_.id(), /*is_reference=*/true,
+                          /*via_election=*/true, station_.sim().now());
+    }
   } else if (options_.calibrated_boot && !started_before_) {
     state_ = State::kFollower;
     synced_ = true;
@@ -119,6 +125,10 @@ void Sstsp::handle_tick(std::int64_t j) {
           state_ = State::kReference;
           ++stats_.elections_won;
           station_.trace_event(trace::EventKind::kElectionWon);
+          if (auto* mon = station_.monitor()) {
+            mon->on_role_change(station_.id(), /*is_reference=*/true,
+                                /*via_election=*/true, station_.sim().now());
+          }
         }
       }
       if (state_ == State::kReference) {
@@ -197,17 +207,22 @@ void Sstsp::handle_reference_emission(std::int64_t j) {
 void Sstsp::transmit_beacon(std::int64_t j) {
   const sim::SimTime now = station_.sim().now();
   const auto& phy = station_.channel().phy();
+  const double c_now = adjusted_now();
   const auto ts =
-      static_cast<std::int64_t>(std::floor(adjusted_now() +
-                                           timestamp_skew_us()));
+      static_cast<std::int64_t>(std::floor(c_now + timestamp_skew_us()));
   mac::Frame frame;
   frame.sender = station_.id();
   frame.air_bytes = phy.sstsp_beacon_bytes;
   frame.body = signer_.sign(j, ts, station_.id());
-  station_.transmit(std::move(frame), phy.sstsp_beacon_duration);
+  const std::uint64_t tid =
+      station_.transmit(std::move(frame), phy.sstsp_beacon_duration);
   ++stats_.beacons_sent;
   station_.trace_event(trace::EventKind::kBeaconTx, mac::kNoNode,
-                       static_cast<double>(j));
+                       static_cast<double>(j), tid);
+  if (auto* mon = station_.monitor()) {
+    mon->on_beacon_tx(station_.id(), j, static_cast<double>(ts), c_now,
+                      state_ == State::kReference, now);
+  }
   last_tx_interval_ = j;
   last_tx_start_ = now;
   if (state_ == State::kReference) {
@@ -229,7 +244,13 @@ void Sstsp::finish_coarse() {
     return;
   }
   const double hw_now = station_.hw_us_now();
-  adjusted_.step_to(adjusted_.value_at_hw(hw_now) + *estimate, hw_now);
+  const double before = adjusted_.value_at_hw(hw_now);
+  adjusted_.step_to(before + *estimate, hw_now);
+  if (auto* mon = station_.monitor()) {
+    mon->on_clock_adjustment(station_.id(), station_.sim().now(), before,
+                             adjusted_.value_at_hw(hw_now), adjusted_.k(),
+                             /*coarse=*/true);
+  }
   last_sync_hw_us_ = hw_now;
   ++stats_.coarse_steps;
   station_.trace_event(trace::EventKind::kCoarseStep, mac::kNoNode,
@@ -292,6 +313,9 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
   const double c_now = adjusted_.read_us(rx.delivered);
   const double ts_est =
       static_cast<double>(body.timestamp_us) + rx.nominal_delay_us;
+  // Lifecycle rx span: delivered and about to enter the §3.3 checks.
+  station_.trace_event(trace::EventKind::kBeaconRx, frame.sender,
+                       ts_est - c_now, frame.trace_id);
 
   if (state_ == State::kCoarse) {
     // Pre-synchronization: just collect the offset; outliers are filtered
@@ -306,7 +330,7 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
   if (!schedule_.interval_check(j, c_now, cfg_.interval_slack_us)) {
     ++stats_.rejected_interval;
     station_.trace_event(trace::EventKind::kRejectInterval, frame.sender,
-                         ts_est - c_now);
+                         ts_est - c_now, frame.trace_id);
     // NOT counted toward the blacklist: a stale interval is replay
     // evidence against some third party, never attributable to the
     // claimed sender.
@@ -318,7 +342,7 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
   if (std::fabs(ts_est - c_now) > effective_guard_us(arrival_hw)) {
     ++stats_.rejected_guard;
     station_.trace_event(trace::EventKind::kRejectGuard, frame.sender,
-                         ts_est - c_now);
+                         ts_est - c_now, frame.trace_id);
     // Blacklist-attributable only when the frame proves chain ownership
     // with a *fresh* key disclosure; a pulse-delayed replay of an honest
     // beacon carries an already-public key and must not frame its victim.
@@ -336,22 +360,33 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
   SenderTrack* track = track_for(frame.sender);
   if (track == nullptr) {
     ++stats_.rejected_key;  // no published anchor: external identity
-    station_.trace_event(trace::EventKind::kRejectKey, frame.sender);
+    station_.trace_event(trace::EventKind::kRejectKey, frame.sender, 0.0,
+                         frame.trace_id);
     return;
   }
   PipelineResult res;
   {
     obs::Span span(station_.profiler(), obs::Phase::kCryptoVerify);
-    res = track->pipeline.ingest(body, frame.sender, arrival_hw, ts_est);
+    res = track->pipeline.ingest(body, frame.sender, arrival_hw, ts_est,
+                                 frame.trace_id);
   }
   if (!res.key_valid) {
     ++stats_.rejected_key;
-    station_.trace_event(trace::EventKind::kRejectKey, frame.sender);
+    station_.trace_event(trace::EventKind::kRejectKey, frame.sender, 0.0,
+                         frame.trace_id);
     return;
+  }
+  if (j > 1) {
+    // A disclosed chain element (K_{j-1}) was just accepted as authentic.
+    if (auto* mon = station_.monitor()) {
+      mon->on_key_accepted(station_.id(), frame.sender, j - 1, c_now,
+                           station_.sim().now());
+    }
   }
   if (res.mac_failed) {
     ++stats_.rejected_mac;
-    station_.trace_event(trace::EventKind::kRejectMac, frame.sender);
+    station_.trace_event(trace::EventKind::kRejectMac, frame.sender, 0.0,
+                         frame.trace_id);
     note_rejection(frame.sender, arrival_hw);
   }
 
@@ -376,30 +411,44 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
   current_ref_ = frame.sender;
 
   if (res.authenticated) {
+    // The *previous* interval's stored beacon just authenticated — the
+    // auth-ok span belongs to that transmission's lifecycle, not to the
+    // frame that delivered the disclosing key.
+    station_.trace_event(trace::EventKind::kAuthOk, frame.sender,
+                         static_cast<double>(res.authenticated->interval),
+                         res.authenticated->trace_id);
     track->samples.push_back(RefSample{res.authenticated->arrival_hw_us,
                                        res.authenticated->ts_est_us});
     while (track->samples.size() > 2) track->samples.pop_front();
-    try_adjust(*track, j);
+    try_adjust(*track, j, res.authenticated->trace_id);
   }
 }
 
-void Sstsp::try_adjust(SenderTrack& track, std::int64_t cur_interval) {
+void Sstsp::try_adjust(SenderTrack& track, std::int64_t cur_interval,
+                       std::uint64_t trace_id) {
   if (state_ != State::kFollower || track.samples.size() < 2) return;
   const double target =
       schedule_.emission_time(cur_interval + cfg_.m);
   const ClockParams previous{adjusted_.k(), adjusted_.b()};
   obs::Span span(station_.profiler(), obs::Phase::kFilterEval);
+  const double hw_now = station_.hw_us_now();
   const SolveOutcome outcome =
-      solve_adjustment(previous, station_.hw_us_now(), track.samples.back(),
+      solve_adjustment(previous, hw_now, track.samples.back(),
                        track.samples.front(), target, cfg_);
   if (!outcome.params) {
     ++stats_.solver_rejections;
     return;
   }
+  const double before = adjusted_.value_at_hw(hw_now);
   adjusted_.set_params(outcome.params->k, outcome.params->b);
+  if (auto* mon = station_.monitor()) {
+    mon->on_clock_adjustment(station_.id(), station_.sim().now(), before,
+                             adjusted_.value_at_hw(hw_now),
+                             outcome.params->k, /*coarse=*/false);
+  }
   ++stats_.adjustments;
   station_.trace_event(trace::EventKind::kAdjustment, current_ref_,
-                       (outcome.params->k - 1.0) * 1e6);
+                       (outcome.params->k - 1.0) * 1e6, trace_id);
   last_sync_hw_us_ = station_.hw_us_now();
   if (!synced_) {
     // A rejoining node counts as synchronized (and re-enters the error
@@ -412,12 +461,22 @@ void Sstsp::try_adjust(SenderTrack& track, std::int64_t cur_interval) {
 void Sstsp::force_reference_role() {
   state_ = State::kReference;
   confirm_left_ = 0;
+  // A forced acquisition bypasses the §3.3 contention election — the
+  // monitor flags it as a takeover (only attacker/test hooks reach this).
+  if (auto* mon = station_.monitor()) {
+    mon->on_role_change(station_.id(), /*is_reference=*/true,
+                        /*via_election=*/false, station_.sim().now());
+  }
   schedule_reference_emission(current_interval() + 1);
 }
 
 void Sstsp::force_follower_role() {
   state_ = State::kFollower;
   confirm_left_ = 0;
+  if (auto* mon = station_.monitor()) {
+    mon->on_role_change(station_.id(), /*is_reference=*/false,
+                        /*via_election=*/true, station_.sim().now());
+  }
   cancel_tx_event();
 }
 

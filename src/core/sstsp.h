@@ -128,7 +128,11 @@ class Sstsp : public proto::SyncProtocol {
   void handle_reference_emission(std::int64_t j);
   void transmit_beacon(std::int64_t j);
   void finish_coarse();
-  void try_adjust(SenderTrack& track, std::int64_t cur_interval);
+  /// `trace_id` is the lifecycle ID of the just-authenticated beacon the
+  /// adjustment derives from (µTESLA defers auth by one interval, so this
+  /// is the *previous* interval's transmission, not the one delivering it).
+  void try_adjust(SenderTrack& track, std::int64_t cur_interval,
+                  std::uint64_t trace_id);
   SenderTrack* track_for(mac::NodeId sender);
   void note_rejection(mac::NodeId sender, double hw_now_us);
   void cancel_tx_event();

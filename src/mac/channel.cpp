@@ -50,7 +50,8 @@ void Channel::prune_old(sim::SimTime now) {
   }
 }
 
-void Channel::transmit(std::size_t idx, Frame frame, sim::SimTime duration) {
+std::uint64_t Channel::transmit(std::size_t idx, Frame frame,
+                                sim::SimTime duration) {
   const sim::SimTime now = sim_.now();
   prune_old(now);
 
@@ -58,6 +59,9 @@ void Channel::transmit(std::size_t idx, Frame frame, sim::SimTime duration) {
   tx.id = next_tx_id_++;
   tx.sender = idx;
   tx.frame = std::move(frame);
+  // Every time on air gets its own lifecycle ID, even for a byte-identical
+  // replayed frame: the receivers' events describe *this* transmission.
+  tx.frame.trace_id = tx.id;
   tx.start = now;
   tx.end = now + duration;
 
@@ -69,6 +73,7 @@ void Channel::transmit(std::size_t idx, Frame frame, sim::SimTime duration) {
   const std::uint64_t id = tx.id;
   recent_.push_back(std::move(tx));
   sim_.at(recent_.back().end, [this, id] { finish_transmission(id); });
+  return id;
 }
 
 void Channel::finish_transmission(std::uint64_t tx_id) {

@@ -72,8 +72,11 @@ class Channel {
     return stations_[idx].pos;
   }
 
-  /// Starts a transmission now; duration is the on-air time.
-  void transmit(std::size_t idx, Frame frame, sim::SimTime duration);
+  /// Starts a transmission now; duration is the on-air time.  Returns the
+  /// transmission's lifecycle trace ID, which is also stamped into the
+  /// frame every receiver sees (Frame::trace_id) — a retransmitted or
+  /// replayed frame gets a fresh ID for its new time on air.
+  std::uint64_t transmit(std::size_t idx, Frame frame, sim::SimTime duration);
 
   /// Would station `idx`, checking at time `at`, find the medium busy?
   /// Only transmissions within radio range are sensed.

@@ -37,6 +37,11 @@ struct Frame {
   NodeId sender{kNoNode};
   std::variant<TsfBeaconBody, SstspBeaconBody> body;
   std::uint32_t air_bytes{0};  ///< on-air size, for traffic accounting
+  /// Causal lifecycle ID, assigned by the channel at transmission start
+  /// (its per-transmission counter) and carried to every receiver.  Not an
+  /// on-air field: it is simulation bookkeeping that lets observability
+  /// correlate a beacon's tx with its per-receiver rx/verify/adjust events.
+  std::uint64_t trace_id{0};
 
   [[nodiscard]] bool is_tsf() const {
     return std::holds_alternative<TsfBeaconBody>(body);

@@ -16,6 +16,9 @@ void write_event_jsonl(std::ostream& os, const trace::TraceEvent& event) {
   if (event.peer != mac::kNoNode) {
     w.kv("peer", static_cast<std::uint64_t>(event.peer));
   }
+  // Beacon-lifecycle correlation key (see trace/lifecycle.h); omitted —
+  // like "peer" — when the event is not tied to a transmission.
+  if (event.trace_id != 0) w.kv("trace_id", event.trace_id);
   w.kv("value_us", event.value_us);
   w.end_object();
   os << '\n';

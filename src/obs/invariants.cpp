@@ -1,0 +1,364 @@
+#include "obs/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace sstsp::obs {
+
+std::string_view to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kClockContinuity:
+      return "clock-continuity";
+    case InvariantKind::kLemma1Divergence:
+      return "lemma1-divergence";
+    case InvariantKind::kLemma1ConvergenceTimeout:
+      return "lemma1-convergence-timeout";
+    case InvariantKind::kKeyDisclosure:
+      return "key-disclosure";
+    case InvariantKind::kChainRegression:
+      return "chain-regression";
+    case InvariantKind::kGuardViolation:
+      return "guard-violation";
+    case InvariantKind::kReferenceTakeover:
+      return "reference-takeover";
+    case InvariantKind::kReferenceSchedule:
+      return "reference-schedule";
+    case InvariantKind::kTimestampIntegrity:
+      return "timestamp-integrity";
+    case InvariantKind::kReferenceUniqueness:
+      return "reference-uniqueness";
+    case InvariantKind::kInvariantKindCount:
+      break;
+  }
+  return "?";
+}
+
+std::string_view to_string(Severity severity) {
+  return severity == Severity::kCritical ? "critical" : "warning";
+}
+
+std::string_view paper_reference(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kClockContinuity:
+      return "eq. (2)";
+    case InvariantKind::kLemma1Divergence:
+    case InvariantKind::kLemma1ConvergenceTimeout:
+      return "Lemma 1";
+    case InvariantKind::kKeyDisclosure:
+      return "µTESLA security condition, §3.3 check 1";
+    case InvariantKind::kChainRegression:
+      return "§3.2 one-way chain";
+    case InvariantKind::kGuardViolation:
+      return "§3.3 check 4 (guard time, eq. 5)";
+    case InvariantKind::kReferenceTakeover:
+      return "§3.3 contention election";
+    case InvariantKind::kReferenceSchedule:
+      return "§3.3 (reference emits at T^j with no delay)";
+    case InvariantKind::kTimestampIntegrity:
+      return "§3.3 (B carries the sender's adjusted clock)";
+    case InvariantKind::kReferenceUniqueness:
+      return "§3.1 (single reference per partition)";
+    case InvariantKind::kInvariantKindCount:
+      break;
+  }
+  return "?";
+}
+
+std::size_t AuditReport::critical_count() const {
+  std::size_t n = 0;
+  for (const AuditRecord& r : records) {
+    if (r.severity == Severity::kCritical) ++n;
+  }
+  return n;
+}
+
+std::size_t AuditReport::warning_count() const {
+  return records.size() - critical_count();
+}
+
+void AuditReport::append_json(json::Writer& w) const {
+  w.begin_object();
+  w.key("records").begin_array();
+  for (const AuditRecord& r : records) {
+    w.begin_object();
+    w.kv("kind", to_string(r.kind));
+    w.kv("severity", to_string(r.severity));
+    w.kv("paper_ref", paper_reference(r.kind));
+    if (r.node != mac::kNoNode) {
+      w.kv("node", static_cast<std::uint64_t>(r.node));
+    } else {
+      w.kv_null("node");  // network-wide invariant (Lemma 1)
+    }
+    if (r.peer != mac::kNoNode) {
+      w.kv("peer", static_cast<std::uint64_t>(r.peer));
+    } else {
+      w.kv_null("peer");
+    }
+    w.kv("count", r.count);
+    w.kv("first_t_s", r.first_t_s);
+    w.kv("last_t_s", r.last_t_s);
+    w.kv("worst_value_us", r.worst_value_us);
+    w.kv("limit_us", r.limit_us);
+    w.kv("detail", r.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("dropped_records", dropped_records);
+  w.kv("critical", static_cast<std::uint64_t>(critical_count()));
+  w.kv("warnings", static_cast<std::uint64_t>(warning_count()));
+  w.end_object();
+}
+
+void InvariantMonitor::violate(InvariantKind kind, Severity severity,
+                               mac::NodeId node, mac::NodeId peer,
+                               sim::SimTime now, double value_us,
+                               double limit_us, const std::string& detail) {
+  ++total_;
+  const Key key{kind, severity, node, peer};
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    if (records_.size() >= cfg_.max_records) {
+      ++dropped_;
+      return;
+    }
+    AuditRecord rec;
+    rec.kind = kind;
+    rec.severity = severity;
+    rec.node = node;
+    rec.peer = peer;
+    rec.first_t_s = now.to_sec();
+    rec.worst_value_us = value_us;
+    rec.limit_us = limit_us;
+    rec.detail = detail;
+    it = records_.emplace(key, std::move(rec)).first;
+  }
+  AuditRecord& rec = it->second;
+  ++rec.count;
+  rec.last_t_s = now.to_sec();
+  if (std::fabs(value_us) > std::fabs(rec.worst_value_us)) {
+    rec.worst_value_us = value_us;
+  }
+}
+
+void InvariantMonitor::on_event(const trace::TraceEvent& event) {
+  switch (event.kind) {
+    case trace::EventKind::kBeaconTx: {
+      // Lemma-1 flow liveness: a beacon arrived on schedule somewhere.
+      if (last_beacon_ == sim::SimTime::never() ||
+          (event.time.to_sec() - last_beacon_.to_sec()) * 1e6 >
+              static_cast<double>(cfg_.flow_gap_bps) * cfg_.bp_us) {
+        flow_start_ = event.time;  // (re)start the convergence budget
+      }
+      last_beacon_ = event.time;
+      break;
+    }
+    case trace::EventKind::kElectionWon:
+    case trace::EventKind::kDemotion:
+      last_role_event_ = event.time;
+      break;
+    case trace::EventKind::kRejectGuard:
+      if (!cfg_.sstsp_checks) break;
+      violate(InvariantKind::kGuardViolation, Severity::kWarning, event.node,
+              event.peer, event.time, event.value_us, 0.0,
+              "beacon timestamp outside the guard window (offset " +
+                  std::to_string(event.value_us) + " us); rejected");
+      break;
+    case trace::EventKind::kRejectInterval:
+      if (!cfg_.sstsp_checks) break;
+      violate(InvariantKind::kKeyDisclosure, Severity::kWarning, event.node,
+              event.peer, event.time, event.value_us, cfg_.interval_slack_us,
+              "beacon claimed an interval whose key may already be "
+              "disclosed (replay/delay evidence); rejected");
+      break;
+    default:
+      break;
+  }
+}
+
+void InvariantMonitor::on_clock_adjustment(mac::NodeId node, sim::SimTime now,
+                                           double before_us, double after_us,
+                                           double new_k, bool coarse) {
+  if (!cfg_.sstsp_checks) return;
+  if (!coarse) {
+    const double leap = after_us - before_us;
+    if (std::fabs(leap) > cfg_.continuity_tolerance_us) {
+      std::ostringstream detail;
+      detail << "fine-phase re-solve leaped the adjusted clock by " << leap
+             << " us at the switch instant (eq. 2 requires continuity)";
+      violate(InvariantKind::kClockContinuity, Severity::kCritical, node,
+              mac::kNoNode, now, leap, cfg_.continuity_tolerance_us,
+              detail.str());
+    }
+  }
+  // Slope sanity in both phases: outside [k_min, k_max] the clock may stall
+  // or run away (the solver is supposed to clamp, coarse steps to keep 1.0).
+  if (new_k < cfg_.k_min || new_k > cfg_.k_max) {
+    std::ostringstream detail;
+    detail << "adjusted-clock slope k = " << new_k << " escaped ["
+           << cfg_.k_min << ", " << cfg_.k_max << "]";
+    violate(InvariantKind::kClockContinuity, Severity::kCritical, node,
+            mac::kNoNode, now, (new_k - 1.0) * 1e6, (cfg_.k_max - 1.0) * 1e6,
+            detail.str());
+  }
+}
+
+void InvariantMonitor::on_beacon_tx(mac::NodeId node, std::int64_t j,
+                                    double ts_us, double clock_us,
+                                    bool as_reference, sim::SimTime now) {
+  if (!cfg_.sstsp_checks) return;
+  // Timestamp integrity: the stamped value must be the sender's own
+  // adjusted reading at tx start (floor() rounding aside).  An attacker
+  // stamping a dragged virtual clock violates this continuously even
+  // though every receiver-side check passes.
+  const double skew = ts_us - clock_us;
+  if (std::fabs(skew) > cfg_.timestamp_tolerance_us) {
+    std::ostringstream detail;
+    detail << "beacon for interval " << j << " stamped " << skew
+           << " us away from the sender's adjusted clock";
+    violate(InvariantKind::kTimestampIntegrity, Severity::kWarning, node,
+            mac::kNoNode, now, skew, cfg_.timestamp_tolerance_us,
+            detail.str());
+  }
+
+  if (!as_reference) return;
+
+  // Schedule: a confirmed reference emits at T^j on its own adjusted clock
+  // with no random delay (it owns slot 0).  Early emission is the takeover
+  // signature; late emission means the role logic mis-scheduled.
+  const double off_schedule = clock_us - emission_time(j);
+  if (std::fabs(off_schedule) > cfg_.timestamp_tolerance_us) {
+    std::ostringstream detail;
+    detail << "confirmed reference emitted interval " << j << " beacon "
+           << off_schedule << " us off its nominal T^j";
+    violate(InvariantKind::kReferenceSchedule, Severity::kWarning, node,
+            mac::kNoNode, now, off_schedule, cfg_.timestamp_tolerance_us,
+            detail.str());
+  }
+
+  // Uniqueness: at most one confirmed reference emission per interval.
+  if (last_ref_interval_ == j && last_ref_emitter_ != node) {
+    std::ostringstream detail;
+    detail << "two confirmed references (" << last_ref_emitter_ << " and "
+           << node << ") emitted in interval " << j;
+    violate(InvariantKind::kReferenceUniqueness, Severity::kWarning, node,
+            last_ref_emitter_, now, 0.0, 0.0, detail.str());
+  }
+  if (j >= last_ref_interval_) {
+    last_ref_interval_ = j;
+    last_ref_emitter_ = node;
+  }
+}
+
+void InvariantMonitor::on_key_accepted(mac::NodeId node, mac::NodeId sender,
+                                       std::int64_t key_index, double local_us,
+                                       sim::SimTime now) {
+  if (!cfg_.sstsp_checks) return;
+  // µTESLA security condition, re-derived independently of the pipeline:
+  // key K_{key_index} is disclosed inside the beacon of interval
+  // key_index + 1, so accepting it is only safe while the local clock is
+  // still inside that interval (± slack).  An acceptance outside the
+  // window means the receiver-side check is broken — critical.
+  const double center = emission_time(key_index + 1);
+  const double half = cfg_.bp_us / 2.0;
+  const double lo = center - half - cfg_.interval_slack_us;
+  const double hi = center + half + cfg_.interval_slack_us;
+  if (local_us < lo || local_us > hi) {
+    const double excess = local_us > hi ? local_us - hi : local_us - lo;
+    std::ostringstream detail;
+    detail << "key for interval " << key_index
+           << " accepted with the local clock " << excess
+           << " us outside its disclosure window";
+    violate(InvariantKind::kKeyDisclosure, Severity::kCritical, node, sender,
+            now, excess, cfg_.interval_slack_us, detail.str());
+  }
+
+  // Chain monotonicity: accepted indices from one sender never regress.
+  auto [it, inserted] =
+      chain_tip_.try_emplace(std::make_pair(node, sender), key_index);
+  if (!inserted) {
+    if (key_index <= it->second) {
+      std::ostringstream detail;
+      detail << "accepted chain index " << key_index
+             << " after already accepting " << it->second
+             << " from the same sender";
+      violate(InvariantKind::kChainRegression, Severity::kCritical, node,
+              sender, now,
+              static_cast<double>(it->second - key_index) * cfg_.bp_us,
+              0.0, detail.str());
+    } else {
+      it->second = key_index;
+    }
+  }
+}
+
+void InvariantMonitor::on_role_change(mac::NodeId node, bool is_reference,
+                                      bool via_election, sim::SimTime now) {
+  last_role_event_ = now;
+  if (!cfg_.sstsp_checks) return;
+  if (is_reference && !via_election) {
+    violate(InvariantKind::kReferenceTakeover, Severity::kWarning, node,
+            mac::kNoNode, now, 0.0, 0.0,
+            "node assumed the reference role without winning a contention "
+            "election");
+  }
+}
+
+void InvariantMonitor::on_max_diff_sample(sim::SimTime now,
+                                          double max_diff_us) {
+  if (!cfg_.sstsp_checks) return;
+  const double now_s = now.to_sec();
+
+  const bool flowing =
+      last_beacon_ != sim::SimTime::never() &&
+      (now_s - last_beacon_.to_sec()) * 1e6 <
+          static_cast<double>(cfg_.flow_gap_bps) * cfg_.bp_us;
+  const bool role_quiet =
+      last_role_event_ == sim::SimTime::never() ||
+      (now_s - last_role_event_.to_sec()) * 1e6 >
+          static_cast<double>(cfg_.quiet_holdoff_bps) * cfg_.bp_us;
+
+  if (max_diff_us <= cfg_.converged_threshold_us) {
+    converged_ = true;
+    return;
+  }
+
+  if (!converged_) {
+    // Convergence timeout: with sustained beacon flow, Lemma 1 contracts
+    // the initial offset by (m-1)/m per beacon — the budget is generous.
+    if (flowing && flow_start_ != sim::SimTime::never() &&
+        (now_s - flow_start_.to_sec()) * 1e6 >
+            static_cast<double>(cfg_.convergence_budget_bps) * cfg_.bp_us) {
+      std::ostringstream detail;
+      detail << "max sync error still " << max_diff_us << " us after "
+             << cfg_.convergence_budget_bps
+             << " BPs of sustained beacon flow";
+      violate(InvariantKind::kLemma1ConvergenceTimeout, Severity::kCritical,
+              mac::kNoNode, mac::kNoNode, now, max_diff_us,
+              cfg_.converged_threshold_us, detail.str());
+    }
+    return;
+  }
+
+  // Divergence: once converged, quiet-window samples (no recent role churn,
+  // beacons flowing) must stay bounded — Lemma 1's steady state.
+  if (flowing && role_quiet && max_diff_us > cfg_.diverge_threshold_us) {
+    std::ostringstream detail;
+    detail << "max sync error grew to " << max_diff_us
+           << " us in a quiet window (reference live, no role churn)";
+    violate(InvariantKind::kLemma1Divergence, Severity::kCritical,
+            mac::kNoNode, mac::kNoNode, now, max_diff_us,
+            cfg_.diverge_threshold_us, detail.str());
+  }
+}
+
+AuditReport InvariantMonitor::report() const {
+  AuditReport out;
+  out.records.reserve(records_.size());
+  for (const auto& [key, rec] : records_) out.records.push_back(rec);
+  out.dropped_records = dropped_;
+  return out;
+}
+
+}  // namespace sstsp::obs

@@ -8,11 +8,13 @@
 #include "clock/hardware_clock.h"
 #include "mac/channel.h"
 #include "obs/instruments.h"
+#include "obs/invariants.h"
 #include "obs/profiler.h"
 #include "protocols/sync_protocol.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "trace/event_trace.h"
+#include "trace/lifecycle.h"
 
 namespace sstsp::proto {
 
@@ -47,8 +49,9 @@ class Station {
   void power_off();
 
   /// Radio: transmit a frame of the given on-air duration, starting now.
-  void transmit(mac::Frame frame, sim::SimTime duration) {
-    channel_.transmit(channel_index_, std::move(frame), duration);
+  /// Returns the channel-assigned lifecycle trace ID (see Frame::trace_id).
+  std::uint64_t transmit(mac::Frame frame, sim::SimTime duration) {
+    return channel_.transmit(channel_index_, std::move(frame), duration);
   }
 
   /// Carrier sense at time `at` (usually now).
@@ -68,14 +71,33 @@ class Station {
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
   [[nodiscard]] obs::Profiler* profiler() { return profiler_; }
 
-  /// Records a protocol event into the attached trace and/or metrics
-  /// registry; no-op (two null checks) when neither is attached.
+  /// Attaches the shared invariant monitor / beacon-lifecycle tracker
+  /// (nullptr detaches); wired by the scenario runner when
+  /// Scenario::monitor is set.  The protocol calls the monitor's pipeline
+  /// hooks through monitor() directly (null-checked at each site).
+  void set_monitor(obs::InvariantMonitor* monitor) { monitor_ = monitor; }
+  [[nodiscard]] obs::InvariantMonitor* monitor() { return monitor_; }
+  void set_lifecycle(trace::BeaconLifecycle* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
+  [[nodiscard]] trace::BeaconLifecycle* lifecycle() { return lifecycle_; }
+
+  /// Records a protocol event into every attached observer (trace ring,
+  /// metrics registry, invariant monitor, lifecycle tracker); no-op — a
+  /// few null checks — when none is attached.  `trace_id` ties the event
+  /// to a beacon transmission (0 = not beacon-scoped).
   void trace_event(trace::EventKind kind, mac::NodeId peer = mac::kNoNode,
-                   double value_us = 0.0) {
-    if (trace_ != nullptr) {
-      trace_->record(trace::TraceEvent{sim_.now(), id_, kind, peer, value_us});
+                   double value_us = 0.0, std::uint64_t trace_id = 0) {
+    if (trace_ == nullptr && obs_ == nullptr && monitor_ == nullptr &&
+        lifecycle_ == nullptr) {
+      return;
     }
+    const trace::TraceEvent event{sim_.now(), id_,      kind,
+                                  peer,       value_us, trace_id};
+    if (trace_ != nullptr) trace_->record(event);
     if (obs_ != nullptr) obs_->on_protocol_event(kind, value_us);
+    if (monitor_ != nullptr) monitor_->on_event(event);
+    if (lifecycle_ != nullptr) lifecycle_->on_event(event);
   }
 
  private:
@@ -89,6 +111,8 @@ class Station {
   trace::EventTrace* trace_{nullptr};
   obs::Instruments* obs_{nullptr};
   obs::Profiler* profiler_{nullptr};
+  obs::InvariantMonitor* monitor_{nullptr};
+  trace::BeaconLifecycle* lifecycle_{nullptr};
   bool awake_{false};
 };
 

@@ -77,9 +77,10 @@ void TsfFamilyBase::handle_backoff_expiry() {
   frame.sender = station_.id();
   frame.air_bytes = phy.tsf_beacon_bytes;
   frame.body = mac::TsfBeaconBody{beacon_timestamp(now)};
-  station_.transmit(std::move(frame), phy.tsf_beacon_duration);
+  const std::uint64_t tid =
+      station_.transmit(std::move(frame), phy.tsf_beacon_duration);
   ++stats_.beacons_sent;
-  station_.trace_event(trace::EventKind::kBeaconTx);
+  station_.trace_event(trace::EventKind::kBeaconTx, mac::kNoNode, 0.0, tid);
   beacon_seen_this_bp_ = true;  // one beacon per BP, ours counts
 }
 
@@ -103,7 +104,7 @@ void TsfFamilyBase::on_receive(const mac::Frame& frame,
     timer_.set_value(rx.delivered, ts_est);
     ++stats_.adoptions;
     station_.trace_event(trace::EventKind::kAdoption, frame.sender,
-                         ts_est - own);
+                         ts_est - own, frame.trace_id);
     // The timer jumped forward, so the next TBTT arrives earlier in real
     // time than previously scheduled.
     schedule_next_tbtt();

@@ -87,6 +87,9 @@ output:
                         --profile) as one JSON document
   --profile             profile the hot paths; prints the per-phase
                         wall-time breakdown and events/sec after the run
+  --monitor[=strict]    online invariant monitor + beacon-lifecycle tracing;
+                        violations become audit records in the JSON report.
+                        strict: exit 3 when any audit record was produced
   --help                this text
 )";
 }
@@ -242,7 +245,15 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
     } else if (arg == "--trace-kind") {
       if (!next(&v)) return fail("--trace-kind needs an event kind");
       const auto kind = trace::kind_from_string(v);
-      if (!kind) return fail("unknown event kind: " + v);
+      if (!kind) {
+        std::string valid;
+        for (int k = 0; k < static_cast<int>(trace::kEventKindCount); ++k) {
+          if (!valid.empty()) valid += ", ";
+          valid += trace::to_string(static_cast<trace::EventKind>(k));
+        }
+        return fail("unknown event kind: " + v + " (valid kinds: " + valid +
+                    ")");
+      }
       opts.trace_kind = *kind;
       opts.dump_trace = true;
       s.trace_capacity = std::max<std::size_t>(s.trace_capacity, 1 << 18);
@@ -256,6 +267,9 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       }
     } else if (arg == "--profile") {
       s.profile = true;
+    } else if (arg == "--monitor" || arg == "--monitor=strict") {
+      s.monitor = true;
+      if (arg == "--monitor=strict") opts.monitor_strict = true;
     } else {
       return fail("unknown option: " + arg);
     }

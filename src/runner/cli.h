@@ -23,6 +23,9 @@ struct CliOptions {
   bool dump_trace = false;    ///< print the newest trace events
   std::size_t trace_limit = 40;  ///< how many events --trace prints
   std::optional<trace::EventKind> trace_kind;  ///< --trace filter, if any
+  /// --monitor=strict: any audit record makes the run exit non-zero
+  /// (scenario.monitor itself is set by plain --monitor too).
+  bool monitor_strict = false;
   bool help = false;
 };
 

@@ -21,6 +21,7 @@ RunResult collect_result(Network& net, double wall_seconds) {
     result.profile =
         net.profiler()->snapshot(result.events_processed, wall_seconds);
   }
+  if (net.monitor() != nullptr) result.audit = net.monitor()->report();
 
   result.sync_latency_s =
       result.max_diff.first_sustained_below(kSyncThresholdUs, 1.0);

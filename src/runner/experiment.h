@@ -6,6 +6,7 @@
 
 #include "mac/channel.h"
 #include "metrics/series.h"
+#include "obs/invariants.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "protocols/sync_protocol.h"
@@ -39,6 +40,11 @@ struct RunResult {
   /// (present when Scenario::profile was set), and the run's raw cost.
   obs::RegistrySnapshot metrics;
   std::optional<obs::ProfileSnapshot> profile;
+
+  /// Invariant-monitor audit report (present when Scenario::monitor was
+  /// set); clean() distinguishes a monitored-and-clean run from an
+  /// unmonitored one.
+  std::optional<obs::AuditReport> audit;
   std::uint64_t events_processed{0};
   double wall_seconds{0.0};
 };

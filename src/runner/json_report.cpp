@@ -47,6 +47,9 @@ void append_protocol_stats(obs::json::Writer& w,
 
 void append_body(obs::json::Writer& w, const Scenario& scenario,
                  const RunResult& result) {
+  // Bump kRunSchemaVersion (runner/json_report.h) whenever a field is
+  // removed or its meaning changes; purely additive fields do not bump it.
+  w.kv("schema_version", static_cast<std::int64_t>(kRunSchemaVersion));
   w.kv("protocol", protocol_name(scenario.protocol));
   w.kv("nodes", static_cast<std::int64_t>(scenario.num_nodes));
   w.kv("duration_s", scenario.duration_s);
@@ -83,6 +86,12 @@ void append_body(obs::json::Writer& w, const Scenario& scenario,
     result.profile->append_json(w);
   } else {
     w.kv_null("profile");
+  }
+  if (result.audit) {
+    w.key("audit");
+    result.audit->append_json(w);
+  } else {
+    w.kv_null("audit");
   }
 }
 

@@ -8,7 +8,7 @@
 //                           line, terminating a --json-out event stream.
 //
 // Schema (stable keys; absent quantities are null, never omitted):
-//   protocol, nodes, duration_s, seed, attack,
+//   schema_version, protocol, nodes, duration_s, seed, attack,
 //   sync_latency_s, steady_max_us, steady_p99_us,
 //   events_processed, wall_seconds,
 //   channel{transmissions, collided, deliveries, per_drops,
@@ -17,7 +17,8 @@
 //          rejected_interval, rejected_key, rejected_mac, rejected_guard,
 //          elections_won, demotions, coarse_steps, solver_rejections},
 //   attacker (same keys | null),
-//   metrics{counters, gauges, histograms}, profile{...} | null
+//   metrics{counters, gauges, histograms}, profile{...} | null,
+//   audit{records[], dropped_records, critical, warnings} | null
 #pragma once
 
 #include <iosfwd>
@@ -26,6 +27,11 @@
 #include "runner/experiment.h"
 
 namespace sstsp::run {
+
+/// Version of the run-document schema above.  History:
+///   1 — initial export (implicit; documents carried no version field)
+///   2 — adds schema_version itself and the audit section
+inline constexpr int kRunSchemaVersion = 2;
 
 /// Appends one run as a JSON object value into an enclosing document
 /// (bench reports nest these in a "runs" array).

@@ -25,6 +25,19 @@ Network::Network(const Scenario& scenario)
     sim_.set_profiler(profiler_.get());
     channel_.set_profiler(profiler_.get());
   }
+  if (scenario_.monitor) {
+    obs::InvariantConfig cfg;
+    cfg.sstsp_checks = scenario_.protocol == ProtocolKind::kSstsp;
+    cfg.bp_us = scenario_.phy.beacon_period.to_us();
+    cfg.m = scenario_.sstsp.m;
+    cfg.l = scenario_.sstsp.l;
+    cfg.t0_us = scenario_.sstsp.t0_us;
+    cfg.interval_slack_us = scenario_.sstsp.interval_slack_us;
+    cfg.k_min = scenario_.sstsp.k_min;
+    cfg.k_max = scenario_.sstsp.k_max;
+    monitor_ = std::make_unique<obs::InvariantMonitor>(cfg);
+    lifecycle_ = std::make_unique<trace::BeaconLifecycle>(registry_);
+  }
   build_stations();
 }
 
@@ -132,6 +145,8 @@ void Network::build_stations() {
   for (auto& station : stations_) {
     station->set_instruments(instruments_.get());
     station->set_profiler(profiler_.get());
+    station->set_monitor(monitor_.get());
+    station->set_lifecycle(lifecycle_.get());
   }
 }
 
@@ -223,6 +238,7 @@ void Network::sample_clock_spread() {
   }
   const double diff = hi - lo;
   max_diff_.push(now.to_sec(), diff);
+  if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
   if (instruments_ != nullptr) {
     instruments_->on_max_diff_sample(diff);
     const double mean = sum / static_cast<double>(sample_values_.size());

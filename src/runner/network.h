@@ -8,9 +8,11 @@
 
 #include "core/key_directory.h"
 #include "obs/instruments.h"
+#include "obs/invariants.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "trace/event_trace.h"
+#include "trace/lifecycle.h"
 #include "metrics/series.h"
 #include "protocols/station.h"
 #include "runner/scenario.h"
@@ -71,6 +73,16 @@ class Network {
   /// The hot-path profiler; nullptr unless Scenario::profile is set.
   [[nodiscard]] obs::Profiler* profiler() { return profiler_.get(); }
 
+  /// The invariant monitor / lifecycle tracker; nullptr unless
+  /// Scenario::monitor is set.
+  [[nodiscard]] obs::InvariantMonitor* monitor() { return monitor_.get(); }
+  [[nodiscard]] const obs::InvariantMonitor* monitor() const {
+    return monitor_.get();
+  }
+  [[nodiscard]] trace::BeaconLifecycle* lifecycle() {
+    return lifecycle_.get();
+  }
+
  private:
   void build_stations();
   void schedule_environment();
@@ -86,6 +98,8 @@ class Network {
   obs::Registry registry_;
   std::unique_ptr<obs::Instruments> instruments_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::InvariantMonitor> monitor_;
+  std::unique_ptr<trace::BeaconLifecycle> lifecycle_;
   std::size_t attacker_index_;  // == stations_.size() when no attacker
   metrics::Series max_diff_;
   std::vector<double> sample_values_;  // reused per sampling tick

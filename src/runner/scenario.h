@@ -84,6 +84,12 @@ struct Scenario {
   /// each span site.
   bool profile = false;
 
+  /// Online invariant monitor + beacon-lifecycle tracking
+  /// (obs::InvariantMonitor / trace::BeaconLifecycle).  Off by default;
+  /// when off, every hook site is a null-pointer test.  Violations are
+  /// collected as audit records in RunResult::audit.
+  bool monitor = false;
+
   /// Convenience: the paper's §5 environment (churn + reference
   /// departures) on top of the defaults.
   [[nodiscard]] static Scenario paper_section5(ProtocolKind protocol,

@@ -31,6 +31,8 @@ std::string_view to_string(EventKind kind) {
       return "reject-key";
     case EventKind::kRejectMac:
       return "reject-mac";
+    case EventKind::kAuthOk:
+      return "auth-ok";
     case EventKind::kEventKindCount:
       break;
   }
@@ -81,6 +83,7 @@ void EventTrace::dump(std::ostream& os, std::size_t limit,
     if (e.value_us != 0.0) {
       os << "  (" << std::setprecision(2) << e.value_us << " us)";
     }
+    if (e.trace_id != 0) os << "  #" << e.trace_id;
     os << '\n';
   }
 }

@@ -34,6 +34,7 @@ enum class EventKind : std::uint8_t {
   kRejectInterval,
   kRejectKey,
   kRejectMac,
+  kAuthOk,          // SSTSP: stored beacon passed its deferred MAC check
   kEventKindCount,  // sentinel: keep last, never record it
 };
 
@@ -52,6 +53,11 @@ struct TraceEvent {
   EventKind kind{EventKind::kBeaconTx};
   mac::NodeId peer{mac::kNoNode};  ///< sender/subject, where applicable
   double value_us{0.0};            ///< kind-specific payload (offset, ...)
+  /// Causal beacon-lifecycle ID: the channel-assigned transmission ID of
+  /// the beacon this event belongs to (0 = not tied to a beacon).  Shared
+  /// across tx -> per-receiver rx -> auth outcome -> adjustment, so the
+  /// events of one beacon form a span tree keyed by this value.
+  std::uint64_t trace_id{0};
 };
 
 class EventTrace {

@@ -122,5 +122,29 @@ TEST(Cli, ExplicitChainLengthWins) {
   EXPECT_EQ(opts->scenario.sstsp.chain_length, 999u);
 }
 
+TEST(Cli, MonitorFlag) {
+  EXPECT_FALSE(parse({})->scenario.monitor);
+  const auto plain = parse({"--monitor"});
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->scenario.monitor);
+  EXPECT_FALSE(plain->monitor_strict);
+  const auto strict = parse({"--monitor=strict"});
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_TRUE(strict->scenario.monitor);
+  EXPECT_TRUE(strict->monitor_strict);
+}
+
+TEST(Cli, UnknownTraceKindListsEveryValidName) {
+  std::string err;
+  EXPECT_FALSE(parse({"--trace-kind", "bogus"}, &err).has_value());
+  EXPECT_NE(err.find("unknown event kind: bogus"), std::string::npos);
+  // The message enumerates every kind to_string knows about.
+  for (std::size_t i = 0; i < trace::kEventKindCount; ++i) {
+    const auto name =
+        std::string(trace::to_string(static_cast<trace::EventKind>(i)));
+    EXPECT_NE(err.find(name), std::string::npos) << name;
+  }
+}
+
 }  // namespace
 }  // namespace sstsp::run

@@ -93,6 +93,36 @@ int main(int argc, char** argv) {
     result.profile->print(std::cout);
   }
 
+  if (result.audit) {
+    const obs::AuditReport& audit = *result.audit;
+    std::cout << "\ninvariant monitor: ";
+    if (audit.clean()) {
+      std::cout << "clean (0 audit records)\n";
+    } else {
+      std::cout << audit.records.size() << " audit record(s), "
+                << audit.critical_count() << " critical / "
+                << audit.warning_count() << " warnings";
+      if (audit.dropped_records > 0) {
+        std::cout << " (" << audit.dropped_records << " dropped)";
+      }
+      std::cout << '\n';
+      std::size_t shown = 0;
+      for (const auto& r : audit.records) {
+        if (shown++ == 10) {
+          std::cout << "  ... (" << audit.records.size() - 10 << " more)\n";
+          break;
+        }
+        std::cout << "  [" << obs::to_string(r.severity) << "] "
+                  << obs::to_string(r.kind) << " x" << r.count;
+        if (r.node != mac::kNoNode) std::cout << " node " << r.node;
+        if (r.peer != mac::kNoNode) std::cout << " peer " << r.peer;
+        std::cout << " t=" << metrics::fmt(r.first_t_s, 1) << ".."
+                  << metrics::fmt(r.last_t_s, 1) << " s — " << r.detail
+                  << " (" << obs::paper_reference(r.kind) << ")\n";
+      }
+    }
+  }
+
   if (opts->ascii_chart) {
     std::cout << '\n';
     metrics::print_ascii_series(std::cout, series,
@@ -137,6 +167,11 @@ int main(int argc, char** argv) {
     std::cout << "(recorded " << net.trace()->total_recorded()
               << " events total, " << net.trace()->dropped()
               << " dropped from the ring)\n";
+  }
+  if (opts->monitor_strict && result.audit && !result.audit->clean()) {
+    std::cerr << "error: --monitor=strict and the run produced "
+              << result.audit->records.size() << " audit record(s)\n";
+    return 3;
   }
   return 0;
 }
