@@ -36,7 +36,7 @@ int main() {
       scenarios.push_back(s);
     }
   }
-  const auto results = run::run_sweep(scenarios);
+  const auto results = run::run_sweep(scenarios, bench::bench_threads());
 
   bench::JsonReport report("abl_scalability");
   for (std::size_t i = 0; i < scenarios.size(); ++i) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -27,6 +28,18 @@ inline std::string out_dir() {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   return dir;
+}
+
+/// Worker-thread count for run_sweep-based benches: the SSTSP_BENCH_THREADS
+/// environment variable when set (0 = hardware concurrency), otherwise 0.
+/// Per-point results are independent of the thread count — each scenario
+/// runs on its own Simulator with its own seeded RNG streams (verified by
+/// tests/runner_determinism_test.cpp).
+inline unsigned bench_threads() {
+  const char* env = std::getenv("SSTSP_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<unsigned>(v) : 0;
 }
 
 inline void banner(const std::string& id, const std::string& title,
@@ -117,5 +130,57 @@ class JsonReport {
   std::ofstream os_;
   obs::json::Writer w_;
 };
+
+/// One measured perf-smoke scenario: throughput + cost of a pinned run.
+struct PerfSample {
+  std::string label;
+  std::string protocol;
+  int nodes{0};
+  double sim_seconds{0.0};
+  double wall_seconds{0.0};
+  std::uint64_t events{0};
+  std::uint64_t deliveries{0};
+  long peak_rss_kb{0};  ///< process-wide high-water mark at sample time
+
+  [[nodiscard]] double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
+  [[nodiscard]] double deliveries_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(deliveries) / wall_seconds
+                              : 0.0;
+  }
+};
+
+/// Shared writer for the perf-regression trajectory (BENCH_perf.json): the
+/// committed copy at the repository root is the baseline the CI release
+/// lane compares fresh runs against (tools/check_perf_regression.py).
+inline void write_perf_json(const std::string& path,
+                            const std::vector<PerfSample>& samples) {
+  std::ofstream os(path);
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.kv("bench", "perf_smoke");
+  w.kv("schema_version", static_cast<std::int64_t>(1));
+  w.key("samples").begin_array();
+  for (const PerfSample& s : samples) {
+    w.begin_object();
+    w.kv("label", s.label);
+    w.kv("protocol", s.protocol);
+    w.kv("nodes", static_cast<std::int64_t>(s.nodes));
+    w.kv("sim_seconds", s.sim_seconds);
+    w.kv("wall_seconds", s.wall_seconds);
+    w.kv("events", static_cast<std::int64_t>(s.events));
+    w.kv("events_per_sec", s.events_per_second());
+    w.kv("deliveries", static_cast<std::int64_t>(s.deliveries));
+    w.kv("deliveries_per_sec", s.deliveries_per_second());
+    w.kv("peak_rss_kb", static_cast<std::int64_t>(s.peak_rss_kb));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  std::cout << "(perf samples written to " << path << ")\n";
+}
 
 }  // namespace sstsp::bench

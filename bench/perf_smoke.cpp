@@ -1,0 +1,89 @@
+// PERF — simulator-core throughput smoke test (regression harness).
+//
+// Not a paper artifact: this bench pins a small matrix of honest scenarios
+// (SSTSP and TSF at n = 100 / 500 / 2000, 60 simulated seconds, fixed seed)
+// and reports wall time, sim-events/sec, deliveries/sec and peak RSS for
+// each.  The committed BENCH_perf.json at the repository root is the
+// baseline; the CI release lane re-runs this binary and fails if any
+// tracked metric regresses by more than 25 % (tools/check_perf_regression.py).
+//
+// Scenarios run with metrics/profiling/monitoring off so the numbers track
+// the bare hot path (channel fan-out, event queue, crypto verify); run them
+// sequentially so samples never contend for cores.
+#include <sys/resource.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "runner/experiment.h"
+
+namespace {
+
+long peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+}  // namespace
+
+int main() {
+  using namespace sstsp;
+  bench::banner("PERF", "Simulator-core throughput smoke",
+                "n/a (engineering regression harness, not a paper figure)");
+
+  struct Point {
+    run::ProtocolKind protocol;
+    int nodes;
+  };
+  const std::vector<Point> points{
+      {run::ProtocolKind::kSstsp, 100},  {run::ProtocolKind::kSstsp, 500},
+      {run::ProtocolKind::kSstsp, 2000}, {run::ProtocolKind::kTsf, 100},
+      {run::ProtocolKind::kTsf, 500},    {run::ProtocolKind::kTsf, 2000},
+  };
+  const double duration_s = 60.0;
+
+  std::vector<bench::PerfSample> samples;
+  for (const Point& p : points) {
+    run::Scenario s;
+    s.protocol = p.protocol;
+    s.num_nodes = p.nodes;
+    s.duration_s = duration_s;
+    s.seed = 2006;
+    s.sstsp.chain_length = 2200;
+    s.collect_metrics = false;  // bare hot path: no instruments/profiler
+    const auto r = run::run_scenario(s);
+
+    bench::PerfSample sample;
+    sample.label = std::string(run::protocol_name(p.protocol)) + "_n" +
+                   std::to_string(p.nodes);
+    sample.protocol = run::protocol_name(p.protocol);
+    sample.nodes = p.nodes;
+    sample.sim_seconds = duration_s;
+    sample.wall_seconds = r.wall_seconds;
+    sample.events = r.events_processed;
+    sample.deliveries = r.channel.deliveries;
+    sample.peak_rss_kb = peak_rss_kb();
+    samples.push_back(sample);
+    std::cout << sample.label << ": " << metrics::fmt(r.wall_seconds, 3)
+              << " s wall\n";
+  }
+
+  metrics::TextTable table({"scenario", "wall (s)", "events/s", "deliv/s",
+                            "events", "deliveries", "peak RSS (MB)"});
+  for (const auto& s : samples) {
+    table.add_row({s.label, metrics::fmt(s.wall_seconds, 3),
+                   metrics::fmt(s.events_per_second(), 0),
+                   metrics::fmt(s.deliveries_per_second(), 0),
+                   std::to_string(s.events), std::to_string(s.deliveries),
+                   metrics::fmt(static_cast<double>(s.peak_rss_kb) / 1024.0,
+                                1)});
+  }
+  table.print(std::cout);
+  std::cout << "(peak RSS is the process high-water mark at sample time, so "
+               "later rows include earlier runs'\n memory; per-scenario "
+               "deltas are indicative only)\n";
+
+  bench::write_perf_json(bench::out_dir() + "/BENCH_perf.json", samples);
+  return 0;
+}

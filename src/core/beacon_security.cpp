@@ -23,7 +23,7 @@ PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
       if (stored.interval != j - 1) continue;
       const auto bytes = mac::serialize_unsecured_beacon(
           stored.timestamp_us, sender, stored.level);
-      if (crypto::MuTeslaVerifier::verify_mac(
+      if (verifier_.check_mac(
               body.disclosed_key, stored.interval,
               std::span<const std::uint8_t>(bytes.data(), bytes.size()),
               stored.mac)) {

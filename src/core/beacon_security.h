@@ -51,8 +51,9 @@ struct PipelineResult {
 /// buffer (the paper notes nodes buffer the beacons of the last 2 BPs).
 class SenderPipeline {
  public:
-  SenderPipeline(crypto::Digest anchor, crypto::MuTeslaSchedule schedule)
-      : verifier_(anchor, schedule) {}
+  SenderPipeline(crypto::Digest anchor, crypto::MuTeslaSchedule schedule,
+                 crypto::VerifyCache* cache = nullptr)
+      : verifier_(anchor, schedule, cache) {}
 
   /// Processes the secured fields of a beacon received from this sender.
   /// `arrival_hw_us` / `ts_est_us` are recorded so the beacon can be turned

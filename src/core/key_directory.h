@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "crypto/hash_chain.h"
+#include "crypto/verify_cache.h"
 #include "mac/phy_params.h"
 
 namespace sstsp::core {
@@ -47,12 +48,18 @@ class KeyDirectory {
     return it->second.chain;
   }
 
+  /// Network-shared memo for pure µTESLA verification results.  One cache
+  /// per directory (= per run::Network); run_sweep workers each build their
+  /// own network, so this is never shared across threads.
+  [[nodiscard]] crypto::VerifyCache& verify_cache() { return verify_cache_; }
+
  private:
   struct Entry {
     crypto::ChainParams chain;
     std::optional<crypto::Digest> anchor;
   };
   std::unordered_map<mac::NodeId, Entry> entries_;
+  crypto::VerifyCache verify_cache_;
 };
 
 }  // namespace sstsp::core

@@ -301,7 +301,8 @@ Sstsp::SenderTrack* Sstsp::track_for(mac::NodeId sender) {
       }
     }
   }
-  auto [ins, _] = tracks_.emplace(sender, SenderTrack(*anchor, schedule_));
+  auto [ins, _] = tracks_.emplace(
+      sender, SenderTrack(*anchor, schedule_, &directory_.verify_cache()));
   return &ins->second;
 }
 

@@ -112,8 +112,9 @@ class Sstsp : public proto::SyncProtocol {
 
  private:
   struct SenderTrack {
-    SenderTrack(crypto::Digest anchor, crypto::MuTeslaSchedule schedule)
-        : pipeline(anchor, schedule) {}
+    SenderTrack(crypto::Digest anchor, crypto::MuTeslaSchedule schedule,
+                crypto::VerifyCache* cache)
+        : pipeline(anchor, schedule, cache) {}
     SenderPipeline pipeline;
     std::deque<RefSample> samples;  // newest at back; at most 2
     int consecutive_rejections{0};

@@ -19,6 +19,7 @@
 
 #include "crypto/hash_chain.h"
 #include "crypto/hmac.h"
+#include "crypto/verify_cache.h"
 
 namespace sstsp::crypto {
 
@@ -84,8 +85,13 @@ class MuTeslaSigner {
 /// per beacon (the optimization §3.3 calls out).
 class MuTeslaVerifier {
  public:
-  MuTeslaVerifier(Digest anchor, MuTeslaSchedule schedule)
-      : schedule_(schedule), verified_pos_(schedule.n), verified_(anchor) {}
+  /// `cache`, when non-null, memoizes the pure hash/MAC comparisons across
+  /// the verifiers of one network (see crypto/verify_cache.h); results are
+  /// identical with or without it.
+  MuTeslaVerifier(Digest anchor, MuTeslaSchedule schedule,
+                  VerifyCache* cache = nullptr)
+      : schedule_(schedule), verified_pos_(schedule.n), verified_(anchor),
+        cache_(cache) {}
 
   [[nodiscard]] const MuTeslaSchedule& schedule() const { return schedule_; }
 
@@ -100,6 +106,12 @@ class MuTeslaVerifier {
                                        std::span<const std::uint8_t> body,
                                        const Digest128& mac);
 
+  /// Same check through the attached result cache (falls back to
+  /// verify_mac when no cache is set).
+  [[nodiscard]] bool check_mac(const Digest& key, std::int64_t j,
+                               std::span<const std::uint8_t> body,
+                               const Digest128& mac) const;
+
   [[nodiscard]] std::uint64_t hash_ops() const { return hash_ops_; }
   /// Chain position of the newest verified element (n means "anchor only").
   [[nodiscard]] std::size_t verified_position() const { return verified_pos_; }
@@ -109,6 +121,7 @@ class MuTeslaVerifier {
   std::size_t verified_pos_;  // position of verified_ in the chain
   Digest verified_;
   std::uint64_t hash_ops_{0};
+  VerifyCache* cache_{nullptr};
 };
 
 /// Canonical MAC input for beacon interval j: body || LE64(j).  Shared by

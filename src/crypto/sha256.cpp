@@ -3,6 +3,16 @@
 #include <algorithm>
 #include <cstring>
 
+// x86 SHA extensions: compiled in whenever the compiler supports per-function
+// target attributes, selected at runtime via CPUID so the same binary runs on
+// machines without SHA-NI.  The accelerated path is bit-identical to the
+// scalar one (FIPS 180-4 either way); tests/crypto_sha256_test exercises the
+// known-answer vectors on whichever path the host machine dispatches to.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SSTSP_SHA_NI_POSSIBLE 1
+#include <immintrin.h>
+#endif
+
 namespace sstsp::crypto {
 
 namespace {
@@ -28,6 +38,138 @@ constexpr std::array<std::uint32_t, 8> kInitialState = {
   return (x >> n) | (x << (32 - n));
 }
 
+#if defined(SSTSP_SHA_NI_POSSIBLE)
+
+/// One SHA-256 compression using the SHA-NI instructions.  Structure follows
+/// the canonical Intel schedule: state held as two 128-bit lanes (ABEF/CDGH),
+/// message quads advanced with sha256msg1/sha256msg2 while sha256rnds2
+/// retires four rounds per pair of calls.  Round constants are loaded from
+/// kRoundConstants (lane order matches the array order).
+__attribute__((target("sha,ssse3,sse4.1"))) void process_block_shani(
+    std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
+  const auto* kptr = kRoundConstants.data();
+  const auto k = [kptr](int i) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(kptr + i));
+  };
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Load a..h and swizzle into the ABEF / CDGH lane layout.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data()));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);        // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);             // CDGH
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  __m128i msg;
+  // Rounds 0-3
+  __m128i msg0 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block)), kByteSwap);
+  msg = _mm_add_epi32(msg0, k(0));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 4-7
+  __m128i msg1 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16)),
+      kByteSwap);
+  msg = _mm_add_epi32(msg1, k(4));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11
+  __m128i msg2 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32)),
+      kByteSwap);
+  msg = _mm_add_epi32(msg2, k(8));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 12-15
+  __m128i msg3 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48)),
+      kByteSwap);
+  msg = _mm_add_epi32(msg3, k(12));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-51: steady-state schedule, message quads rotating through
+  // msg0..msg3.
+  __m128i* quads[4] = {&msg0, &msg1, &msg2, &msg3};
+  for (int round = 16; round < 52; round += 4) {
+    const int q = (round / 4) & 3;
+    __m128i& cur = *quads[q];
+    __m128i& nxt = *quads[(q + 1) & 3];
+    __m128i& prv = *quads[(q + 3) & 3];
+    msg = _mm_add_epi32(cur, k(round));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(cur, prv, 4);
+    nxt = _mm_add_epi32(nxt, tmp);
+    nxt = _mm_sha256msg2_epu32(nxt, cur);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    prv = _mm_sha256msg1_epu32(prv, cur);
+  }
+
+  // Rounds 52-55
+  msg = _mm_add_epi32(msg1, k(52));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 56-59
+  msg = _mm_add_epi32(msg2, k(56));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 60-63
+  msg = _mm_add_epi32(msg3, k(60));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Swizzle ABEF/CDGH back to a..h and store.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data()), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data() + 4), state1);
+}
+
+[[nodiscard]] bool host_has_sha_ni() {
+  return __builtin_cpu_supports("sha") != 0;
+}
+
+const bool kUseShaNi = host_has_sha_ni();
+
+#endif  // SSTSP_SHA_NI_POSSIBLE
+
 }  // namespace
 
 void Sha256::reset() {
@@ -37,6 +179,12 @@ void Sha256::reset() {
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
+#if defined(SSTSP_SHA_NI_POSSIBLE)
+  if (kUseShaNi) {
+    process_block_shani(state_, block);
+    return;
+  }
+#endif
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |

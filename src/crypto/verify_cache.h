@@ -1,0 +1,122 @@
+// Memoization of pure µTESLA verification results (simulator fast path).
+//
+// When a beacon fans out to N receivers, every receiver in the same chain
+// state performs the *identical* two checks: "does the disclosed key hash
+// forward to the expected element?" and "does the stored body authenticate
+// under this key?".  Both are pure functions of their inputs, so one small
+// per-network result cache lets the first receiver compute and the other
+// N-1 hit — turning the dominant crypto-verify phase from O(N) SHA-256
+// compressions per beacon into O(1).
+//
+// This is a simulator optimization, not a protocol change: per-station
+// hash_ops accounting still charges the modeled cost (MuTeslaVerifier adds
+// the walk distance whether or not the cache hits), and receivers whose
+// verifier state diverges (slept through intervals, different verified
+// position) simply miss and compute for real.  See DESIGN.md "Performance".
+//
+// Not thread-safe by design: each run::Network owns exactly one cache (via
+// core::KeyDirectory) and runs on one thread; run_sweep parallelism is
+// across networks, never within one.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/hash_chain.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace sstsp::crypto {
+
+class VerifyCache {
+ public:
+  /// Memoized `hash_times(key, distance) == expect`.
+  [[nodiscard]] bool chain_walk_matches(const Digest& key,
+                                        std::size_t distance,
+                                        const Digest& expect) {
+    for (const WalkEntry& e : walks_) {
+      if (e.valid && e.distance == distance && e.key == key &&
+          e.expect == expect) {
+        ++hits_;
+        return e.match;
+      }
+    }
+    ++misses_;
+    const bool match = hash_times(key, distance) == expect;
+    WalkEntry& slot = walks_[walk_next_];
+    walk_next_ = (walk_next_ + 1) % walks_.size();
+    slot = WalkEntry{key, expect, distance, match, true};
+    return match;
+  }
+
+  /// Memoized truncated-HMAC check: `hmac_sha256_128(key, input) == mac`,
+  /// where `input` is the canonical beacon MAC input (body || LE64(j), see
+  /// crypto::mac_input).  Inputs longer than the inline entry capacity are
+  /// verified directly without caching (beacon bodies are ~20 bytes).
+  [[nodiscard]] bool mac_matches(const Digest& key,
+                                 std::span<const std::uint8_t> input,
+                                 const Digest128& mac) {
+    if (input.size() > kMacInputCapacity) {
+      return hmac_sha256_128(
+                 std::span<const std::uint8_t>(key.data(), key.size()),
+                 input) == mac;
+    }
+    for (const MacEntry& e : macs_) {
+      if (e.valid && e.input_len == input.size() && e.key == key &&
+          e.mac == mac &&
+          std::equal(input.begin(), input.end(), e.input.begin())) {
+        ++hits_;
+        return e.match;
+      }
+    }
+    ++misses_;
+    const bool match =
+        hmac_sha256_128(std::span<const std::uint8_t>(key.data(), key.size()),
+                        input) == mac;
+    MacEntry& slot = macs_[mac_next_];
+    mac_next_ = (mac_next_ + 1) % macs_.size();
+    slot.key = key;
+    slot.mac = mac;
+    slot.input_len = input.size();
+    std::copy(input.begin(), input.end(), slot.input.begin());
+    slot.match = match;
+    slot.valid = true;
+    return match;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t kMacInputCapacity = 48;
+
+  struct WalkEntry {
+    Digest key{};
+    Digest expect{};
+    std::size_t distance{0};
+    bool match{false};
+    bool valid{false};
+  };
+  struct MacEntry {
+    Digest key{};
+    Digest128 mac{};
+    std::array<std::uint8_t, kMacInputCapacity> input{};
+    std::size_t input_len{0};
+    bool match{false};
+    bool valid{false};
+  };
+
+  // Small rings are enough: fan-out hits are strictly temporal (all N
+  // receivers verify the same beacon back-to-back); a handful of slots
+  // covers interleaved senders in multi-hop topologies.
+  std::array<WalkEntry, 8> walks_{};
+  std::array<MacEntry, 8> macs_{};
+  std::size_t walk_next_{0};
+  std::size_t mac_next_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace sstsp::crypto

@@ -1,6 +1,8 @@
 #include "mac/channel.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace sstsp::mac {
 
@@ -8,6 +10,12 @@ namespace {
 /// Mean distance between two points drawn uniformly from a disc of radius R
 /// is (128/45pi) R ~= 0.9054 R; used as the propagation compensation.
 constexpr double kMeanDiscDistanceFactor = 0.905414787;
+
+/// Same rounding path as propagation_delay(); reads the cached distance
+/// instead of recomputing it, so seeded runs stay byte-identical.
+sim::SimTime propagation_from_distance(double dist_m) {
+  return sim::SimTime::from_us_double(dist_m / kSpeedOfLightMPerUs);
+}
 }  // namespace
 
 Channel::Channel(sim::Simulator& sim, const PhyParams& phy)
@@ -16,6 +24,7 @@ Channel::Channel(sim::Simulator& sim, const PhyParams& phy)
 std::size_t Channel::add_station(Position pos, RxHandler handler) {
   stations_.push_back(StationRec{pos, std::move(handler), true,
                                  sim::SimTime::never(), sim::SimTime::zero()});
+  invalidate_caches();
   return stations_.size() - 1;
 }
 
@@ -23,9 +32,96 @@ void Channel::set_listening(std::size_t idx, bool listening) {
   stations_[idx].listening = listening;
 }
 
+void Channel::invalidate_caches() {
+  dist_rows_.clear();
+  grid_.built = false;
+}
+
 bool Channel::in_range(const Position& a, const Position& b) const {
   if (phy_.radio_range_m <= 0.0) return true;  // single-hop: everyone hears
   return distance_m(a, b) <= phy_.radio_range_m;
+}
+
+const std::vector<double>& Channel::dist_row(std::size_t idx) const {
+  if (dist_rows_.size() != stations_.size()) {
+    dist_rows_.assign(stations_.size(), {});
+  }
+  std::vector<double>& row = dist_rows_[idx];
+  if (row.empty() && !stations_.empty()) {
+    row.resize(stations_.size());
+    const Position& me = stations_[idx].pos;
+    for (std::size_t j = 0; j < stations_.size(); ++j) {
+      row[j] = distance_m(me, stations_[j].pos);
+    }
+  }
+  return row;
+}
+
+void Channel::build_grid() const {
+  grid_.cell_m = phy_.radio_range_m;
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+  bool first = true;
+  for (const StationRec& st : stations_) {
+    if (first) {
+      min_x = max_x = st.pos.x_m;
+      min_y = max_y = st.pos.y_m;
+      first = false;
+    } else {
+      min_x = std::min(min_x, st.pos.x_m);
+      max_x = std::max(max_x, st.pos.x_m);
+      min_y = std::min(min_y, st.pos.y_m);
+      max_y = std::max(max_y, st.pos.y_m);
+    }
+  }
+  grid_.min_x = min_x;
+  grid_.min_y = min_y;
+  grid_.nx = std::max(
+      1, static_cast<int>(std::floor((max_x - min_x) / grid_.cell_m)) + 1);
+  grid_.ny = std::max(
+      1, static_cast<int>(std::floor((max_y - min_y) / grid_.cell_m)) + 1);
+  grid_.cells.assign(static_cast<std::size_t>(grid_.nx) *
+                         static_cast<std::size_t>(grid_.ny),
+                     {});
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    const Position& p = stations_[i].pos;
+    const int cx = std::clamp(
+        static_cast<int>(std::floor((p.x_m - min_x) / grid_.cell_m)), 0,
+        grid_.nx - 1);
+    const int cy = std::clamp(
+        static_cast<int>(std::floor((p.y_m - min_y) / grid_.cell_m)), 0,
+        grid_.ny - 1);
+    grid_.cells[static_cast<std::size_t>(cy) *
+                    static_cast<std::size_t>(grid_.nx) +
+                static_cast<std::size_t>(cx)]
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+  grid_.built = true;
+}
+
+void Channel::grid_candidates(const Position& pos) const {
+  if (!grid_.built) build_grid();
+  candidates_.clear();
+  const int cx = std::clamp(
+      static_cast<int>(std::floor((pos.x_m - grid_.min_x) / grid_.cell_m)), 0,
+      grid_.nx - 1);
+  const int cy = std::clamp(
+      static_cast<int>(std::floor((pos.y_m - grid_.min_y) / grid_.cell_m)), 0,
+      grid_.ny - 1);
+  for (int y = std::max(0, cy - 1); y <= std::min(grid_.ny - 1, cy + 1); ++y) {
+    for (int x = std::max(0, cx - 1); x <= std::min(grid_.nx - 1, cx + 1);
+         ++x) {
+      const auto& cell = grid_.cells[static_cast<std::size_t>(y) *
+                                         static_cast<std::size_t>(grid_.nx) +
+                                     static_cast<std::size_t>(x)];
+      candidates_.insert(candidates_.end(), cell.begin(), cell.end());
+    }
+  }
+  // Ascending station index: the RNG draw-order contract requires visiting
+  // receivers exactly as the full scan would.
+  std::sort(candidates_.begin(), candidates_.end());
 }
 
 double Channel::nominal_delay_us(sim::SimTime duration) const {
@@ -69,6 +165,9 @@ std::uint64_t Channel::transmit(std::size_t idx, Frame frame,
   stats_.bytes_on_air += tx.frame.air_bytes;
   stations_[idx].last_tx_start = now;
   stations_[idx].last_tx_end = tx.end;
+  // Materialize the sender's distance row up front: carrier sense and the
+  // delivery fan-out for this transmission will read it.
+  (void)dist_row(idx);
 
   const std::uint64_t id = tx.id;
   recent_.push_back(std::move(tx));
@@ -76,58 +175,79 @@ std::uint64_t Channel::transmit(std::size_t idx, Frame frame,
   return id;
 }
 
+Channel::Tx* Channel::find_tx(std::uint64_t tx_id) {
+  // Transmission ids are assigned monotonically and recent_ is kept in push
+  // order, so the record is found by binary search instead of a linear scan.
+  auto it = std::lower_bound(
+      recent_.begin(), recent_.end(), tx_id,
+      [](const Tx& t, std::uint64_t id) { return t.id < id; });
+  if (it == recent_.end() || it->id != tx_id) return nullptr;
+  return &*it;
+}
+
 void Channel::finish_transmission(std::uint64_t tx_id) {
   obs::Span span(profiler_, obs::Phase::kChannelDelivery);
-  // Locate the record (the deque is short: only frames within the last
-  // millisecond or so are retained).
-  Tx* tx = nullptr;
-  for (Tx& t : recent_) {
-    if (t.id == tx_id) {
-      tx = &t;
-      break;
-    }
-  }
+  Tx* tx = find_tx(tx_id);
   assert(tx != nullptr && "transmission record pruned before completion");
   tx->delivered_processed = true;
 
-  const Position sender_pos = stations_[tx->sender].pos;
+  const std::size_t sender = tx->sender;
   const sim::SimTime start = tx->start;
   const sim::SimTime end = tx->end;
   const double nominal_us = nominal_delay_us(end - start);
+  const std::vector<double>& dist = dist_row(sender);
+  const bool finite_range = phy_.radio_range_m > 0.0;
+
+  // Transmissions overlapping this frame, collected once instead of
+  // re-scanning recent_ for every receiver.
+  overlap_senders_.clear();
+  for (const Tx& other : recent_) {
+    if (other.id == tx_id) continue;
+    if (other.start >= end || other.end <= start) continue;  // no overlap
+    overlap_senders_.push_back(other.sender);
+  }
+
+  // One shared frame for the whole fan-out; receiver closures hold a
+  // reference instead of a copy (the deque entry may be pruned before the
+  // delivery events fire).
+  auto frame = std::make_shared<const Frame>(tx->frame);
   bool lost_to_interference = false;
 
-  for (std::size_t s = 0; s < stations_.size(); ++s) {
-    if (s == tx->sender) continue;
+  auto consider_receiver = [&](std::size_t s) {
+    if (s == sender) return;
     StationRec& rx = stations_[s];
-    if (!rx.listening) continue;
-    if (!in_range(sender_pos, rx.pos)) continue;
+    if (!rx.listening) return;
+    if (finite_range && dist[s] > phy_.radio_range_m) return;
     // Half duplex: if the receiver transmitted during this frame it heard
     // nothing (its own tx would also have collided, but cover the edge
     // where it started transmitting mid-frame).
     if (rx.last_tx_start < end && rx.last_tx_end > start) {
       ++stats_.half_duplex_suppressed;
-      continue;
+      return;
     }
     // Interference is per-receiver: a concurrent transmission corrupts this
     // frame only where both are audible (this is what produces the hidden
     // terminal problem once a radio range is configured).
     bool corrupted = false;
-    for (const Tx& other : recent_) {
-      if (other.id == tx->id) continue;
-      if (other.start >= end || other.end <= start) continue;  // no overlap
-      if (!in_range(stations_[other.sender].pos, rx.pos)) continue;
-      corrupted = true;
-      break;
+    if (finite_range) {
+      for (const std::size_t o : overlap_senders_) {
+        if (dist_row(o)[s] <= phy_.radio_range_m) {
+          corrupted = true;
+          break;
+        }
+      }
+    } else {
+      corrupted = !overlap_senders_.empty();
     }
     if (corrupted) {
       lost_to_interference = true;
-      continue;
+      return;
     }
     if (rng_.bernoulli(phy_.packet_error_rate)) {
       ++stats_.per_drops;
-      continue;
+      return;
     }
-    const sim::SimTime prop = propagation_delay(sender_pos, rx.pos);
+    const sim::SimTime prop = propagation_from_distance(dist[s]);
     const sim::SimTime rx_latency = sim::SimTime::from_us_double(rng_.uniform(
         phy_.rx_latency_min.to_us(), phy_.rx_latency_max.to_us()));
     const sim::SimTime delivered = end + prop + rx_latency;
@@ -141,21 +261,32 @@ void Channel::finish_transmission(std::uint64_t tx_id) {
       instruments_->on_delivery((delivered - start).to_us());
     }
 
-    // Copy the frame into the closure: the deque entry may be pruned before
-    // the delivery event fires.
-    sim_.at(delivered, [this, s, frame = tx->frame, info] {
-      if (stations_[s].listening) stations_[s].handler(frame, info);
+    sim_.at(delivered, [this, s, frame, info] {
+      if (stations_[s].listening) stations_[s].handler(*frame, info);
     });
+  };
+
+  if (finite_range) {
+    grid_candidates(stations_[sender].pos);
+    for (const std::uint32_t s : candidates_) consider_receiver(s);
+  } else {
+    for (std::size_t s = 0; s < stations_.size(); ++s) consider_receiver(s);
   }
   if (lost_to_interference) ++stats_.collided_transmissions;
+  // Completed records are reclaimed here as well, so delivered entries do
+  // not linger until the next transmit() call.
+  prune_old(sim_.now());
 }
 
 bool Channel::would_detect_busy(std::size_t idx, sim::SimTime at) const {
-  const Position& me = stations_[idx].pos;
+  const bool finite_range = phy_.radio_range_m > 0.0;
   for (const Tx& tx : recent_) {
     if (tx.sender == idx) continue;
-    if (!in_range(stations_[tx.sender].pos, me)) continue;
-    const sim::SimTime prop = propagation_delay(stations_[tx.sender].pos, me);
+    // Distances are read through the *sender's* row (symmetric, and already
+    // materialized by transmit()), so carrier sensing never allocates.
+    const double d = dist_row(tx.sender)[idx];
+    if (finite_range && d > phy_.radio_range_m) continue;
+    const sim::SimTime prop = propagation_from_distance(d);
     const sim::SimTime detectable_from = tx.start + prop + phy_.cca_time;
     const sim::SimTime busy_until = tx.end + prop + phy_.ifs_guard;
     if (at >= detectable_from && at <= busy_until) return true;

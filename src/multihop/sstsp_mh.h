@@ -72,8 +72,9 @@ class SstspMh : public proto::SyncProtocol {
 
  private:
   struct SenderTrack {
-    SenderTrack(crypto::Digest anchor, crypto::MuTeslaSchedule schedule)
-        : pipeline(anchor, schedule) {}
+    SenderTrack(crypto::Digest anchor, crypto::MuTeslaSchedule schedule,
+                crypto::VerifyCache* cache)
+        : pipeline(anchor, schedule, cache) {}
     core::SenderPipeline pipeline;
     std::deque<core::RefSample> samples;  // newest at back; at most 2
     std::uint8_t level{kNoLevel};

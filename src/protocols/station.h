@@ -61,12 +61,18 @@ class Station {
 
   /// Attaches a trace sink (nullptr detaches).  Shared across stations by
   /// the scenario runner when Scenario::trace_capacity > 0.
-  void set_trace(trace::EventTrace* sink) { trace_ = sink; }
+  void set_trace(trace::EventTrace* sink) {
+    trace_ = sink;
+    refresh_observed();
+  }
   [[nodiscard]] trace::EventTrace* trace() { return trace_; }
 
   /// Attaches the shared metrics instruments / profiler (nullptr detaches);
   /// wired by the scenario runner, same sharing model as the trace.
-  void set_instruments(obs::Instruments* instruments) { obs_ = instruments; }
+  void set_instruments(obs::Instruments* instruments) {
+    obs_ = instruments;
+    refresh_observed();
+  }
   [[nodiscard]] obs::Instruments* instruments() { return obs_; }
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
   [[nodiscard]] obs::Profiler* profiler() { return profiler_; }
@@ -75,23 +81,25 @@ class Station {
   /// (nullptr detaches); wired by the scenario runner when
   /// Scenario::monitor is set.  The protocol calls the monitor's pipeline
   /// hooks through monitor() directly (null-checked at each site).
-  void set_monitor(obs::InvariantMonitor* monitor) { monitor_ = monitor; }
+  void set_monitor(obs::InvariantMonitor* monitor) {
+    monitor_ = monitor;
+    refresh_observed();
+  }
   [[nodiscard]] obs::InvariantMonitor* monitor() { return monitor_; }
   void set_lifecycle(trace::BeaconLifecycle* lifecycle) {
     lifecycle_ = lifecycle;
+    refresh_observed();
   }
   [[nodiscard]] trace::BeaconLifecycle* lifecycle() { return lifecycle_; }
 
   /// Records a protocol event into every attached observer (trace ring,
-  /// metrics registry, invariant monitor, lifecycle tracker); no-op — a
-  /// few null checks — when none is attached.  `trace_id` ties the event
-  /// to a beacon transmission (0 = not beacon-scoped).
+  /// metrics registry, invariant monitor, lifecycle tracker).  When none
+  /// is attached the call is a single branch on a flag cached at
+  /// attachment time — the event struct is not even built.  `trace_id`
+  /// ties the event to a beacon transmission (0 = not beacon-scoped).
   void trace_event(trace::EventKind kind, mac::NodeId peer = mac::kNoNode,
                    double value_us = 0.0, std::uint64_t trace_id = 0) {
-    if (trace_ == nullptr && obs_ == nullptr && monitor_ == nullptr &&
-        lifecycle_ == nullptr) {
-      return;
-    }
+    if (!observed_) return;
     const trace::TraceEvent event{sim_.now(), id_,      kind,
                                   peer,       value_us, trace_id};
     if (trace_ != nullptr) trace_->record(event);
@@ -101,6 +109,11 @@ class Station {
   }
 
  private:
+  void refresh_observed() {
+    observed_ = trace_ != nullptr || obs_ != nullptr || monitor_ != nullptr ||
+                lifecycle_ != nullptr;
+  }
+
   sim::Simulator& sim_;
   mac::Channel& channel_;
   mac::NodeId id_;
@@ -113,6 +126,7 @@ class Station {
   obs::Profiler* profiler_{nullptr};
   obs::InvariantMonitor* monitor_{nullptr};
   trace::BeaconLifecycle* lifecycle_{nullptr};
+  bool observed_{false};  ///< any observer attached (cached for trace_event)
   bool awake_{false};
 };
 

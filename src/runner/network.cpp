@@ -163,11 +163,15 @@ void Network::schedule_environment() {
   // multiple of period_s and return absence_s later.
   if (scenario_.churn) {
     const ChurnSpec churn = *scenario_.churn;
+    std::uint64_t churn_index = 0;
     for (double t = churn.period_s; t < scenario_.duration_s;
          t += churn.period_s) {
-      sim_.at(sim::SimTime::from_sec_double(t), [this, churn] {
-        sim::Rng pick = sim_.substream(
-            "churn", static_cast<std::uint64_t>(sim_.now().to_sec()));
+      // Substreams are keyed by the churn-event index, not the (truncated)
+      // event time: churn events less than 1 s apart would otherwise reuse
+      // the same substream and pick identical leaver sets.
+      const std::uint64_t event_index = churn_index++;
+      sim_.at(sim::SimTime::from_sec_double(t), [this, churn, event_index] {
+        sim::Rng pick = sim_.substream("churn", event_index);
         const auto ref = current_reference_index();
         const auto honest_count = std::min(
             stations_.size(), attacker_index_);

@@ -6,42 +6,58 @@
 
 namespace sstsp::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].cancelled = false;
+    slots_[slot].in_use = true;
+    return slot;
+  }
+  slots_.push_back(Slot{0, false, true});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  ++slots_[slot].generation;  // invalidate every outstanding id for the slot
+  slots_[slot].in_use = false;
+  slots_[slot].cancelled = false;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::schedule(SimTime at, Callback fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  const std::uint32_t slot = acquire_slot();
+  heap_.push_back(Entry{at, next_seq_++, slot, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
   ++live_;
-  return id;
+  return make_id(slot, slots_[slot].generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;  // fired, cancelled, or unknown
-  cancelled_.insert(id);
+  if (id == 0) return false;
+  const auto slot = static_cast<std::uint32_t>((id & 0xFFFFFFFFu) - 1);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.in_use || s.generation != generation || s.cancelled) {
+    return false;  // fired, cancelled, or never existed
+  }
+  s.cancelled = true;
   --live_;
   return true;
 }
 
-SimTime EventQueue::next_time() const {
-  if (live_ == 0) return SimTime::never();
-  if (!heap_.empty() && !cancelled_.contains(heap_.front().id)) {
-    return heap_.front().time;
-  }
-  // Head is stale; the earliest live entry is what callers care about.  This
-  // path only runs when the next event to fire was cancelled, which is rare.
-  SimTime best = SimTime::never();
-  for (const Entry& e : heap_) {
-    if (pending_.contains(e.id) && e.time < best) best = e.time;
-  }
-  return best;
-}
-
 void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-    cancelled_.erase(heap_.front().id);
+  while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
+    release_slot(heap_.front().slot);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_head();
+  return heap_.empty() ? SimTime::never() : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
@@ -50,9 +66,10 @@ EventQueue::Fired EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
-  pending_.erase(e.id);
+  const EventId id = make_id(e.slot, slots_[e.slot].generation);
+  release_slot(e.slot);
   --live_;
-  return Fired{e.time, e.id, std::move(e.fn)};
+  return Fired{e.time, id, std::move(e.fn)};
 }
 
 }  // namespace sstsp::sim

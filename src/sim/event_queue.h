@@ -2,13 +2,19 @@
 //
 // A binary heap keyed by (time, sequence number).  The sequence number gives
 // FIFO ordering among simultaneous events, which keeps runs deterministic.
-// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
-// when popped, so cancel() is O(1) and pop() stays amortized O(log n).
+//
+// Cancellation is lazy, with no hash tables on the per-event path: every
+// scheduled event owns a slot in a slot vector, and the EventId handed back
+// to callers packs (slot index, generation).  cancel() flips a tombstone bit
+// in the slot (O(1)); a tombstoned heap entry is discarded when it reaches
+// the head (pop()/next_time() compact cancelled heads away), so pop() stays
+// amortized O(log n) and next_time() never degrades to a linear scan.  Slot
+// generations are bumped on release, so a stale EventId (already fired or
+// cancelled) can never alias a newer event.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time_types.h"
@@ -33,7 +39,9 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event; SimTime::never() when empty.
-  [[nodiscard]] SimTime next_time() const;
+  /// Compacts cancelled entries off the heap head as a side effect (which
+  /// is why it is not const); amortized O(log n) per cancelled event.
+  [[nodiscard]] SimTime next_time();
 
   /// Pops the earliest pending event.  Precondition: !empty().
   struct Fired {
@@ -47,7 +55,7 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
     Callback fn;
   };
   struct Later {
@@ -56,14 +64,30 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// One slot per in-heap event.  `generation` advances every time the slot
+  /// is released (fired or cancelled entry popped), invalidating old ids;
+  /// `cancelled` is the tombstone the heap head check reads.
+  struct Slot {
+    std::uint32_t generation{0};
+    bool cancelled{false};
+    bool in_use{false};
+  };
+
+  [[nodiscard]] static EventId make_id(std::uint32_t slot,
+                                       std::uint32_t generation) {
+    // +1 keeps 0 reserved for "no event" even for slot 0 / generation 0.
+    return (static_cast<std::uint64_t>(generation) << 32) |
+           (static_cast<std::uint64_t>(slot) + 1);
+  }
 
   void drop_cancelled_head();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;    // scheduled, not yet fired/cancelled
-  std::unordered_set<EventId> cancelled_;  // cancelled, still in the heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_{0};
-  EventId next_id_{1};
   std::size_t live_{0};
 };
 

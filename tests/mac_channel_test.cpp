@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "sim/rng.h"
 #include "sim/simulator.h"
 
 namespace sstsp::mac {
@@ -240,6 +244,85 @@ TEST(Channel, BytesOnAirAccounting) {
   sim.run_until(1_sec);
   EXPECT_EQ(ch.stats().bytes_on_air, 56u);
   EXPECT_EQ(ch.stats().transmissions, 1u);
+}
+
+// The finite-range fast path (uniform grid over station positions) must
+// select exactly the same receiver sets as the brute-force distance test at
+// arbitrary random placements — including stations sitting on cell
+// boundaries, duplicated positions, and ranges close to the cell size.
+TEST(Channel, GridMatchesBruteForceAtRandomPlacements) {
+  for (const double range_m : {40.0, 120.0, 350.0}) {
+    sim::Simulator sim(13);
+    PhyParams phy = no_loss_phy();
+    phy.radio_range_m = range_m;
+    Channel ch(sim, phy);
+
+    std::uint64_t mix = 99;
+    std::vector<Position> pos;
+    std::deque<Receiver> rx;  // stable addresses for the handler captures
+    constexpr int kStations = 60;
+    for (int i = 0; i < kStations; ++i) {
+      Position p;
+      if (i == 7) {
+        p = pos[3];  // exact duplicate: distance 0 must stay in range
+      } else if (i == 11) {
+        p = {range_m, 0.0};  // exactly range_m from any station at origin
+      } else if (i == 12) {
+        p = {0.0, 0.0};
+      } else {
+        p = {static_cast<double>(sim::splitmix64(mix) % 5000) / 10.0,
+             static_cast<double>(sim::splitmix64(mix) % 5000) / 10.0};
+      }
+      pos.push_back(p);
+      rx.emplace_back();
+      ch.add_station(p, rx.back().handler());
+    }
+
+    // One transmission per station, spaced far apart so nothing collides.
+    for (int i = 0; i < kStations; ++i) {
+      sim.at(SimTime::from_ms(2 * (i + 1)),
+             [&ch, i] { ch.transmit(static_cast<std::size_t>(i),
+                                    tsf_frame(static_cast<NodeId>(i), i),
+                                    36_us); });
+    }
+    sim.run_until(1_sec);
+
+    for (int receiver = 0; receiver < kStations; ++receiver) {
+      std::vector<int> expected;
+      for (int sender = 0; sender < kStations; ++sender) {
+        if (sender == receiver) continue;
+        if (distance_m(pos[static_cast<std::size_t>(sender)],
+                       pos[static_cast<std::size_t>(receiver)]) <= range_m) {
+          expected.push_back(sender);
+        }
+      }
+      std::vector<int> got;
+      for (const Frame& f :
+           rx[static_cast<std::size_t>(receiver)].frames) {
+        got.push_back(static_cast<int>(f.tsf().timestamp_us));
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "range " << range_m << " receiver "
+                               << receiver;
+    }
+  }
+}
+
+// Carrier sense must honor the same range cut-off as delivery.
+TEST(Channel, FiniteRangeLimitsCarrierSense) {
+  sim::Simulator sim(14);
+  PhyParams phy = no_loss_phy();
+  phy.radio_range_m = 100.0;
+  Channel ch(sim, phy);
+  const auto s0 = ch.add_station({0, 0}, Channel::RxHandler([](auto&&...) {}));
+  const auto near = ch.add_station({50, 0},
+                                   Channel::RxHandler([](auto&&...) {}));
+  const auto far = ch.add_station({150, 0},
+                                  Channel::RxHandler([](auto&&...) {}));
+  sim.at(1_ms, [&] { ch.transmit(s0, tsf_frame(0, 1), 36_us); });
+  sim.run_until(10_ms);
+  EXPECT_TRUE(ch.would_detect_busy(near, 1_ms + 20_us));
+  EXPECT_FALSE(ch.would_detect_busy(far, 1_ms + 20_us));
 }
 
 TEST(Propagation, SpeedOfLight) {

@@ -1,0 +1,89 @@
+// Golden determinism: a Scenario is a pure function of its seed.  Repeated
+// runs must produce bit-identical results, and run_sweep must produce the
+// same per-point results regardless of worker-thread count (each scenario
+// owns its Simulator and RNG substreams; threads never share state).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runner/experiment.h"
+#include "runner/sweep.h"
+
+namespace sstsp::run {
+namespace {
+
+Scenario small_scenario(ProtocolKind kind) {
+  Scenario s;
+  s.protocol = kind;
+  s.num_nodes = 25;
+  s.duration_s = 8.0;
+  s.seed = 7;
+  s.sstsp.chain_length = 200;
+  return s;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.sync_latency_s, b.sync_latency_s);
+  EXPECT_EQ(a.steady_max_us, b.steady_max_us);
+  EXPECT_EQ(a.steady_p99_us, b.steady_p99_us);
+
+  EXPECT_EQ(a.channel.transmissions, b.channel.transmissions);
+  EXPECT_EQ(a.channel.collided_transmissions,
+            b.channel.collided_transmissions);
+  EXPECT_EQ(a.channel.deliveries, b.channel.deliveries);
+  EXPECT_EQ(a.channel.per_drops, b.channel.per_drops);
+  EXPECT_EQ(a.channel.half_duplex_suppressed,
+            b.channel.half_duplex_suppressed);
+  EXPECT_EQ(a.channel.bytes_on_air, b.channel.bytes_on_air);
+
+  EXPECT_EQ(a.honest.beacons_sent, b.honest.beacons_sent);
+  EXPECT_EQ(a.honest.beacons_received, b.honest.beacons_received);
+  EXPECT_EQ(a.honest.adjustments, b.honest.adjustments);
+  EXPECT_EQ(a.honest.adoptions, b.honest.adoptions);
+  EXPECT_EQ(a.honest.rejected_interval, b.honest.rejected_interval);
+  EXPECT_EQ(a.honest.rejected_key, b.honest.rejected_key);
+  EXPECT_EQ(a.honest.rejected_mac, b.honest.rejected_mac);
+  EXPECT_EQ(a.honest.rejected_guard, b.honest.rejected_guard);
+  EXPECT_EQ(a.honest.elections_won, b.honest.elections_won);
+}
+
+TEST(RunnerDeterminism, RepeatedRunsIdentical) {
+  for (const auto kind : {ProtocolKind::kSstsp, ProtocolKind::kTsf}) {
+    const Scenario s = small_scenario(kind);
+    const RunResult first = run_scenario(s);
+    const RunResult second = run_scenario(s);
+    expect_identical(first, second);
+    EXPECT_GT(first.channel.deliveries, 0u);
+  }
+}
+
+TEST(RunnerDeterminism, ChurnRunsIdentical) {
+  Scenario s = small_scenario(ProtocolKind::kSstsp);
+  ChurnSpec churn;
+  churn.period_s = 2.0;    // several churn events inside the short run,
+  churn.fraction = 0.2;    // less than 1 s apart from the returns — the
+  churn.absence_s = 1.0;   // regime that exercises per-event substreams
+  s.churn = churn;
+  expect_identical(run_scenario(s), run_scenario(s));
+}
+
+TEST(RunnerDeterminism, SweepResultsIndependentOfThreadCount) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(small_scenario(ProtocolKind::kSstsp));
+  scenarios.push_back(small_scenario(ProtocolKind::kTsf));
+  Scenario churned = small_scenario(ProtocolKind::kSstsp);
+  churned.churn = ChurnSpec{2.0, 0.2, 1.0};
+  scenarios.push_back(churned);
+
+  const auto serial = run_sweep(scenarios, 1);
+  const auto parallel = run_sweep(scenarios, 3);
+  ASSERT_EQ(serial.size(), scenarios.size());
+  ASSERT_EQ(parallel.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sstsp::run

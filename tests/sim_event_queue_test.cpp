@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sim/rng.h"
@@ -95,6 +97,73 @@ TEST(EventQueue, PopSkipsCancelledEntries) {
   q.cancel(c);
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{2, 4}));
+}
+
+// Randomized stress against a reference model: a plain vector of live
+// (time, seq) pairs where pop's expected victim is the (time, seq)-minimum.
+// Exercises slot reuse, generation checks, tombstone compaction and
+// next_time() under heavy interleaved schedule/cancel/pop traffic.
+TEST(EventQueue, RandomizedModelCheck) {
+  EventQueue q;
+  struct Ref {
+    std::int64_t time_ps;
+    std::uint64_t seq;
+    EventId id;
+  };
+  std::vector<Ref> live;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t mix = 2006;
+  std::uint64_t next_seq = 0;
+
+  const auto reference_min = [&live] {
+    return std::min_element(live.begin(), live.end(),
+                            [](const Ref& a, const Ref& b) {
+                              return a.time_ps != b.time_ps
+                                         ? a.time_ps < b.time_ps
+                                         : a.seq < b.seq;
+                            });
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t op = splitmix64(mix) % 100;
+    if (op < 55 || live.empty()) {
+      // Times drawn from a tiny range so FIFO tie-breaking is constantly
+      // exercised.
+      const auto t = static_cast<std::int64_t>(splitmix64(mix) % 997);
+      const std::uint64_t seq = next_seq++;
+      const EventId id =
+          q.schedule(SimTime::from_ps(t), [&fired, seq] { fired.push_back(seq); });
+      live.push_back(Ref{t, seq, id});
+    } else if (op < 80) {
+      const auto pick = splitmix64(mix) % live.size();
+      ASSERT_TRUE(q.cancel(live[pick].id));
+      ASSERT_FALSE(q.cancel(live[pick].id));  // tombstoned, not reusable
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto best = reference_min();
+      ASSERT_EQ(q.next_time(), SimTime::from_ps(best->time_ps));
+      auto f = q.pop();
+      ASSERT_EQ(f.time, SimTime::from_ps(best->time_ps));
+      f.fn();
+      ASSERT_EQ(fired.back(), best->seq);  // exact event, not just same time
+      ASSERT_FALSE(q.cancel(best->id));    // fired ids never cancel
+      live.erase(best);
+    }
+    ASSERT_EQ(q.size(), live.size());
+    ASSERT_EQ(q.empty(), live.empty());
+  }
+
+  // Drain; the remainder must come out in exact (time, seq) order.
+  while (!live.empty()) {
+    const auto best = reference_min();
+    auto f = q.pop();
+    ASSERT_EQ(f.time, SimTime::from_ps(best->time_ps));
+    f.fn();
+    ASSERT_EQ(fired.back(), best->seq);
+    live.erase(best);
+  }
+  ASSERT_TRUE(q.empty());
+  ASSERT_EQ(q.next_time(), SimTime::never());
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

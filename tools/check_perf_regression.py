@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_smoke run against the committed baseline.
+
+Usage: check_perf_regression.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Both files are BENCH_perf.json documents written by bench/perf_smoke.  For
+every sample label present in the baseline, the fresh run must not regress
+any tracked metric by more than the tolerance (default 25 %):
+
+  * events_per_sec   (lower is worse)
+  * deliveries_per_sec (lower is worse)
+  * wall_seconds     (higher is worse)
+  * peak_rss_kb      (higher is worse)
+
+Exit status: 0 ok, 1 regression detected, 2 usage/schema error.
+
+CI machines are noisy, so the default tolerance is deliberately loose; the
+gate exists to catch order-of-magnitude mistakes (an accidental O(N^2) in
+the fan-out, a debug build slipping into the lane), not 5 % drift.
+"""
+
+import argparse
+import json
+import sys
+
+TRACKED = (
+    # (key, direction): +1 means higher-is-better, -1 means lower-is-better.
+    ("events_per_sec", +1),
+    ("deliveries_per_sec", +1),
+    ("wall_seconds", -1),
+    ("peak_rss_kb", -1),
+)
+
+
+def load_samples(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("bench") != "perf_smoke":
+        raise ValueError(f"{path}: not a perf_smoke document")
+    return {s["label"]: s for s in doc["samples"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_samples(args.baseline)
+        fresh = load_samples(args.fresh)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for label, base in sorted(baseline.items()):
+        cur = fresh.get(label)
+        if cur is None:
+            failures.append(f"{label}: missing from fresh run")
+            continue
+        for key, direction in TRACKED:
+            b, c = float(base[key]), float(cur[key])
+            if b <= 0:
+                continue  # nothing meaningful to compare against
+            change = (c - b) / b * direction  # negative == regression
+            status = "ok"
+            if change < -args.tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"{label}.{key}: {b:.6g} -> {c:.6g} "
+                    f"({change * 100:+.1f} %)")
+            print(f"{label:>16s} {key:<20s} {b:>12.6g} -> {c:>12.6g} "
+                  f"{change * 100:+7.1f} %  {status}")
+
+    if failures:
+        print(f"\n{len(failures)} tracked metric(s) regressed beyond "
+              f"{args.tolerance * 100:.0f} %:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf check ok: no tracked metric regressed beyond "
+          f"{args.tolerance * 100:.0f} %")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
