@@ -103,6 +103,13 @@ class Channel {
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] const PhyParams& phy() const { return phy_; }
 
+  /// Re-bases the lifecycle trace-ID counter.  A simulation has one channel
+  /// so the default (ids from 1) is globally unique; the live runtime has
+  /// one channel *per node*, and seeds each with a disjoint range (node id
+  /// in the high bits) so tx/rx events correlate across node boundaries.
+  /// Must be called before the first transmit().
+  void seed_trace_ids(std::uint64_t first_id) { next_tx_id_ = first_id; }
+
   /// Observability (both may be nullptr): the instruments record each
   /// frame's tx-start -> delivery latency; the profiler attributes the
   /// end-of-frame interference/delivery fan-out to channel-delivery.

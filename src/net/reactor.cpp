@@ -1,0 +1,95 @@
+#include "net/reactor.h"
+
+#include <poll.h>
+
+#include <algorithm>
+
+namespace sstsp::net {
+
+namespace {
+/// Longest single ppoll() sleep: bounds interrupt latency and re-checks the
+/// wall/sim mapping often enough that a suspended laptop or a ntp step in
+/// steady time (which cannot happen, but costs nothing to bound) never
+/// stalls the loop for long.
+constexpr std::int64_t kMaxSleepNs = 50'000'000;  // 50 ms
+}  // namespace
+
+void Reactor::add_fd(int fd, FdHandler on_readable) {
+  fds_.push_back(Registration{fd, std::move(on_readable)});
+}
+
+void Reactor::remove_fd(int fd) {
+  fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                            [fd](const Registration& r) { return r.fd == fd; }),
+             fds_.end());
+}
+
+void Reactor::anchor(sim::SimTime sim_at_now) {
+  anchor_wall_ = std::chrono::steady_clock::now();
+  anchor_sim_ = sim_at_now;
+  anchored_ = true;
+}
+
+sim::SimTime Reactor::wall_sim_now() const {
+  if (!anchored_) return sim_.now();
+  const auto elapsed = std::chrono::steady_clock::now() - anchor_wall_;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  return anchor_sim_ + sim::SimTime::from_ns(ns);
+}
+
+void Reactor::run_until(sim::SimTime horizon) {
+  if (!anchored_) anchor(sim_.now());
+  stop_ = false;
+
+  std::vector<pollfd> pollset;
+  while (!stop_) {
+    if (interrupt_ != nullptr && *interrupt_ != 0) break;
+
+    // 1. Run everything the wall clock has already reached.
+    const sim::SimTime wall = wall_sim_now();
+    const sim::SimTime target = std::min(wall, horizon);
+    while (sim_.step(target)) {
+      if (stop_) return;
+    }
+    if (wall >= horizon) break;
+
+    // 2. Sleep until the next pending event (or the horizon), interruptible
+    //    by socket readability.
+    sim::SimTime next = sim_.next_event_time();
+    if (next > horizon) next = horizon;
+    std::int64_t sleep_ns = (next - wall_sim_now()).ps / 1'000;
+    sleep_ns = std::clamp<std::int64_t>(sleep_ns, 0, kMaxSleepNs);
+    timespec ts;
+    ts.tv_sec = sleep_ns / 1'000'000'000;
+    ts.tv_nsec = sleep_ns % 1'000'000'000;
+
+    pollset.clear();
+    for (const Registration& r : fds_) {
+      pollset.push_back(pollfd{r.fd, POLLIN, 0});
+    }
+    const int ready =
+        ppoll(pollset.empty() ? nullptr : pollset.data(), pollset.size(), &ts,
+              nullptr);
+    if (ready <= 0) continue;  // timeout / EINTR: loop re-evaluates
+
+    // 3. Dispatch readable fds as simulator events at the arrival instant,
+    //    so every rx handler runs with sim.now() == wall arrival time.
+    const sim::SimTime arrival = std::min(wall_sim_now(), horizon);
+    for (std::size_t i = 0; i < pollset.size(); ++i) {
+      if ((pollset[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      // Index-stable lookup by fd: a handler may add/remove registrations.
+      const int fd = pollset[i].fd;
+      sim_.at(arrival, [this, fd] {
+        for (const Registration& r : fds_) {
+          if (r.fd == fd) {
+            r.handler();
+            return;
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace sstsp::net

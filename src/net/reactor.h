@@ -1,0 +1,89 @@
+// Wall-clock reactor: hosts a discrete-event Simulator in real time.
+//
+// The whole protocol library schedules against sim::Simulator, whose clock
+// only advances when events run.  The reactor is the bridge that makes that
+// same event queue tick against the wall: it anchors a simulator instant to
+// a std::chrono::steady_clock instant, then alternates between
+//
+//   1. running every event whose time has been reached on the wall clock
+//      (so BP-aligned protocol timers — ticks, contention slots, reference
+//      emissions — fire at their scheduled instant), and
+//   2. sleeping in ppoll() until the earlier of the next pending event and
+//      readiness of a registered fd (UDP sockets).
+//
+// Readable fds are dispatched *as simulator events* scheduled at the
+// current wall instant: the fd handler (UdpTransport::on_readable, which
+// drains the socket and invokes the rx path) therefore always runs with
+// sim.now() equal to the arrival time, so received frames are timestamped
+// on the same timeline as everything else.
+//
+// ppoll's nanosecond timeout keeps timer lateness at scheduler granularity
+// (~0.1 ms), well inside the protocol's 300 us guard window; an event that
+// does fire late still runs at its *scheduled* sim time, so the beacons it
+// stamps stay consistent with the schedule and the lateness only appears
+// as receive-path epsilon.
+#pragma once
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time_types.h"
+
+namespace sstsp::net {
+
+class Reactor {
+ public:
+  using FdHandler = std::function<void()>;
+
+  explicit Reactor(sim::Simulator& sim) : sim_(sim) {}
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `fd` for readability dispatch.  The handler must drain the
+  /// fd (read until EAGAIN): dispatch is level-triggered.
+  void add_fd(int fd, FdHandler on_readable);
+  void remove_fd(int fd);
+
+  /// Pins "steady_clock now" to simulator instant `sim_at_now`.  Optional;
+  /// run_until() anchors to sim.now() on first use.  sstsp_node uses this
+  /// to place several OS processes on one shared timeline
+  /// (sim time = CLOCK_REALTIME - configured epoch).
+  void anchor(sim::SimTime sim_at_now);
+
+  /// Runs until the wall clock reaches `horizon` on the simulator timeline
+  /// (all events at or before it executed), the interrupt flag is raised,
+  /// or request_stop() is called from a handler.
+  void run_until(sim::SimTime horizon);
+
+  void request_stop() { stop_ = true; }
+
+  /// Async-signal-safe interruption: the loop exits promptly (<= one poll
+  /// timeout, capped at 50 ms) once *flag becomes non-zero.
+  void set_interrupt_flag(const volatile std::sig_atomic_t* flag) {
+    interrupt_ = flag;
+  }
+
+  /// The current wall instant on the simulator timeline.
+  [[nodiscard]] sim::SimTime wall_sim_now() const;
+
+ private:
+  struct Registration {
+    int fd;
+    FdHandler handler;
+  };
+
+  sim::Simulator& sim_;
+  std::vector<Registration> fds_;
+  std::chrono::steady_clock::time_point anchor_wall_{};
+  sim::SimTime anchor_sim_{sim::SimTime::zero()};
+  bool anchored_{false};
+  bool stop_{false};
+  const volatile std::sig_atomic_t* interrupt_{nullptr};
+};
+
+}  // namespace sstsp::net

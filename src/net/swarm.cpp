@@ -1,0 +1,339 @@
+#include "net/swarm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+
+namespace sstsp::net {
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kLoopback:
+      return "loopback";
+    case TransportKind::kUdp:
+      return "udp";
+  }
+  return "?";
+}
+
+Swarm::Swarm(const SwarmConfig& config)
+    : config_(config), sim_(config.seed) {
+  if (config_.collect_metrics) {
+    instruments_ = std::make_unique<obs::Instruments>(registry_);
+    sim_.set_instruments(instruments_.get());
+  }
+  if (config_.profile) {
+    profiler_ = std::make_unique<obs::Profiler>();
+    sim_.set_profiler(profiler_.get());
+  }
+  if (config_.monitor) {
+    obs::InvariantConfig cfg;
+    cfg.sstsp_checks = true;
+    cfg.bp_us = config_.phy.beacon_period.to_us();
+    cfg.m = config_.sstsp.m;
+    cfg.l = config_.sstsp.l;
+    cfg.t0_us = config_.sstsp.t0_us;
+    cfg.interval_slack_us = config_.sstsp.interval_slack_us;
+    cfg.k_min = config_.sstsp.k_min;
+    cfg.k_max = config_.sstsp.k_max;
+    double diverge_us = config_.monitor_diverge_us;
+    if (diverge_us < 0.0 && config_.transport == TransportKind::kUdp) {
+      diverge_us = kUdpDivergeThresholdUs;
+    }
+    if (diverge_us >= 0.0) cfg.diverge_threshold_us = diverge_us;
+    monitor_ = std::make_unique<obs::InvariantMonitor>(cfg);
+    lifecycle_ = std::make_unique<trace::BeaconLifecycle>(registry_);
+  }
+}
+
+std::unique_ptr<Swarm> Swarm::create(const SwarmConfig& config,
+                                     std::string* error) {
+  auto fail = [error](std::string message) -> std::unique_ptr<Swarm> {
+    if (error != nullptr) *error = std::move(message);
+    return nullptr;
+  };
+  if (config.nodes < 1) return fail("swarm needs at least one node");
+  if (config.nodes > 250) {
+    // One UDP socket and one private channel per node; the cap is a sanity
+    // bound well past the paper's 100-node deployments.
+    return fail("swarm is capped at 250 nodes");
+  }
+  if (config.duration_s <= 0.0) return fail("duration must be positive");
+
+  auto swarm = std::unique_ptr<Swarm>(new Swarm(config));
+  if (!swarm->init(error)) return nullptr;
+  return swarm;
+}
+
+bool Swarm::init(std::string* error) {
+  std::vector<Transport*> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(config_.nodes));
+
+  if (config_.transport == TransportKind::kUdp) {
+    reactor_ = std::make_unique<Reactor>(sim_);
+    for (int i = 0; i < config_.nodes; ++i) {
+      UdpConfig uc;
+      uc.bind_address = config_.bind_address;
+      uc.bind_port =
+          config_.base_port == 0
+              ? std::uint16_t{0}
+              : static_cast<std::uint16_t>(config_.base_port + i);
+      std::string udp_error;
+      auto transport = UdpTransport::open(*reactor_, uc, &udp_error);
+      if (!transport) {
+        if (error != nullptr) {
+          *error = "node " + std::to_string(i) + ": " + udp_error;
+        }
+        return false;
+      }
+      udp_.push_back(std::move(transport));
+    }
+    // Every socket is bound (ephemeral ports resolved) — wire the full
+    // unicast mesh.
+    for (int i = 0; i < config_.nodes; ++i) {
+      std::vector<UdpEndpoint> peers;
+      peers.reserve(static_cast<std::size_t>(config_.nodes - 1));
+      for (int j = 0; j < config_.nodes; ++j) {
+        if (j == i) continue;
+        peers.push_back(UdpEndpoint{
+            config_.bind_address,
+            udp_[static_cast<std::size_t>(j)]->local_port()});
+      }
+      std::string peer_error;
+      if (!udp_[static_cast<std::size_t>(i)]->set_peers(peers,
+                                                        &peer_error)) {
+        if (error != nullptr) *error = std::move(peer_error);
+        return false;
+      }
+      endpoints.push_back(udp_[static_cast<std::size_t>(i)].get());
+    }
+  } else {
+    hub_ = std::make_unique<LoopbackHub>(sim_, config_.loopback);
+    for (int i = 0; i < config_.nodes; ++i) {
+      endpoints.push_back(&hub_->create_endpoint());
+    }
+  }
+
+  double wire_latency_us = config_.wire_latency_us;
+  if (wire_latency_us < 0.0) {
+    wire_latency_us =
+        config_.transport == TransportKind::kLoopback
+            ? 0.5 * (config_.loopback.latency_min.to_us() +
+                     config_.loopback.latency_max.to_us())
+            : kUdpWireLatencyUs;
+  }
+
+  for (int i = 0; i < config_.nodes; ++i) {
+    NodeConfig nc;
+    nc.id = static_cast<mac::NodeId>(i);
+    nc.total_nodes = config_.nodes;
+    nc.seed = config_.seed;
+    nc.sstsp = config_.sstsp;
+    nc.phy = config_.phy;
+    nc.max_drift_ppm = config_.max_drift_ppm;
+    nc.initial_offset_us = config_.initial_offset_us;
+    nc.wire_latency_us = wire_latency_us;
+    nc.start_as_reference = config_.preestablished_reference && i == 0;
+    nodes_.push_back(std::make_unique<NodeRuntime>(
+        sim_, *endpoints[static_cast<std::size_t>(i)], nc));
+  }
+
+  if (config_.trace_capacity > 0) {
+    trace_ = std::make_unique<trace::EventTrace>(config_.trace_capacity);
+  }
+  for (auto& node : nodes_) {
+    if (reactor_ != nullptr) {
+      // Wall-paced mode: let every node measure its own tx dispatch
+      // lateness and reconstruct datagram arrivals (see
+      // NodeRuntime::set_wall_clock).
+      node->set_wall_clock(
+          [reactor = reactor_.get()] { return reactor->wall_sim_now(); });
+    }
+    node->set_trace(trace_.get());
+    node->set_instruments(instruments_.get());
+    node->set_profiler(profiler_.get());
+    node->set_monitor(monitor_.get());
+    node->set_lifecycle(lifecycle_.get());
+  }
+  return true;
+}
+
+void Swarm::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (auto& node : nodes_) node->start();
+  schedule_sampling();
+}
+
+void Swarm::schedule_sampling() {
+  const auto period = sim::SimTime::from_sec_double(config_.sample_period_s);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, tick] {
+    sample_clock_spread();
+    if (sim_.now() + period <=
+        sim::SimTime::from_sec_double(config_.duration_s)) {
+      sim_.after(period, *tick);
+    }
+  };
+  sim_.at(period, *tick);
+}
+
+void Swarm::sample_clock_spread() {
+  sample_values_.clear();
+  const sim::SimTime now = sim_.now();
+  for (const auto& node : nodes_) {
+    const proto::Station& st = node->station();
+    if (!st.awake() || !st.protocol().is_synchronized()) continue;
+    sample_values_.push_back(st.protocol().network_time_us(now));
+  }
+  if (sample_values_.empty()) return;
+  double lo = sample_values_.front();
+  double hi = lo;
+  double sum = 0.0;
+  for (const double v : sample_values_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  const double diff = hi - lo;
+  max_diff_.push(now.to_sec(), diff);
+  if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
+  if (instruments_ != nullptr) {
+    instruments_->on_max_diff_sample(diff);
+    const double mean = sum / static_cast<double>(sample_values_.size());
+    for (const double v : sample_values_) {
+      instruments_->on_node_error_sample(std::fabs(v - mean));
+    }
+  }
+}
+
+void Swarm::run() {
+  // Anchor before arming so any frame transmitted during power-on already
+  // measures its dispatch lateness against a live wall mapping.
+  if (config_.transport == TransportKind::kUdp) reactor_->anchor(sim_.now());
+  arm();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto horizon = sim::SimTime::from_sec_double(config_.duration_s);
+  if (config_.transport == TransportKind::kUdp) {
+    reactor_->run_until(horizon);
+  } else {
+    sim_.run_until(horizon);
+  }
+  wall_seconds_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+}
+
+run::RunResult Swarm::collect() {
+  run::RunResult result;
+  result.max_diff = max_diff_;
+  for (const auto& node : nodes_) {
+    const mac::ChannelStats& ch = node->channel().stats();
+    // Per-node private channels: transmissions are the node's own beacons;
+    // "deliveries" are wire-tap handoffs (1:1 with transmissions), not
+    // over-the-air receptions — those live in RunResult::net.
+    result.channel.transmissions += ch.transmissions;
+    result.channel.collided_transmissions += ch.collided_transmissions;
+    result.channel.deliveries += ch.deliveries;
+    result.channel.per_drops += ch.per_drops;
+    result.channel.half_duplex_suppressed += ch.half_duplex_suppressed;
+    result.channel.bytes_on_air += ch.bytes_on_air;
+
+    const proto::ProtocolStats& s = node->station().protocol().stats();
+    result.honest.beacons_sent += s.beacons_sent;
+    result.honest.beacons_received += s.beacons_received;
+    result.honest.adoptions += s.adoptions;
+    result.honest.adjustments += s.adjustments;
+    result.honest.rejected_interval += s.rejected_interval;
+    result.honest.rejected_key += s.rejected_key;
+    result.honest.rejected_mac += s.rejected_mac;
+    result.honest.rejected_guard += s.rejected_guard;
+    result.honest.elections_won += s.elections_won;
+    result.honest.demotions += s.demotions;
+    result.honest.coarse_steps += s.coarse_steps;
+    result.honest.solver_rejections += s.solver_rejections;
+  }
+
+  NetRunStats net;
+  for (const auto& node : nodes_) {
+    const NetRunStats snapshot = node->net_stats();
+    net.transport.datagrams_sent += snapshot.transport.datagrams_sent;
+    net.transport.bytes_sent += snapshot.transport.bytes_sent;
+    net.transport.send_errors += snapshot.transport.send_errors;
+    net.transport.datagrams_received +=
+        snapshot.transport.datagrams_received;
+    net.transport.bytes_received += snapshot.transport.bytes_received;
+    net.transport.recv_errors += snapshot.transport.recv_errors;
+    net.frames_sent += snapshot.frames_sent;
+    net.frames_received += snapshot.frames_received;
+    net.self_frames_dropped += snapshot.self_frames_dropped;
+    net.decode_errors += snapshot.decode_errors;
+    net.stale_frames_dropped += snapshot.stale_frames_dropped;
+  }
+  result.net = net;
+
+  result.metrics = registry_.snapshot();
+  result.events_processed = sim_.events_processed();
+  result.wall_seconds = wall_seconds_;
+  if (profiler_ != nullptr) {
+    result.profile =
+        profiler_->snapshot(result.events_processed, wall_seconds_);
+  }
+  if (monitor_ != nullptr) result.audit = monitor_->report();
+
+  run::derive_series_stats(result, config_.duration_s);
+  return result;
+}
+
+run::Scenario Swarm::reporting_scenario() const {
+  run::Scenario s;
+  s.protocol = run::ProtocolKind::kSstsp;
+  s.num_nodes = config_.nodes;
+  s.duration_s = config_.duration_s;
+  s.seed = config_.seed;
+  s.phy = config_.phy;
+  s.sstsp = config_.sstsp;
+  s.initial_offset_us = config_.initial_offset_us;
+  s.max_drift_ppm = config_.max_drift_ppm;
+  s.preestablished_reference = config_.preestablished_reference;
+  s.sample_period_s = config_.sample_period_s;
+  s.trace_capacity = config_.trace_capacity;
+  s.collect_metrics = config_.collect_metrics;
+  s.profile = config_.profile;
+  s.monitor = config_.monitor;
+  return s;
+}
+
+std::optional<mac::NodeId> Swarm::current_reference() const {
+  for (const auto& node : nodes_) {
+    if (node->station().awake() &&
+        node->station().protocol().is_reference()) {
+      return node->config().id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Swarm::instant_max_diff_us() const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  const sim::SimTime now = sim_.now();
+  for (const auto& node : nodes_) {
+    const proto::Station& st = node->station();
+    if (!st.awake() || !st.protocol().is_synchronized()) continue;
+    const double v = st.protocol().network_time_us(now);
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!any) return std::nullopt;
+  return hi - lo;
+}
+
+}  // namespace sstsp::net

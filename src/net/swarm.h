@@ -1,0 +1,171 @@
+// In-process N-node live-stack orchestrator (the sstsp_swarm engine).
+//
+// A Swarm spawns `nodes` NodeRuntimes on one hosting Simulator, connects
+// them through either
+//   * LoopbackTransport — virtual-time hub, sim_.run_until() drives the
+//     run to completion as fast as the host can execute it, and a seeded
+//     run is bit-reproducible (tests/net_swarm_test.cpp); or
+//   * UdpTransport     — one real non-blocking UDP socket per node on the
+//     loopback host, unicast peer mesh over the discovered ephemeral
+//     ports, paced in real time by a net::Reactor (so a 10 s run takes
+//     10 s of wall clock),
+// and shares one observability surface (metrics registry, event trace,
+// invariant monitor, beacon lifecycle) across all of them — the same
+// sharing model as run::Network, so the PR-2 audit/trace tooling consumes
+// a live run unchanged.
+//
+// The result is reported as a run::RunResult (plus RunResult::net wire
+// accounting) against a synthesized run::Scenario, which makes the JSON
+// report and the strict-audit exit-code plumbing of sstsp_sim directly
+// reusable by sstsp_swarm.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/series.h"
+#include "net/loopback.h"
+#include "net/node.h"
+#include "net/reactor.h"
+#include "net/udp.h"
+#include "obs/instruments.h"
+#include "obs/invariants.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "runner/experiment.h"
+#include "runner/scenario.h"
+#include "sim/simulator.h"
+#include "trace/event_trace.h"
+#include "trace/lifecycle.h"
+
+namespace sstsp::net {
+
+enum class TransportKind { kLoopback, kUdp };
+
+[[nodiscard]] const char* transport_kind_name(TransportKind kind);
+
+struct SwarmConfig {
+  int nodes = 5;
+  double duration_s = 10.0;
+  std::uint64_t seed = 1;
+
+  TransportKind transport = TransportKind::kUdp;
+
+  /// UDP mode: one socket per node, bound to this (loopback) address.
+  /// base_port == 0 binds ephemeral ports and wires the peer mesh from the
+  /// discovered ports; otherwise node i binds base_port + i.
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t base_port = 0;
+
+  /// Loopback mode: hub latency/drop model.
+  LoopbackConfig loopback{};
+
+  /// Expected one-way wire latency (NodeConfig::wire_latency_us).  < 0 =
+  /// auto: the loopback latency-model midpoint, or kUdpWireLatencyUs for
+  /// real sockets.
+  double wire_latency_us = -1.0;
+
+  core::SstspConfig sstsp{};
+  mac::PhyParams phy{};
+  double max_drift_ppm = 100.0;
+  double initial_offset_us = 112.0;
+  /// Node 0 boots directly in the reference role (skips election).
+  bool preestablished_reference = false;
+
+  // Observability — same semantics as the run::Scenario fields.
+  /// Lemma-1 divergence bound handed to the invariant monitor.  < 0 =
+  /// auto: the library default (sim-calibrated 50 us) for virtual-time
+  /// loopback runs, or kUdpDivergeThresholdUs for wall-paced UDP runs —
+  /// user space cannot fully compensate a scheduler preemption landing
+  /// between a clock read and the adjacent syscall, so one guard-accepted
+  /// noisy measurement can transiently move a node's (k, b) solve by more
+  /// than the hardware-timestamping model allows (see DESIGN.md
+  /// "Live stack").  Convergence stays judged at the strict 25 us.
+  double monitor_diverge_us = -1.0;
+  double sample_period_s = 0.1;
+  std::size_t trace_capacity = 0;
+  bool collect_metrics = true;
+  bool profile = false;
+  bool monitor = false;
+};
+
+class Swarm {
+ public:
+  /// Builds the whole deployment (sockets bound, peer mesh wired, nodes
+  /// constructed, observability attached) without starting the protocol.
+  /// nullptr + *error on any failure (bad config, socket errors).
+  [[nodiscard]] static std::unique_ptr<Swarm> create(
+      const SwarmConfig& config, std::string* error);
+
+  Swarm(const Swarm&) = delete;
+  Swarm& operator=(const Swarm&) = delete;
+
+  /// Powers every node on and runs to `duration_s` — virtual-time
+  /// (loopback) or wall-paced (UDP).  Blocking; call once.
+  void run();
+
+  /// Derives the run report; call after run().
+  [[nodiscard]] run::RunResult collect();
+
+  /// The scenario the report is written against (for json_report).
+  [[nodiscard]] run::Scenario reporting_scenario() const;
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] NodeRuntime& node(int i) {
+    return *nodes_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] trace::EventTrace* trace() { return trace_.get(); }
+  [[nodiscard]] obs::InvariantMonitor* monitor() { return monitor_.get(); }
+  [[nodiscard]] trace::BeaconLifecycle* lifecycle() {
+    return lifecycle_.get();
+  }
+  [[nodiscard]] const SwarmConfig& config() const { return config_; }
+
+  /// The node currently holding the reference role, if any.
+  [[nodiscard]] std::optional<mac::NodeId> current_reference() const;
+  /// Max pairwise adjusted-clock offset over awake synchronized nodes at
+  /// the current instant (nullopt until at least one node synchronizes).
+  [[nodiscard]] std::optional<double> instant_max_diff_us() const;
+
+  /// Async-signal-safe Ctrl-C support (UDP mode; loopback runs are not
+  /// interruptible mid-flight, they finish in milliseconds).
+  void set_interrupt_flag(const volatile std::sig_atomic_t* flag) {
+    if (reactor_) reactor_->set_interrupt_flag(flag);
+  }
+
+ private:
+  explicit Swarm(const SwarmConfig& config);
+
+  [[nodiscard]] bool init(std::string* error);
+  void arm();
+  void schedule_sampling();
+  void sample_clock_spread();
+
+  SwarmConfig config_;
+  sim::Simulator sim_;
+
+  std::unique_ptr<Reactor> reactor_;             ///< UDP mode
+  std::vector<std::unique_ptr<UdpTransport>> udp_;
+  std::unique_ptr<LoopbackHub> hub_;             ///< loopback mode
+
+  obs::Registry registry_;
+  std::unique_ptr<obs::Instruments> instruments_;
+  std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::InvariantMonitor> monitor_;
+  std::unique_ptr<trace::BeaconLifecycle> lifecycle_;
+  std::unique_ptr<trace::EventTrace> trace_;
+
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+
+  metrics::Series max_diff_;
+  std::vector<double> sample_values_;
+  bool armed_{false};
+  double wall_seconds_{0.0};
+};
+
+}  // namespace sstsp::net

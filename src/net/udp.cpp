@@ -1,0 +1,281 @@
+#include "net/udp.h"
+
+#include "net/codec.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace sstsp::net {
+
+namespace {
+
+bool parse_ipv4(const std::string& host, in_addr* out) {
+  return inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+[[nodiscard]] std::int64_t timespec_diff_ns(const timespec& a,
+                                            const timespec& b) {
+  return (static_cast<std::int64_t>(a.tv_sec) - b.tv_sec) * 1'000'000'000 +
+         (a.tv_nsec - b.tv_nsec);
+}
+
+}  // namespace
+
+std::unique_ptr<UdpTransport> UdpTransport::open(Reactor& reactor,
+                                                 const UdpConfig& config,
+                                                 std::string* error) {
+  auto fail = [error](std::string message) -> std::unique_ptr<UdpTransport> {
+    if (error != nullptr) *error = std::move(message);
+    return nullptr;
+  };
+
+  const bool multicast = !config.multicast_group.empty();
+
+  const int fd =
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return fail(errno_string("socket"));
+  // From here on, close on any failure path.
+  auto fail_close = [&](std::string message) {
+    ::close(fd);
+    return fail(std::move(message));
+  };
+
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return fail_close(errno_string("setsockopt(SO_REUSEADDR)"));
+  }
+  // Kernel receive timestamps: arrival is stamped when the datagram enters
+  // the socket queue, not when the reactor gets scheduled to read it — the
+  // difference (scheduler wake-up + dispatch) is reported per datagram as
+  // RxMeta::rx_lateness_ns.  Best effort: some restricted environments
+  // refuse the option, in which case lateness reads as 0.
+  const bool timestamps =
+      ::setsockopt(fd, SOL_SOCKET, SO_TIMESTAMPNS, &one, sizeof(one)) == 0;
+
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_port =
+      htons(multicast ? config.multicast_port : config.bind_port);
+  if (multicast) {
+    // Bind to ANY so group traffic is accepted regardless of the interface
+    // the kernel classifies it under.
+    bind_addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (!parse_ipv4(config.bind_address, &bind_addr.sin_addr)) {
+    return fail_close("invalid bind address: " + config.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    return fail_close(errno_string("bind"));
+  }
+
+  auto transport =
+      std::unique_ptr<UdpTransport>(new UdpTransport(reactor, fd, config));
+  transport->timestamps_ = timestamps;
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    return fail(errno_string("getsockname"));
+  }
+  transport->local_port_ = ntohs(bound.sin_port);
+  // Self endpoint for warm-up probes; a 0.0.0.0 bind still self-delivers
+  // (Linux routes INADDR_ANY sends over loopback).
+  transport->self_addr_ = bound;
+
+  if (multicast) {
+    in_addr group{};
+    if (!parse_ipv4(config.multicast_group, &group)) {
+      return fail("invalid multicast group: " + config.multicast_group);
+    }
+    in_addr iface{};
+    if (!parse_ipv4(config.multicast_interface, &iface)) {
+      return fail("invalid multicast interface: " +
+                  config.multicast_interface);
+    }
+    ip_mreq mreq{};
+    mreq.imr_multiaddr = group;
+    mreq.imr_interface = iface;
+    if (::setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                     sizeof(mreq)) != 0) {
+      return fail(errno_string("setsockopt(IP_ADD_MEMBERSHIP)"));
+    }
+    if (::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &iface,
+                     sizeof(iface)) != 0) {
+      return fail(errno_string("setsockopt(IP_MULTICAST_IF)"));
+    }
+    const unsigned char loop = 1;
+    if (::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop,
+                     sizeof(loop)) != 0) {
+      return fail(errno_string("setsockopt(IP_MULTICAST_LOOP)"));
+    }
+    const unsigned char ttl =
+        static_cast<unsigned char>(config.multicast_ttl);
+    if (::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof(ttl)) !=
+        0) {
+      return fail(errno_string("setsockopt(IP_MULTICAST_TTL)"));
+    }
+    transport->multicast_ = true;
+    transport->group_addr_.sin_family = AF_INET;
+    transport->group_addr_.sin_addr = group;
+    transport->group_addr_.sin_port = htons(config.multicast_port);
+  } else if (!config.peers.empty()) {
+    std::string peer_error;
+    if (!transport->set_peers(config.peers, &peer_error)) {
+      return fail(std::move(peer_error));
+    }
+  }
+
+  reactor.add_fd(fd, [t = transport.get()] { t->on_readable(); });
+  return transport;
+}
+
+UdpTransport::UdpTransport(Reactor& reactor, int fd, UdpConfig config)
+    : reactor_(reactor),
+      fd_(fd),
+      config_(std::move(config)),
+      rx_buf_(config_.max_datagram_bytes) {}
+
+UdpTransport::~UdpTransport() {
+  reactor_.remove_fd(fd_);
+  ::close(fd_);
+}
+
+bool UdpTransport::set_peers(const std::vector<UdpEndpoint>& peers,
+                             std::string* error) {
+  std::vector<sockaddr_in> targets;
+  targets.reserve(peers.size());
+  for (const UdpEndpoint& peer : peers) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(peer.port);
+    if (!parse_ipv4(peer.host, &addr.sin_addr)) {
+      if (error != nullptr) *error = "invalid peer address: " + peer.host;
+      return false;
+    }
+    targets.push_back(addr);
+  }
+  targets_ = std::move(targets);
+  return true;
+}
+
+bool UdpTransport::send(std::span<const std::uint8_t> datagram,
+                        const TxMeta& meta) {
+  const sockaddr_in* first = multicast_ ? &group_addr_ : targets_.data();
+  const std::size_t count = multicast_ ? 1 : targets_.size();
+  const std::uint8_t* data = datagram.data();
+  if (meta.has_schedule) {
+    // Warm-up probe: the first sendto() after a sleep runs the whole UDP
+    // tx path cache-cold and costs an order of magnitude more than the
+    // following ones — which lands *after* the first peer's lateness stamp
+    // and read as a persistent per-pair clock bias.  A 0-byte datagram to
+    // our own port (discarded on receive, see on_readable) warms the path
+    // so every stamped copy below departs at near-constant syscall cost.
+    // Probes are a timing artifact, not protocol traffic: invisible to the
+    // wire accounting on both sides.
+    ::sendto(fd_, nullptr, 0, 0,
+             reinterpret_cast<const sockaddr*>(&self_addr_),
+             sizeof(self_addr_));
+    // Re-stamp the envelope's tx lateness right before every per-peer
+    // sendto(): the syscalls are microseconds apart, and a stamp taken once
+    // at encode time would read stale by the peer's position in the
+    // fan-out order — a per-pair clock bias after compensation.
+    tx_buf_.assign(datagram.begin(), datagram.end());
+    data = tx_buf_.data();
+  }
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (meta.has_schedule) {
+      const std::int64_t ns =
+          (reactor_.wall_sim_now() - meta.scheduled).ps / 1'000;
+      patch_tx_lateness(tx_buf_,
+                        ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+    const ssize_t sent =
+        ::sendto(fd_, data, datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&first[i]),
+                 sizeof(sockaddr_in));
+    if (sent == static_cast<ssize_t>(datagram.size())) {
+      ++delivered;
+    } else {
+      ++stats_.send_errors;
+    }
+  }
+  if (delivered > 0 || count == 0) {
+    ++stats_.datagrams_sent;
+    stats_.bytes_sent += datagram.size() * delivered;
+    return true;
+  }
+  return false;
+}
+
+void UdpTransport::on_readable() {
+  for (;;) {
+    sockaddr_in from{};
+    iovec iov{rx_buf_.data(), rx_buf_.size()};
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(timespec))];
+    msghdr msg{};
+    msg.msg_name = &from;
+    msg.msg_namelen = sizeof(from);
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = timestamps_ ? control : nullptr;
+    msg.msg_controllen = timestamps_ ? sizeof(control) : 0;
+    const ssize_t n = ::recvmsg(fd_, &msg, 0);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        ++stats_.recv_errors;
+      }
+      return;
+    }
+    if (n == 0) continue;  // own 0-byte warm-up probe (see send())
+    ++stats_.datagrams_received;
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    if (!rx_handler_) continue;
+
+    RxMeta meta;
+    if (timestamps_) {
+      for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+           cm = CMSG_NXTHDR(&msg, cm)) {
+        if (cm->cmsg_level != SOL_SOCKET || cm->cmsg_type != SCM_TIMESTAMPNS) {
+          continue;
+        }
+        timespec stamp;
+        std::memcpy(&stamp, CMSG_DATA(cm), sizeof(stamp));
+        timespec now;
+        clock_gettime(CLOCK_REALTIME, &now);
+        // Lateness can only be non-negative; a realtime step between the
+        // kernel stamp and this read would otherwise poison the arrival
+        // estimate.
+        meta.rx_lateness_ns =
+            std::max<std::int64_t>(0, timespec_diff_ns(now, stamp));
+        break;
+      }
+    }
+    rx_handler_(std::span<const std::uint8_t>(rx_buf_.data(),
+                                              static_cast<std::size_t>(n)),
+                meta);
+  }
+}
+
+std::string UdpTransport::describe() const {
+  if (multicast_) {
+    return "udp-multicast:" + config_.multicast_group + ":" +
+           std::to_string(config_.multicast_port);
+  }
+  return "udp:" + config_.bind_address + ":" + std::to_string(local_port_) +
+         " (" + std::to_string(targets_.size()) + " peers)";
+}
+
+}  // namespace sstsp::net

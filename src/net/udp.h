@@ -1,0 +1,106 @@
+// Non-blocking UDP transport (IPv4) for the live SSTSP stack.
+//
+// Two fan-out modes, both broadcast-semantics emulations of the IBSS
+// medium:
+//   * unicast mesh — an explicit peer list; send() issues one sendto() per
+//     peer.  This is what sstsp_swarm uses on 127.0.0.1 (one ephemeral
+//     port per in-process node) and what multi-process runs on one host
+//     use.
+//   * multicast — a group + port; send() issues one sendto() to the group
+//     and the kernel fans out.  IP_MULTICAST_LOOP is enabled so same-host
+//     processes hear each other; the node runtime discards its own echoes
+//     by sender id (the live stand-in for half-duplex suppression).
+//
+// The socket is non-blocking and registered with the Reactor; on_readable
+// drains it (recvfrom until EAGAIN) and hands each datagram to the rx
+// handler.  A full send buffer counts as send_errors and the datagram is
+// dropped — beacons are periodic state, not a reliable stream, exactly the
+// semantics the protocol is built for.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/reactor.h"
+#include "net/transport.h"
+
+namespace sstsp::net {
+
+struct UdpEndpoint {
+  std::string host;  ///< IPv4 dotted quad
+  std::uint16_t port{0};
+};
+
+struct UdpConfig {
+  std::string bind_address = "0.0.0.0";
+  std::uint16_t bind_port = 0;  ///< 0: ephemeral, discover via local_port()
+
+  /// Unicast mesh targets; may also be installed later via set_peers()
+  /// (sstsp_swarm opens all sockets first to learn the ephemeral ports).
+  std::vector<UdpEndpoint> peers;
+
+  /// Non-empty enables multicast mode (peers are then ignored).
+  std::string multicast_group;
+  std::uint16_t multicast_port = 0;
+  /// Interface the group is joined on; loopback by default so the
+  /// emulation harness never leaks beacons onto a real network.
+  std::string multicast_interface = "127.0.0.1";
+  int multicast_ttl = 0;  ///< 0 = same-host only
+
+  /// Receive buffer size; anything longer than the longest valid datagram
+  /// still decodes as exactly one DecodeError.
+  std::size_t max_datagram_bytes = 2048;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  /// Opens + binds the socket, joins the multicast group if configured, and
+  /// registers with the reactor.  nullptr + *error on any failure.
+  [[nodiscard]] static std::unique_ptr<UdpTransport> open(
+      Reactor& reactor, const UdpConfig& config, std::string* error);
+
+  ~UdpTransport() override;
+
+  bool send(std::span<const std::uint8_t> datagram,
+            const TxMeta& meta) override;
+  using Transport::send;
+  void set_rx_handler(RxHandler handler) override {
+    rx_handler_ = std::move(handler);
+  }
+  [[nodiscard]] const TransportStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::string describe() const override;
+
+  /// The actually-bound local port (resolves bind_port == 0).
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+
+  /// Replaces the unicast peer list.  false + *error on an unparsable
+  /// address.  No-op restriction: not meaningful in multicast mode.
+  bool set_peers(const std::vector<UdpEndpoint>& peers, std::string* error);
+
+ private:
+  UdpTransport(Reactor& reactor, int fd, UdpConfig config);
+
+  void on_readable();
+
+  Reactor& reactor_;
+  int fd_;
+  UdpConfig config_;
+  std::uint16_t local_port_{0};
+  bool multicast_{false};
+  bool timestamps_{false};  ///< SO_TIMESTAMPNS active (see RxMeta)
+  sockaddr_in self_addr_{};  ///< own endpoint, for 0-byte warm-up probes
+  sockaddr_in group_addr_{};
+  std::vector<sockaddr_in> targets_;
+  std::vector<std::uint8_t> rx_buf_;
+  std::vector<std::uint8_t> tx_buf_;  ///< per-peer tx-lateness re-stamping
+  RxHandler rx_handler_;
+  TransportStats stats_;
+};
+
+}  // namespace sstsp::net

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "runner/config_file.h"
+
 namespace sstsp::run {
 
 namespace {
@@ -74,6 +76,11 @@ attack:
   --attack-window A,B   active interval in seconds (default 400,600)
   --skew R              internal-ref skew rate in us/s (default 50)
 
+config:
+  --config PATH         load flags from a flat JSON object whose keys are
+                        flag names ({"nodes": 5, "monitor": "strict"});
+                        flags after --config override the file
+
 output:
   --csv PATH            write the max-clock-difference series as CSV
   --chart               print an ASCII strip chart of the series
@@ -101,17 +108,20 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
   s.num_nodes = 100;
   s.duration_s = 200.0;
   bool chain_set = false;
+  bool config_loaded = false;
 
   auto fail = [error](const std::string& message) {
     if (error != nullptr) *error = message;
     return std::nullopt;
   };
 
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
+  // --config splices the file's flags in place, so iterate a mutable copy.
+  std::vector<std::string> argv = args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string arg = argv[i];
     auto next = [&](std::string* out) {
-      if (i + 1 >= args.size()) return false;
-      *out = args[++i];
+      if (i + 1 >= argv.size()) return false;
+      *out = argv[++i];
       return true;
     };
     std::string v;
@@ -227,6 +237,15 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
         return fail("--skew needs a rate in us/s");
       }
       s.sstsp_attack.skew_rate_us_per_s = r;
+    } else if (arg == "--config") {
+      if (!next(&v)) return fail("--config needs a path");
+      if (config_loaded) return fail("--config may be given only once");
+      config_loaded = true;
+      std::string cfg_error;
+      const auto cfg_args = load_config_args(v, &cfg_error);
+      if (!cfg_args) return fail(cfg_error);
+      argv.insert(argv.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  cfg_args->begin(), cfg_args->end());
     } else if (arg == "--csv") {
       if (!next(&opts.csv_path)) return fail("--csv needs a path");
     } else if (arg == "--chart") {

@@ -1,0 +1,127 @@
+#include "runner/config_file.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sstsp::run {
+
+namespace {
+
+/// Renders a JSON number the way a user would type it on the command line:
+/// whole values without a decimal point, everything else round-trippable.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  // Shortest representation that still round-trips through strtod: a
+  // config value of 0.05 must splice into argv as "0.05", not the full
+  // 17-digit expansion.
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool scalar_to_string(const obs::json::Value& v, std::string* out) {
+  switch (v.kind) {
+    case obs::json::Value::Kind::kNumber:
+      *out = format_number(v.number);
+      return true;
+    case obs::json::Value::Kind::kString:
+      *out = v.string;
+      return true;
+    case obs::json::Value::Kind::kBool:
+      *out = v.boolean ? "true" : "false";
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> config_to_args(
+    const obs::json::Value& root, std::string* error) {
+  auto fail =
+      [error](std::string message) -> std::optional<std::vector<std::string>> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  if (!root.is_object()) return fail("config must be a JSON object");
+
+  std::vector<std::string> args;
+  for (const auto& [key, value] : root.object) {
+    if (key.empty()) return fail("config keys must be non-empty");
+    if (key == "config") return fail("config files cannot nest (key 'config')");
+    const std::string flag = "--" + key;
+
+    switch (value.kind) {
+      case obs::json::Value::Kind::kBool:
+        if (value.boolean) args.push_back(flag);
+        break;
+      case obs::json::Value::Kind::kString:
+        if (key == "monitor" && value.string == "strict") {
+          args.push_back(flag + "=strict");
+          break;
+        }
+        args.push_back(flag);
+        args.push_back(value.string);
+        break;
+      case obs::json::Value::Kind::kNumber:
+        args.push_back(flag);
+        args.push_back(format_number(value.number));
+        break;
+      case obs::json::Value::Kind::kArray: {
+        std::string joined;
+        for (const auto& item : value.array) {
+          std::string part;
+          if (!scalar_to_string(item, &part)) {
+            return fail("config key '" + key +
+                        "': arrays may only contain scalars");
+          }
+          if (!joined.empty()) joined += ',';
+          joined += part;
+        }
+        args.push_back(flag);
+        args.push_back(joined);
+        break;
+      }
+      case obs::json::Value::Kind::kNull:
+        break;  // explicit "leave at default"
+      case obs::json::Value::Kind::kObject:
+        return fail("config key '" + key +
+                    "': nested objects are not supported");
+    }
+  }
+  return args;
+}
+
+std::optional<std::vector<std::string>> load_config_args(
+    const std::string& path, std::string* error) {
+  auto fail =
+      [error](std::string message) -> std::optional<std::vector<std::string>> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  std::ifstream in(path);
+  if (!in) return fail("could not read config file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const auto parsed = obs::json::parse(buffer.str());
+  if (!parsed) return fail("config file is not valid JSON: " + path);
+
+  std::string convert_error;
+  auto args = config_to_args(*parsed, &convert_error);
+  if (!args) return fail(path + ": " + convert_error);
+  return args;
+}
+
+}  // namespace sstsp::run

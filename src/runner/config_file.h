@@ -1,0 +1,49 @@
+// JSON config files for the runner tools (--config).
+//
+// A config file is one flat JSON object whose keys are CLI flag names
+// (without the leading "--") and whose values are the flag arguments:
+//
+//   {
+//     "protocol": "sstsp",
+//     "nodes": 5,
+//     "duration": 10,
+//     "departures": [300, 500, 800],
+//     "monitor": "strict",
+//     "chart": true
+//   }
+//
+// The object is converted to the equivalent argv vector and spliced into
+// the command line at the position of the --config flag, so flags after
+// --config override the file and flags before it are overridden by it.
+// Conversion rules:
+//   * true        -> bare flag ("chart": true -> --chart); false is omitted
+//   * number      -> flag + value (integers render without a decimal point)
+//   * string      -> flag + value; "monitor": "strict" is the one
+//                    =-style special case (-> --monitor=strict)
+//   * array       -> flag + comma-joined scalars ("churn": [200,0.05,50])
+//   * "config"    -> rejected (config files do not nest)
+//
+// Because the conversion is flag-schema-agnostic, the same loader serves
+// every tool (sstsp_sim scenario flags, sstsp_node endpoint flags, ...);
+// unknown keys are diagnosed by the tool's own parser, with the same
+// message a mistyped flag would get.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace sstsp::run {
+
+/// Converts a parsed config object into argv-style flags.  nullopt +
+/// *error when the document is not a flat object of scalars/arrays.
+[[nodiscard]] std::optional<std::vector<std::string>> config_to_args(
+    const obs::json::Value& root, std::string* error);
+
+/// Reads + parses `path` and converts it (see config_to_args).
+[[nodiscard]] std::optional<std::vector<std::string>> load_config_args(
+    const std::string& path, std::string* error);
+
+}  // namespace sstsp::run

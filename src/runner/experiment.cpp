@@ -7,6 +7,17 @@
 
 namespace sstsp::run {
 
+void derive_series_stats(RunResult& result, double duration_s) {
+  result.sync_latency_s =
+      result.max_diff.first_sustained_below(kSyncThresholdUs, 1.0);
+
+  const double steady_from =
+      std::max(20.0, result.sync_latency_s.value_or(0.0) + 5.0);
+  result.steady_max_us = result.max_diff.max_in(steady_from, duration_s);
+  result.steady_p99_us =
+      result.max_diff.quantile_in(0.99, steady_from, duration_s);
+}
+
 RunResult collect_result(Network& net, double wall_seconds) {
   const Scenario& scenario = net.scenario();
   RunResult result;
@@ -23,15 +34,7 @@ RunResult collect_result(Network& net, double wall_seconds) {
   }
   if (net.monitor() != nullptr) result.audit = net.monitor()->report();
 
-  result.sync_latency_s =
-      result.max_diff.first_sustained_below(kSyncThresholdUs, 1.0);
-
-  const double steady_from =
-      std::max(20.0, result.sync_latency_s.value_or(0.0) + 5.0);
-  result.steady_max_us =
-      result.max_diff.max_in(steady_from, scenario.duration_s);
-  result.steady_p99_us =
-      result.max_diff.quantile_in(0.99, steady_from, scenario.duration_s);
+  derive_series_stats(result, scenario.duration_s);
   return result;
 }
 

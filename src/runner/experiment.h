@@ -6,6 +6,7 @@
 
 #include "mac/channel.h"
 #include "metrics/series.h"
+#include "net/transport.h"
 #include "obs/invariants.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -47,9 +48,18 @@ struct RunResult {
   std::optional<obs::AuditReport> audit;
   std::uint64_t events_processed{0};
   double wall_seconds{0.0};
+
+  /// Live-stack wire accounting (net::Swarm / sstsp_node runs); absent for
+  /// pure simulation runs.
+  std::optional<net::NetRunStats> net;
 };
 
 [[nodiscard]] RunResult run_scenario(const Scenario& scenario);
+
+/// Fills sync_latency_s / steady_max_us / steady_p99_us from
+/// result.max_diff over [0, duration_s] — the derivation shared by the
+/// simulation collector below and the live-stack net::Swarm collector.
+void derive_series_stats(RunResult& result, double duration_s);
 
 class Network;
 

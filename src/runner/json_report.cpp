@@ -79,6 +79,26 @@ void append_body(obs::json::Writer& w, const Scenario& scenario,
     w.kv_null("attacker");
   }
 
+  if (result.net) {
+    w.key("net").begin_object();
+    w.key("transport").begin_object();
+    w.kv("datagrams_sent", result.net->transport.datagrams_sent);
+    w.kv("bytes_sent", result.net->transport.bytes_sent);
+    w.kv("send_errors", result.net->transport.send_errors);
+    w.kv("datagrams_received", result.net->transport.datagrams_received);
+    w.kv("bytes_received", result.net->transport.bytes_received);
+    w.kv("recv_errors", result.net->transport.recv_errors);
+    w.end_object();
+    w.kv("frames_sent", result.net->frames_sent);
+    w.kv("frames_received", result.net->frames_received);
+    w.kv("self_frames_dropped", result.net->self_frames_dropped);
+    w.kv("decode_errors", result.net->decode_errors);
+    w.kv("stale_frames_dropped", result.net->stale_frames_dropped);
+    w.end_object();
+  } else {
+    w.kv_null("net");
+  }
+
   w.key("metrics");
   result.metrics.append_json(w);
   if (result.profile) {

@@ -17,6 +17,11 @@
 //          rejected_interval, rejected_key, rejected_mac, rejected_guard,
 //          elections_won, demotions, coarse_steps, solver_rejections},
 //   attacker (same keys | null),
+//   net{transport{datagrams_sent, bytes_sent, send_errors,
+//                 datagrams_received, bytes_received, recv_errors},
+//       frames_sent, frames_received, self_frames_dropped,
+//       decode_errors, stale_frames_dropped} | null (null for pure
+//       simulation runs),
 //   metrics{counters, gauges, histograms}, profile{...} | null,
 //   audit{records[], dropped_records, critical, warnings} | null
 #pragma once

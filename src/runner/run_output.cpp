@@ -1,0 +1,177 @@
+#include "runner/run_output.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "metrics/report.h"
+#include "obs/export.h"
+#include "runner/json_report.h"
+
+namespace sstsp::run {
+
+OutputOptions OutputOptions::from_cli(const CliOptions& opts) {
+  OutputOptions out;
+  out.csv_path = opts.csv_path;
+  out.json_out_path = opts.json_out_path;
+  out.metrics_out_path = opts.metrics_out_path;
+  out.ascii_chart = opts.ascii_chart;
+  out.dump_trace = opts.dump_trace;
+  out.trace_limit = opts.trace_limit;
+  out.trace_kind = opts.trace_kind;
+  out.monitor_strict = opts.monitor_strict;
+  return out;
+}
+
+void print_result_summary(std::ostream& out, const RunResult& result) {
+  const auto& honest = result.honest;
+  out << "\nsync latency (<25 us sustained): "
+      << (result.sync_latency_s
+              ? metrics::fmt(*result.sync_latency_s, 2) + " s"
+              : std::string("never"))
+      << "\nsteady max / p99 clock difference: "
+      << (result.steady_max_us ? metrics::fmt(*result.steady_max_us, 2)
+                               : std::string("-"))
+      << " / "
+      << (result.steady_p99_us ? metrics::fmt(*result.steady_p99_us, 2)
+                               : std::string("-"))
+      << " us\nbeacons: " << result.channel.transmissions << " ("
+      << result.channel.collided_transmissions << " collided), "
+      << result.channel.bytes_on_air << " bytes on air\n"
+      << "adjustments/adoptions: " << honest.adjustments << "/"
+      << honest.adoptions << ", elections " << honest.elections_won
+      << ", rejections g/i/k/m " << honest.rejected_guard << "/"
+      << honest.rejected_interval << "/" << honest.rejected_key << "/"
+      << honest.rejected_mac << '\n';
+
+  if (result.net) {
+    const auto& net = *result.net;
+    out << "wire: " << net.frames_sent << " frames sent, "
+        << net.frames_received << " received ("
+        << net.transport.datagrams_sent << "/"
+        << net.transport.datagrams_received << " datagrams, "
+        << net.transport.bytes_sent << "/" << net.transport.bytes_received
+        << " bytes), " << net.decode_errors << " decode errors, "
+        << net.self_frames_dropped << " self echoes dropped";
+    if (net.stale_frames_dropped > 0) {
+      out << ", " << net.stale_frames_dropped << " stale frames skipped";
+    }
+    if (net.transport.send_errors + net.transport.recv_errors > 0) {
+      out << ", " << net.transport.send_errors << " send / "
+          << net.transport.recv_errors << " recv errors";
+    }
+    out << '\n';
+  }
+
+  if (result.profile) {
+    out << '\n';
+    result.profile->print(out);
+  }
+
+  if (result.audit) {
+    const obs::AuditReport& audit = *result.audit;
+    out << "\ninvariant monitor: ";
+    if (audit.clean()) {
+      out << "clean (0 audit records)\n";
+    } else {
+      out << audit.records.size() << " audit record(s), "
+          << audit.critical_count() << " critical / "
+          << audit.warning_count() << " warnings";
+      if (audit.dropped_records > 0) {
+        out << " (" << audit.dropped_records << " dropped)";
+      }
+      out << '\n';
+      std::size_t shown = 0;
+      for (const auto& r : audit.records) {
+        if (shown++ == 10) {
+          out << "  ... (" << audit.records.size() - 10 << " more)\n";
+          break;
+        }
+        out << "  [" << obs::to_string(r.severity) << "] "
+            << obs::to_string(r.kind) << " x" << r.count;
+        if (r.node != mac::kNoNode) out << " node " << r.node;
+        if (r.peer != mac::kNoNode) out << " peer " << r.peer;
+        out << " t=" << metrics::fmt(r.first_t_s, 1) << ".."
+            << metrics::fmt(r.last_t_s, 1) << " s — " << r.detail << " ("
+            << obs::paper_reference(r.kind) << ")\n";
+      }
+    }
+  }
+}
+
+bool RunOutput::begin(trace::EventTrace* trace, std::string* error) {
+  if (options_.json_out_path.empty()) return true;
+  json_out_.open(options_.json_out_path);
+  if (!json_out_) {
+    if (error != nullptr) {
+      *error = "could not open " + options_.json_out_path;
+    }
+    return false;
+  }
+  if (trace == nullptr) {
+    if (error != nullptr) {
+      *error = "--json-out needs an event trace (internal)";
+    }
+    return false;
+  }
+  obs::attach_jsonl_sink(*trace, json_out_);
+  return true;
+}
+
+int RunOutput::finish(std::ostream& out, std::ostream& err,
+                      const Scenario& scenario, const RunResult& result,
+                      trace::EventTrace* trace) {
+  print_result_summary(out, result);
+
+  if (options_.ascii_chart) {
+    out << '\n';
+    metrics::print_ascii_series(out, result.max_diff,
+                                std::max(1.0, scenario.duration_s / 50.0),
+                                /*log_scale=*/true);
+  }
+  if (!options_.csv_path.empty()) {
+    if (metrics::write_csv(result.max_diff, options_.csv_path,
+                           "max_clock_diff_us")) {
+      out << "series written to " << options_.csv_path << '\n';
+    } else {
+      err << "error: could not write " << options_.csv_path << '\n';
+      return 1;
+    }
+  }
+  if (json_out_.is_open()) {
+    trace->set_sink({});
+    write_summary_jsonl(json_out_, scenario, result);
+    if (!json_out_) {
+      err << "error: failed writing " << options_.json_out_path << '\n';
+      return 1;
+    }
+    out << "event stream written to " << options_.json_out_path << " ("
+        << trace->total_recorded() << " events + summary)\n";
+  }
+  if (!options_.metrics_out_path.empty()) {
+    std::ofstream metrics_out(options_.metrics_out_path);
+    if (!metrics_out) {
+      err << "error: could not write " << options_.metrics_out_path << '\n';
+      return 1;
+    }
+    write_run_json(metrics_out, scenario, result);
+    out << "metrics written to " << options_.metrics_out_path << '\n';
+  }
+  if (options_.dump_trace && trace != nullptr) {
+    out << "\nnewest protocol events";
+    if (options_.trace_kind) {
+      out << " (" << trace::to_string(*options_.trace_kind) << " only)";
+    }
+    out << ":\n";
+    trace->dump(out, options_.trace_limit, options_.trace_kind);
+    out << "(recorded " << trace->total_recorded() << " events total, "
+        << trace->dropped() << " dropped from the ring)\n";
+  }
+  if (options_.monitor_strict && result.audit && !result.audit->clean()) {
+    err << "error: --monitor=strict and the run produced "
+        << result.audit->records.size() << " audit record(s)\n";
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace sstsp::run

@@ -50,6 +50,12 @@ class Simulator {
   /// Returns false when nothing fired.
   bool step(SimTime horizon = SimTime::never());
 
+  /// Time of the earliest pending event, SimTime::never() when the queue is
+  /// empty.  Used by the live-stack reactor (net::Reactor) to compute how
+  /// long it may sleep in poll() before the next timer is due.  Non-const
+  /// because the queue compacts cancelled heads as a side effect.
+  [[nodiscard]] SimTime next_event_time() { return queue_.next_time(); }
+
   [[nodiscard]] std::size_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 

@@ -1,0 +1,201 @@
+// Datagram wire codec (src/net/codec.h): exact round-trips over randomized
+// frames, strict bounds-checked rejection of a malformed-input corpus, and
+// in-place tx-lateness re-stamping.  Runs under ASan/UBSan in the sanitizer
+// CI lane, so "rejects without UB" is machine-checked, not aspirational.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash_chain.h"
+#include "mac/wire.h"
+#include "net/codec.h"
+#include "sim/rng.h"
+
+namespace sstsp::net {
+namespace {
+
+crypto::Digest random_digest(sim::Rng& rng) {
+  crypto::Digest d;
+  for (auto& byte : d) {
+    byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return d;
+}
+
+mac::Frame random_tsf(sim::Rng& rng) {
+  mac::Frame f;
+  f.sender = static_cast<mac::NodeId>(rng.uniform_int(0, 250));
+  f.air_bytes = mac::kTsfWireBytes;
+  f.trace_id = rng();
+  f.body = mac::TsfBeaconBody{
+      static_cast<std::int64_t>(rng.uniform_int(0, 1'000'000'000'000ULL))};
+  return f;
+}
+
+mac::Frame random_sstsp(sim::Rng& rng) {
+  mac::Frame f;
+  f.sender = static_cast<mac::NodeId>(rng.uniform_int(0, 250));
+  f.air_bytes = mac::kSstspWireBytes;
+  f.trace_id = rng();
+  mac::SstspBeaconBody b;
+  b.timestamp_us =
+      static_cast<std::int64_t>(rng.uniform_int(0, 1'000'000'000'000ULL));
+  b.interval = static_cast<std::int64_t>(rng.uniform_int(0, 100'000));
+  b.level = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+  b.disclosed_key = random_digest(rng);
+  b.mac = crypto::truncate128(crypto::hash_once(random_digest(rng)));
+  f.body = b;
+  return f;
+}
+
+void expect_round_trip(const mac::Frame& f, std::uint64_t tx_lateness_ns) {
+  const std::vector<std::uint8_t> bytes =
+      encode_datagram(f, tx_lateness_ns);
+  ASSERT_GE(bytes.size(), kEnvelopeHeaderBytes);
+  const DecodeOutcome out = decode_datagram(bytes);
+  ASSERT_TRUE(out.ok()) << to_string(out.error);
+  ASSERT_TRUE(out.frame.has_value());
+  EXPECT_EQ(out.frame->sender, f.sender);
+  EXPECT_EQ(out.frame->trace_id, f.trace_id);
+  EXPECT_EQ(out.tx_lateness_ns, tx_lateness_ns);
+  ASSERT_EQ(out.frame->is_sstsp(), f.is_sstsp());
+  if (f.is_sstsp()) {
+    EXPECT_EQ(out.frame->sstsp().timestamp_us, f.sstsp().timestamp_us);
+    EXPECT_EQ(out.frame->sstsp().interval, f.sstsp().interval);
+    EXPECT_EQ(out.frame->sstsp().level, f.sstsp().level);
+    EXPECT_EQ(out.frame->sstsp().mac, f.sstsp().mac);
+    EXPECT_EQ(out.frame->sstsp().disclosed_key, f.sstsp().disclosed_key);
+  } else {
+    EXPECT_EQ(out.frame->tsf().timestamp_us, f.tsf().timestamp_us);
+  }
+}
+
+TEST(NetCodec, RoundTripRandomizedFrames) {
+  sim::Rng rng(2024);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t lateness = rng.uniform_int(0, 5'000'000);
+    expect_round_trip(rng.bernoulli(0.5) ? random_sstsp(rng)
+                                         : random_tsf(rng),
+                      lateness);
+  }
+}
+
+TEST(NetCodec, EnvelopeLayout) {
+  sim::Rng rng(1);
+  const std::vector<std::uint8_t> bytes = encode_datagram(random_sstsp(rng));
+  ASSERT_EQ(bytes.size(), kEnvelopeHeaderBytes + mac::kSstspWireBytes);
+  EXPECT_EQ(bytes[0], 'S');
+  EXPECT_EQ(bytes[1], 'S');
+  EXPECT_EQ(bytes[2], 'W');
+  EXPECT_EQ(bytes[3], 'P');
+  EXPECT_EQ(bytes[4], kCodecVersion);
+  EXPECT_EQ(bytes[5], 0x00);
+  // Payload length is little-endian at offset 6.
+  EXPECT_EQ(bytes[6], mac::kSstspWireBytes);
+  EXPECT_EQ(bytes[7], 0x00);
+}
+
+TEST(NetCodec, RejectsTruncatedAtEveryHeaderLength) {
+  sim::Rng rng(7);
+  const std::vector<std::uint8_t> whole = encode_datagram(random_tsf(rng));
+  for (std::size_t len = 0; len < kEnvelopeHeaderBytes; ++len) {
+    const DecodeOutcome out = decode_datagram(
+        std::span<const std::uint8_t>(whole.data(), len));
+    EXPECT_EQ(out.error, DecodeError::kTruncated) << "len=" << len;
+    EXPECT_FALSE(out.frame.has_value());
+  }
+}
+
+TEST(NetCodec, RejectsBadMagicVersionFlags) {
+  sim::Rng rng(8);
+  const std::vector<std::uint8_t> good = encode_datagram(random_sstsp(rng));
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<std::uint8_t> bad = good;
+    bad[i] ^= 0xFF;
+    EXPECT_EQ(decode_datagram(bad).error, DecodeError::kBadMagic) << i;
+  }
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[4] = kCodecVersion + 1;
+  EXPECT_EQ(decode_datagram(bad_version).error, DecodeError::kBadVersion);
+  std::vector<std::uint8_t> bad_flags = good;
+  bad_flags[5] = 0x01;
+  EXPECT_EQ(decode_datagram(bad_flags).error, DecodeError::kBadFlags);
+}
+
+TEST(NetCodec, RejectsOversizedLengthPrefixWithoutReading) {
+  sim::Rng rng(9);
+  std::vector<std::uint8_t> bad = encode_datagram(random_tsf(rng));
+  // Claim a payload far beyond the cap; the decoder must reject on the
+  // prefix alone even though no such bytes exist to read.
+  const std::uint16_t huge = kMaxPayloadBytes + 1;
+  bad[6] = static_cast<std::uint8_t>(huge);
+  bad[7] = static_cast<std::uint8_t>(huge >> 8);
+  EXPECT_EQ(decode_datagram(bad).error, DecodeError::kOversizedLength);
+}
+
+TEST(NetCodec, RejectsLengthMismatchBothWays) {
+  sim::Rng rng(10);
+  const std::vector<std::uint8_t> good = encode_datagram(random_sstsp(rng));
+  // Short: datagram cut mid-payload.
+  std::vector<std::uint8_t> cut(good.begin(), good.end() - 1);
+  EXPECT_EQ(decode_datagram(cut).error, DecodeError::kLengthMismatch);
+  // Long: trailing garbage past the declared payload.
+  std::vector<std::uint8_t> padded = good;
+  padded.push_back(0xAA);
+  EXPECT_EQ(decode_datagram(padded).error, DecodeError::kLengthMismatch);
+  // Prefix understates the payload actually present.
+  std::vector<std::uint8_t> lying = good;
+  lying[6] -= 1;
+  EXPECT_EQ(decode_datagram(lying).error, DecodeError::kLengthMismatch);
+}
+
+TEST(NetCodec, RejectsBadPayload) {
+  sim::Rng rng(11);
+  std::vector<std::uint8_t> bad = encode_datagram(random_sstsp(rng));
+  // Corrupt the mac::wire magic inside the payload; envelope stays valid.
+  bad[kEnvelopeHeaderBytes + 24] ^= 0xFF;
+  EXPECT_EQ(decode_datagram(bad).error, DecodeError::kBadPayload);
+}
+
+TEST(NetCodec, FuzzNeverCrashes) {
+  // Pure garbage of every small size plus bit-flipped valid datagrams:
+  // every outcome must be a clean DecodeError (ASan/UBSan police the
+  // "no out-of-bounds read" half of the contract).
+  sim::Rng rng(12);
+  for (std::size_t len = 0; len < 200; ++len) {
+    std::vector<std::uint8_t> junk(len);
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    (void)decode_datagram(junk);
+  }
+  const std::vector<std::uint8_t> good = encode_datagram(random_sstsp(rng));
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> mutated = good;
+    const std::size_t at = rng.uniform_int(0, mutated.size() - 1);
+    mutated[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    const DecodeOutcome out = decode_datagram(mutated);
+    if (out.ok()) {
+      // A flip outside the integrity-relevant envelope fields may still
+      // decode; that is fine — µTESLA verification is the integrity layer.
+      EXPECT_TRUE(out.frame.has_value());
+    }
+  }
+}
+
+TEST(NetCodec, PatchTxLatenessInPlace) {
+  sim::Rng rng(13);
+  std::vector<std::uint8_t> bytes = encode_datagram(random_tsf(rng), 111);
+  patch_tx_lateness(bytes, 424242);
+  const DecodeOutcome out = decode_datagram(bytes);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.tx_lateness_ns, 424242u);
+  // No-op on anything shorter than the envelope header.
+  std::vector<std::uint8_t> tiny(kEnvelopeHeaderBytes - 1, 0x55);
+  patch_tx_lateness(tiny, 99);
+  for (const std::uint8_t byte : tiny) EXPECT_EQ(byte, 0x55);
+}
+
+}  // namespace
+}  // namespace sstsp::net

@@ -37,7 +37,28 @@ def load_samples(path):
         doc = json.load(handle)
     if doc.get("bench") != "perf_smoke":
         raise ValueError(f"{path}: not a perf_smoke document")
-    return {s["label"]: s for s in doc["samples"]}
+    samples = doc.get("samples")
+    if not isinstance(samples, list):
+        raise ValueError(f"{path}: missing 'samples' array")
+    by_label = {}
+    for i, sample in enumerate(samples):
+        label = sample.get("label")
+        if not label:
+            raise ValueError(f"{path}: samples[{i}] has no 'label'")
+        for key, _ in TRACKED:
+            if key not in sample:
+                raise ValueError(
+                    f"{path}: sample '{label}' is missing tracked metric "
+                    f"'{key}' (stale baseline or mismatched perf_smoke "
+                    f"version?)")
+            try:
+                float(sample[key])
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path}: sample '{label}' metric '{key}' is not a "
+                    f"number: {sample[key]!r}")
+        by_label[label] = sample
+    return by_label
 
 
 def main():

@@ -1,0 +1,502 @@
+// sstsp_node — one live SSTSP node over UDP.
+//
+// Runs the unmodified protocol core against real sockets, wall-clock
+// paced.  Several processes started with the same --seed/--nodes and
+// wired to each other (explicit peers or one multicast group) form a live
+// deployment; each emits the same JSONL event stream and run JSON
+// document as sstsp_sim, so the audit/trace tooling works unchanged:
+//
+//   # two-node deployment on one host
+//   $ sstsp_node --id 0 --nodes 2 --port 47000 --peer 127.0.0.1:47001
+//       --duration 10 --json-out node0.jsonl &
+//   $ sstsp_node --id 1 --nodes 2 --port 47001 --peer 127.0.0.1:47000
+//       --duration 10 --json-out node1.jsonl
+//
+//   # multicast on the loopback interface, shared timeline
+//   $ EPOCH=$(date +%s)
+//   $ sstsp_node --id 0 --nodes 3 --multicast 239.255.47.10:47100
+//       --epoch $EPOCH --duration 30 &
+//   ...
+//
+// --epoch anchors the node's protocol timeline at the given UNIX time, so
+// processes started seconds apart still agree on beacon-period boundaries
+// and µTESLA interval indices.
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "net/node.h"
+#include "net/reactor.h"
+#include "net/udp.h"
+#include "obs/instruments.h"
+#include "obs/invariants.h"
+#include "obs/profiler.h"
+#include "runner/config_file.h"
+#include "runner/run_output.h"
+#include "trace/lifecycle.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_signal(int) { g_interrupted = 1; }
+
+bool parse_double(const std::string& s, double* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& s, long long* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stoll(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_endpoint(const std::string& s, std::string* host,
+                    std::uint16_t* port) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return false;
+  }
+  long long p = 0;
+  if (!parse_int(s.substr(colon + 1), &p) || p < 1 || p > 65535) return false;
+  *host = s.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+const char* usage() {
+  return R"(usage: sstsp_node [options]
+
+identity:
+  --id N                this node's id in [0, nodes) (default 0)
+  --nodes N             deployment size; every process must agree
+                        (default 5)
+  --seed S              deployment seed: trust anchors + emulated clocks;
+                        every process must agree (default 1)
+  --duration S          run length in seconds (default 10)
+
+endpoint (unicast mesh):
+  --bind ADDR           bind address (default 0.0.0.0)
+  --port P              bind port (default 0 = ephemeral; print and wire
+                        peers by hand, or use fixed ports)
+  --peer HOST:PORT      a peer endpoint; repeatable
+
+endpoint (multicast, replaces --peer):
+  --multicast G:P       join group G, send/receive on port P
+  --mcast-if ADDR       interface address to join on (default 127.0.0.1)
+  --ttl N               multicast TTL (default 0 = same host)
+  --wire-latency US     expected one-way wire latency compensated on
+                        receive (default 50, a localhost UDP hop)
+
+timeline:
+  --epoch UNIX_S        anchor the protocol timeline at this UNIX time so
+                        separately started processes share beacon-period
+                        boundaries; default: this process's start
+
+clock emulation:
+  --max-drift PPM       emulated drift bound (default 100)
+  --initial-offset US   emulated initial offset bound (default 112)
+  --drift PPM           explicit drift (disables emulation)
+  --offset US           explicit initial offset (disables emulation)
+
+protocol:
+  --m M, --l L, --guard US, --chain-length N
+                        as in sstsp_sim (chain defaults sized to
+                        epoch-elapsed + duration)
+  --reference           boot directly in the reference role
+
+config:
+  --config PATH         load flags from a flat JSON object; flags after
+                        --config override the file
+
+output (same semantics as sstsp_sim):
+  --json-out PATH, --metrics-out PATH, --trace, --trace-limit N,
+  --trace-kind KIND, --profile, --monitor[=strict]
+  --help                this text
+)";
+}
+
+struct NodeCli {
+  NodeCli() { node.wire_latency_us = sstsp::net::kUdpWireLatencyUs; }
+
+  sstsp::net::NodeConfig node;
+  sstsp::net::UdpConfig udp;
+  double duration_s = 10.0;
+  double epoch_unix_s = -1.0;  ///< <0: unset
+  bool chain_set = false;
+  std::size_t trace_capacity = 0;
+  bool collect_metrics = true;
+  bool profile = false;
+  bool monitor = false;
+  sstsp::run::OutputOptions output;
+  bool help = false;
+};
+
+std::optional<NodeCli> parse_args(const std::vector<std::string>& args,
+                                  std::string* error) {
+  NodeCli cli;
+  bool explicit_clock = false;
+  bool config_loaded = false;
+
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  std::vector<std::string> argv = args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argv.size()) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string v;
+    long long n = 0;
+    double d = 0;
+
+    if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+      return cli;
+    } else if (arg == "--id") {
+      if (!next(&v) || !parse_int(v, &n) || n < 0) {
+        return fail("--id needs a non-negative integer");
+      }
+      cli.node.id = static_cast<sstsp::mac::NodeId>(n);
+    } else if (arg == "--nodes") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--nodes needs a positive integer");
+      }
+      cli.node.total_nodes = static_cast<int>(n);
+    } else if (arg == "--seed") {
+      if (!next(&v) || !parse_int(v, &n)) {
+        return fail("--seed needs an integer");
+      }
+      cli.node.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--duration") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--duration needs a positive number of seconds");
+      }
+      cli.duration_s = d;
+    } else if (arg == "--bind") {
+      if (!next(&cli.udp.bind_address)) return fail("--bind needs an address");
+    } else if (arg == "--port") {
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 65535) {
+        return fail("--port needs a port number");
+      }
+      cli.udp.bind_port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--peer") {
+      sstsp::net::UdpEndpoint peer;
+      if (!next(&v) || !parse_endpoint(v, &peer.host, &peer.port)) {
+        return fail("--peer needs HOST:PORT");
+      }
+      cli.udp.peers.push_back(peer);
+    } else if (arg == "--multicast") {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!next(&v) || !parse_endpoint(v, &host, &port)) {
+        return fail("--multicast needs GROUP:PORT");
+      }
+      cli.udp.multicast_group = host;
+      cli.udp.multicast_port = port;
+    } else if (arg == "--mcast-if") {
+      if (!next(&cli.udp.multicast_interface)) {
+        return fail("--mcast-if needs an address");
+      }
+    } else if (arg == "--ttl") {
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 255) {
+        return fail("--ttl needs a value in [0, 255]");
+      }
+      cli.udp.multicast_ttl = static_cast<int>(n);
+    } else if (arg == "--wire-latency") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--wire-latency needs a value in us");
+      }
+      cli.node.wire_latency_us = d;
+    } else if (arg == "--epoch") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--epoch needs a UNIX time in seconds");
+      }
+      cli.epoch_unix_s = d;
+    } else if (arg == "--max-drift") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--max-drift needs a value in ppm");
+      }
+      cli.node.max_drift_ppm = d;
+    } else if (arg == "--initial-offset") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--initial-offset needs a value in us");
+      }
+      cli.node.initial_offset_us = d;
+    } else if (arg == "--drift") {
+      if (!next(&v) || !parse_double(v, &d)) {
+        return fail("--drift needs a value in ppm");
+      }
+      cli.node.drift_ppm = d;
+      explicit_clock = true;
+    } else if (arg == "--offset") {
+      if (!next(&v) || !parse_double(v, &d)) {
+        return fail("--offset needs a value in us");
+      }
+      cli.node.offset_us = d;
+      explicit_clock = true;
+    } else if (arg == "--m") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--m needs a positive integer");
+      }
+      cli.node.sstsp.m = static_cast<int>(n);
+    } else if (arg == "--l") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--l needs a positive integer");
+      }
+      cli.node.sstsp.l = static_cast<int>(n);
+    } else if (arg == "--guard") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--guard needs a positive value in us");
+      }
+      cli.node.sstsp.guard_fine_us = d;
+    } else if (arg == "--chain-length") {
+      if (!next(&v) || !parse_int(v, &n) || n < 10) {
+        return fail("--chain-length needs an integer >= 10");
+      }
+      cli.node.sstsp.chain_length = static_cast<std::size_t>(n);
+      cli.chain_set = true;
+    } else if (arg == "--reference") {
+      cli.node.start_as_reference = true;
+    } else if (arg == "--config") {
+      if (!next(&v)) return fail("--config needs a path");
+      if (config_loaded) return fail("--config may be given only once");
+      config_loaded = true;
+      std::string cfg_error;
+      const auto cfg_args = sstsp::run::load_config_args(v, &cfg_error);
+      if (!cfg_args) return fail(cfg_error);
+      argv.insert(argv.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  cfg_args->begin(), cfg_args->end());
+    } else if (arg == "--trace") {
+      cli.output.dump_trace = true;
+      cli.trace_capacity = std::max<std::size_t>(cli.trace_capacity, 1 << 18);
+    } else if (arg == "--trace-limit") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--trace-limit needs a positive integer");
+      }
+      cli.output.trace_limit = static_cast<std::size_t>(n);
+      cli.output.dump_trace = true;
+      cli.trace_capacity = std::max<std::size_t>(cli.trace_capacity, 1 << 18);
+    } else if (arg == "--trace-kind") {
+      if (!next(&v)) return fail("--trace-kind needs an event kind");
+      const auto kind = sstsp::trace::kind_from_string(v);
+      if (!kind) return fail("unknown event kind: " + v);
+      cli.output.trace_kind = *kind;
+      cli.output.dump_trace = true;
+      cli.trace_capacity = std::max<std::size_t>(cli.trace_capacity, 1 << 18);
+    } else if (arg == "--json-out") {
+      if (!next(&cli.output.json_out_path)) {
+        return fail("--json-out needs a path");
+      }
+      cli.trace_capacity = std::max<std::size_t>(cli.trace_capacity, 1 << 12);
+    } else if (arg == "--metrics-out") {
+      if (!next(&cli.output.metrics_out_path)) {
+        return fail("--metrics-out needs a path");
+      }
+    } else if (arg == "--profile") {
+      cli.profile = true;
+    } else if (arg == "--monitor" || arg == "--monitor=strict") {
+      cli.monitor = true;
+      if (arg == "--monitor=strict") cli.output.monitor_strict = true;
+    } else {
+      return fail("unknown option: " + arg);
+    }
+  }
+
+  if (cli.node.id >= static_cast<sstsp::mac::NodeId>(cli.node.total_nodes)) {
+    return fail("--id must be < --nodes");
+  }
+  if (explicit_clock) cli.node.emulate_clock = false;
+  if (cli.udp.multicast_group.empty() && cli.udp.peers.empty()) {
+    return fail("need at least one --peer or a --multicast group");
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sstsp;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  auto cli = parse_args(args, &error);
+  if (!cli) {
+    std::cerr << "error: " << error << "\n\n" << usage();
+    return 2;
+  }
+  if (cli->help) {
+    std::cout << usage();
+    return 0;
+  }
+
+  // Timeline anchor: sim time 0 is the epoch; this process enters at
+  // `start_s` on that timeline (0 when no epoch was given).
+  double start_s = 0.0;
+  if (cli->epoch_unix_s >= 0.0) {
+    const double now_unix =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    start_s = now_unix - cli->epoch_unix_s;
+    if (start_s < 0.0) {
+      std::cerr << "error: --epoch lies in the future\n";
+      return 2;
+    }
+  }
+  if (!cli->chain_set) {
+    // The chain must cover every interval since the epoch, not just the
+    // run: indices are absolute on the shared timeline.
+    cli->node.sstsp.chain_length =
+        static_cast<std::size_t>((start_s + cli->duration_s) * 10.0) + 200;
+  }
+
+  sim::Simulator sim(cli->node.seed);
+  net::Reactor reactor(sim);
+  auto transport = net::UdpTransport::open(reactor, cli->udp, &error);
+  if (!transport) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
+  }
+
+  net::NodeRuntime node(sim, *transport, cli->node);
+  node.set_wall_clock([&reactor] { return reactor.wall_sim_now(); });
+
+  // Observability: same sharing model as run::Network, scoped to one node.
+  obs::Registry registry;
+  std::unique_ptr<obs::Instruments> instruments;
+  std::unique_ptr<obs::Profiler> profiler;
+  std::unique_ptr<obs::InvariantMonitor> monitor;
+  std::unique_ptr<trace::BeaconLifecycle> lifecycle;
+  std::unique_ptr<trace::EventTrace> event_trace;
+  if (cli->collect_metrics) {
+    instruments = std::make_unique<obs::Instruments>(registry);
+    sim.set_instruments(instruments.get());
+  }
+  if (cli->profile) {
+    profiler = std::make_unique<obs::Profiler>();
+    sim.set_profiler(profiler.get());
+  }
+  if (cli->monitor) {
+    obs::InvariantConfig cfg;
+    cfg.sstsp_checks = true;
+    cfg.bp_us = cli->node.phy.beacon_period.to_us();
+    cfg.m = cli->node.sstsp.m;
+    cfg.l = cli->node.sstsp.l;
+    cfg.t0_us = cli->node.sstsp.t0_us;
+    cfg.interval_slack_us = cli->node.sstsp.interval_slack_us;
+    cfg.k_min = cli->node.sstsp.k_min;
+    cfg.k_max = cli->node.sstsp.k_max;
+    monitor = std::make_unique<obs::InvariantMonitor>(cfg);
+    lifecycle = std::make_unique<trace::BeaconLifecycle>(registry);
+  }
+  if (cli->trace_capacity > 0) {
+    event_trace = std::make_unique<trace::EventTrace>(cli->trace_capacity);
+  }
+  node.set_trace(event_trace.get());
+  node.set_instruments(instruments.get());
+  node.set_profiler(profiler.get());
+  node.set_monitor(monitor.get());
+  node.set_lifecycle(lifecycle.get());
+
+  run::RunOutput output(cli->output);
+  if (!output.begin(event_trace.get(), &error)) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
+  }
+
+  std::cout << "node " << cli->node.id << "/" << cli->node.total_nodes
+            << " on " << transport->describe() << ", timeline t="
+            << metrics::fmt(start_s, 2) << " s, running "
+            << cli->duration_s << " s ...\n";
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  reactor.set_interrupt_flag(&g_interrupted);
+
+  // Re-read the wall clock immediately before anchoring: the start_s
+  // computed at argv time is stale by however long this process spent on
+  // startup (socket open, µTESLA chain precompute, trace setup), and that
+  // span differs per process — anchoring with it would shift each node's
+  // timeline by its own startup cost, a constant ms-scale inter-process
+  // clock error no receive-side compensation can see.  The earlier value
+  // still sized the key chain; headroom there covers the drift.
+  if (cli->epoch_unix_s >= 0.0) {
+    start_s = std::chrono::duration<double>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count() -
+              cli->epoch_unix_s;
+  }
+  const auto start_sim = sim::SimTime::from_sec_double(start_s);
+  sim.at(start_sim, [&node] { node.start(); });
+  reactor.anchor(start_sim);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  reactor.run_until(start_sim +
+                    sim::SimTime::from_sec_double(cli->duration_s));
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (g_interrupted != 0) {
+    std::cout << "(interrupted — reporting the partial run)\n";
+  }
+
+  run::RunResult result;
+  result.channel = node.channel().stats();
+  result.honest = node.station().protocol().stats();
+  result.net = node.net_stats();
+  result.metrics = registry.snapshot();
+  result.events_processed = sim.events_processed();
+  result.wall_seconds = wall_seconds;
+  if (profiler) {
+    result.profile = profiler->snapshot(result.events_processed, wall_seconds);
+  }
+  if (monitor) result.audit = monitor->report();
+  // No pairwise series from a single vantage point: sync_latency_s and the
+  // steady stats stay null in the report.
+
+  const auto& protocol = node.station().protocol();
+  std::cout << "\nrole: "
+            << (protocol.is_reference()      ? "reference"
+                : protocol.is_synchronized() ? "synchronized"
+                                             : "unsynchronized")
+            << ", network time "
+            << metrics::fmt(protocol.network_time_us(sim.now()), 1)
+            << " us\n";
+
+  run::Scenario scenario;
+  scenario.protocol = run::ProtocolKind::kSstsp;
+  scenario.num_nodes = cli->node.total_nodes;
+  scenario.duration_s = cli->duration_s;
+  scenario.seed = cli->node.seed;
+  scenario.sstsp = cli->node.sstsp;
+  scenario.phy = cli->node.phy;
+  scenario.max_drift_ppm = cli->node.max_drift_ppm;
+  scenario.initial_offset_us = cli->node.initial_offset_us;
+  scenario.trace_capacity = cli->trace_capacity;
+  scenario.collect_metrics = cli->collect_metrics;
+  scenario.profile = cli->profile;
+  scenario.monitor = cli->monitor;
+
+  return output.finish(std::cout, std::cerr, scenario, result,
+                       event_trace.get());
+}

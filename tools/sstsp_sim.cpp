@@ -4,19 +4,17 @@
 //   $ sstsp_sim --protocol tsf --nodes 300 --paper-env --csv tsf300.csv
 //   $ sstsp_sim --attack internal-ref --attack-window 100,200 --trace
 //   $ sstsp_sim --json-out run.jsonl --metrics-out metrics.json --profile
+//   $ sstsp_sim --config experiment.json
 //
 // See --help for the full option list.  Everything the tool does is also
 // available programmatically through runner::run_scenario.
 #include <chrono>
-#include <fstream>
 #include <iostream>
 
-#include "metrics/report.h"
-#include "obs/export.h"
 #include "runner/cli.h"
 #include "runner/experiment.h"
-#include "runner/json_report.h"
 #include "runner/network.h"
+#include "runner/run_output.h"
 
 int main(int argc, char** argv) {
   using namespace sstsp;
@@ -42,21 +40,10 @@ int main(int argc, char** argv) {
 
   run::Network net(s);
 
-  // The JSONL sink must be attached before the run: it streams every event
-  // at record time, so the file captures the complete stream even though
-  // the in-memory ring only retains the newest slice.
-  std::ofstream json_out;
-  if (!opts->json_out_path.empty()) {
-    json_out.open(opts->json_out_path);
-    if (!json_out) {
-      std::cerr << "error: could not open " << opts->json_out_path << '\n';
-      return 1;
-    }
-    if (net.trace() == nullptr) {
-      std::cerr << "error: --json-out needs an event trace (internal)\n";
-      return 1;
-    }
-    obs::attach_jsonl_sink(*net.trace(), json_out);
+  run::RunOutput output(run::OutputOptions::from_cli(*opts));
+  if (!output.begin(net.trace(), &error)) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -67,111 +54,5 @@ int main(int argc, char** argv) {
           .count();
   const run::RunResult result = run::collect_result(net, wall_seconds);
 
-  const auto& series = result.max_diff;
-  const auto& honest = result.honest;
-  std::cout << "\nsync latency (<25 us sustained): "
-            << (result.sync_latency_s
-                    ? metrics::fmt(*result.sync_latency_s, 2) + " s"
-                    : std::string("never"))
-            << "\nsteady max / p99 clock difference: "
-            << (result.steady_max_us ? metrics::fmt(*result.steady_max_us, 2)
-                                     : std::string("-"))
-            << " / "
-            << (result.steady_p99_us ? metrics::fmt(*result.steady_p99_us, 2)
-                                     : std::string("-"))
-            << " us\nbeacons: " << result.channel.transmissions << " ("
-            << result.channel.collided_transmissions << " collided), "
-            << result.channel.bytes_on_air << " bytes on air\n"
-            << "adjustments/adoptions: " << honest.adjustments << "/"
-            << honest.adoptions << ", elections " << honest.elections_won
-            << ", rejections g/i/k/m " << honest.rejected_guard << "/"
-            << honest.rejected_interval << "/" << honest.rejected_key << "/"
-            << honest.rejected_mac << '\n';
-
-  if (result.profile) {
-    std::cout << '\n';
-    result.profile->print(std::cout);
-  }
-
-  if (result.audit) {
-    const obs::AuditReport& audit = *result.audit;
-    std::cout << "\ninvariant monitor: ";
-    if (audit.clean()) {
-      std::cout << "clean (0 audit records)\n";
-    } else {
-      std::cout << audit.records.size() << " audit record(s), "
-                << audit.critical_count() << " critical / "
-                << audit.warning_count() << " warnings";
-      if (audit.dropped_records > 0) {
-        std::cout << " (" << audit.dropped_records << " dropped)";
-      }
-      std::cout << '\n';
-      std::size_t shown = 0;
-      for (const auto& r : audit.records) {
-        if (shown++ == 10) {
-          std::cout << "  ... (" << audit.records.size() - 10 << " more)\n";
-          break;
-        }
-        std::cout << "  [" << obs::to_string(r.severity) << "] "
-                  << obs::to_string(r.kind) << " x" << r.count;
-        if (r.node != mac::kNoNode) std::cout << " node " << r.node;
-        if (r.peer != mac::kNoNode) std::cout << " peer " << r.peer;
-        std::cout << " t=" << metrics::fmt(r.first_t_s, 1) << ".."
-                  << metrics::fmt(r.last_t_s, 1) << " s — " << r.detail
-                  << " (" << obs::paper_reference(r.kind) << ")\n";
-      }
-    }
-  }
-
-  if (opts->ascii_chart) {
-    std::cout << '\n';
-    metrics::print_ascii_series(std::cout, series,
-                                std::max(1.0, s.duration_s / 50.0),
-                                /*log_scale=*/true);
-  }
-  if (!opts->csv_path.empty()) {
-    if (metrics::write_csv(series, opts->csv_path, "max_clock_diff_us")) {
-      std::cout << "series written to " << opts->csv_path << '\n';
-    } else {
-      std::cerr << "error: could not write " << opts->csv_path << '\n';
-      return 1;
-    }
-  }
-  if (json_out.is_open()) {
-    net.trace()->set_sink({});
-    run::write_summary_jsonl(json_out, s, result);
-    if (!json_out) {
-      std::cerr << "error: failed writing " << opts->json_out_path << '\n';
-      return 1;
-    }
-    std::cout << "event stream written to " << opts->json_out_path << " ("
-              << net.trace()->total_recorded() << " events + summary)\n";
-  }
-  if (!opts->metrics_out_path.empty()) {
-    std::ofstream metrics_out(opts->metrics_out_path);
-    if (!metrics_out) {
-      std::cerr << "error: could not write " << opts->metrics_out_path
-                << '\n';
-      return 1;
-    }
-    run::write_run_json(metrics_out, s, result);
-    std::cout << "metrics written to " << opts->metrics_out_path << '\n';
-  }
-  if (opts->dump_trace && net.trace() != nullptr) {
-    std::cout << "\nnewest protocol events";
-    if (opts->trace_kind) {
-      std::cout << " (" << trace::to_string(*opts->trace_kind) << " only)";
-    }
-    std::cout << ":\n";
-    net.trace()->dump(std::cout, opts->trace_limit, opts->trace_kind);
-    std::cout << "(recorded " << net.trace()->total_recorded()
-              << " events total, " << net.trace()->dropped()
-              << " dropped from the ring)\n";
-  }
-  if (opts->monitor_strict && result.audit && !result.audit->clean()) {
-    std::cerr << "error: --monitor=strict and the run produced "
-              << result.audit->records.size() << " audit record(s)\n";
-    return 3;
-  }
-  return 0;
+  return output.finish(std::cout, std::cerr, s, result, net.trace());
 }

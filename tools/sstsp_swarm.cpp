@@ -1,0 +1,388 @@
+// sstsp_swarm — in-process live-stack emulation harness.
+//
+// Spawns N SSTSP nodes in one process, each with its own emulated
+// oscillator and its own transport endpoint, and lets them synchronize
+// over a real wire instead of the simulated 802.11 channel:
+//
+//   $ sstsp_swarm --nodes 5 --duration 10            # loopback UDP, wall
+//   $ sstsp_swarm --transport loopback --seed 7      # virtual time, fast,
+//                                                    # bit-reproducible
+//   $ sstsp_swarm --nodes 5 --duration 10 --monitor=strict
+//       --json-out swarm.jsonl --metrics-out swarm.json
+//
+// Output is byte-compatible with sstsp_sim (same JSONL event stream, same
+// run JSON document + a "net" wire-accounting section), so the audit and
+// trace tooling consumes live runs unchanged.
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "net/swarm.h"
+#include "runner/config_file.h"
+#include "runner/run_output.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_signal(int) { g_interrupted = 1; }
+
+bool parse_double(const std::string& s, double* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& s, long long* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stoll(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string item;
+  for (const char c : s) {
+    if (c == sep) {
+      parts.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  parts.push_back(item);
+  return parts;
+}
+
+const char* usage() {
+  return R"(usage: sstsp_swarm [options]
+
+deployment:
+  --nodes N             node count (default 5)
+  --duration S          run length in seconds (default 10)
+  --seed S              deployment seed: trust anchors, emulated clocks,
+                        loopback latency draws
+  --transport T         udp (real sockets on 127.0.0.1, wall-clock paced)
+                        or loopback (in-process hub, virtual time,
+                        bit-reproducible); default udp
+  --bind ADDR           UDP bind address (default 127.0.0.1)
+  --base-port P         UDP: node i binds P+i (default 0 = ephemeral)
+  --latency MIN,MAX     loopback one-way latency bounds in us (default
+                        35,45)
+  --drop P              loopback per-delivery drop probability (default 0)
+  --wire-latency US     expected one-way wire latency compensated on
+                        receive (default: loopback model midpoint, or 10
+                        for UDP)
+  --diverge-threshold US  monitor's Lemma-1 divergence bound (default: 50,
+                        or 150 for wall-paced UDP — see DESIGN.md "Live
+                        stack" on emulation noise)
+
+protocol:
+  --m M                 SSTSP aggressiveness (default 3)
+  --l L                 missed-beacon tolerance (default 1)
+  --guard US            base guard time in us
+  --chain-length N      µTESLA chain length (default sized to duration)
+  --max-drift PPM       emulated oscillator drift bound (default 100)
+  --initial-offset US   emulated initial offset bound (default 112)
+  --preestablished      node 0 boots as the reference
+  --sample-period S     max-offset sampling cadence (default 0.1)
+
+config:
+  --config PATH         load flags from a flat JSON object ({"nodes": 5});
+                        flags after --config override the file
+
+output (same semantics as sstsp_sim):
+  --csv PATH, --chart, --trace, --trace-limit N, --trace-kind KIND,
+  --json-out PATH, --metrics-out PATH, --profile, --monitor[=strict]
+
+checks:
+  --expect-sync         exit 4 unless a reference holds the role and the
+                        final max pairwise adjusted-clock offset is under
+                        the guard threshold (CI smoke)
+  --help                this text
+)";
+}
+
+struct SwarmCli {
+  sstsp::net::SwarmConfig swarm;
+  sstsp::run::OutputOptions output;
+  bool expect_sync = false;
+  bool help = false;
+};
+
+std::optional<SwarmCli> parse_args(const std::vector<std::string>& args,
+                                   std::string* error) {
+  using sstsp::net::TransportKind;
+  SwarmCli cli;
+  bool chain_set = false;
+  bool config_loaded = false;
+
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  std::vector<std::string> argv = args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argv.size()) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string v;
+    long long n = 0;
+    double d = 0;
+
+    if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+      return cli;
+    } else if (arg == "--nodes") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--nodes needs a positive integer");
+      }
+      cli.swarm.nodes = static_cast<int>(n);
+    } else if (arg == "--duration") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--duration needs a positive number of seconds");
+      }
+      cli.swarm.duration_s = d;
+    } else if (arg == "--seed") {
+      if (!next(&v) || !parse_int(v, &n)) {
+        return fail("--seed needs an integer");
+      }
+      cli.swarm.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--transport") {
+      if (!next(&v)) return fail("--transport needs udp | loopback");
+      if (v == "udp") {
+        cli.swarm.transport = TransportKind::kUdp;
+      } else if (v == "loopback") {
+        cli.swarm.transport = TransportKind::kLoopback;
+      } else {
+        return fail("unknown transport: " + v);
+      }
+    } else if (arg == "--bind") {
+      if (!next(&cli.swarm.bind_address)) return fail("--bind needs an address");
+    } else if (arg == "--base-port") {
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 65535) {
+        return fail("--base-port needs a port number");
+      }
+      cli.swarm.base_port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--latency") {
+      if (!next(&v)) return fail("--latency needs min,max in us");
+      const auto parts = split(v, ',');
+      double lo = 0;
+      double hi = 0;
+      if (parts.size() != 2 || !parse_double(parts[0], &lo) ||
+          !parse_double(parts[1], &hi) || lo < 0 || hi < lo) {
+        return fail("--latency needs min,max in us with max >= min >= 0");
+      }
+      cli.swarm.loopback.latency_min = sstsp::sim::SimTime::from_us_double(lo);
+      cli.swarm.loopback.latency_max = sstsp::sim::SimTime::from_us_double(hi);
+    } else if (arg == "--wire-latency") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--wire-latency needs a value in us");
+      }
+      cli.swarm.wire_latency_us = d;
+    } else if (arg == "--diverge-threshold") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--diverge-threshold needs a value in us");
+      }
+      cli.swarm.monitor_diverge_us = d;
+    } else if (arg == "--drop") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0 || d >= 1) {
+        return fail("--drop needs a probability in [0, 1)");
+      }
+      cli.swarm.loopback.drop_probability = d;
+    } else if (arg == "--m") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--m needs a positive integer");
+      }
+      cli.swarm.sstsp.m = static_cast<int>(n);
+    } else if (arg == "--l") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--l needs a positive integer");
+      }
+      cli.swarm.sstsp.l = static_cast<int>(n);
+    } else if (arg == "--guard") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--guard needs a positive value in us");
+      }
+      cli.swarm.sstsp.guard_fine_us = d;
+    } else if (arg == "--chain-length") {
+      if (!next(&v) || !parse_int(v, &n) || n < 10) {
+        return fail("--chain-length needs an integer >= 10");
+      }
+      cli.swarm.sstsp.chain_length = static_cast<std::size_t>(n);
+      chain_set = true;
+    } else if (arg == "--max-drift") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--max-drift needs a value in ppm");
+      }
+      cli.swarm.max_drift_ppm = d;
+    } else if (arg == "--initial-offset") {
+      if (!next(&v) || !parse_double(v, &d) || d < 0) {
+        return fail("--initial-offset needs a value in us");
+      }
+      cli.swarm.initial_offset_us = d;
+    } else if (arg == "--preestablished") {
+      cli.swarm.preestablished_reference = true;
+    } else if (arg == "--sample-period") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--sample-period needs a positive number of seconds");
+      }
+      cli.swarm.sample_period_s = d;
+    } else if (arg == "--config") {
+      if (!next(&v)) return fail("--config needs a path");
+      if (config_loaded) return fail("--config may be given only once");
+      config_loaded = true;
+      std::string cfg_error;
+      const auto cfg_args = sstsp::run::load_config_args(v, &cfg_error);
+      if (!cfg_args) return fail(cfg_error);
+      argv.insert(argv.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  cfg_args->begin(), cfg_args->end());
+    } else if (arg == "--csv") {
+      if (!next(&cli.output.csv_path)) return fail("--csv needs a path");
+    } else if (arg == "--chart") {
+      cli.output.ascii_chart = true;
+    } else if (arg == "--trace") {
+      cli.output.dump_trace = true;
+      cli.swarm.trace_capacity =
+          std::max<std::size_t>(cli.swarm.trace_capacity, 1 << 18);
+    } else if (arg == "--trace-limit") {
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--trace-limit needs a positive integer");
+      }
+      cli.output.trace_limit = static_cast<std::size_t>(n);
+      cli.output.dump_trace = true;
+      cli.swarm.trace_capacity =
+          std::max<std::size_t>(cli.swarm.trace_capacity, 1 << 18);
+    } else if (arg == "--trace-kind") {
+      if (!next(&v)) return fail("--trace-kind needs an event kind");
+      const auto kind = sstsp::trace::kind_from_string(v);
+      if (!kind) return fail("unknown event kind: " + v);
+      cli.output.trace_kind = *kind;
+      cli.output.dump_trace = true;
+      cli.swarm.trace_capacity =
+          std::max<std::size_t>(cli.swarm.trace_capacity, 1 << 18);
+    } else if (arg == "--json-out") {
+      if (!next(&cli.output.json_out_path)) {
+        return fail("--json-out needs a path");
+      }
+      cli.swarm.trace_capacity =
+          std::max<std::size_t>(cli.swarm.trace_capacity, 1 << 12);
+    } else if (arg == "--metrics-out") {
+      if (!next(&cli.output.metrics_out_path)) {
+        return fail("--metrics-out needs a path");
+      }
+    } else if (arg == "--profile") {
+      cli.swarm.profile = true;
+    } else if (arg == "--monitor" || arg == "--monitor=strict") {
+      cli.swarm.monitor = true;
+      if (arg == "--monitor=strict") cli.output.monitor_strict = true;
+    } else if (arg == "--expect-sync") {
+      cli.expect_sync = true;
+    } else {
+      return fail("unknown option: " + arg);
+    }
+  }
+
+  if (!chain_set) {
+    cli.swarm.sstsp.chain_length =
+        static_cast<std::size_t>(cli.swarm.duration_s * 10.0) + 200;
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sstsp;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const auto cli = parse_args(args, &error);
+  if (!cli) {
+    std::cerr << "error: " << error << "\n\n" << usage();
+    return 2;
+  }
+  if (cli->help) {
+    std::cout << usage();
+    return 0;
+  }
+
+  auto swarm = net::Swarm::create(cli->swarm, &error);
+  if (!swarm) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
+  }
+
+  const bool wall_paced =
+      cli->swarm.transport == net::TransportKind::kUdp;
+  std::cout << "swarm: " << cli->swarm.nodes << " nodes over "
+            << net::transport_kind_name(cli->swarm.transport) << ", "
+            << cli->swarm.duration_s << " s ("
+            << (wall_paced ? "wall-clock paced" : "virtual time")
+            << "), seed " << cli->swarm.seed << " ...\n";
+  if (wall_paced) {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    swarm->set_interrupt_flag(&g_interrupted);
+  }
+
+  run::RunOutput output(cli->output);
+  if (!output.begin(swarm->trace(), &error)) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
+  }
+
+  swarm->run();
+  if (g_interrupted != 0) {
+    std::cout << "(interrupted — reporting the partial run)\n";
+  }
+
+  const run::RunResult result = swarm->collect();
+  const run::Scenario scenario = swarm->reporting_scenario();
+
+  const auto reference = swarm->current_reference();
+  const auto final_diff = swarm->instant_max_diff_us();
+  std::cout << "\nreference: "
+            << (reference ? "node " + std::to_string(*reference)
+                          : std::string("none"))
+            << "\nfinal max pairwise offset: "
+            << (final_diff ? metrics::fmt(*final_diff, 2) + " us"
+                           : std::string("- (no synchronized nodes)"))
+            << '\n';
+
+  const int code = output.finish(std::cout, std::cerr, scenario, result,
+                                 swarm->trace());
+  if (code != 0) return code;
+
+  if (cli->expect_sync) {
+    const double guard = cli->swarm.sstsp.guard_fine_us;
+    if (!reference || !final_diff || *final_diff >= guard) {
+      std::cerr << "error: --expect-sync: "
+                << (!reference ? "no reference holds the role"
+                    : !final_diff
+                        ? "no synchronized nodes"
+                        : "final max offset " + metrics::fmt(*final_diff, 2) +
+                              " us >= guard " + metrics::fmt(guard, 2) +
+                              " us")
+                << '\n';
+      return 4;
+    }
+    std::cout << "expect-sync: ok (offset under the " << guard
+              << " us guard)\n";
+  }
+  return 0;
+}
