@@ -1,0 +1,113 @@
+// ABL-FAULT — the resilience matrix behind DESIGN.md §9: one seeded
+// scenario swept across the fault-plan directives (packet loss, reference
+// crash, their combination, a partition heal, a clock step), each run
+// reporting the per-fault recovery accounting (re-election latency in
+// beacon periods, re-sync latency, post-recovery steady error) plus the
+// invariant-audit verdict.  The paper's recovery claims under test:
+// re-election within l+1 silent BPs of losing the reference (§3.3) and
+// Lemma-1 steady error (< 25 us) restored after every transient.
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fault/plan.h"
+#include "runner/sweep.h"
+
+namespace {
+
+struct Cell {
+  std::string label;
+  const char* plan_json;  // nullptr = fault-free baseline
+};
+
+}  // namespace
+
+int main() {
+  using namespace sstsp;
+  bench::banner("ABL-FAULT",
+                "Fault matrix: recovery accounting per fault-plan directive",
+                "re-election within l+1 silent BPs, Lemma-1 steady error "
+                "restored after every transient");
+
+  const std::vector<Cell> cells{
+      {"baseline", nullptr},
+      {"drop10", R"({"packet": [{"kind": "drop", "probability": 0.1}]})"},
+      {"ref_crash",
+       R"({"node_faults": [{"kind": "crash", "node": "reference", "at": 30}]})"},
+      {"ref_crash_drop10",
+       R"({"seed": 1,
+           "packet": [{"kind": "drop", "probability": 0.1}],
+           "node_faults": [{"kind": "crash", "node": "reference", "at": 30}]})"},
+      {"partition_heal",
+       R"({"partitions": [{"start": 20, "end": 30, "group_a": [7, 8, 9]}]})"},
+      {"clock_step",
+       R"({"clock_faults": [{"node": 4, "at": 30, "step_us": 400}]})"},
+  };
+
+  std::vector<run::Scenario> scenarios;
+  for (const Cell& cell : cells) {
+    run::Scenario s;
+    s.protocol = run::ProtocolKind::kSstsp;
+    s.num_nodes = 10;
+    s.duration_s = 60.0;
+    s.seed = 1;
+    s.sstsp.chain_length = 1200;
+    s.monitor = true;
+    if (cell.plan_json != nullptr) {
+      std::string error;
+      const auto plan = fault::parse_plan_text(cell.plan_json, &error);
+      if (!plan) {
+        std::cerr << cell.label << ": bad plan: " << error << '\n';
+        return 1;
+      }
+      s.faults = *plan;
+    }
+    scenarios.push_back(s);
+  }
+  const auto results = run::run_sweep(scenarios);
+
+  bench::JsonReport report("abl_fault_matrix");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    report.add_run(cells[i].label, scenarios[i], results[i]);
+  }
+
+  metrics::TextTable table({"fault", "injected drops", "reelect (BPs)",
+                            "resync (s)", "post-fault steady (us)",
+                            "audit records"});
+  bool all_recovered = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const run::RunResult& r = results[i];
+    std::string reelect = "-";
+    std::string resync = "-";
+    std::string steady = "-";
+    std::uint64_t drops = 0;
+    if (r.recovery) {
+      drops = r.recovery->packet_faults.drops +
+              r.recovery->packet_faults.partition_drops;
+      for (const auto& rec : r.recovery->records) {
+        if (!rec.recovered) all_recovered = false;
+        if (rec.needs_election && rec.reelection_bps >= 0.0) {
+          reelect = metrics::fmt(rec.reelection_bps, 2);
+        }
+        if (rec.resync_s >= 0.0) resync = metrics::fmt(rec.resync_s, 2);
+      }
+      if (r.recovery->post_fault_steady_max_us >= 0.0) {
+        steady = metrics::fmt(r.recovery->post_fault_steady_max_us, 2);
+      }
+    }
+    if (steady == "-" && r.steady_max_us) {
+      steady = metrics::fmt(*r.steady_max_us, 2);  // fault-free baseline
+    }
+    table.add_row({cells[i].label, std::to_string(drops), reelect, resync,
+                   steady,
+                   std::to_string(r.audit ? r.audit->records.size() : 0)});
+  }
+  table.print(std::cout);
+  report.write();
+
+  if (!all_recovered) {
+    std::cerr << "FAIL: a fault cell never recovered\n";
+    return 1;
+  }
+  return 0;
+}

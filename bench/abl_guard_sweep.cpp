@@ -27,7 +27,7 @@ int main() {
     s.duration_s = 160.0;
     s.seed = 2006;
     s.sstsp.chain_length = 1800;
-    s.attack = run::AttackKind::kSstspInternalReference;
+    s.attack = "internal-ref";
     s.sstsp_attack.start_s = 40.0;
     s.sstsp_attack.end_s = 140.0;
     s.sstsp_attack.skew_rate_us_per_s = skew;
@@ -69,7 +69,7 @@ int main() {
     s.seed = 2008;
     s.sstsp.chain_length = 1800;
     s.sstsp.guard_fine_us = g;
-    s.attack = run::AttackKind::kSstspInternalReference;
+    s.attack = "internal-ref";
     s.sstsp_attack.start_s = 40.0;
     s.sstsp_attack.end_s = 140.0;
     s.sstsp_attack.skew_rate_us_per_s = 200.0;
@@ -83,7 +83,7 @@ int main() {
                              "attack, us)"});
   for (std::size_t i = 0; i < guards.size(); ++i) {
     run::Scenario benign = gsweep[i];
-    benign.attack = run::AttackKind::kNone;
+    benign.attack = "";
     const auto b = run::run_scenario(benign);
     report.add_run("guard" + metrics::fmt(guards[i], 0), gsweep[i],
                    gresults[i]);

@@ -25,7 +25,7 @@ int main() {
 
   auto scenario = run::Scenario::paper_section5(run::ProtocolKind::kTsf, 100,
                                                 /*seed=*/2006);
-  scenario.attack = run::AttackKind::kTsfSlowBeacon;
+  scenario.attack = "tsf-slow";
   scenario.tsf_attack.start_s = 400.0;
   scenario.tsf_attack.end_s = 600.0;
   scenario.monitor = true;

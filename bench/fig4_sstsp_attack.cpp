@@ -19,7 +19,7 @@ int main() {
 
   auto scenario = run::Scenario::paper_section5(run::ProtocolKind::kSstsp, 500,
                                                 /*seed=*/2006);
-  scenario.attack = run::AttackKind::kSstspInternalReference;
+  scenario.attack = "internal-ref";
   scenario.sstsp_attack.start_s = 400.0;
   scenario.sstsp_attack.end_s = 600.0;
   scenario.monitor = true;

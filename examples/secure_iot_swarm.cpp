@@ -25,7 +25,7 @@ int main() {
   scenario.churn = run::ChurnSpec{/*period_s=*/60.0, /*fraction=*/0.1,
                                   /*absence_s=*/25.0};
   scenario.reference_departures_s = {90.0, 210.0};
-  scenario.attack = run::AttackKind::kSstspInternalReference;
+  scenario.attack = "internal-ref";
   scenario.sstsp_attack.start_s = 140.0;
   scenario.sstsp_attack.end_s = 180.0;
   scenario.sstsp_attack.skew_rate_us_per_s = 40.0;

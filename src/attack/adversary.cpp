@@ -1,0 +1,151 @@
+#include "attack/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "attack/delayed_disclosure.h"
+#include "attack/replay.h"
+#include "obs/json.h"
+
+namespace sstsp::attack {
+
+namespace {
+
+constexpr double kHonestDrift = std::numeric_limits<double>::quiet_NaN();
+
+/// Numeric override from the attack-params JSON; fallback when absent.
+double num_param(const obs::json::Value* params, std::string_view key,
+                 double fallback) {
+  if (params == nullptr) return fallback;
+  const obs::json::Value* v = params->find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return v->number;
+}
+
+}  // namespace
+
+AdversaryRegistry::AdversaryRegistry() {
+  add("tsf-slow",
+      {"TSF slow-beacon attacker: floods contention with slower timestamps "
+       "so the honest TSF network free-runs (paper Fig. 3)",
+       0.9,  // deploys with worst-case-fast hardware, see tsf_attacker.h
+       [](const AdversaryContext& ctx) -> std::unique_ptr<proto::SyncProtocol> {
+         TsfAttackParams p = ctx.tsf;
+         p.start_s = num_param(ctx.params, "start", p.start_s);
+         p.end_s = num_param(ctx.params, "end", p.end_s);
+         p.slow_offset_us =
+             num_param(ctx.params, "slow_offset_us", p.slow_offset_us);
+         p.timer_advance_us =
+             num_param(ctx.params, "timer_advance_us", p.timer_advance_us);
+         p.burst_count = static_cast<int>(
+             num_param(ctx.params, "burst_count", p.burst_count));
+         p.burst_spacing_us =
+             num_param(ctx.params, "burst_spacing_us", p.burst_spacing_us);
+         return std::make_unique<TsfSlowBeaconAttacker>(ctx.station, p);
+       }});
+  add("internal-ref",
+      {"internal SSTSP attacker: seizes the reference role and drags the "
+       "network timeline within guard bounds (paper Fig. 4)",
+       kHonestDrift,
+       [](const AdversaryContext& ctx) -> std::unique_ptr<proto::SyncProtocol> {
+         SstspAttackParams p = ctx.internal;
+         p.start_s = num_param(ctx.params, "start", p.start_s);
+         p.end_s = num_param(ctx.params, "end", p.end_s);
+         p.advance_us = num_param(ctx.params, "advance_us", p.advance_us);
+         p.skew_rate_us_per_s =
+             num_param(ctx.params, "skew", p.skew_rate_us_per_s);
+         p.skew_ramp_s = num_param(ctx.params, "skew_ramp_s", p.skew_ramp_s);
+         return std::make_unique<SstspInternalAttacker>(
+             ctx.station, ctx.sstsp, ctx.directory, p);
+       }});
+  add("replay",
+      {"external replay attacker: re-transmits captured beacons some BPs "
+       "later; µTESLA's interval check rejects them (§4)",
+       kHonestDrift,
+       [](const AdversaryContext& ctx) -> std::unique_ptr<proto::SyncProtocol> {
+         ReplayParams p;
+         p.start_s = num_param(ctx.params, "start", ctx.internal.start_s);
+         p.end_s = num_param(ctx.params, "end", ctx.internal.end_s);
+         p.delay_bps = static_cast<int>(
+             num_param(ctx.params, "delay_bps", p.delay_bps));
+         p.extra_delay_us =
+             num_param(ctx.params, "extra_delay_us", p.extra_delay_us);
+         return std::make_unique<ReplayAttacker>(ctx.station, p);
+       }});
+  add("forge",
+      {"external forger: emits SSTSP-shaped beacons with garbage MACs under "
+       "an unanchored identity; rejected at the disclosed-key step",
+       kHonestDrift,
+       [](const AdversaryContext& ctx) -> std::unique_ptr<proto::SyncProtocol> {
+         ExternalForger::Params p;
+         p.period_s = num_param(ctx.params, "period_s", p.period_s);
+         const double spoofed = num_param(ctx.params, "spoofed", -1.0);
+         if (spoofed >= 0.0) p.spoofed = static_cast<mac::NodeId>(spoofed);
+         return std::make_unique<ExternalForger>(ctx.station, p);
+       }});
+  add("delayed-disclosure",
+      {"internal delayed-key-disclosure attacker: emits late beacons stamped "
+       "on schedule, abusing the µTESLA disclosure delay (§4)",
+       kHonestDrift,
+       [](const AdversaryContext& ctx) -> std::unique_ptr<proto::SyncProtocol> {
+         DelayedDisclosureParams p;
+         p.start_s = num_param(ctx.params, "start", ctx.internal.start_s);
+         p.end_s = num_param(ctx.params, "end", ctx.internal.end_s);
+         p.delay_us = num_param(ctx.params, "delay_us", p.delay_us);
+         return std::make_unique<DelayedDisclosureAttacker>(
+             ctx.station, ctx.sstsp, ctx.directory, p);
+       }});
+}
+
+AdversaryRegistry& AdversaryRegistry::instance() {
+  static AdversaryRegistry registry;
+  return registry;
+}
+
+void AdversaryRegistry::add(std::string name, AdversaryInfo info) {
+  for (auto& [existing, entry] : entries_) {
+    if (existing == name) {
+      entry = std::move(info);  // latest registration wins
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(info));
+}
+
+const AdversaryInfo* AdversaryRegistry::find(std::string_view name) const {
+  for (const auto& [existing, entry] : entries_) {
+    if (existing == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AdversaryRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool adversary_known(std::string_view name) {
+  return AdversaryRegistry::instance().find(name) != nullptr;
+}
+
+std::vector<std::string> adversary_names() {
+  return AdversaryRegistry::instance().names();
+}
+
+double adversary_drift_factor(std::string_view name) {
+  const AdversaryInfo* info = AdversaryRegistry::instance().find(name);
+  return info == nullptr ? kHonestDrift : info->drift_factor;
+}
+
+std::unique_ptr<proto::SyncProtocol> make_adversary(
+    std::string_view name, const AdversaryContext& ctx) {
+  const AdversaryInfo* info = AdversaryRegistry::instance().find(name);
+  if (info == nullptr || !info->make) return nullptr;
+  return info->make(ctx);
+}
+
+}  // namespace sstsp::attack

@@ -1,0 +1,87 @@
+// Adversary registry: one factory-based interface for every attacker the
+// runners can deploy, replacing the old per-kind enum + switch plumbing.
+//
+// An adversary is any proto::SyncProtocol implementation mounted on the
+// extra attacker station; the registry maps a stable name ("tsf-slow",
+// "internal-ref", "replay", "forge", "delayed-disclosure") to a factory, so
+// new adversaries — including fault-driven ones like replay-under-loss
+// (replay adversary + a FaultPlan with a drop directive) — plug in without
+// touching run::Scenario or the runners.
+//
+// Builtins are registered explicitly in the registry constructor (not via
+// static initializers, which a static library would silently drop).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "attack/internal_reference.h"
+#include "attack/tsf_attacker.h"
+
+namespace sstsp::proto {
+class Station;
+class SyncProtocol;
+}  // namespace sstsp::proto
+
+namespace sstsp::obs::json {
+struct Value;
+}  // namespace sstsp::obs::json
+
+namespace sstsp::attack {
+
+/// Everything a factory may draw on.  `params` is the parsed value of the
+/// scenario's attack-params JSON (nullptr when none was given) and is only
+/// valid for the duration of the make() call.
+struct AdversaryContext {
+  proto::Station& station;
+  core::KeyDirectory& directory;
+  const core::SstspConfig& sstsp;
+  TsfAttackParams tsf{};
+  SstspAttackParams internal{};
+  const obs::json::Value* params{nullptr};
+};
+
+struct AdversaryInfo {
+  std::string description;
+  /// Oscillator the adversary deploys with, as a fraction of the scenario's
+  /// max drift (NaN: drawn from the same distribution as honest nodes).
+  /// tsf-slow pins 0.9 — worst-case-fast hardware, see tsf_attacker.h.
+  double drift_factor;
+  std::function<std::unique_ptr<proto::SyncProtocol>(const AdversaryContext&)>
+      make;
+};
+
+class AdversaryRegistry {
+ public:
+  /// Process-wide registry, pre-populated with the builtins.
+  static AdversaryRegistry& instance();
+
+  void add(std::string name, AdversaryInfo info);
+  [[nodiscard]] const AdversaryInfo* find(std::string_view name) const;
+  /// Registered names, sorted (for error messages and --help).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  AdversaryRegistry();  // registers builtins
+
+  std::vector<std::pair<std::string, AdversaryInfo>> entries_;
+};
+
+/// True when `name` is a registered adversary (empty = no attack, not known).
+[[nodiscard]] bool adversary_known(std::string_view name);
+
+/// Sorted registered names.
+[[nodiscard]] std::vector<std::string> adversary_names();
+
+/// The adversary's pinned drift factor; NaN when it draws like an honest
+/// node (or the name is unknown/empty).
+[[nodiscard]] double adversary_drift_factor(std::string_view name);
+
+/// Builds the adversary; nullptr for an unknown name.
+[[nodiscard]] std::unique_ptr<proto::SyncProtocol> make_adversary(
+    std::string_view name, const AdversaryContext& ctx);
+
+}  // namespace sstsp::attack

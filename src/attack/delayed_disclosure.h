@@ -1,0 +1,76 @@
+// Delayed key disclosure adversary (internal): a compromised node with a
+// valid hash chain that emits beacons *late* while stamping them with the
+// on-schedule instant, abusing µTESLA's disclosure delay (§4).  Each beacon
+// claims to be `delay_us` fresher than it physically is; a receiver that
+// accepted it would adopt a timeline `delay_us` behind real time.
+//
+// The defense this exercises is exactly the paper's layered check: for small
+// delays the guard-time check (§3.4) rejects the stamp, and once the delay
+// exceeds the interval slack the µTESLA interval check (§3.3) fires first —
+// the key for the claimed interval is, by arrival time, already disclosed.
+// Run it and watch rejected_guard / rejected_interval climb while the honest
+// error stays flat.
+#pragma once
+
+#include "core/sstsp.h"
+
+namespace sstsp::attack {
+
+struct DelayedDisclosureParams {
+  double start_s = 30.0;
+  double end_s = 1e18;
+  /// How late each beacon is emitted — and how fresh its stamp pretends to
+  /// be.  Values beyond the guard time get rejected; values beyond the
+  /// µTESLA interval slack get rejected one check earlier.
+  double delay_us = 3000.0;
+};
+
+class DelayedDisclosureAttacker final : public core::Sstsp {
+ public:
+  DelayedDisclosureAttacker(proto::Station& station,
+                            const core::SstspConfig& cfg,
+                            core::KeyDirectory& directory,
+                            DelayedDisclosureParams params)
+      : Sstsp(station, cfg, directory, Options{true, false}),
+        params_(params) {}
+
+  void start() override {
+    Sstsp::start();
+    arm_window();
+  }
+
+  [[nodiscard]] bool attacking() const { return attacking_; }
+
+ protected:
+  [[nodiscard]] double emission_advance_us() const override {
+    // Negative advance: emit delay_us behind the nominal schedule.
+    return attacking_ ? -params_.delay_us : 0.0;
+  }
+
+  [[nodiscard]] double timestamp_skew_us() const override {
+    // Stamp the *scheduled* instant, not the (late) emission instant: the
+    // beacon's claimed time is delay_us ahead of its physical freshness.
+    return attacking_ ? -params_.delay_us : 0.0;
+  }
+
+  [[nodiscard]] bool ignore_carrier() const override { return attacking_; }
+  [[nodiscard]] bool never_demote() const override { return attacking_; }
+
+ private:
+  void arm_window() {
+    auto& sim = station_.sim();
+    sim.at(sim::SimTime::from_sec_double(params_.start_s), [this] {
+      attacking_ = true;
+      force_reference_role();
+    });
+    sim.at(sim::SimTime::from_sec_double(params_.end_s), [this] {
+      attacking_ = false;
+      restart_coarse();
+    });
+  }
+
+  DelayedDisclosureParams params_;
+  bool attacking_{false};
+};
+
+}  // namespace sstsp::attack

@@ -46,6 +46,19 @@ class HardwareClock {
                                         drift_.frequency);
   }
 
+  /// Fault injection: an instantaneous counter step.  The only mutators on
+  /// the otherwise-immutable oscillator; they model hardware faults (glitch,
+  /// thermal shock), not protocol adjustments — those stay layered on top.
+  void fault_step_us(double step_us) { offset_us_ += step_us; }
+
+  /// Fault injection: a permanent frequency change of delta_ppm at real time
+  /// `now`, preserving reading continuity (the counter does not jump).
+  void fault_drift_delta_ppm(double delta_ppm, sim::SimTime now) {
+    const double before = read_us(now);
+    drift_.frequency += delta_ppm * 1e-6;
+    offset_us_ = before - drift_.frequency * now.to_us();
+  }
+
  private:
   DriftModel drift_{};
   double offset_us_{0.0};

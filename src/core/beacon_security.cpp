@@ -1,5 +1,7 @@
 #include "core/beacon_security.h"
 
+#include "crypto/hash_chain.h"
+
 namespace sstsp::core {
 
 PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
@@ -18,13 +20,33 @@ PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
     result.key_valid = verifier_.verify_key(j - 1, body.disclosed_key);
     if (!result.key_valid) return result;  // suspect frame: do not buffer
 
-    // Step 3: authenticate the stored interval j-1 beacon with K_{j-1}.
-    for (const StoredBeacon& stored : buffer_) {
-      if (stored.interval != j - 1) continue;
+    // Step 3: authenticate the newest stored beacon K_{j-1} can vouch for.
+    // A lost interval does not orphan its predecessor: the chain element
+    // for an older stored interval i is derivable from the fresh
+    // disclosure as H^{(j-1)-i}(K_{j-1}), so a buffered beacon survives
+    // the loss of the very next disclosure (µTESLA's loss tolerance).
+    // The walk is capped at the buffer horizon: a beacon that sat
+    // unauthenticated for longer carries a timestamp from a long-gone
+    // clock epoch (e.g. a one-off contention frame of a node that rarely
+    // transmits), and feeding it to the solver as a "fresh" sample swings
+    // the slope by orders of magnitude.  Too-old entries are purged.
+    constexpr std::int64_t kMaxAuthWalk = 2;
+    while (!buffer_.empty() &&
+           buffer_.front().interval + kMaxAuthWalk < j - 1) {
+      buffer_.pop_front();
+    }
+    for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) {
+      const StoredBeacon& stored = *it;
+      if (stored.interval >= j) continue;
+      const auto distance =
+          static_cast<std::size_t>((j - 1) - stored.interval);
+      const crypto::Digest key =
+          distance == 0 ? body.disclosed_key
+                        : crypto::hash_times(body.disclosed_key, distance);
       const auto bytes = mac::serialize_unsecured_beacon(
           stored.timestamp_us, sender, stored.level);
       if (verifier_.check_mac(
-              body.disclosed_key, stored.interval,
+              key, stored.interval,
               std::span<const std::uint8_t>(bytes.data(), bytes.size()),
               stored.mac)) {
         result.authenticated = PipelineResult::Authenticated{
@@ -33,6 +55,10 @@ PipelineResult SenderPipeline::ingest(const mac::SstspBeaconBody& body,
       } else {
         result.mac_failed = true;
       }
+      // Consume the checked beacon and everything older: an entry must
+      // never authenticate twice (it would feed the solver a duplicate
+      // sample), and anything older is a strictly staler sample anyway.
+      buffer_.erase(buffer_.begin(), it.base());
       break;
     }
   }

@@ -344,15 +344,41 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
     ++stats_.rejected_guard;
     station_.trace_event(trace::EventKind::kRejectGuard, frame.sender,
                          ts_est - c_now, frame.trace_id);
-    // Blacklist-attributable only when the frame proves chain ownership
-    // with a *fresh* key disclosure; a pulse-delayed replay of an honest
-    // beacon carries an already-public key and must not frame its victim.
-    if (cfg_.blacklist_threshold > 0 && j > 1) {
+    // Two follow-ups need proof of chain ownership via a *fresh* key
+    // disclosure (a pulse-delayed replay of an honest beacon carries an
+    // already-public key and must not frame its victim, nor demote anyone):
+    //   * blacklist attribution (recovery extension), and
+    //   * RULE R across divergent timelines.  After a partition heals (or
+    //     after a local clock fault spawns a rogue second reference), the
+    //     two references sit outside each other's guard window, so without
+    //     this the role conflict can never resolve: each side keeps its own
+    //     guard tight by syncing to itself and rejects the other forever.
+    //     The later transmitter of the shared interval yields, exactly as
+    //     in-guard RULE R; its orphaned followers then re-admit the
+    //     surviving timeline through guard silence growth.  Abuse of this
+    //     path is a live chain member spending its own key material on
+    //     out-of-guard frames — attributable, and rate-limited by the
+    //     blacklist when enabled.
+    const bool role_conflict =
+        (state_ == State::kTentativeRef || state_ == State::kReference) &&
+        !never_demote();
+    if ((cfg_.blacklist_threshold > 0 || role_conflict) && j > 1) {
       SenderTrack* track = track_for(frame.sender);
       obs::Span span(station_.profiler(), obs::Phase::kCryptoVerify);
       if (track != nullptr &&
           track->pipeline.verify_key_fresh(j - 1, body.disclosed_key)) {
-        note_rejection(frame.sender, arrival_hw);
+        if (cfg_.blacklist_threshold > 0) {
+          note_rejection(frame.sender, arrival_hw);
+        }
+        if (role_conflict) {
+          const bool mine_was_earlier =
+              last_tx_interval_ == j && last_tx_start_ < rx.tx_start;
+          if (!mine_was_earlier) {
+            force_follower_role();
+            ++stats_.demotions;
+            station_.trace_event(trace::EventKind::kDemotion, frame.sender);
+          }
+        }
       }
     }
     return;
@@ -420,7 +446,23 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
                          res.authenticated->trace_id);
     track->samples.push_back(RefSample{res.authenticated->arrival_hw_us,
                                        res.authenticated->ts_est_us});
-    while (track->samples.size() > 2) track->samples.pop_front();
+    // Keep enough history for the solve to span cfg_.solver_span_bps
+    // authenticated beacons (front..back); 1 keeps the paper's
+    // consecutive-pair solve.  Entries far older than the span target are
+    // dropped outright — a sender heard again after a long gap (an
+    // occasional contender, a healed partition) must not pair a fresh
+    // sample with one from a previous clock epoch.
+    const auto cap =
+        static_cast<std::size_t>(std::max(1, cfg_.solver_span_bps)) + 1;
+    while (track->samples.size() > cap) track->samples.pop_front();
+    const double max_age_us =
+        (static_cast<double>(std::max(1, cfg_.solver_span_bps)) + 4.0) *
+        schedule_.interval_us;
+    while (track->samples.size() > 1 &&
+           track->samples.back().t_local_us - track->samples.front().t_local_us >
+               max_age_us) {
+      track->samples.pop_front();
+    }
     try_adjust(*track, j, res.authenticated->trace_id);
   }
 }

@@ -116,7 +116,7 @@ class Sstsp : public proto::SyncProtocol {
                 crypto::VerifyCache* cache)
         : pipeline(anchor, schedule, cache) {}
     SenderPipeline pipeline;
-    std::deque<RefSample> samples;  // newest at back; at most 2
+    std::deque<RefSample> samples;  // newest at back; solver_span_bps + 1
     int consecutive_rejections{0};
     double blacklisted_until_hw_us{-1.0};
   };

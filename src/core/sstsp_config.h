@@ -82,6 +82,18 @@ struct SstspConfig {
   double k_min = 0.95;
   double k_max = 1.05;
 
+  /// Target baseline, in authenticated beacons, between the two samples the
+  /// (k, b) solve uses.  1 reproduces the paper's consecutive-beacon solve.
+  /// A real datagram path adds delivery jitter to every arrival estimate;
+  /// over a single BP that noise is the same order as the drift being
+  /// measured, so the solved slope swings by O(jitter / BP) and a node that
+  /// then loses a few beacons coasts away at that bogus rate.  Solving
+  /// against an older sample divides the jitter-induced slope error by the
+  /// span.  The live transports (net::NodeConfig / net::SwarmConfig)
+  /// default this to 8; the simulator keeps 1 (its propagation delay is
+  /// exactly compensated, so there is nothing to average out).
+  int solver_span_bps = 1;
+
   /// Recovery extension (paper §3.4 future work: "sending an alert and
   /// eliminating the attackers from the network").  When > 0, a sender
   /// whose beacons fail the guard/interval/MAC checks this many times in a

@@ -1,0 +1,454 @@
+#include "fault/plan.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace sstsp::fault {
+
+namespace {
+
+using obs::json::Value;
+using obs::json::Writer;
+
+/// Collects the field path and line of the first error.
+struct ParseCtx {
+  std::string* error;
+  bool failed{false};
+
+  void fail(const Value& at, const std::string& path, const std::string& msg) {
+    if (failed) return;
+    failed = true;
+    if (error == nullptr) return;
+    std::ostringstream os;
+    if (at.line > 0) os << "line " << at.line << ": ";
+    os << path << ": " << msg;
+    *error = os.str();
+  }
+};
+
+bool get_number(ParseCtx& ctx, const Value& parent, const std::string& path,
+                std::string_view key, double* out) {
+  const Value* v = parent.find(key);
+  if (v == nullptr) return true;  // optional; keep default
+  if (!v->is_number()) {
+    ctx.fail(*v, path + "." + std::string(key), "expected a number");
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+bool get_bool(ParseCtx& ctx, const Value& parent, const std::string& path,
+              std::string_view key, bool* out) {
+  const Value* v = parent.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != Value::Kind::kBool) {
+    ctx.fail(*v, path + "." + std::string(key), "expected true or false");
+    return false;
+  }
+  *out = v->boolean;
+  return true;
+}
+
+bool node_id_from_number(double n, mac::NodeId* out) {
+  if (n < 0 || n != std::floor(n) || n > 0xFFFFFFFEu) return false;
+  *out = static_cast<mac::NodeId>(n);
+  return true;
+}
+
+/// "node": <id> | "reference".  Sets *reference when the string form is used.
+bool get_node(ParseCtx& ctx, const Value& parent, const std::string& path,
+              std::string_view key, mac::NodeId* out, bool* reference) {
+  const Value* v = parent.find(key);
+  if (v == nullptr) return true;
+  if (v->is_string()) {
+    if (reference != nullptr && v->string == "reference") {
+      *reference = true;
+      return true;
+    }
+    ctx.fail(*v, path + "." + std::string(key),
+             "expected a node id" +
+                 std::string(reference != nullptr ? " or \"reference\"" : ""));
+    return false;
+  }
+  if (!v->is_number() || !node_id_from_number(v->number, out)) {
+    ctx.fail(*v, path + "." + std::string(key), "expected a node id");
+    return false;
+  }
+  return true;
+}
+
+bool get_group(ParseCtx& ctx, const Value& parent, const std::string& path,
+               std::string_view key, std::vector<mac::NodeId>* out) {
+  const Value* v = parent.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_array()) {
+    ctx.fail(*v, path + "." + std::string(key), "expected an array of node ids");
+    return false;
+  }
+  for (std::size_t i = 0; i < v->array.size(); ++i) {
+    const Value& e = v->array[i];
+    mac::NodeId id = mac::kNoNode;
+    if (!e.is_number() || !node_id_from_number(e.number, &id)) {
+      std::ostringstream os;
+      os << path << "." << key << "[" << i << "]";
+      ctx.fail(e, os.str(), "expected a node id");
+      return false;
+    }
+    out->push_back(id);
+  }
+  return true;
+}
+
+/// Rejects keys outside `allowed` so typos fail loudly with the line named.
+void check_keys(ParseCtx& ctx, const Value& obj, const std::string& path,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, member] : obj.object) {
+    bool ok = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) ctx.fail(member, path + "." + key, "unknown key");
+  }
+}
+
+std::optional<PacketFault> parse_packet(ParseCtx& ctx, const Value& v,
+                                        const std::string& path) {
+  if (!v.is_object()) {
+    ctx.fail(v, path, "expected an object");
+    return std::nullopt;
+  }
+  check_keys(ctx, v, path,
+             {"kind", "start", "end", "probability", "from", "to",
+              "delay_min_us", "delay_max_us", "gap_us", "copies",
+              "copy_spacing_us"});
+  PacketFault f;
+  const Value* kind = v.find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    ctx.fail(v, path + ".kind", "required string");
+    return std::nullopt;
+  }
+  if (kind->string == "drop") {
+    f.kind = PacketFaultKind::kDrop;
+  } else if (kind->string == "duplicate") {
+    f.kind = PacketFaultKind::kDuplicate;
+  } else if (kind->string == "delay") {
+    f.kind = PacketFaultKind::kDelay;
+  } else if (kind->string == "reorder") {
+    f.kind = PacketFaultKind::kReorder;
+  } else if (kind->string == "corrupt") {
+    f.kind = PacketFaultKind::kCorrupt;
+  } else {
+    ctx.fail(*kind, path + ".kind",
+             "unknown fault kind '" + kind->string +
+                 "' (drop|duplicate|delay|reorder|corrupt)");
+    return std::nullopt;
+  }
+  double copies = static_cast<double>(f.copies);
+  if (!get_number(ctx, v, path, "start", &f.start_s) ||
+      !get_number(ctx, v, path, "end", &f.end_s) ||
+      !get_number(ctx, v, path, "probability", &f.probability) ||
+      !get_node(ctx, v, path, "from", &f.from, nullptr) ||
+      !get_node(ctx, v, path, "to", &f.to, nullptr) ||
+      !get_number(ctx, v, path, "delay_min_us", &f.delay_min_us) ||
+      !get_number(ctx, v, path, "delay_max_us", &f.delay_max_us) ||
+      !get_number(ctx, v, path, "gap_us", &f.gap_us) ||
+      !get_number(ctx, v, path, "copies", &copies) ||
+      !get_number(ctx, v, path, "copy_spacing_us", &f.copy_spacing_us)) {
+    return std::nullopt;
+  }
+  f.copies = static_cast<int>(copies);
+  if (f.probability < 0.0 || f.probability > 1.0) {
+    ctx.fail(v, path + ".probability", "must be in [0, 1]");
+    return std::nullopt;
+  }
+  if (f.delay_max_us < f.delay_min_us) f.delay_max_us = f.delay_min_us;
+  return f;
+}
+
+std::optional<Partition> parse_partition(ParseCtx& ctx, const Value& v,
+                                         const std::string& path) {
+  if (!v.is_object()) {
+    ctx.fail(v, path, "expected an object");
+    return std::nullopt;
+  }
+  check_keys(ctx, v, path, {"start", "end", "group_a", "group_b", "asymmetric"});
+  Partition p;
+  if (!get_number(ctx, v, path, "start", &p.start_s) ||
+      !get_number(ctx, v, path, "end", &p.end_s) ||
+      !get_group(ctx, v, path, "group_a", &p.group_a) ||
+      !get_group(ctx, v, path, "group_b", &p.group_b) ||
+      !get_bool(ctx, v, path, "asymmetric", &p.asymmetric)) {
+    return std::nullopt;
+  }
+  if (p.group_a.empty()) {
+    ctx.fail(v, path + ".group_a", "required non-empty array");
+    return std::nullopt;
+  }
+  return p;
+}
+
+std::optional<NodeFault> parse_node_fault(ParseCtx& ctx, const Value& v,
+                                          const std::string& path) {
+  if (!v.is_object()) {
+    ctx.fail(v, path, "expected an object");
+    return std::nullopt;
+  }
+  check_keys(ctx, v, path, {"kind", "node", "at", "restart"});
+  NodeFault f;
+  const Value* kind = v.find("kind");
+  if (kind != nullptr) {
+    if (!kind->is_string()) {
+      ctx.fail(*kind, path + ".kind", "expected a string");
+      return std::nullopt;
+    }
+    if (kind->string == "crash") {
+      f.kind = NodeFaultKind::kCrash;
+    } else if (kind->string == "pause") {
+      f.kind = NodeFaultKind::kPause;
+    } else {
+      ctx.fail(*kind, path + ".kind",
+               "unknown fault kind '" + kind->string + "' (crash|pause)");
+      return std::nullopt;
+    }
+  }
+  if (!get_node(ctx, v, path, "node", &f.node, &f.reference) ||
+      !get_number(ctx, v, path, "at", &f.at_s) ||
+      !get_number(ctx, v, path, "restart", &f.restart_s)) {
+    return std::nullopt;
+  }
+  if (!f.reference && f.node == mac::kNoNode) {
+    ctx.fail(v, path + ".node", "required (node id or \"reference\")");
+    return std::nullopt;
+  }
+  return f;
+}
+
+std::optional<ClockFault> parse_clock_fault(ParseCtx& ctx, const Value& v,
+                                            const std::string& path) {
+  if (!v.is_object()) {
+    ctx.fail(v, path, "expected an object");
+    return std::nullopt;
+  }
+  check_keys(ctx, v, path, {"node", "at", "step_us", "drift_delta_ppm"});
+  ClockFault f;
+  if (!get_node(ctx, v, path, "node", &f.node, &f.reference) ||
+      !get_number(ctx, v, path, "at", &f.at_s) ||
+      !get_number(ctx, v, path, "step_us", &f.step_us) ||
+      !get_number(ctx, v, path, "drift_delta_ppm", &f.drift_delta_ppm)) {
+    return std::nullopt;
+  }
+  if (!f.reference && f.node == mac::kNoNode) {
+    ctx.fail(v, path + ".node", "required (node id or \"reference\")");
+    return std::nullopt;
+  }
+  return f;
+}
+
+void append_node(Writer& w, std::string_view key, bool reference,
+                 mac::NodeId node) {
+  w.key(key);
+  if (reference) {
+    w.value("reference");
+  } else {
+    w.value(static_cast<std::uint64_t>(node));
+  }
+}
+
+}  // namespace
+
+const char* to_string(PacketFaultKind kind) {
+  switch (kind) {
+    case PacketFaultKind::kDrop:
+      return "drop";
+    case PacketFaultKind::kDuplicate:
+      return "duplicate";
+    case PacketFaultKind::kDelay:
+      return "delay";
+    case PacketFaultKind::kReorder:
+      return "reorder";
+    case PacketFaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+const char* to_string(NodeFaultKind kind) {
+  switch (kind) {
+    case NodeFaultKind::kCrash:
+      return "crash";
+    case NodeFaultKind::kPause:
+      return "pause";
+  }
+  return "?";
+}
+
+std::optional<FaultPlan> parse_plan(const Value& v, std::string* error) {
+  ParseCtx ctx{error};
+  if (!v.is_object()) {
+    ctx.fail(v, "plan", "expected an object");
+    return std::nullopt;
+  }
+  check_keys(ctx, v, "plan",
+             {"seed", "packet", "partitions", "node_faults", "clock_faults"});
+  if (ctx.failed) return std::nullopt;
+  FaultPlan plan;
+  double seed = static_cast<double>(plan.seed);
+  if (!get_number(ctx, v, "plan", "seed", &seed)) return std::nullopt;
+  plan.seed = static_cast<std::uint64_t>(seed);
+
+  struct Section {
+    const char* key;
+    // NOLINTNEXTLINE(google-runtime-references) — local parse plumbing.
+    bool (*parse)(ParseCtx&, const Value&, const std::string&, FaultPlan&);
+  };
+  const Section sections[] = {
+      {"packet",
+       [](ParseCtx& c, const Value& e, const std::string& p, FaultPlan& out) {
+         auto f = parse_packet(c, e, p);
+         if (f) out.packet.push_back(*f);
+         return f.has_value();
+       }},
+      {"partitions",
+       [](ParseCtx& c, const Value& e, const std::string& p, FaultPlan& out) {
+         auto f = parse_partition(c, e, p);
+         if (f) out.partitions.push_back(*f);
+         return f.has_value();
+       }},
+      {"node_faults",
+       [](ParseCtx& c, const Value& e, const std::string& p, FaultPlan& out) {
+         auto f = parse_node_fault(c, e, p);
+         if (f) out.node_faults.push_back(*f);
+         return f.has_value();
+       }},
+      {"clock_faults",
+       [](ParseCtx& c, const Value& e, const std::string& p, FaultPlan& out) {
+         auto f = parse_clock_fault(c, e, p);
+         if (f) out.clock_faults.push_back(*f);
+         return f.has_value();
+       }},
+  };
+  for (const Section& section : sections) {
+    const Value* list = v.find(section.key);
+    if (list == nullptr) continue;
+    if (!list->is_array()) {
+      ctx.fail(*list, section.key, "expected an array");
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < list->array.size(); ++i) {
+      std::ostringstream path;
+      path << section.key << "[" << i << "]";
+      if (!section.parse(ctx, list->array[i], path.str(), plan)) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (ctx.failed) return std::nullopt;
+  return plan;
+}
+
+std::optional<FaultPlan> parse_plan_text(std::string_view text,
+                                         std::string* error) {
+  auto v = obs::json::parse(text);
+  if (!v) {
+    if (error != nullptr) *error = "invalid JSON";
+    return std::nullopt;
+  }
+  return parse_plan(*v, error);
+}
+
+std::optional<FaultPlan> load_plan(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string err;
+  auto plan = parse_plan_text(buffer.str(), &err);
+  if (!plan && error != nullptr) *error = path + ": " + err;
+  return plan;
+}
+
+void append_json(const FaultPlan& plan, Writer& w) {
+  w.begin_object();
+  w.kv("seed", static_cast<std::uint64_t>(plan.seed));
+  w.key("packet").begin_array();
+  for (const PacketFault& f : plan.packet) {
+    w.begin_object();
+    w.kv("kind", to_string(f.kind));
+    w.kv("start", f.start_s);
+    w.kv("end", f.end_s);
+    w.kv("probability", f.probability);
+    if (f.from != mac::kNoNode) w.kv("from", static_cast<std::uint64_t>(f.from));
+    if (f.to != mac::kNoNode) w.kv("to", static_cast<std::uint64_t>(f.to));
+    if (f.kind == PacketFaultKind::kDelay) {
+      w.kv("delay_min_us", f.delay_min_us);
+      w.kv("delay_max_us", f.delay_max_us);
+    }
+    if (f.kind == PacketFaultKind::kReorder) w.kv("gap_us", f.gap_us);
+    if (f.kind == PacketFaultKind::kDuplicate) {
+      w.kv("copies", f.copies);
+      w.kv("copy_spacing_us", f.copy_spacing_us);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("partitions").begin_array();
+  for (const Partition& p : plan.partitions) {
+    w.begin_object();
+    w.kv("start", p.start_s);
+    w.kv("end", p.end_s);
+    w.key("group_a").begin_array();
+    for (const mac::NodeId id : p.group_a) {
+      w.value(static_cast<std::uint64_t>(id));
+    }
+    w.end_array();
+    w.key("group_b").begin_array();
+    for (const mac::NodeId id : p.group_b) {
+      w.value(static_cast<std::uint64_t>(id));
+    }
+    w.end_array();
+    w.kv("asymmetric", p.asymmetric);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("node_faults").begin_array();
+  for (const NodeFault& f : plan.node_faults) {
+    w.begin_object();
+    w.kv("kind", to_string(f.kind));
+    append_node(w, "node", f.reference, f.node);
+    w.kv("at", f.at_s);
+    w.kv("restart", f.restart_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("clock_faults").begin_array();
+  for (const ClockFault& f : plan.clock_faults) {
+    w.begin_object();
+    append_node(w, "node", f.reference, f.node);
+    w.kv("at", f.at_s);
+    w.kv("step_us", f.step_us);
+    w.kv("drift_delta_ppm", f.drift_delta_ppm);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string to_json_text(const FaultPlan& plan) {
+  std::ostringstream os;
+  Writer w(os);
+  append_json(plan, w);
+  return os.str();
+}
+
+}  // namespace sstsp::fault

@@ -1,0 +1,147 @@
+#include "fault/recovery.h"
+
+#include "obs/json.h"
+
+namespace sstsp::fault {
+
+namespace {
+
+void append_optional(obs::json::Writer& w, std::string_view key, double v) {
+  if (v >= 0.0) {
+    w.kv(key, v);
+  } else {
+    w.kv_null(key);
+  }
+}
+
+}  // namespace
+
+void RecoveryReport::append_json(obs::json::Writer& w) const {
+  w.begin_object();
+  w.key("records").begin_array();
+  for (const RecoveryRecord& r : records) {
+    w.begin_object();
+    w.kv("fault", r.fault);
+    if (r.node == mac::kNoNode) {
+      w.kv_null("node");
+    } else {
+      w.kv("node", static_cast<std::uint64_t>(r.node));
+    }
+    w.kv("t_s", r.fault_t_s);
+    append_optional(w, "reelection_s", r.needs_election ? r.reelection_s : -1.0);
+    append_optional(w, "reelection_bps",
+                    r.needs_election ? r.reelection_bps : -1.0);
+    append_optional(w, "resync_s", r.resync_s);
+    w.kv("recovered", r.recovered);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("packet_faults").begin_object();
+  w.kv("drops", packet_faults.drops);
+  w.kv("partition_drops", packet_faults.partition_drops);
+  w.kv("isolation_drops", packet_faults.isolation_drops);
+  w.kv("duplicates", packet_faults.duplicates);
+  w.kv("delayed", packet_faults.delayed);
+  w.kv("reordered", packet_faults.reordered);
+  w.kv("corrupted", packet_faults.corrupted);
+  w.end_object();
+  w.kv("rejected_frames", rejected_frames);
+  append_optional(w, "post_fault_steady_max_us", post_fault_steady_max_us);
+  w.end_object();
+}
+
+RecoveryTracker::RecoveryTracker(double beacon_period_s,
+                                 double sync_threshold_us)
+    : bp_s_(beacon_period_s), threshold_us_(sync_threshold_us) {}
+
+void RecoveryTracker::expect_reelection(const std::string& fault,
+                                        mac::NodeId node, double t_s) {
+  RecoveryRecord r;
+  r.fault = fault;
+  r.node = node;
+  r.fault_t_s = t_s;
+  r.needs_election = true;
+  // Silent BPs count from the lost reference's last beacon, which precedes
+  // the crash instant by up to one period.
+  double silence = t_s;
+  if (node != mac::kNoNode && node < last_tx_s_.size() &&
+      last_tx_s_[node] > 0.0 && last_tx_s_[node] <= t_s) {
+    silence = last_tx_s_[node];
+  }
+  report_.records.push_back(r);
+  silence_start_s_.push_back(silence);
+  steady_max_us_ = -1.0;  // new transient: restart the steady window
+  report_.post_fault_steady_max_us = -1.0;
+}
+
+void RecoveryTracker::expect_resync(const std::string& fault, mac::NodeId node,
+                                    double t_s) {
+  RecoveryRecord r;
+  r.fault = fault;
+  r.node = node;
+  r.fault_t_s = t_s;
+  report_.records.push_back(r);
+  silence_start_s_.push_back(t_s);
+  steady_max_us_ = -1.0;
+  report_.post_fault_steady_max_us = -1.0;
+}
+
+void RecoveryTracker::on_trace_event(const trace::TraceEvent& event) {
+  switch (event.kind) {
+    case trace::EventKind::kBeaconTx: {
+      if (event.node == mac::kNoNode) return;
+      if (event.node >= last_tx_s_.size()) {
+        last_tx_s_.resize(event.node + 1, 0.0);
+      }
+      last_tx_s_[event.node] = event.time.to_sec();
+      return;
+    }
+    case trace::EventKind::kElectionWon: {
+      const double t = event.time.to_sec();
+      // Close the oldest record still waiting for an election.
+      for (std::size_t i = 0; i < report_.records.size(); ++i) {
+        RecoveryRecord& r = report_.records[i];
+        if (!r.needs_election || r.reelection_s >= 0.0 || t < r.fault_t_s) {
+          continue;
+        }
+        r.reelection_s = t - r.fault_t_s;
+        if (bp_s_ > 0.0) {
+          r.reelection_bps = (t - silence_start_s_[i]) / bp_s_;
+        }
+        return;
+      }
+      return;
+    }
+    case trace::EventKind::kRejectGuard:
+    case trace::EventKind::kRejectInterval:
+    case trace::EventKind::kRejectKey:
+    case trace::EventKind::kRejectMac:
+      ++report_.rejected_frames;
+      return;
+    default:
+      return;
+  }
+}
+
+void RecoveryTracker::on_max_diff_sample(double t_s, double max_diff_us) {
+  if (max_diff_us <= threshold_us_) {
+    for (RecoveryRecord& r : report_.records) {
+      if (r.recovered || t_s <= r.fault_t_s) continue;
+      if (r.needs_election && r.reelection_s < 0.0) continue;
+      r.resync_s = t_s - r.fault_t_s;
+      r.recovered = true;
+    }
+  }
+  if (report_.records.empty()) return;
+  for (const RecoveryRecord& r : report_.records) {
+    if (!r.recovered) return;  // still in (or before) a transient
+  }
+  if (steady_max_us_ < max_diff_us) steady_max_us_ = max_diff_us;
+  report_.post_fault_steady_max_us = steady_max_us_;
+}
+
+void RecoveryTracker::finalize(const FaultStats& stats) {
+  report_.packet_faults = stats;
+}
+
+}  // namespace sstsp::fault

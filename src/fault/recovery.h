@@ -1,0 +1,83 @@
+// Per-fault recovery accounting.
+//
+// RecoveryTracker is attached to every honest station as a trace observer
+// (alongside the event trace, metrics, invariant monitor and lifecycle
+// tracer) and to the runner's max-diff sampling loop.  For each disruptive
+// fault it opens a record and closes it from protocol evidence:
+//
+//   * reference loss  -> re-election latency: from the fault instant to the
+//     next kElectionWon, and in beacon periods from the lost reference's
+//     last transmission (the paper's "l+1 BP" bound counts silent BPs);
+//   * partition heal / clock fault -> re-sync latency: first max-diff sample
+//     back under the sync threshold after the fault (heal) time;
+//   * forged/invalid frames -> rejection counts (µTESLA + guard checks).
+//
+// post_fault_steady_max_us tracks the worst network-wide error observed
+// after every pending record has recovered — the "post-recovery steady
+// error" the acceptance criteria bound, excluding the transient spike
+// between fault and recovery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+#include "trace/event_trace.h"
+
+namespace sstsp::fault {
+
+/// One fault -> recovery episode.
+struct RecoveryRecord {
+  std::string fault;             ///< e.g. "reference-crash", "partition-heal"
+  mac::NodeId node{mac::kNoNode};
+  double fault_t_s{0.0};         ///< fault (or heal) instant, run seconds
+  bool needs_election{false};
+  double reelection_s{-1.0};     ///< fault -> kElectionWon; -1 until seen
+  double reelection_bps{-1.0};   ///< silent BPs from the lost ref's last tx
+  double resync_s{-1.0};         ///< fault -> first in-sync sample
+  bool recovered{false};
+};
+
+struct RecoveryReport {
+  std::vector<RecoveryRecord> records;
+  FaultStats packet_faults;
+  std::uint64_t rejected_frames{0};  ///< µTESLA/guard rejections, all nodes
+  double post_fault_steady_max_us{-1.0};  ///< -1: never reached steady state
+
+  void append_json(obs::json::Writer& w) const;
+};
+
+class RecoveryTracker {
+ public:
+  RecoveryTracker(double beacon_period_s, double sync_threshold_us);
+
+  /// Opens a record that waits for a re-election and then re-sync.
+  void expect_reelection(const std::string& fault, mac::NodeId node,
+                         double t_s);
+  /// Opens a record that waits for re-sync only (partition heal, clock
+  /// fault).  t_s may be in the future (heal time known at plan load).
+  void expect_resync(const std::string& fault, mac::NodeId node, double t_s);
+
+  /// Station trace-observer entry point (5th observer in the fan-out).
+  void on_trace_event(const trace::TraceEvent& event);
+
+  /// Runner sampling hook: network-wide max pairwise clock difference.
+  void on_max_diff_sample(double t_s, double max_diff_us);
+
+  /// Folds in the injector's packet counters; call once before report().
+  void finalize(const FaultStats& stats);
+
+  [[nodiscard]] const RecoveryReport& report() const { return report_; }
+
+ private:
+  double bp_s_;
+  double threshold_us_;
+  RecoveryReport report_;
+  // Last beacon transmission per node, for the silent-BP count.
+  std::vector<double> last_tx_s_;
+  // Silence start latched when each pending election record opens.
+  std::vector<double> silence_start_s_;
+  double steady_max_us_{-1.0};
+};
+
+}  // namespace sstsp::fault

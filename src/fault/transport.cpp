@@ -1,0 +1,67 @@
+#include "fault/transport.h"
+
+#include "net/codec.h"
+#include "sim/simulator.h"
+
+namespace sstsp::fault {
+
+FaultyTransport::FaultyTransport(net::Transport& inner, sim::Simulator& sim,
+                                 FaultInjector& injector, mac::NodeId self)
+    : inner_(inner), sim_(sim), injector_(injector), self_(self) {
+  inner_.set_rx_handler(
+      [this](std::span<const std::uint8_t> datagram, const net::RxMeta& meta) {
+        on_datagram(datagram, meta);
+      });
+}
+
+bool FaultyTransport::send(std::span<const std::uint8_t> datagram,
+                           const net::TxMeta& meta) {
+  return inner_.send(datagram, meta);
+}
+
+void FaultyTransport::set_rx_handler(RxHandler handler) {
+  handler_ = std::move(handler);
+}
+
+const net::TransportStats& FaultyTransport::stats() const {
+  return inner_.stats();
+}
+
+std::string FaultyTransport::describe() const {
+  return inner_.describe() + " +faults";
+}
+
+void FaultyTransport::deliver(const std::vector<std::uint8_t>& bytes,
+                              const net::RxMeta& meta) {
+  if (handler_) handler_(std::span<const std::uint8_t>(bytes), meta);
+}
+
+void FaultyTransport::on_datagram(std::span<const std::uint8_t> datagram,
+                                  const net::RxMeta& meta) {
+  if (!handler_) return;
+  const auto outcome = net::decode_datagram(datagram);
+  if (!outcome.ok()) {
+    // Let the node count the decode error itself.
+    handler_(datagram, meta);
+    return;
+  }
+  const auto verdict = injector_.on_delivery(
+      sim_.now().to_sec(), outcome.frame->sender, self_);
+  if (verdict.drop) return;
+
+  std::vector<std::uint8_t> bytes(datagram.begin(), datagram.end());
+  if (verdict.corrupt) corrupt_datagram(bytes);
+  if (verdict.extra_delay_us > 0.0) {
+    sim_.after(sim::SimTime::from_us_double(verdict.extra_delay_us),
+               [this, bytes, meta] { deliver(bytes, meta); });
+  } else {
+    deliver(bytes, meta);
+  }
+  for (const double delay_us : verdict.duplicate_delays_us) {
+    sim_.after(
+        sim::SimTime::from_us_double(verdict.extra_delay_us + delay_us),
+        [this, bytes, meta] { deliver(bytes, meta); });
+  }
+}
+
+}  // namespace sstsp::fault

@@ -1,0 +1,55 @@
+// Fault-injecting net::Transport decorator.
+//
+// Wraps any transport (UDP or loopback) and applies the same FaultPlan
+// verdicts that mac::Channel applies in simulation: received datagrams can
+// be dropped, corrupted, delayed/reordered (rescheduled on the owning
+// simulator) or duplicated before they reach the node's rx handler.  Sends
+// pass through untouched — every fault acts on the receive side, so a
+// directed `from`/`to` scope behaves identically in both worlds.
+//
+// The decorator decodes each datagram just enough to learn the sender for
+// link scoping; undecodable datagrams pass through so the node's own
+// decode-error accounting still sees them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/injector.h"
+#include "net/transport.h"
+
+namespace sstsp::sim {
+class Simulator;
+}  // namespace sstsp::sim
+
+namespace sstsp::fault {
+
+class FaultyTransport final : public net::Transport {
+ public:
+  /// self is the receiving node's id (the `to` end of every verdict).  The
+  /// simulator drives delayed/duplicate redelivery: virtual time under
+  /// loopback, the reactor's wall-clock queue under UDP.
+  FaultyTransport(net::Transport& inner, sim::Simulator& sim,
+                  FaultInjector& injector, mac::NodeId self);
+
+  bool send(std::span<const std::uint8_t> datagram,
+            const net::TxMeta& meta) override;
+  void set_rx_handler(RxHandler handler) override;
+  [[nodiscard]] const net::TransportStats& stats() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  void on_datagram(std::span<const std::uint8_t> datagram,
+                   const net::RxMeta& meta);
+  void deliver(const std::vector<std::uint8_t>& bytes,
+               const net::RxMeta& meta);
+
+  net::Transport& inner_;
+  sim::Simulator& sim_;
+  FaultInjector& injector_;
+  mac::NodeId self_;
+  RxHandler handler_;
+};
+
+}  // namespace sstsp::fault

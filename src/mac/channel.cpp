@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "fault/injector.h"
+
 namespace sstsp::mac {
 
 namespace {
@@ -247,10 +249,26 @@ void Channel::finish_transmission(std::uint64_t tx_id) {
       ++stats_.per_drops;
       return;
     }
+    // Injected faults come after the physical-layer model: the injector's
+    // own RNG substream issues the verdict, so the channel's draw sequence
+    // above stays byte-identical with and without a plan attached.
+    fault::DeliveryVerdict verdict;
+    if (fault_ != nullptr) {
+      verdict = fault_->on_delivery(sim_.now().to_sec(), frame->sender,
+                                    static_cast<NodeId>(s));
+      if (verdict.drop) return;
+    }
     const sim::SimTime prop = propagation_from_distance(dist[s]);
     const sim::SimTime rx_latency = sim::SimTime::from_us_double(rng_.uniform(
         phy_.rx_latency_min.to_us(), phy_.rx_latency_max.to_us()));
-    const sim::SimTime delivered = end + prop + rx_latency;
+    sim::SimTime delivered = end + prop + rx_latency;
+    if (verdict.extra_delay_us > 0.0) {
+      delivered += sim::SimTime::from_us_double(verdict.extra_delay_us);
+    }
+    std::shared_ptr<const Frame> effective = frame;
+    if (verdict.corrupt) {
+      effective = std::make_shared<const Frame>(fault::corrupt_frame(*frame));
+    }
 
     RxInfo info;
     info.delivered = delivered;
@@ -261,9 +279,21 @@ void Channel::finish_transmission(std::uint64_t tx_id) {
       instruments_->on_delivery((delivered - start).to_us());
     }
 
-    sim_.at(delivered, [this, s, frame, info] {
-      if (stations_[s].listening) stations_[s].handler(*frame, info);
+    sim_.at(delivered, [this, s, effective, info] {
+      if (stations_[s].listening) stations_[s].handler(*effective, info);
     });
+
+    for (const double dup_delay_us : verdict.duplicate_delays_us) {
+      RxInfo dup = info;
+      dup.delivered = delivered + sim::SimTime::from_us_double(dup_delay_us);
+      ++stats_.deliveries;
+      if (instruments_ != nullptr) {
+        instruments_->on_delivery((dup.delivered - start).to_us());
+      }
+      sim_.at(dup.delivered, [this, s, effective, dup] {
+        if (stations_[s].listening) stations_[s].handler(*effective, dup);
+      });
+    }
   };
 
   if (finite_range) {

@@ -48,6 +48,10 @@
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
+namespace sstsp::fault {
+class FaultInjector;
+}  // namespace sstsp::fault
+
 namespace sstsp::mac {
 
 /// What a receiver's MAC learns about a frame, besides its content.
@@ -118,6 +122,16 @@ class Channel {
   }
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
+  /// Attaches a fault injector (nullptr detaches): every delivery that
+  /// survives the physical-layer model is submitted for a verdict (drop /
+  /// corrupt / delay / duplicate).  The injector draws from its own RNG
+  /// substream, so attaching one never perturbs the channel's seeded draw
+  /// sequence.  Station channel indices double as node ids here (true for
+  /// the scenario runner; the live per-node channels never carry one).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   /// Receiver-side compensation constant for a frame of `duration`:
   /// the delay estimate added to a beacon timestamp to place it on the
   /// receiver's timeline (frame air time + nominal propagation + nominal
@@ -179,6 +193,7 @@ class Channel {
   sim::Rng rng_;
   obs::Instruments* instruments_{nullptr};
   obs::Profiler* profiler_{nullptr};
+  fault::FaultInjector* fault_{nullptr};
 
   // Position-derived caches (mutable: lazily filled through const paths).
   mutable std::vector<std::vector<double>> dist_rows_;

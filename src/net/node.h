@@ -68,6 +68,16 @@ inline constexpr double kUdpDivergeThresholdUs = 150.0;
 /// disclosure margin a stall must eat before receivers start rejecting.
 inline constexpr double kMaxTxLatenessUs = 50'000.0;
 
+/// SstspConfig with the live-transport deviations applied: a datagram path
+/// jitters every arrival estimate, so the (k, b) slope is solved over a
+/// wider baseline than the simulator's exactly-compensated channel needs
+/// (see SstspConfig::solver_span_bps).
+[[nodiscard]] inline core::SstspConfig live_sstsp_defaults() {
+  core::SstspConfig cfg;
+  cfg.solver_span_bps = 8;
+  return cfg;
+}
+
 struct NodeConfig {
   mac::NodeId id = 0;
   /// Number of nodes in the deployment; the trust directory is populated
@@ -77,7 +87,7 @@ struct NodeConfig {
   int total_nodes = 5;
   std::uint64_t seed = 1;
 
-  core::SstspConfig sstsp{};
+  core::SstspConfig sstsp = live_sstsp_defaults();
   mac::PhyParams phy{};
 
   /// Emulated oscillator: drift uniform in +/-max_drift_ppm and offset
@@ -160,6 +170,9 @@ class NodeRuntime {
   }
   void set_lifecycle(trace::BeaconLifecycle* lifecycle) {
     station_->set_lifecycle(lifecycle);
+  }
+  void set_recovery(fault::RecoveryTracker* recovery) {
+    station_->set_recovery(recovery);
   }
 
  private:

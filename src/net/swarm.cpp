@@ -45,6 +45,34 @@ Swarm::Swarm(const SwarmConfig& config)
     monitor_ = std::make_unique<obs::InvariantMonitor>(cfg);
     lifecycle_ = std::make_unique<trace::BeaconLifecycle>(registry_);
   }
+  if (!config_.faults.empty()) {
+    // Same substream discipline as run::Network: the injector draws only
+    // from its own stream, so attaching a plan never perturbs the nodes'
+    // seeded clock/latency draws.
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config_.faults, sim_.substream("faults", config_.faults.seed));
+    recovery_ = std::make_unique<fault::RecoveryTracker>(
+        config_.phy.beacon_period.to_us() * 1e-6,
+        /*sync_threshold_us=*/25.0);
+    if (monitor_ != nullptr) {
+      for (const auto& p : config_.faults.partitions) {
+        monitor_->add_disturbance(
+            sim::SimTime::from_sec_double(p.start_s),
+            p.end_s < 0.0 ? sim::SimTime::never()
+                          : sim::SimTime::from_sec_double(p.end_s));
+      }
+      for (const auto& f : config_.faults.node_faults) {
+        monitor_->add_disturbance(
+            sim::SimTime::from_sec_double(f.at_s),
+            f.restart_s < 0.0 ? sim::SimTime::from_sec_double(f.at_s)
+                              : sim::SimTime::from_sec_double(f.restart_s));
+      }
+      for (const auto& c : config_.faults.clock_faults) {
+        monitor_->add_disturbance(sim::SimTime::from_sec_double(c.at_s),
+                                  sim::SimTime::from_sec_double(c.at_s));
+      }
+    }
+  }
 }
 
 std::unique_ptr<Swarm> Swarm::create(const SwarmConfig& config,
@@ -115,6 +143,19 @@ bool Swarm::init(std::string* error) {
     }
   }
 
+  if (injector_ != nullptr) {
+    // Decorate every endpoint: the node installs its rx handler on the
+    // decorator, which consults the injector per arriving datagram —
+    // identical verdict semantics to the simulated channel's hook.
+    for (int i = 0; i < config_.nodes; ++i) {
+      faulty_.push_back(std::make_unique<fault::FaultyTransport>(
+          *endpoints[static_cast<std::size_t>(i)], sim_, *injector_,
+          static_cast<mac::NodeId>(i)));
+      endpoints[static_cast<std::size_t>(i)] =
+          faulty_.back().get();
+    }
+  }
+
   double wire_latency_us = config_.wire_latency_us;
   if (wire_latency_us < 0.0) {
     wire_latency_us =
@@ -155,7 +196,9 @@ bool Swarm::init(std::string* error) {
     node->set_profiler(profiler_.get());
     node->set_monitor(monitor_.get());
     node->set_lifecycle(lifecycle_.get());
+    node->set_recovery(recovery_.get());
   }
+  expected_down_.assign(nodes_.size(), false);
   return true;
 }
 
@@ -163,7 +206,53 @@ void Swarm::arm() {
   if (armed_) return;
   armed_ = true;
   for (auto& node : nodes_) node->start();
+  schedule_faults();
   schedule_sampling();
+}
+
+void Swarm::schedule_faults() {
+  if (injector_ == nullptr) return;
+  fault::FaultHooks hooks;
+  hooks.current_reference = [this] { return current_reference(); };
+  hooks.set_power = [this](mac::NodeId id, bool powered) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= nodes_.size()) return;
+    expected_down_[idx] = !powered;
+    if (powered) {
+      nodes_[idx]->start();
+    } else {
+      nodes_[idx]->stop();
+    }
+  };
+  hooks.clock_fault = [this](mac::NodeId id, double step_us,
+                             double drift_delta_ppm) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= nodes_.size()) return;
+    nodes_[idx]->station().inject_clock_fault(step_us, drift_delta_ppm);
+  };
+  if (recovery_ != nullptr) {
+    hooks.on_node_fault = [this](const fault::NodeFault& f, mac::NodeId id) {
+      if (f.reference) {
+        recovery_->expect_reelection(f.kind == fault::NodeFaultKind::kCrash
+                                         ? "reference-crash"
+                                         : "reference-pause",
+                                     id, sim_.now().to_sec());
+      }
+    };
+    hooks.on_clock_fault = [this](const fault::ClockFault&, mac::NodeId id) {
+      recovery_->expect_resync("clock-fault", id, sim_.now().to_sec());
+    };
+    for (const auto& p : config_.faults.partitions) {
+      if (p.end_s >= 0.0 && p.end_s < config_.duration_s) {
+        const double heal_s = p.end_s;
+        sim_.at(sim::SimTime::from_sec_double(heal_s), [this, heal_s] {
+          recovery_->expect_resync("partition-heal", mac::kNoNode, heal_s);
+        });
+      }
+    }
+  }
+  fault::schedule_fault_events(sim_, config_.faults, injector_.get(),
+                               std::move(hooks));
 }
 
 void Swarm::schedule_sampling() {
@@ -199,6 +288,9 @@ void Swarm::sample_clock_spread() {
   const double diff = hi - lo;
   max_diff_.push(now.to_sec(), diff);
   if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
+  if (recovery_ != nullptr) {
+    recovery_->on_max_diff_sample(now.to_sec(), diff);
+  }
   if (instruments_ != nullptr) {
     instruments_->on_max_diff_sample(diff);
     const double mean = sum / static_cast<double>(sample_values_.size());
@@ -281,6 +373,47 @@ run::RunResult Swarm::collect() {
         profiler_->snapshot(result.events_processed, wall_seconds_);
   }
   if (monitor_ != nullptr) result.audit = monitor_->report();
+  if (recovery_ != nullptr) {
+    recovery_->finalize(injector_->stats());
+    result.recovery = recovery_->report();
+  }
+
+  // A node that died or stayed deaf without a planned fault must not pass
+  // as a clean (just quieter) run: flag it as a node-failure audit record
+  // and report it through failed_nodes() so the tool exits nonzero.
+  // "Deaf" = it decoded no frame off the wire while its peers were
+  // clearly beaconing — a wedged process that exited before its first
+  // beacon receives nothing, while a healthy SSTSP follower (which may
+  // legitimately never *send* once a reference holds the role) still
+  // hears every beacon.
+  failed_nodes_.clear();
+  std::uint64_t frames_on_wire = 0;
+  for (const auto& node : nodes_) {
+    frames_on_wire += node->net_stats().frames_sent;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (expected_down_[i]) continue;
+    const auto& node = *nodes_[i];
+    const std::uint64_t peer_frames =
+        frames_on_wire - node.net_stats().frames_sent;
+    const bool dead = !node.station().awake();
+    const bool deaf = node.net_stats().frames_received == 0 &&
+                      peer_frames > 10;
+    if (!dead && !deaf) continue;
+    const mac::NodeId id = node.config().id;
+    failed_nodes_.push_back(id);
+    if (!result.audit) result.audit.emplace();
+    obs::AuditRecord record;
+    record.kind = obs::InvariantKind::kNodeFailure;
+    record.severity = obs::Severity::kCritical;
+    record.node = id;
+    record.count = 1;
+    record.first_t_s = record.last_t_s = sim_.now().to_sec();
+    record.detail = dead ? "node is down with no planned fault"
+                         : "node received no frame while peers sent " +
+                               std::to_string(peer_frames);
+    result.audit->records.push_back(std::move(record));
+  }
 
   run::derive_series_stats(result, config_.duration_s);
   return result;
@@ -297,6 +430,7 @@ run::Scenario Swarm::reporting_scenario() const {
   s.initial_offset_us = config_.initial_offset_us;
   s.max_drift_ppm = config_.max_drift_ppm;
   s.preestablished_reference = config_.preestablished_reference;
+  s.faults = config_.faults;
   s.sample_period_s = config_.sample_period_s;
   s.trace_capacity = config_.trace_capacity;
   s.collect_metrics = config_.collect_metrics;

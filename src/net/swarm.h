@@ -25,6 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "fault/recovery.h"
+#include "fault/transport.h"
 #include "metrics/series.h"
 #include "net/loopback.h"
 #include "net/node.h"
@@ -67,8 +71,14 @@ struct SwarmConfig {
   /// real sockets.
   double wire_latency_us = -1.0;
 
-  core::SstspConfig sstsp{};
+  core::SstspConfig sstsp = live_sstsp_defaults();
   mac::PhyParams phy{};
+
+  /// Injected faults (fault/plan.h) — the same plan format run::Network
+  /// consumes; packet directives apply through a FaultyTransport decorator
+  /// on each node's endpoint, node faults stop/start NodeRuntimes.
+  fault::FaultPlan faults{};
+
   double max_drift_ppm = 100.0;
   double initial_offset_us = 112.0;
   /// Node 0 boots directly in the reference role (skips election).
@@ -125,6 +135,17 @@ class Swarm {
     return lifecycle_.get();
   }
   [[nodiscard]] const SwarmConfig& config() const { return config_; }
+  [[nodiscard]] fault::RecoveryTracker* recovery_tracker() {
+    return recovery_.get();
+  }
+
+  /// Nodes that collect() found dead or silent without a planned fault —
+  /// a partial deployment must not masquerade as a clean run; the caller
+  /// (sstsp_swarm) turns a non-empty list into a nonzero exit.  Valid
+  /// after collect().
+  [[nodiscard]] const std::vector<mac::NodeId>& failed_nodes() const {
+    return failed_nodes_;
+  }
 
   /// The node currently holding the reference role, if any.
   [[nodiscard]] std::optional<mac::NodeId> current_reference() const;
@@ -143,6 +164,7 @@ class Swarm {
 
   [[nodiscard]] bool init(std::string* error);
   void arm();
+  void schedule_faults();
   void schedule_sampling();
   void sample_clock_spread();
 
@@ -160,7 +182,15 @@ class Swarm {
   std::unique_ptr<trace::BeaconLifecycle> lifecycle_;
   std::unique_ptr<trace::EventTrace> trace_;
 
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::RecoveryTracker> recovery_;
+  std::vector<std::unique_ptr<fault::FaultyTransport>> faulty_;
+
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  /// Per node: a planned fault currently holds it down (crash/pause
+  /// scheduling flips this) — collect() only flags *unplanned* deaths.
+  std::vector<bool> expected_down_;
+  std::vector<mac::NodeId> failed_nodes_;
 
   metrics::Series max_diff_;
   std::vector<double> sample_values_;

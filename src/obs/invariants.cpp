@@ -29,6 +29,8 @@ std::string_view to_string(InvariantKind kind) {
       return "timestamp-integrity";
     case InvariantKind::kReferenceUniqueness:
       return "reference-uniqueness";
+    case InvariantKind::kNodeFailure:
+      return "node-failure";
     case InvariantKind::kInvariantKindCount:
       break;
   }
@@ -60,6 +62,8 @@ std::string_view paper_reference(InvariantKind kind) {
       return "§3.3 (B carries the sender's adjusted clock)";
     case InvariantKind::kReferenceUniqueness:
       return "§3.1 (single reference per partition)";
+    case InvariantKind::kNodeFailure:
+      return "§5 resilience (node failed without a planned fault)";
     case InvariantKind::kInvariantKindCount:
       break;
   }
@@ -238,7 +242,11 @@ void InvariantMonitor::on_beacon_tx(mac::NodeId node, std::int64_t j,
   }
 
   // Uniqueness: at most one confirmed reference emission per interval.
-  if (last_ref_interval_ == j && last_ref_emitter_ != node) {
+  // Suspended during planned disturbance windows: a partition legitimately
+  // has one reference per side (§3.1), and the post-heal RULE R round is
+  // covered by the window's holdoff extension.
+  if (last_ref_interval_ == j && last_ref_emitter_ != node &&
+      !disturbed(now)) {
     std::ostringstream detail;
     detail << "two confirmed references (" << last_ref_emitter_ << " and "
            << node << ") emitted in interval " << j;
@@ -324,6 +332,14 @@ void InvariantMonitor::on_max_diff_sample(sim::SimTime now,
     return;
   }
 
+  // Planned disturbance (injected partition / reference crash): the error
+  // legitimately grows until the heal; Lemma 1's clock restarts afterwards.
+  if (disturbed(now)) {
+    converged_ = false;
+    flow_start_ = now;  // restart the convergence budget at the window edge
+    return;
+  }
+
   if (!converged_) {
     // Convergence timeout: with sustained beacon flow, Lemma 1 contracts
     // the initial offset by (m-1)/m per beacon — the budget is generous.
@@ -351,6 +367,23 @@ void InvariantMonitor::on_max_diff_sample(sim::SimTime now,
             mac::kNoNode, mac::kNoNode, now, max_diff_us,
             cfg_.diverge_threshold_us, detail.str());
   }
+}
+
+void InvariantMonitor::add_disturbance(sim::SimTime start, sim::SimTime end) {
+  disturbances_.emplace_back(start, end);
+}
+
+bool InvariantMonitor::disturbed(sim::SimTime now) const {
+  const double holdoff_us =
+      static_cast<double>(cfg_.quiet_holdoff_bps) * cfg_.bp_us;
+  for (const auto& [start, end] : disturbances_) {
+    const sim::SimTime extended =
+        (end == sim::SimTime::never())
+            ? end
+            : end + sim::SimTime::from_us_double(holdoff_us);
+    if (now >= start && now <= extended) return true;
+  }
+  return false;
 }
 
 AuditReport InvariantMonitor::report() const {

@@ -70,6 +70,7 @@ enum class InvariantKind : std::uint8_t {
   kReferenceSchedule,
   kTimestampIntegrity,
   kReferenceUniqueness,
+  kNodeFailure,
   kInvariantKindCount,  // sentinel
 };
 
@@ -203,6 +204,16 @@ class InvariantMonitor {
   /// Network-wide max pairwise sync error sample (the Fig. 2 series).
   void on_max_diff_sample(sim::SimTime now, double max_diff_us);
 
+  /// Declares a planned disturbance window [start, end] (an injected
+  /// partition or reference crash).  While the window — extended by the
+  /// quiet holdoff — is active, Lemma-1 divergence/convergence-timeout and
+  /// reference-uniqueness are suspended: a partition legitimately elects a
+  /// second reference (§3.1 guarantees one reference *per partition*) and
+  /// the error legitimately grows until the heal (Lemma 1 restarts).  All
+  /// other invariants keep being enforced, so a strict-clean audit under an
+  /// injected fault still certifies the recovery path.
+  void add_disturbance(sim::SimTime start, sim::SimTime end);
+
   // ---- results ---------------------------------------------------------
 
   [[nodiscard]] AuditReport report() const;
@@ -225,6 +236,8 @@ class InvariantMonitor {
   void violate(InvariantKind kind, Severity severity, mac::NodeId node,
                mac::NodeId peer, sim::SimTime now, double value_us,
                double limit_us, const std::string& detail);
+
+  [[nodiscard]] bool disturbed(sim::SimTime now) const;
 
   [[nodiscard]] double emission_time(std::int64_t j) const {
     return cfg_.t0_us + static_cast<double>(j) * cfg_.bp_us;
@@ -251,6 +264,10 @@ class InvariantMonitor {
   // emitted in, and who it was.
   std::int64_t last_ref_interval_{INT64_MIN};
   mac::NodeId last_ref_emitter_{mac::kNoNode};
+
+  // Planned fault windows (add_disturbance); checked inclusive of the
+  // quiet-holdoff extension past each end.
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> disturbances_;
 };
 
 }  // namespace sstsp::obs

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 
 namespace sstsp::obs::json {
 
@@ -162,11 +163,13 @@ namespace {
 struct Parser {
   std::string_view text;
   std::size_t pos{0};
+  int line{1};
 
   void skip_ws() {
     while (pos < text.size() &&
            (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
             text[pos] == '\r')) {
+      if (text[pos] == '\n') ++line;
       ++pos;
     }
   }
@@ -193,6 +196,7 @@ struct Parser {
     std::string out;
     while (pos < text.size()) {
       const char c = text[pos++];
+      if (c == '\n') ++line;  // invalid in strict JSON, but keep line honest
       if (c == '"') return out;
       if (c == '\\') {
         if (pos >= text.size()) return std::nullopt;
@@ -267,6 +271,7 @@ struct Parser {
     skip_ws();
     if (pos >= text.size()) return std::nullopt;
     Value v;
+    v.line = line;
     const char c = text[pos];
     if (c == 'n') {
       if (!literal("null")) return std::nullopt;
@@ -352,6 +357,43 @@ std::optional<Value> parse(std::string_view text) {
   p.skip_ws();
   if (p.pos != text.size()) return std::nullopt;  // trailing garbage
   return v;
+}
+
+void write(const Value& v, Writer& w) {
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      w.null();
+      return;
+    case Value::Kind::kBool:
+      w.value(v.boolean);
+      return;
+    case Value::Kind::kNumber:
+      w.value(v.number);
+      return;
+    case Value::Kind::kString:
+      w.value(std::string_view(v.string));
+      return;
+    case Value::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : v.object) {
+        w.key(key);
+        write(member, w);
+      }
+      w.end_object();
+      return;
+    case Value::Kind::kArray:
+      w.begin_array();
+      for (const Value& element : v.array) write(element, w);
+      w.end_array();
+      return;
+  }
+}
+
+std::string dump(const Value& v) {
+  std::ostringstream os;
+  Writer w(os);
+  write(v, w);
+  return os.str();
 }
 
 }  // namespace sstsp::obs::json

@@ -81,6 +81,9 @@ struct Value {
   std::string string;
   std::vector<std::pair<std::string, Value>> object;  // insertion order
   std::vector<Value> array;
+  /// 1-based source line the value started on; lets consumers (config
+  /// loader, fault-plan parser) point at the offending line of a file.
+  int line{0};
 
   [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
   [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
@@ -95,5 +98,15 @@ struct Value {
 /// Parses one JSON document (surrounding whitespace allowed); nullopt on any
 /// syntax error or trailing garbage.
 [[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+/// Re-emits a parsed value through a Writer (used to splice nested config
+/// sections back into flag arguments, and by round-trip tests).
+void write(const Value& v, Writer& w);
+
+/// Compact textual form of a parsed value.  parse(dump(v)) reproduces v
+/// (modulo the shortest-round-trippable number formatting the Writer uses),
+/// and dump(parse(dump(v))) is a fixpoint — the identity the config
+/// round-trip tests assert.
+[[nodiscard]] std::string dump(const Value& v);
 
 }  // namespace sstsp::obs::json

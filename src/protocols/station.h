@@ -6,6 +6,7 @@
 #include <string>
 
 #include "clock/hardware_clock.h"
+#include "fault/recovery.h"
 #include "mac/channel.h"
 #include "obs/instruments.h"
 #include "obs/invariants.h"
@@ -92,6 +93,24 @@ class Station {
   }
   [[nodiscard]] trace::BeaconLifecycle* lifecycle() { return lifecycle_; }
 
+  /// Attaches the shared per-fault recovery tracker (nullptr detaches);
+  /// wired by the runners when the scenario carries a fault plan.
+  void set_recovery(fault::RecoveryTracker* recovery) {
+    recovery_ = recovery;
+    refresh_observed();
+  }
+  [[nodiscard]] fault::RecoveryTracker* recovery() { return recovery_; }
+
+  /// Fault injection: applies a hardware-clock step and/or drift change at
+  /// the current instant (fault::ClockFault).  The protocol keeps running on
+  /// the perturbed oscillator — exactly what a real glitch looks like.
+  void inject_clock_fault(double step_us, double drift_delta_ppm) {
+    if (drift_delta_ppm != 0.0) {
+      hw_.fault_drift_delta_ppm(drift_delta_ppm, sim_.now());
+    }
+    if (step_us != 0.0) hw_.fault_step_us(step_us);
+  }
+
   /// Records a protocol event into every attached observer (trace ring,
   /// metrics registry, invariant monitor, lifecycle tracker).  When none
   /// is attached the call is a single branch on a flag cached at
@@ -106,12 +125,13 @@ class Station {
     if (obs_ != nullptr) obs_->on_protocol_event(kind, value_us);
     if (monitor_ != nullptr) monitor_->on_event(event);
     if (lifecycle_ != nullptr) lifecycle_->on_event(event);
+    if (recovery_ != nullptr) recovery_->on_trace_event(event);
   }
 
  private:
   void refresh_observed() {
     observed_ = trace_ != nullptr || obs_ != nullptr || monitor_ != nullptr ||
-                lifecycle_ != nullptr;
+                lifecycle_ != nullptr || recovery_ != nullptr;
   }
 
   sim::Simulator& sim_;
@@ -126,6 +146,7 @@ class Station {
   obs::Profiler* profiler_{nullptr};
   obs::InvariantMonitor* monitor_{nullptr};
   trace::BeaconLifecycle* lifecycle_{nullptr};
+  fault::RecoveryTracker* recovery_{nullptr};
   bool observed_{false};  ///< any observer attached (cached for trace_event)
   bool awake_{false};
 };

@@ -4,6 +4,9 @@
 #include <charconv>
 #include <sstream>
 
+#include "attack/adversary.h"
+#include "fault/plan.h"
+#include "obs/json.h"
 #include "runner/config_file.h"
 
 namespace sstsp::run {
@@ -72,14 +75,29 @@ environment:
   --departures T1,T2    reference departure times (SSTSP)
 
 attack:
-  --attack KIND         tsf-slow | internal-ref
+  --attack NAME         adversary by registry name: tsf-slow, internal-ref,
+                        replay, forge, delayed-disclosure
   --attack-window A,B   active interval in seconds (default 400,600)
+  --attack-params JSON  adversary-specific overrides as a JSON object
+                        (e.g. '{"skew":80,"delay_us":5000}')
   --skew R              internal-ref skew rate in us/s (default 50)
 
+faults:
+  --faults PATH         load a fault plan (JSON; see DESIGN.md §9): packet
+                        drop/dup/delay/reorder/corrupt directives,
+                        partitions, node crash/pause, clock steps/drift
+  --faults-json TEXT    the same plan given inline as JSON text
+
+environment overrides:
+  --sample-period S     max-diff sampling cadence (default 0.1)
+  --max-drift PPM       hardware drift bound (default 100)
+  --initial-offset US   initial clock offset bound (default 112)
+
 config:
-  --config PATH         load flags from a flat JSON object whose keys are
-                        flag names ({"nodes": 5, "monitor": "strict"});
-                        flags after --config override the file
+  --config PATH         load a run config (JSON object; see README "Config
+                        files"): scenario keys plus nested "faults" /
+                        "attack" objects; flags after --config override the
+                        file
 
 output:
   --csv PATH            write the max-clock-difference series as CSV
@@ -211,13 +229,51 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       }
     } else if (arg == "--attack") {
       if (!next(&v)) return fail("--attack needs a kind");
-      if (v == "tsf-slow") {
-        s.attack = AttackKind::kTsfSlowBeacon;
-      } else if (v == "internal-ref") {
-        s.attack = AttackKind::kSstspInternalReference;
-      } else {
-        return fail("unknown attack: " + v);
+      if (!attack::adversary_known(v)) {
+        std::string valid;
+        for (const auto& name : attack::adversary_names()) {
+          if (!valid.empty()) valid += ", ";
+          valid += name;
+        }
+        return fail("unknown attack: " + v + " (known: " + valid + ")");
       }
+      s.attack = v;
+    } else if (arg == "--attack-params") {
+      if (!next(&v)) return fail("--attack-params needs a JSON object");
+      if (!obs::json::parse(v)) {
+        return fail("--attack-params is not valid JSON: " + v);
+      }
+      s.attack_params_json = v;
+    } else if (arg == "--faults") {
+      if (!next(&v)) return fail("--faults needs a path");
+      std::string plan_error;
+      const auto plan = fault::load_plan(v, &plan_error);
+      if (!plan) return fail(plan_error);
+      s.faults = *plan;
+    } else if (arg == "--faults-json") {
+      if (!next(&v)) return fail("--faults-json needs JSON text");
+      std::string plan_error;
+      const auto plan = fault::parse_plan_text(v, &plan_error);
+      if (!plan) return fail("--faults-json: " + plan_error);
+      s.faults = *plan;
+    } else if (arg == "--sample-period") {
+      double p = 0;
+      if (!next(&v) || !parse_double(v, &p) || p <= 0) {
+        return fail("--sample-period needs a positive number of seconds");
+      }
+      s.sample_period_s = p;
+    } else if (arg == "--max-drift") {
+      double p = 0;
+      if (!next(&v) || !parse_double(v, &p) || p < 0) {
+        return fail("--max-drift needs a ppm value >= 0");
+      }
+      s.max_drift_ppm = p;
+    } else if (arg == "--initial-offset") {
+      double p = 0;
+      if (!next(&v) || !parse_double(v, &p) || p < 0) {
+        return fail("--initial-offset needs a us value >= 0");
+      }
+      s.initial_offset_us = p;
     } else if (arg == "--attack-window") {
       if (!next(&v)) return fail("--attack-window needs start,end");
       const auto parts = split(v, ',');
@@ -242,7 +298,7 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       if (config_loaded) return fail("--config may be given only once");
       config_loaded = true;
       std::string cfg_error;
-      const auto cfg_args = load_config_args(v, &cfg_error);
+      const auto cfg_args = load_config_args(v, ConfigTool::kSim, &cfg_error);
       if (!cfg_args) return fail(cfg_error);
       argv.insert(argv.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                   cfg_args->begin(), cfg_args->end());

@@ -5,10 +5,104 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace sstsp::run {
 
 namespace {
+
+// Universal key schema: the union of the three tools' flag sets, each key
+// tagged with the tools it applies to.  A config key outside this table is
+// an error everywhere; a key inside it is silently skipped by tools it
+// does not apply to, so one file drives sim and live runs alike.
+constexpr unsigned kSim = 1U;
+constexpr unsigned kNode = 2U;
+constexpr unsigned kSwarm = 4U;
+constexpr unsigned kAll = kSim | kNode | kSwarm;
+
+struct KeySpec {
+  std::string_view key;
+  unsigned tools;
+};
+
+constexpr KeySpec kSchema[] = {
+    // scenario / deployment
+    {"protocol", kSim},
+    {"nodes", kAll},
+    {"duration", kAll},
+    {"seed", kAll},
+    {"paper-env", kSim},
+    {"id", kNode},
+    // protocol parameters
+    {"m", kAll},
+    {"l", kAll},
+    {"guard", kAll},
+    {"chain-length", kAll},
+    {"per", kSim},
+    {"preestablished", kSim | kSwarm},
+    {"reference", kNode},
+    // environment
+    {"churn", kSim},
+    {"departures", kSim},
+    {"sample-period", kSim | kSwarm},
+    {"max-drift", kAll},
+    {"initial-offset", kAll},
+    {"drift", kNode},
+    {"offset", kNode},
+    // attack + faults (first-class; see conversion below)
+    {"attack", kSim},
+    {"attack-window", kSim},
+    {"attack-params", kSim},
+    {"skew", kSim},
+    {"faults", kAll},
+    {"faults-json", kAll},
+    // live endpoints / pacing
+    {"transport", kSwarm},
+    {"bind", kNode | kSwarm},
+    {"port", kNode},
+    {"base-port", kSwarm},
+    {"peer", kNode},
+    {"multicast", kNode},
+    {"mcast-if", kNode},
+    {"ttl", kNode},
+    {"latency", kSwarm},
+    {"drop", kSwarm},
+    {"wire-latency", kNode | kSwarm},
+    {"diverge-threshold", kSwarm},
+    {"epoch", kNode},
+    // output / checks
+    {"csv", kSim | kSwarm},
+    {"chart", kSim | kSwarm},
+    {"trace", kAll},
+    {"trace-limit", kAll},
+    {"trace-kind", kAll},
+    {"json-out", kAll},
+    {"metrics-out", kAll},
+    {"profile", kAll},
+    {"monitor", kAll},
+    {"expect-sync", kSwarm},
+};
+
+const KeySpec* find_key(std::string_view key) {
+  for (const auto& spec : kSchema) {
+    if (spec.key == key) return &spec;
+  }
+  return nullptr;
+}
+
+unsigned tool_mask(ConfigTool tool) {
+  switch (tool) {
+    case ConfigTool::kSim:
+      return kSim;
+    case ConfigTool::kNode:
+      return kNode;
+    case ConfigTool::kSwarm:
+      return kSwarm;
+    case ConfigTool::kAny:
+      break;
+  }
+  return kAll;
+}
 
 /// Renders a JSON number the way a user would type it on the command line:
 /// whole values without a decimal point, everything else round-trippable.
@@ -43,10 +137,14 @@ bool scalar_to_string(const obs::json::Value& v, std::string* out) {
   }
 }
 
+std::string at_line(const obs::json::Value& v) {
+  return v.line > 0 ? "line " + std::to_string(v.line) + ": " : "";
+}
+
 }  // namespace
 
 std::optional<std::vector<std::string>> config_to_args(
-    const obs::json::Value& root, std::string* error) {
+    const obs::json::Value& root, ConfigTool tool, std::string* error) {
   auto fail =
       [error](std::string message) -> std::optional<std::vector<std::string>> {
     if (error != nullptr) *error = std::move(message);
@@ -54,12 +152,94 @@ std::optional<std::vector<std::string>> config_to_args(
   };
 
   if (!root.is_object()) return fail("config must be a JSON object");
+  const unsigned mask = tool_mask(tool);
 
   std::vector<std::string> args;
   for (const auto& [key, value] : root.object) {
     if (key.empty()) return fail("config keys must be non-empty");
-    if (key == "config") return fail("config files cannot nest (key 'config')");
+    if (key == "config") {
+      return fail(at_line(value) + "config files cannot nest (key 'config')");
+    }
+    const KeySpec* spec = find_key(key);
+    if (spec == nullptr) {
+      return fail(at_line(value) + "unknown config key '" + key + "'");
+    }
+    if ((spec->tools & mask) == 0) continue;  // another tool's key
     const std::string flag = "--" + key;
+
+    // First-class structured keys.
+    if (key == "faults") {
+      if (value.is_object()) {
+        // Splice the plan inline; the tool's --faults-json flag parses
+        // (and so validates) it with plan-level line diagnostics lost to
+        // the re-dump, which is why parse errors here are rare: the
+        // document already parsed as JSON.
+        args.push_back("--faults-json");
+        args.push_back(obs::json::dump(value));
+      } else if (value.kind == obs::json::Value::Kind::kString) {
+        args.push_back("--faults");
+        args.push_back(value.string);
+      } else {
+        return fail(at_line(value) +
+                    "config key 'faults' must be a plan object or a path "
+                    "string");
+      }
+      continue;
+    }
+    if (key == "attack") {
+      if (value.kind == obs::json::Value::Kind::kString) {
+        args.push_back("--attack");
+        args.push_back(value.string);
+        continue;
+      }
+      if (!value.is_object()) {
+        return fail(at_line(value) +
+                    "config key 'attack' must be a name string or an "
+                    "object {name, window, params}");
+      }
+      const obs::json::Value* name = nullptr;
+      const obs::json::Value* window = nullptr;
+      const obs::json::Value* params = nullptr;
+      for (const auto& [akey, avalue] : value.object) {
+        if (akey == "name") {
+          name = &avalue;
+        } else if (akey == "window") {
+          window = &avalue;
+        } else if (akey == "params") {
+          params = &avalue;
+        } else {
+          return fail(at_line(avalue) + "attack: unknown key '" + akey +
+                      "'");
+        }
+      }
+      if (name == nullptr ||
+          name->kind != obs::json::Value::Kind::kString) {
+        return fail(at_line(value) + "attack: needs a 'name' string");
+      }
+      args.push_back("--attack");
+      args.push_back(name->string);
+      if (window != nullptr) {
+        if (window->kind != obs::json::Value::Kind::kArray ||
+            window->array.size() != 2 ||
+            window->array[0].kind != obs::json::Value::Kind::kNumber ||
+            window->array[1].kind != obs::json::Value::Kind::kNumber) {
+          return fail(at_line(*window) +
+                      "attack: 'window' must be [start_s, end_s]");
+        }
+        args.push_back("--attack-window");
+        args.push_back(format_number(window->array[0].number) + "," +
+                       format_number(window->array[1].number));
+      }
+      if (params != nullptr) {
+        if (!params->is_object()) {
+          return fail(at_line(*params) +
+                      "attack: 'params' must be an object");
+        }
+        args.push_back("--attack-params");
+        args.push_back(obs::json::dump(*params));
+      }
+      continue;
+    }
 
     switch (value.kind) {
       case obs::json::Value::Kind::kBool:
@@ -78,11 +258,25 @@ std::optional<std::vector<std::string>> config_to_args(
         args.push_back(format_number(value.number));
         break;
       case obs::json::Value::Kind::kArray: {
+        if (key == "peer") {
+          // Repeatable flag: one --peer per endpoint.
+          for (const auto& item : value.array) {
+            std::string part;
+            if (!scalar_to_string(item, &part)) {
+              return fail(at_line(item) +
+                          "config key 'peer': array items must be "
+                          "HOST:PORT strings");
+            }
+            args.push_back(flag);
+            args.push_back(part);
+          }
+          break;
+        }
         std::string joined;
         for (const auto& item : value.array) {
           std::string part;
           if (!scalar_to_string(item, &part)) {
-            return fail("config key '" + key +
+            return fail(at_line(value) + "config key '" + key +
                         "': arrays may only contain scalars");
           }
           if (!joined.empty()) joined += ',';
@@ -95,7 +289,7 @@ std::optional<std::vector<std::string>> config_to_args(
       case obs::json::Value::Kind::kNull:
         break;  // explicit "leave at default"
       case obs::json::Value::Kind::kObject:
-        return fail("config key '" + key +
+        return fail(at_line(value) + "config key '" + key +
                     "': nested objects are not supported");
     }
   }
@@ -103,7 +297,7 @@ std::optional<std::vector<std::string>> config_to_args(
 }
 
 std::optional<std::vector<std::string>> load_config_args(
-    const std::string& path, std::string* error) {
+    const std::string& path, ConfigTool tool, std::string* error) {
   auto fail =
       [error](std::string message) -> std::optional<std::vector<std::string>> {
     if (error != nullptr) *error = std::move(message);
@@ -119,7 +313,7 @@ std::optional<std::vector<std::string>> load_config_args(
   if (!parsed) return fail("config file is not valid JSON: " + path);
 
   std::string convert_error;
-  auto args = config_to_args(*parsed, &convert_error);
+  auto args = config_to_args(*parsed, tool, &convert_error);
   if (!args) return fail(path + ": " + convert_error);
   return args;
 }

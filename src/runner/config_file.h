@@ -1,32 +1,49 @@
-// JSON config files for the runner tools (--config).
+// JSON run configs for the runner tools (--config).
 //
-// A config file is one flat JSON object whose keys are CLI flag names
-// (without the leading "--") and whose values are the flag arguments:
+// A config file is one JSON object describing a run.  Most keys are CLI
+// flag names (without the leading "--") with the flag's argument as value;
+// two keys are structured:
 //
 //   {
 //     "protocol": "sstsp",
 //     "nodes": 5,
-//     "duration": 10,
+//     "duration": 60,
 //     "departures": [300, 500, 800],
 //     "monitor": "strict",
-//     "chart": true
+//     "faults": {                       // inline fault plan (fault/plan.h),
+//       "seed": 1,                      // or a string path to a plan file
+//       "packet": [{"kind": "drop", "probability": 0.1}],
+//       "node_faults": [{"kind": "crash", "node": "reference", "at": 30}]
+//     },
+//     "attack": {"name": "internal-ref",  // or just "internal-ref"
+//                "window": [400, 600],
+//                "params": {"skew": 80}}
 //   }
+//
+// One schema, three tools: the same file is accepted by sstsp_sim,
+// sstsp_node and sstsp_swarm.  Every key the *union* of the tools
+// understands is legal everywhere; keys that do not apply to the invoking
+// tool (e.g. "protocol" under sstsp_swarm) are skipped, so a single config
+// describes one experiment across the sim and live runners.  A key no tool
+// knows is an error naming the key and its line in the file.
 //
 // The object is converted to the equivalent argv vector and spliced into
 // the command line at the position of the --config flag, so flags after
-// --config override the file and flags before it are overridden by it.
+// --config override the file and flags before it are overridden by it —
+// the per-tool CLI flags are thin aliases of the config keys.
 // Conversion rules:
 //   * true        -> bare flag ("chart": true -> --chart); false is omitted
 //   * number      -> flag + value (integers render without a decimal point)
 //   * string      -> flag + value; "monitor": "strict" is the one
 //                    =-style special case (-> --monitor=strict)
-//   * array       -> flag + comma-joined scalars ("churn": [200,0.05,50])
+//   * array       -> flag + comma-joined scalars ("churn": [200,0.05,50]);
+//                    "peer" arrays repeat the flag per element
+//   * "faults"    -> object: --faults-json <compact dump>
+//                    string: --faults <path>
+//   * "attack"    -> string: --attack NAME; object {name, window, params}:
+//                    --attack NAME [--attack-window A,B]
+//                    [--attack-params <compact dump>]
 //   * "config"    -> rejected (config files do not nest)
-//
-// Because the conversion is flag-schema-agnostic, the same loader serves
-// every tool (sstsp_sim scenario flags, sstsp_node endpoint flags, ...);
-// unknown keys are diagnosed by the tool's own parser, with the same
-// message a mistyped flag would get.
 #pragma once
 
 #include <optional>
@@ -37,13 +54,29 @@
 
 namespace sstsp::run {
 
-/// Converts a parsed config object into argv-style flags.  nullopt +
-/// *error when the document is not a flat object of scalars/arrays.
+/// Which tool is consuming the config; selects the subset of the universal
+/// key schema that turns into flags (the rest is skipped, not rejected).
+/// kAny accepts every known key — used by tests and the legacy overloads.
+enum class ConfigTool { kAny, kSim, kNode, kSwarm };
+
+/// Converts a parsed config object into argv-style flags for `tool`.
+/// nullopt + *error (naming the offending key and line) on malformed
+/// documents or keys outside the universal schema.
 [[nodiscard]] std::optional<std::vector<std::string>> config_to_args(
-    const obs::json::Value& root, std::string* error);
+    const obs::json::Value& root, ConfigTool tool, std::string* error);
 
 /// Reads + parses `path` and converts it (see config_to_args).
 [[nodiscard]] std::optional<std::vector<std::string>> load_config_args(
-    const std::string& path, std::string* error);
+    const std::string& path, ConfigTool tool, std::string* error);
+
+/// Legacy spellings: ConfigTool::kAny.
+[[nodiscard]] inline std::optional<std::vector<std::string>> config_to_args(
+    const obs::json::Value& root, std::string* error) {
+  return config_to_args(root, ConfigTool::kAny, error);
+}
+[[nodiscard]] inline std::optional<std::vector<std::string>> load_config_args(
+    const std::string& path, std::string* error) {
+  return load_config_args(path, ConfigTool::kAny, error);
+}
 
 }  // namespace sstsp::run

@@ -33,6 +33,10 @@ RunResult collect_result(Network& net, double wall_seconds) {
         net.profiler()->snapshot(result.events_processed, wall_seconds);
   }
   if (net.monitor() != nullptr) result.audit = net.monitor()->report();
+  if (net.recovery_tracker() != nullptr) {
+    net.recovery_tracker()->finalize(net.fault_injector()->stats());
+    result.recovery = net.recovery_tracker()->report();
+  }
 
   derive_series_stats(result, scenario.duration_s);
   return result;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/recovery.h"
 #include "mac/channel.h"
 #include "metrics/series.h"
 #include "net/transport.h"
@@ -46,6 +47,12 @@ struct RunResult {
   /// set); clean() distinguishes a monitored-and-clean run from an
   /// unmonitored one.
   std::optional<obs::AuditReport> audit;
+
+  /// Per-fault recovery accounting (present when the scenario carried a
+  /// fault plan): re-election latency after reference loss, re-sync
+  /// latency after partition heal / clock faults, forged-frame rejection
+  /// counts, and the injector's packet-fault tallies.
+  std::optional<fault::RecoveryReport> recovery;
   std::uint64_t events_processed{0};
   double wall_seconds{0.0};
 

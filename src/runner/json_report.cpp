@@ -6,18 +6,6 @@ namespace sstsp::run {
 
 namespace {
 
-const char* attack_name(AttackKind kind) {
-  switch (kind) {
-    case AttackKind::kNone:
-      return "none";
-    case AttackKind::kTsfSlowBeacon:
-      return "tsf-slow";
-    case AttackKind::kSstspInternalReference:
-      return "internal-ref";
-  }
-  return "?";
-}
-
 void append_optional(obs::json::Writer& w, std::string_view key,
                      const std::optional<double>& v) {
   if (v) {
@@ -54,7 +42,9 @@ void append_body(obs::json::Writer& w, const Scenario& scenario,
   w.kv("nodes", static_cast<std::int64_t>(scenario.num_nodes));
   w.kv("duration_s", scenario.duration_s);
   w.kv("seed", static_cast<std::uint64_t>(scenario.seed));
-  w.kv("attack", attack_name(scenario.attack));
+  w.kv("attack",
+       scenario.attack.empty() ? std::string_view("none")
+                               : std::string_view(scenario.attack));
   append_optional(w, "sync_latency_s", result.sync_latency_s);
   append_optional(w, "steady_max_us", result.steady_max_us);
   append_optional(w, "steady_p99_us", result.steady_p99_us);
@@ -112,6 +102,12 @@ void append_body(obs::json::Writer& w, const Scenario& scenario,
     result.audit->append_json(w);
   } else {
     w.kv_null("audit");
+  }
+  if (result.recovery) {
+    w.key("recovery");
+    result.recovery->append_json(w);
+  } else {
+    w.kv_null("recovery");
   }
 }
 

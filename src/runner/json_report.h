@@ -23,7 +23,10 @@
 //       decode_errors, stale_frames_dropped} | null (null for pure
 //       simulation runs),
 //   metrics{counters, gauges, histograms}, profile{...} | null,
-//   audit{records[], dropped_records, critical, warnings} | null
+//   audit{records[], dropped_records, critical, warnings} | null,
+//   recovery{records[], packet_faults{...}, rejected_frames,
+//            post_fault_steady_max_us} | null (null when the run carried
+//            no fault plan)
 #pragma once
 
 #include <iosfwd>

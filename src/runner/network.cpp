@@ -2,10 +2,12 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
-#include "attack/replay.h"
+#include "attack/adversary.h"
 #include "core/sstsp.h"
 #include "crypto/hash_chain.h"
+#include "obs/json.h"
 #include "protocols/tsf_family.h"
 
 namespace sstsp::run {
@@ -38,12 +40,46 @@ Network::Network(const Scenario& scenario)
     monitor_ = std::make_unique<obs::InvariantMonitor>(cfg);
     lifecycle_ = std::make_unique<trace::BeaconLifecycle>(registry_);
   }
+  if (!scenario_.faults.empty()) {
+    // The injector owns its RNG substream, keyed by the plan's seed: the
+    // channel's own draw sequence is untouched, so attaching a plan never
+    // perturbs the baseline run and the same (plan, seed) pair replays
+    // bit-identically.
+    injector_ = std::make_unique<fault::FaultInjector>(
+        scenario_.faults, sim_.substream("faults", scenario_.faults.seed));
+    channel_.set_fault_injector(injector_.get());
+    recovery_ = std::make_unique<fault::RecoveryTracker>(
+        scenario_.phy.beacon_period.to_us() * 1e-6,
+        /*sync_threshold_us=*/25.0);
+    if (monitor_ != nullptr) {
+      // Planned partitions and node outages are disturbances, not
+      // violations: suspend the invariants a healthy network is *supposed*
+      // to break while recovering (one reference per partition, Lemma 1
+      // restart).
+      for (const auto& p : scenario_.faults.partitions) {
+        monitor_->add_disturbance(
+            sim::SimTime::from_sec_double(p.start_s),
+            p.end_s < 0.0 ? sim::SimTime::never()
+                          : sim::SimTime::from_sec_double(p.end_s));
+      }
+      for (const auto& f : scenario_.faults.node_faults) {
+        monitor_->add_disturbance(
+            sim::SimTime::from_sec_double(f.at_s),
+            f.restart_s < 0.0 ? sim::SimTime::from_sec_double(f.at_s)
+                              : sim::SimTime::from_sec_double(f.restart_s));
+      }
+      for (const auto& c : scenario_.faults.clock_faults) {
+        monitor_->add_disturbance(sim::SimTime::from_sec_double(c.at_s),
+                                  sim::SimTime::from_sec_double(c.at_s));
+      }
+    }
+  }
   build_stations();
 }
 
 void Network::build_stations() {
   const int n = scenario_.num_nodes;
-  const bool has_attacker = scenario_.attack != AttackKind::kNone;
+  const bool has_attacker = !scenario_.attack.empty();
   const int total = n + (has_attacker ? 1 : 0);
   attacker_index_ = has_attacker ? static_cast<std::size_t>(n)
                                  : static_cast<std::size_t>(total);
@@ -64,14 +100,15 @@ void Network::build_stations() {
     const double offset = clocks.uniform(-scenario_.initial_offset_us,
                                          scenario_.initial_offset_us);
     const auto id = static_cast<mac::NodeId>(i);
-    if (has_attacker && static_cast<std::size_t>(i) == attacker_index_ &&
-        scenario_.attack == AttackKind::kTsfSlowBeacon) {
-      // The TSF attacker brings deliberately fast oscillator hardware —
-      // near the tolerance ceiling, slightly below it so that its anchor
-      // never races ahead of the burst coverage — keeping every honest
-      // TBTT inside its beacon-burst window for the whole attack
-      // (§5: "the attacker always wins the contentions").
-      drift = clk::DriftModel::from_ppm(0.9 * scenario_.max_drift_ppm);
+    if (has_attacker && static_cast<std::size_t>(i) == attacker_index_) {
+      // Some adversaries bring deliberately tuned oscillator hardware
+      // (e.g. the TSF attacker's fast clock that wins every contention,
+      // §5); the registry publishes the factor, NaN = honest draw.
+      const double factor =
+          attack::adversary_drift_factor(scenario_.attack);
+      if (!std::isnan(factor)) {
+        drift = clk::DriftModel::from_ppm(factor * scenario_.max_drift_ppm);
+      }
     }
 
     auto station = std::make_unique<proto::Station>(
@@ -94,17 +131,26 @@ void Network::build_stations() {
 
     std::unique_ptr<proto::SyncProtocol> proto;
     if (is_attacker) {
-      switch (scenario_.attack) {
-        case AttackKind::kTsfSlowBeacon:
-          proto = std::make_unique<attack::TsfSlowBeaconAttacker>(
-              st, scenario_.tsf_attack);
-          break;
-        case AttackKind::kSstspInternalReference:
-          proto = std::make_unique<attack::SstspInternalAttacker>(
-              st, scenario_.sstsp, directory_, scenario_.sstsp_attack);
-          break;
-        case AttackKind::kNone:
-          break;
+      std::optional<obs::json::Value> params;
+      if (!scenario_.attack_params_json.empty()) {
+        params = obs::json::parse(scenario_.attack_params_json);
+        if (!params) {
+          throw std::runtime_error("invalid attack params JSON: " +
+                                   scenario_.attack_params_json);
+        }
+      }
+      attack::AdversaryContext ctx{st,
+                                   directory_,
+                                   scenario_.sstsp,
+                                   scenario_.tsf_attack,
+                                   scenario_.sstsp_attack,
+                                   params ? &*params : nullptr};
+      proto = attack::make_adversary(scenario_.attack, ctx);
+      if (proto == nullptr) {
+        // CLI / config validation rejects unknown names before we get
+        // here; a programmatic Scenario with a typo'd name should fail
+        // loudly, not run attacker-less.
+        throw std::runtime_error("unknown adversary: " + scenario_.attack);
       }
     } else {
       switch (scenario_.protocol) {
@@ -147,6 +193,7 @@ void Network::build_stations() {
     station->set_profiler(profiler_.get());
     station->set_monitor(monitor_.get());
     station->set_lifecycle(lifecycle_.get());
+    station->set_recovery(recovery_.get());
   }
 }
 
@@ -155,7 +202,60 @@ void Network::arm() {
   armed_ = true;
   for (auto& st : stations_) st->power_on();
   schedule_environment();
+  schedule_faults();
   schedule_sampling();
+}
+
+void Network::schedule_faults() {
+  if (scenario_.faults.empty()) return;
+  fault::FaultHooks hooks;
+  hooks.current_reference = [this]() -> std::optional<mac::NodeId> {
+    const auto idx = current_reference_index();
+    if (!idx) return std::nullopt;
+    // Station channel indices double as node ids in the scenario runner.
+    return static_cast<mac::NodeId>(*idx);
+  };
+  hooks.set_power = [this](mac::NodeId id, bool powered) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= stations_.size() || idx == attacker_index_) return;
+    if (powered) {
+      stations_[idx]->power_on();
+    } else {
+      stations_[idx]->power_off();
+    }
+  };
+  hooks.clock_fault = [this](mac::NodeId id, double step_us,
+                             double drift_delta_ppm) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= stations_.size()) return;
+    stations_[idx]->inject_clock_fault(step_us, drift_delta_ppm);
+  };
+  if (recovery_ != nullptr) {
+    hooks.on_node_fault = [this](const fault::NodeFault& f, mac::NodeId id) {
+      // Losing the reference forces a re-election (the paper's l-BP
+      // silence tolerance, §3.3); losing a follower only dents coverage.
+      if (f.reference) {
+        recovery_->expect_reelection(f.kind == fault::NodeFaultKind::kCrash
+                                         ? "reference-crash"
+                                         : "reference-pause",
+                                     id, sim_.now().to_sec());
+      }
+    };
+    hooks.on_clock_fault = [this](const fault::ClockFault&, mac::NodeId id) {
+      recovery_->expect_resync("clock-fault", id, sim_.now().to_sec());
+    };
+    // Partition heals that happen inside the run are re-sync deadlines.
+    for (const auto& p : scenario_.faults.partitions) {
+      if (p.end_s >= 0.0 && p.end_s < scenario_.duration_s) {
+        const double heal_s = p.end_s;
+        sim_.at(sim::SimTime::from_sec_double(heal_s), [this, heal_s] {
+          recovery_->expect_resync("partition-heal", mac::kNoNode, heal_s);
+        });
+      }
+    }
+  }
+  fault::schedule_fault_events(sim_, scenario_.faults, injector_.get(),
+                               std::move(hooks));
 }
 
 void Network::schedule_environment() {
@@ -243,6 +343,7 @@ void Network::sample_clock_spread() {
   const double diff = hi - lo;
   max_diff_.push(now.to_sec(), diff);
   if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
+  if (recovery_ != nullptr) recovery_->on_max_diff_sample(now.to_sec(), diff);
   if (instruments_ != nullptr) {
     instruments_->on_max_diff_sample(diff);
     const double mean = sum / static_cast<double>(sample_values_.size());

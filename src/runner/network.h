@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/key_directory.h"
+#include "fault/injector.h"
+#include "fault/recovery.h"
 #include "obs/instruments.h"
 #include "obs/invariants.h"
 #include "obs/metrics.h"
@@ -83,9 +85,18 @@ class Network {
     return lifecycle_.get();
   }
 
+  /// Fault machinery; nullptr unless the scenario carries a fault plan.
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+  [[nodiscard]] fault::RecoveryTracker* recovery_tracker() {
+    return recovery_.get();
+  }
+
  private:
   void build_stations();
   void schedule_environment();
+  void schedule_faults();
   void schedule_sampling();
   void sample_clock_spread();
 
@@ -100,6 +111,8 @@ class Network {
   std::unique_ptr<obs::Profiler> profiler_;
   std::unique_ptr<obs::InvariantMonitor> monitor_;
   std::unique_ptr<trace::BeaconLifecycle> lifecycle_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::RecoveryTracker> recovery_;
   std::size_t attacker_index_;  // == stations_.size() when no attacker
   metrics::Series max_diff_;
   std::vector<double> sample_values_;  // reused per sampling tick

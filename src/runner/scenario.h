@@ -4,11 +4,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "attack/internal_reference.h"
 #include "attack/tsf_attacker.h"
 #include "core/sstsp_config.h"
+#include "fault/plan.h"
 #include "mac/phy_params.h"
 #include "protocols/atsp.h"
 #include "protocols/rentel_kunz.h"
@@ -29,8 +31,6 @@ struct ChurnSpec {
   double fraction = 0.05;
   double absence_s = 50.0;
 };
-
-enum class AttackKind { kNone, kTsfSlowBeacon, kSstspInternalReference };
 
 struct Scenario {
   ProtocolKind protocol = ProtocolKind::kSstsp;
@@ -62,9 +62,18 @@ struct Scenario {
   std::vector<double> reference_departures_s{};
   double departure_absence_s = 50.0;
 
-  AttackKind attack = AttackKind::kNone;
+  /// Adversary deployed on the extra attacker station, by registry name
+  /// ("tsf-slow", "internal-ref", "replay", ...; see attack/adversary.h).
+  /// Empty: no attacker.  attack_params_json carries adversary-specific
+  /// overrides as a JSON object text ({"start":400,"skew":50,...}).
+  std::string attack{};
+  std::string attack_params_json{};
   attack::TsfAttackParams tsf_attack{};
   attack::SstspAttackParams sstsp_attack{};
+
+  /// Injected faults (fault/plan.h); empty = pristine environment.  The
+  /// same plan drives the simulated channel and the live transports.
+  fault::FaultPlan faults{};
 
   /// Max-clock-difference sampling cadence.
   double sample_period_s = 0.1;

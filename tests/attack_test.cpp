@@ -27,7 +27,7 @@ Scenario base(ProtocolKind kind, int n, double duration_s,
 
 TEST(TsfAttack, SlowBeaconFloodDesynchronizesTsf) {
   Scenario s = base(ProtocolKind::kTsf, 30, 150);
-  s.attack = AttackKind::kTsfSlowBeacon;
+  s.attack = "tsf-slow";
   s.tsf_attack.start_s = 50.0;
   s.tsf_attack.end_s = 120.0;
   const auto r = run_scenario(s);
@@ -50,7 +50,7 @@ TEST(TsfAttack, SlowBeaconFloodDesynchronizesTsf) {
 
 TEST(SstspAttack, InternalReferenceCannotDesynchronize) {
   Scenario s = base(ProtocolKind::kSstsp, 30, 150);
-  s.attack = AttackKind::kSstspInternalReference;
+  s.attack = "internal-ref";
   s.sstsp_attack.start_s = 50.0;
   s.sstsp_attack.end_s = 120.0;
   const auto r = run_scenario(s);
@@ -72,7 +72,7 @@ TEST(SstspAttack, InternalReferenceDragsTheVirtualClock) {
   // same run: the attack must add ~ -skew_rate to it.  (The absolute slope
   // is the reference oscillator's ppm and varies per election.)
   Scenario s = base(ProtocolKind::kSstsp, 10, 120);
-  s.attack = AttackKind::kSstspInternalReference;
+  s.attack = "internal-ref";
   s.sstsp_attack.start_s = 30.0;
   s.sstsp_attack.end_s = 110.0;
   s.sstsp_attack.skew_rate_us_per_s = 50.0;
@@ -245,7 +245,7 @@ TEST(SstspAttack, SmoothTowIsTrackedWithoutAlarms) {
   // (towed) time.  The mutual synchronization guarantee still holds; only
   // absolute time is biased.
   Scenario s = base(ProtocolKind::kSstsp, 15, 120);
-  s.attack = AttackKind::kSstspInternalReference;
+  s.attack = "internal-ref";
   s.sstsp_attack.start_s = 40.0;
   s.sstsp_attack.end_s = 100.0;
   s.sstsp_attack.skew_rate_us_per_s = 5000.0;  // 0.5% rate bias
@@ -261,7 +261,7 @@ TEST(SstspAttack, GuardRejectsStepAttacks) {
   // fast it amounts to a >delta step per beacon is rejected at arrival;
   // the honest network abandons the attacker and re-elects.
   Scenario s = base(ProtocolKind::kSstsp, 15, 120);
-  s.attack = AttackKind::kSstspInternalReference;
+  s.attack = "internal-ref";
   s.sstsp_attack.start_s = 40.0;
   s.sstsp_attack.end_s = 100.0;
   // 10 ms per beacon — a discontinuous step.  Every honest node rejects
@@ -282,12 +282,12 @@ TEST(SstspAttack, GuardRejectsStepAttacks) {
 TEST(SstspAttack, TsfBlowupVsSstspBoundedSideBySide) {
   // The headline Fig.3-vs-Fig.4 comparison at equal scale.
   Scenario tsf = base(ProtocolKind::kTsf, 25, 120, 33);
-  tsf.attack = AttackKind::kTsfSlowBeacon;
+  tsf.attack = "tsf-slow";
   tsf.tsf_attack.start_s = 40.0;
   tsf.tsf_attack.end_s = 110.0;
 
   Scenario sstsp = base(ProtocolKind::kSstsp, 25, 120, 33);
-  sstsp.attack = AttackKind::kSstspInternalReference;
+  sstsp.attack = "internal-ref";
   sstsp.sstsp_attack.start_s = 40.0;
   sstsp.sstsp_attack.end_s = 110.0;
 

@@ -1,0 +1,167 @@
+// One config file, three tools: per-tool key filtering, the structured
+// "faults"/"attack" conversions, and the full round trip of a config
+// through config_to_args into run::parse_cli with the fault plan intact.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "obs/json.h"
+#include "runner/cli.h"
+#include "runner/config_file.h"
+
+namespace sstsp::run {
+namespace {
+
+// The one experiment description every tool should accept: sim-only,
+// node-only and swarm-only keys side by side with universal ones.
+constexpr const char* kUniversalConfig = R"({
+  "nodes": 5,
+  "duration": 45,
+  "seed": 1,
+  "protocol": "sstsp",
+  "transport": "loopback",
+  "id": 3,
+  "monitor": "strict",
+  "faults": {
+    "seed": 1,
+    "packet": [{"kind": "drop", "probability": 0.1}],
+    "node_faults": [{"kind": "crash", "node": "reference", "at": 30}]
+  }
+})";
+
+std::vector<std::string> args_for(const std::string& json, ConfigTool tool) {
+  const auto root = obs::json::parse(json);
+  EXPECT_TRUE(root.has_value()) << json;
+  std::string error;
+  const auto args = config_to_args(*root, tool, &error);
+  EXPECT_TRUE(args.has_value()) << error;
+  return args.value_or(std::vector<std::string>{});
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+TEST(ConfigRoundTrip, UniversalConfigIsAcceptedByAllThreeTools) {
+  for (const ConfigTool tool :
+       {ConfigTool::kSim, ConfigTool::kNode, ConfigTool::kSwarm}) {
+    const auto args = args_for(kUniversalConfig, tool);
+    // Universal keys survive everywhere.
+    EXPECT_TRUE(has_flag(args, "--nodes")) << static_cast<int>(tool);
+    EXPECT_TRUE(has_flag(args, "--monitor=strict")) << static_cast<int>(tool);
+    EXPECT_TRUE(has_flag(args, "--faults-json")) << static_cast<int>(tool);
+  }
+}
+
+TEST(ConfigRoundTrip, OtherToolsKeysAreSkippedNotRejected) {
+  const auto sim = args_for(kUniversalConfig, ConfigTool::kSim);
+  EXPECT_TRUE(has_flag(sim, "--protocol"));
+  EXPECT_FALSE(has_flag(sim, "--transport"));  // swarm-only
+  EXPECT_FALSE(has_flag(sim, "--id"));         // node-only
+
+  const auto node = args_for(kUniversalConfig, ConfigTool::kNode);
+  EXPECT_TRUE(has_flag(node, "--id"));
+  EXPECT_FALSE(has_flag(node, "--protocol"));
+  EXPECT_FALSE(has_flag(node, "--transport"));
+
+  const auto swarm = args_for(kUniversalConfig, ConfigTool::kSwarm);
+  EXPECT_TRUE(has_flag(swarm, "--transport"));
+  EXPECT_FALSE(has_flag(swarm, "--protocol"));
+  EXPECT_FALSE(has_flag(swarm, "--id"));
+}
+
+TEST(ConfigRoundTrip, FaultsObjectSplicesAsInlineJson) {
+  const auto args = args_for(kUniversalConfig, ConfigTool::kSim);
+  std::string dumped;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--faults-json") dumped = args[i + 1];
+  }
+  ASSERT_FALSE(dumped.empty());
+  // The spliced text is itself a valid plan equal to the config's object.
+  std::string error;
+  const auto plan = fault::parse_plan_text(dumped, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->seed, 1u);
+  ASSERT_EQ(plan->packet.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->packet[0].probability, 0.1);
+  ASSERT_EQ(plan->node_faults.size(), 1u);
+  EXPECT_TRUE(plan->node_faults[0].reference);
+}
+
+TEST(ConfigRoundTrip, FaultsStringBecomesPathFlag) {
+  const auto args =
+      args_for(R"({"faults": "examples/faults/ref_crash_loss.json"})",
+               ConfigTool::kSwarm);
+  const std::vector<std::string> expected = {
+      "--faults", "examples/faults/ref_crash_loss.json"};
+  EXPECT_EQ(args, expected);
+}
+
+TEST(ConfigRoundTrip, AttackObjectExpandsToAttackFlags) {
+  const auto args = args_for(R"({
+    "attack": {"name": "internal-ref", "window": [400, 600],
+               "params": {"skew_ppm": 80}}
+  })",
+                             ConfigTool::kSim);
+  const std::vector<std::string> expected = {
+      "--attack",        "internal-ref",      "--attack-window",
+      "400,600",         "--attack-params",   R"({"skew_ppm":80})"};
+  EXPECT_EQ(args, expected);
+}
+
+TEST(ConfigRoundTrip, AttackIsSimOnlyAndSkippedElsewhere) {
+  const std::string json = R"({"attack": "external-forge", "nodes": 4})";
+  EXPECT_TRUE(has_flag(args_for(json, ConfigTool::kSim), "--attack"));
+  EXPECT_FALSE(has_flag(args_for(json, ConfigTool::kSwarm), "--attack"));
+  EXPECT_FALSE(has_flag(args_for(json, ConfigTool::kNode), "--attack"));
+}
+
+TEST(ConfigRoundTrip, UnknownKeyErrorsWithNameAndLineForEveryTool) {
+  const std::string json = "{\n  \"nodes\": 3,\n  \"warp-speed\": 9\n}";
+  const auto root = obs::json::parse(json);
+  ASSERT_TRUE(root.has_value());
+  for (const ConfigTool tool :
+       {ConfigTool::kSim, ConfigTool::kNode, ConfigTool::kSwarm}) {
+    std::string error;
+    EXPECT_FALSE(config_to_args(*root, tool, &error).has_value());
+    EXPECT_NE(error.find("warp-speed"), std::string::npos) << error;
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  }
+}
+
+TEST(ConfigRoundTrip, SimArgsParseBackIntoScenarioWithPlan) {
+  // End to end: JSON -> argv -> parse_cli -> Scenario, fault plan intact
+  // and bit-equal (via the serializer fixpoint) to the config's object.
+  const auto args = args_for(kUniversalConfig, ConfigTool::kSim);
+  std::string error;
+  const auto cli = parse_cli(args, &error);
+  ASSERT_TRUE(cli.has_value()) << error;
+  EXPECT_EQ(cli->scenario.num_nodes, 5);
+  EXPECT_DOUBLE_EQ(cli->scenario.duration_s, 45.0);
+  EXPECT_EQ(cli->scenario.seed, 1u);
+  EXPECT_TRUE(cli->scenario.monitor);
+  EXPECT_TRUE(cli->monitor_strict);
+  ASSERT_FALSE(cli->scenario.faults.empty());
+  ASSERT_EQ(cli->scenario.faults.packet.size(), 1u);
+  EXPECT_DOUBLE_EQ(cli->scenario.faults.packet[0].probability, 0.1);
+  ASSERT_EQ(cli->scenario.faults.node_faults.size(), 1u);
+  EXPECT_TRUE(cli->scenario.faults.node_faults[0].reference);
+  EXPECT_DOUBLE_EQ(cli->scenario.faults.node_faults[0].at_s, 30.0);
+}
+
+TEST(ConfigRoundTrip, DumpParseDumpIsAFixpoint) {
+  const auto root = obs::json::parse(kUniversalConfig);
+  ASSERT_TRUE(root.has_value());
+  const std::string once = obs::json::dump(*root);
+  const auto again = obs::json::parse(once);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(obs::json::dump(*again), once);
+}
+
+}  // namespace
+}  // namespace sstsp::run

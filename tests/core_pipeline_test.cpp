@@ -55,19 +55,37 @@ TEST(SenderPipeline, SteadyStreamAuthenticatesEachPredecessor) {
   }
 }
 
-TEST(SenderPipeline, GapSkipsAuthenticationButRecovers) {
+TEST(SenderPipeline, GapDoesNotOrphanStoredBeacon) {
   Fixture fx;
   (void)fx.feed(fx.beacon(1));
   (void)fx.feed(fx.beacon(2));
-  // Beacon 3 lost; beacon 4 cannot authenticate 3 (never stored) but its
-  // key still verifies via the two-step hash walk.
+  // Beacon 3 lost.  Beacon 4's disclosure K_3 hash-derives K_2, so the
+  // stored interval-2 beacon still authenticates despite the gap.
   const auto r4 = fx.feed(fx.beacon(4));
   EXPECT_TRUE(r4.key_valid);
-  EXPECT_FALSE(r4.authenticated.has_value());
+  ASSERT_TRUE(r4.authenticated.has_value());
+  EXPECT_EQ(r4.authenticated->interval, 2);
   // Beacon 5 authenticates 4 normally.
   const auto r5 = fx.feed(fx.beacon(5));
   ASSERT_TRUE(r5.authenticated.has_value());
   EXPECT_EQ(r5.authenticated->interval, 4);
+}
+
+TEST(SenderPipeline, StaleStoredBeaconIsPurgedNotAuthenticated) {
+  Fixture fx;
+  (void)fx.feed(fx.beacon(1));
+  (void)fx.feed(fx.beacon(2));
+  // A sender heard again only after a long silence: the stored interval-2
+  // beacon's timestamp belongs to a long-gone clock epoch, so it must be
+  // discarded rather than handed to the solver as a fresh sample.
+  const auto r = fx.feed(fx.beacon(30));
+  EXPECT_TRUE(r.key_valid);
+  EXPECT_FALSE(r.authenticated.has_value());
+  EXPECT_FALSE(r.mac_failed);
+  // The post-silence beacon itself re-seeds the buffer normally.
+  const auto r31 = fx.feed(fx.beacon(31));
+  ASSERT_TRUE(r31.authenticated.has_value());
+  EXPECT_EQ(r31.authenticated->interval, 30);
 }
 
 TEST(SenderPipeline, TamperedStoredBeaconFailsMac) {

@@ -1,0 +1,128 @@
+// FaultPlan JSON: parse/serialize round-trip identity, field- and
+// line-precise error reporting, and "reference" victim resolution.
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mac/frame.h"
+
+namespace sstsp::fault {
+namespace {
+
+TEST(FaultPlan, ParsesEveryDirectiveKind) {
+  std::string error;
+  const auto plan = parse_plan_text(R"({
+    "seed": 9,
+    "packet": [
+      {"kind": "drop", "probability": 0.25, "start": 5, "end": 50},
+      {"kind": "duplicate", "copies": 2, "copy_spacing_us": 250},
+      {"kind": "delay", "delay_min_us": 100, "delay_max_us": 900,
+       "from": 3, "to": 7},
+      {"kind": "reorder", "gap_us": 50000},
+      {"kind": "corrupt", "probability": 0.05}
+    ],
+    "partitions": [
+      {"start": 20, "end": 40, "group_a": [0, 1], "asymmetric": true}
+    ],
+    "node_faults": [
+      {"kind": "crash", "node": "reference", "at": 30, "restart": 45},
+      {"kind": "pause", "node": 2, "at": 10}
+    ],
+    "clock_faults": [
+      {"node": 1, "at": 25, "step_us": 500, "drift_delta_ppm": 20}
+    ]
+  })",
+                                    &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->seed, 9u);
+  ASSERT_EQ(plan->packet.size(), 5u);
+  EXPECT_EQ(plan->packet[0].kind, PacketFaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(plan->packet[0].probability, 0.25);
+  EXPECT_DOUBLE_EQ(plan->packet[0].start_s, 5.0);
+  EXPECT_DOUBLE_EQ(plan->packet[0].end_s, 50.0);
+  EXPECT_EQ(plan->packet[1].kind, PacketFaultKind::kDuplicate);
+  EXPECT_EQ(plan->packet[1].copies, 2);
+  EXPECT_EQ(plan->packet[2].kind, PacketFaultKind::kDelay);
+  EXPECT_EQ(plan->packet[2].from, 3u);
+  EXPECT_EQ(plan->packet[2].to, 7u);
+  EXPECT_EQ(plan->packet[3].kind, PacketFaultKind::kReorder);
+  EXPECT_EQ(plan->packet[4].kind, PacketFaultKind::kCorrupt);
+
+  ASSERT_EQ(plan->partitions.size(), 1u);
+  EXPECT_TRUE(plan->partitions[0].asymmetric);
+  EXPECT_TRUE(plan->partitions[0].group_b.empty());  // complement
+
+  ASSERT_EQ(plan->node_faults.size(), 2u);
+  EXPECT_EQ(plan->node_faults[0].kind, NodeFaultKind::kCrash);
+  EXPECT_TRUE(plan->node_faults[0].reference);
+  EXPECT_DOUBLE_EQ(plan->node_faults[0].restart_s, 45.0);
+  EXPECT_EQ(plan->node_faults[1].kind, NodeFaultKind::kPause);
+  EXPECT_FALSE(plan->node_faults[1].reference);
+  EXPECT_EQ(plan->node_faults[1].node, 2u);
+
+  ASSERT_EQ(plan->clock_faults.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->clock_faults[0].step_us, 500.0);
+  EXPECT_DOUBLE_EQ(plan->clock_faults[0].drift_delta_ppm, 20.0);
+}
+
+TEST(FaultPlan, RoundTripIsIdentity) {
+  std::string error;
+  const auto plan = parse_plan_text(R"({
+    "seed": 4,
+    "packet": [{"kind": "drop", "probability": 0.1, "from": 2}],
+    "partitions": [{"start": 10, "end": 20, "group_a": [0], "group_b": [1]}],
+    "node_faults": [{"kind": "crash", "node": "reference", "at": 30}],
+    "clock_faults": [{"node": 3, "at": 12, "step_us": -250}]
+  })",
+                                    &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const std::string once = to_json_text(*plan);
+  const auto reparsed = parse_plan_text(once, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(to_json_text(*reparsed), once);  // serialize∘parse fixpoint
+}
+
+TEST(FaultPlan, EmptyPlanIsEmpty) {
+  std::string error;
+  const auto plan = parse_plan_text("{}", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlan, UnknownPacketKindNamesFieldAndLine) {
+  std::string error;
+  const auto plan = parse_plan_text(
+      "{\n  \"packet\": [\n    {\"kind\": \"vaporize\"}\n  ]\n}", &error);
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_NE(error.find("packet[0].kind"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(FaultPlan, NodeFaultRequiresVictim) {
+  std::string error;
+  const auto plan =
+      parse_plan_text(R"({"node_faults": [{"kind": "crash", "at": 5}]})",
+                      &error);
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_NE(error.find("node_faults[0]"), std::string::npos) << error;
+}
+
+TEST(FaultPlan, RejectsNonObjectDocument) {
+  std::string error;
+  EXPECT_FALSE(parse_plan_text("[1, 2]", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultPlan, WildcardNodesStayWildcards) {
+  std::string error;
+  const auto plan =
+      parse_plan_text(R"({"packet": [{"kind": "drop"}]})", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->packet[0].from, mac::kNoNode);
+  EXPECT_EQ(plan->packet[0].to, mac::kNoNode);
+}
+
+}  // namespace
+}  // namespace sstsp::fault

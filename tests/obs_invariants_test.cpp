@@ -246,7 +246,7 @@ TEST(InvariantMonitorIntegration, InternalAttackerLeavesAuditTrail) {
   s.duration_s = 100.0;
   s.seed = 11;
   s.sstsp.chain_length = 1200;
-  s.attack = run::AttackKind::kSstspInternalReference;
+  s.attack = "internal-ref";
   s.sstsp_attack.start_s = 40.0;
   s.sstsp_attack.end_s = 90.0;
   s.monitor = true;

@@ -80,7 +80,7 @@ TEST(Cli, AttackConfiguration) {
   const auto opts = parse({"--attack", "internal-ref", "--attack-window",
                            "100,250", "--skew", "75"});
   ASSERT_TRUE(opts.has_value());
-  EXPECT_EQ(opts->scenario.attack, AttackKind::kSstspInternalReference);
+  EXPECT_EQ(opts->scenario.attack, "internal-ref");
   EXPECT_DOUBLE_EQ(opts->scenario.sstsp_attack.start_s, 100.0);
   EXPECT_DOUBLE_EQ(opts->scenario.sstsp_attack.end_s, 250.0);
   EXPECT_DOUBLE_EQ(opts->scenario.sstsp_attack.skew_rate_us_per_s, 75.0);

@@ -21,7 +21,7 @@ TEST(Soak, EverythingOnAtOnce) {
   s.sstsp.blacklist_threshold = 5;
   s.churn = ChurnSpec{40.0, 0.08, 15.0};
   s.reference_departures_s = {50.0, 110.0};
-  s.attack = AttackKind::kSstspInternalReference;
+  s.attack = "internal-ref";
   s.sstsp_attack.start_s = 70.0;
   s.sstsp_attack.end_s = 100.0;
   s.sstsp_attack.skew_rate_us_per_s = 30.0;

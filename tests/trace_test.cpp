@@ -137,7 +137,7 @@ TEST(EventTraceIntegration, AttackRunRecordsRejections) {
   s.seed = 9;
   s.sstsp.chain_length = 1400;
   s.trace_capacity = 1 << 16;
-  s.attack = run::AttackKind::kSstspInternalReference;
+  s.attack = "internal-ref";
   s.sstsp_attack.start_s = 40.0;
   s.sstsp_attack.end_s = 100.0;
   s.sstsp_attack.skew_rate_us_per_s = 1e5;  // stepped: rejected by guard

@@ -27,6 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "fault/transport.h"
 #include "metrics/report.h"
 #include "net/node.h"
 #include "net/reactor.h"
@@ -118,6 +121,12 @@ protocol:
                         epoch-elapsed + duration)
   --reference           boot directly in the reference role
 
+faults:
+  --faults PATH         fault plan (JSON; same format as sstsp_sim) —
+                        packet directives apply to this node's received
+                        datagrams; clock faults hit the emulated oscillator
+  --faults-json TEXT    the same plan given inline as JSON text
+
 config:
   --config PATH         load flags from a flat JSON object; flags after
                         --config override the file
@@ -134,6 +143,7 @@ struct NodeCli {
 
   sstsp::net::NodeConfig node;
   sstsp::net::UdpConfig udp;
+  sstsp::fault::FaultPlan faults;
   double duration_s = 10.0;
   double epoch_unix_s = -1.0;  ///< <0: unset
   bool chain_set = false;
@@ -276,12 +286,25 @@ std::optional<NodeCli> parse_args(const std::vector<std::string>& args,
       cli.chain_set = true;
     } else if (arg == "--reference") {
       cli.node.start_as_reference = true;
+    } else if (arg == "--faults") {
+      if (!next(&v)) return fail("--faults needs a path");
+      std::string plan_error;
+      const auto plan = sstsp::fault::load_plan(v, &plan_error);
+      if (!plan) return fail(plan_error);
+      cli.faults = *plan;
+    } else if (arg == "--faults-json") {
+      if (!next(&v)) return fail("--faults-json needs JSON text");
+      std::string plan_error;
+      const auto plan = sstsp::fault::parse_plan_text(v, &plan_error);
+      if (!plan) return fail("--faults-json: " + plan_error);
+      cli.faults = *plan;
     } else if (arg == "--config") {
       if (!next(&v)) return fail("--config needs a path");
       if (config_loaded) return fail("--config may be given only once");
       config_loaded = true;
       std::string cfg_error;
-      const auto cfg_args = sstsp::run::load_config_args(v, &cfg_error);
+      const auto cfg_args = sstsp::run::load_config_args(
+          v, sstsp::run::ConfigTool::kNode, &cfg_error);
       if (!cfg_args) return fail(cfg_error);
       argv.insert(argv.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                   cfg_args->begin(), cfg_args->end());
@@ -377,8 +400,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  net::NodeRuntime node(sim, *transport, cli->node);
+  // Fault plan: decorate the transport so packet directives apply to this
+  // node's received datagrams; clock faults fire against the emulated
+  // oscillator on this node's timeline.  Node crash/pause directives need
+  // an orchestrator that owns every process — sstsp_swarm — and are
+  // ignored here.
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FaultyTransport> faulty;
+  net::Transport* endpoint = transport.get();
+  if (!cli->faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        cli->faults, sim.substream("faults", cli->faults.seed));
+    faulty = std::make_unique<fault::FaultyTransport>(
+        *transport, sim, *injector, cli->node.id);
+    endpoint = faulty.get();
+  }
+
+  net::NodeRuntime node(sim, *endpoint, cli->node);
   node.set_wall_clock([&reactor] { return reactor.wall_sim_now(); });
+  if (injector) {
+    fault::FaultHooks hooks;
+    hooks.clock_fault = [&node](mac::NodeId id, double step_us,
+                                double drift_delta_ppm) {
+      if (id == node.config().id) {
+        node.station().inject_clock_fault(step_us, drift_delta_ppm);
+      }
+    };
+    fault::schedule_fault_events(sim, cli->faults, injector.get(),
+                                 std::move(hooks));
+  }
 
   // Observability: same sharing model as run::Network, scoped to one node.
   obs::Registry registry;

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
   std::cout << "running " << run::protocol_name(s.protocol) << ", "
             << s.num_nodes << " nodes, " << s.duration_s << " s, seed "
             << s.seed;
-  if (s.attack != run::AttackKind::kNone) std::cout << ", with attacker";
+  if (!s.attack.empty()) std::cout << ", attack " << s.attack;
+  if (!s.faults.empty()) std::cout << ", faults injected";
   std::cout << " ...\n";
 
   run::Network net(s);

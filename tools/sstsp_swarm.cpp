@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.h"
 #include "metrics/report.h"
 #include "net/swarm.h"
 #include "runner/config_file.h"
@@ -96,6 +97,13 @@ protocol:
   --initial-offset US   emulated initial offset bound (default 112)
   --preestablished      node 0 boots as the reference
   --sample-period S     max-offset sampling cadence (default 0.1)
+
+faults:
+  --faults PATH         load a fault plan (JSON; same format as sstsp_sim):
+                        packet faults apply per arriving datagram, node
+                        crash/pause stop/start nodes, clock faults step the
+                        emulated oscillators
+  --faults-json TEXT    the same plan given inline as JSON text
 
 config:
   --config PATH         load flags from a flat JSON object ({"nodes": 5});
@@ -242,12 +250,25 @@ std::optional<SwarmCli> parse_args(const std::vector<std::string>& args,
         return fail("--sample-period needs a positive number of seconds");
       }
       cli.swarm.sample_period_s = d;
+    } else if (arg == "--faults") {
+      if (!next(&v)) return fail("--faults needs a path");
+      std::string plan_error;
+      const auto plan = sstsp::fault::load_plan(v, &plan_error);
+      if (!plan) return fail(plan_error);
+      cli.swarm.faults = *plan;
+    } else if (arg == "--faults-json") {
+      if (!next(&v)) return fail("--faults-json needs JSON text");
+      std::string plan_error;
+      const auto plan = sstsp::fault::parse_plan_text(v, &plan_error);
+      if (!plan) return fail("--faults-json: " + plan_error);
+      cli.swarm.faults = *plan;
     } else if (arg == "--config") {
       if (!next(&v)) return fail("--config needs a path");
       if (config_loaded) return fail("--config may be given only once");
       config_loaded = true;
       std::string cfg_error;
-      const auto cfg_args = sstsp::run::load_config_args(v, &cfg_error);
+      const auto cfg_args = sstsp::run::load_config_args(
+          v, sstsp::run::ConfigTool::kSwarm, &cfg_error);
       if (!cfg_args) return fail(cfg_error);
       argv.insert(argv.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                   cfg_args->begin(), cfg_args->end());
@@ -366,6 +387,14 @@ int main(int argc, char** argv) {
 
   const int code = output.finish(std::cout, std::cerr, scenario, result,
                                  swarm->trace());
+
+  if (!swarm->failed_nodes().empty()) {
+    std::cerr << "error: node(s)";
+    for (const auto id : swarm->failed_nodes()) std::cerr << ' ' << id;
+    std::cerr << " died or stayed silent with no planned fault "
+                 "(see the node-failure audit records)\n";
+    return 5;
+  }
   if (code != 0) return code;
 
   if (cli->expect_sync) {
