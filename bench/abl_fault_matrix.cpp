@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "fault/plan.h"
 #include "runner/sweep.h"
+#include "trace/analyzer.h"
 
 namespace {
 
@@ -53,6 +54,12 @@ int main() {
     s.seed = 1;
     s.sstsp.chain_length = 1200;
     s.monitor = true;
+    // Per-cell telemetry time-series: 0.5 s samples feed the recovery
+    // curves written next to the matrix (bench_out/*.curve.csv).
+    s.telemetry_out =
+        bench::out_dir() + "/abl_fault_" + cell.label + ".telemetry.jsonl";
+    s.telemetry_interval_s = 0.5;
+    s.telemetry_per_node = 1;
     if (cell.plan_json != nullptr) {
       std::string error;
       const auto plan = fault::parse_plan_text(cell.plan_json, &error);
@@ -104,6 +111,43 @@ int main() {
   }
   table.print(std::cout);
   report.write();
+
+  // Recovery curves: for every fault episode, the cluster max-offset
+  // telemetry in a window around the fault instant — the raw material for
+  // the paper's §5 resilience plots, one CSV per cell.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const run::RunResult& r = results[i];
+    if (!r.recovery || r.recovery->records.empty()) continue;
+    std::vector<trace::FaultMark> marks;
+    for (const auto& rec : r.recovery->records) {
+      trace::FaultMark mark;
+      mark.fault = rec.fault;
+      mark.node = rec.node == mac::kNoNode
+                      ? -1
+                      : static_cast<std::int64_t>(rec.node);
+      mark.t_s = rec.fault_t_s;
+      mark.resync_s = rec.resync_s;
+      mark.recovered = rec.recovered;
+      marks.push_back(std::move(mark));
+    }
+    std::string error;
+    const auto analysis =
+        trace::TraceAnalysis::load({scenarios[i].telemetry_out}, &error);
+    if (!analysis) {
+      std::cerr << cells[i].label << ": telemetry reload failed: " << error
+                << '\n';
+      return 1;
+    }
+    const auto curves =
+        analysis->recovery_curves(marks, /*pre_s=*/5.0, /*post_s=*/20.0);
+    const std::string path =
+        bench::out_dir() + "/abl_fault_" + cells[i].label + ".curve.csv";
+    if (!trace::TraceAnalysis::write_curves_csv(curves, path, &error)) {
+      std::cerr << cells[i].label << ": " << error << '\n';
+      return 1;
+    }
+    std::cout << "(recovery curve written to " << path << ")\n";
+  }
 
   if (!all_recovered) {
     std::cerr << "FAIL: a fault cell never recovered\n";

@@ -10,8 +10,22 @@
 // Scenarios run with metrics/profiling/monitoring off so the numbers track
 // the bare hot path (channel fan-out, event queue, crypto verify); run them
 // sequentially so samples never contend for cores.
+//
+// With SSTSP_PERF_TELEMETRY set in the environment, a second pass measures
+// the streaming-telemetry overhead budget (DESIGN.md §10) at n=2000: it
+// alternates control and telemetry-enabled runs of the same pinned scenario
+// and keeps the best of five of each (noise is one-sided — runs only ever
+// get slower), writing BENCH_perf_telemetry_base.json (controls) and
+// BENCH_perf_telemetry.json (telemetry on).  Pass-2 samples measure process
+// CPU seconds, not wall seconds, so co-tenant jitter on a shared CI runner
+// cannot masquerade as overhead.  CI compares the two fresh same-machine
+// documents and fails when telemetry costs more than 2 % of events per CPU
+// second.  The committed-baseline comparison above is deliberately not
+// reused here: a 2 % question needs paired fresh runs, not a months-old
+// number from different hardware.
 #include <sys/resource.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "bench_common.h"
@@ -23,6 +37,20 @@ long peak_rss_kb() {
   rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
   return usage.ru_maxrss;  // KiB on Linux
+}
+
+// Process CPU seconds (user + system).  The telemetry-overhead pass works
+// in CPU time, not wall time: a 2 % budget is invisible under the wall
+// jitter a co-tenanted CI runner adds, while CPU seconds only move when
+// the workload itself does.
+double process_cpu_seconds() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  const auto sec = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return sec(usage.ru_utime) + sec(usage.ru_stime);
 }
 
 }  // namespace
@@ -85,5 +113,67 @@ int main() {
                "deltas are indicative only)\n";
 
   bench::write_perf_json(bench::out_dir() + "/BENCH_perf.json", samples);
+
+  if (std::getenv("SSTSP_PERF_TELEMETRY") != nullptr) {
+    std::cout << "\ntelemetry overhead pass (SSTSP_PERF_TELEMETRY set):\n";
+    std::vector<bench::PerfSample> control_samples;
+    std::vector<bench::PerfSample> tele_samples;
+    for (const Point& p : points) {
+      if (p.nodes != 2000) continue;  // overhead only matters at scale
+      const std::string label = std::string(run::protocol_name(p.protocol)) +
+                                "_n" + std::to_string(p.nodes);
+      run::Scenario base;
+      base.protocol = p.protocol;
+      base.num_nodes = p.nodes;
+      base.duration_s = duration_s;
+      base.seed = 2006;
+      base.sstsp.chain_length = 2200;
+      base.collect_metrics = false;
+
+      run::Scenario tele = base;
+      tele.telemetry_interval_s = 1.0;
+      tele.telemetry_per_node = 0;  // cluster gauges only, like a real fleet
+      tele.telemetry_out =
+          bench::out_dir() + "/perf_telemetry_" + label + ".jsonl";
+
+      bench::PerfSample best_control;
+      bench::PerfSample best_tele;
+      for (int round = 0; round < 5; ++round) {
+        for (const bool with_telemetry : {false, true}) {
+          const double cpu_before = process_cpu_seconds();
+          const auto r = run::run_scenario(with_telemetry ? tele : base);
+          const double cpu_s = process_cpu_seconds() - cpu_before;
+          bench::PerfSample sample;
+          sample.label = label;
+          sample.protocol = run::protocol_name(p.protocol);
+          sample.nodes = p.nodes;
+          sample.sim_seconds = duration_s;
+          // CPU seconds, deliberately — see process_cpu_seconds().  The
+          // derived events_per_sec is events per CPU second here.
+          sample.wall_seconds = cpu_s;
+          sample.events = r.events_processed;
+          sample.deliveries = r.channel.deliveries;
+          sample.peak_rss_kb = peak_rss_kb();  // process-wide high-water
+          bench::PerfSample& best =
+              with_telemetry ? best_tele : best_control;
+          if (best.label.empty() || sample.wall_seconds < best.wall_seconds) {
+            best = sample;
+          }
+        }
+      }
+      control_samples.push_back(best_control);
+      tele_samples.push_back(best_tele);
+      std::cout << label << ": control " << metrics::fmt(
+                       best_control.wall_seconds, 3)
+                << " s vs +telemetry "
+                << metrics::fmt(best_tele.wall_seconds, 3)
+                << " s CPU (best of 5 each)\n";
+    }
+    bench::write_perf_json(
+        bench::out_dir() + "/BENCH_perf_telemetry_base.json",
+        control_samples);
+    bench::write_perf_json(bench::out_dir() + "/BENCH_perf_telemetry.json",
+                           tele_samples);
+  }
   return 0;
 }

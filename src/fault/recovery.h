@@ -69,6 +69,15 @@ class RecoveryTracker {
 
   [[nodiscard]] const RecoveryReport& report() const { return report_; }
 
+  /// True while any opened record has not yet recovered (telemetry's
+  /// recovery_pending flag).
+  [[nodiscard]] bool pending() const {
+    for (const RecoveryRecord& r : report_.records) {
+      if (!r.recovered) return true;
+    }
+    return false;
+  }
+
  private:
   double bp_s_;
   double threshold_us_;

@@ -80,6 +80,55 @@ void NodeRuntime::start() { station_->power_on(); }
 
 void NodeRuntime::stop() { station_->power_off(); }
 
+void NodeRuntime::start_telemetry(
+    const obs::TelemetrySampler::Options& options, sim::SimTime until,
+    obs::TelemetrySampler::EmitFn emit) {
+  sampler_ = std::make_unique<obs::TelemetrySampler>(
+      options, [this, emit = std::move(emit)](const obs::TelemetrySample& s) {
+        if (station_->flight() != nullptr) station_->flight()->on_sample(s);
+        if (emit) emit(s);
+      });
+  const auto period = sim::SimTime::from_sec_double(options.interval_s);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, until, tick] {
+    emit_telemetry_sample();
+    if (sim_.now() + period <= until) sim_.after(period, *tick);
+  };
+  sim_.after(period, *tick);
+}
+
+void NodeRuntime::emit_telemetry_sample() {
+  obs::TelemetrySample s;
+  s.node = static_cast<std::int64_t>(config_.id);
+  s.nodes_total = config_.total_nodes;
+  const bool awake = station_->awake();
+  s.nodes_awake = awake ? 1 : 0;
+  s.nodes_synced = awake && station_->protocol().is_synchronized() ? 1 : 0;
+  if (awake && station_->protocol().is_reference()) {
+    s.reference = s.node;
+  }
+  // Per-node samples carry no offset error: a live node has no ground
+  // truth to compare against (the swarm's cluster samples do).
+  s.queue_depth = sim_.events_pending();
+  if (station_->monitor() != nullptr) {
+    s.audit_records = station_->monitor()->total_violations();
+  }
+  s.recovery_pending =
+      station_->recovery() != nullptr && station_->recovery()->pending();
+
+  const auto& stats = station_->protocol().stats();
+  obs::TelemetryCumulative cum;
+  cum.beacons_tx = stats.beacons_sent;
+  cum.beacons_rx = stats.beacons_received;
+  cum.adjustments = stats.adjustments + stats.adoptions;
+  cum.coarse_steps = stats.coarse_steps;
+  cum.rejects = stats.rejected_interval + stats.rejected_key +
+                stats.rejected_mac + stats.rejected_guard;
+  cum.elections = stats.elections_won;
+  cum.events = sim_.events_processed();
+  sampler_->emit(sim_.now().to_sec(), std::move(s), cum);
+}
+
 void NodeRuntime::on_local_frame(const mac::Frame& frame) {
   // The frame's timestamps describe this tap event's *scheduled* instant,
   // but the datagram physically leaves whenever the OS dispatches the

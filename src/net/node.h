@@ -174,11 +174,25 @@ class NodeRuntime {
   void set_recovery(fault::RecoveryTracker* recovery) {
     station_->set_recovery(recovery);
   }
+  void set_flight(obs::FlightRecorder* flight) { station_->set_flight(flight); }
+
+  /// Starts periodic telemetry sampling: one source="node" sample per
+  /// options.interval_s of the hosting timeline (wall-paced when a Reactor
+  /// pumps the simulator), handed to `emit`, until the tick after `until`.
+  /// Samples also feed the attached flight recorder, if any.
+  void start_telemetry(const obs::TelemetrySampler::Options& options,
+                       sim::SimTime until,
+                       obs::TelemetrySampler::EmitFn emit);
+
+  [[nodiscard]] obs::TelemetrySampler* telemetry_sampler() {
+    return sampler_.get();
+  }
 
  private:
   /// Tap handler: a locally transmitted frame completed its (private) air
   /// time — serialize and put it on the wire.
   void on_local_frame(const mac::Frame& frame);
+  void emit_telemetry_sample();
   /// Transport rx handler: strict-decode and feed the protocol.
   void on_datagram(std::span<const std::uint8_t> bytes, const RxMeta& meta);
 
@@ -192,6 +206,7 @@ class NodeRuntime {
   mac::Channel channel_;
   core::KeyDirectory directory_;
   std::unique_ptr<proto::Station> station_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
   NetRunStats stats_;  ///< transport sub-struct filled on read
   std::array<std::uint64_t, kDecodeErrorCount> decode_error_by_kind_{};
 };

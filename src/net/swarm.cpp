@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 
 namespace sstsp::net {
@@ -199,6 +200,83 @@ bool Swarm::init(std::string* error) {
     node->set_recovery(recovery_.get());
   }
   expected_down_.assign(nodes_.size(), false);
+  return init_telemetry(error);
+}
+
+bool Swarm::init_telemetry(std::string* error) {
+  if (!config_.flight_recorder_out.empty()) {
+    flight_sink_ = std::make_unique<obs::JsonlSink>();
+    std::string sink_error;
+    if (!flight_sink_->open(config_.flight_recorder_out, &sink_error)) {
+      if (error != nullptr) *error = std::move(sink_error);
+      return false;
+    }
+    obs::FlightRecorder::Config fc;
+    fc.event_capacity = config_.flight_capacity;
+    flight_ =
+        std::make_unique<obs::FlightRecorder>(fc, flight_sink_.get());
+    for (auto& node : nodes_) node->set_flight(flight_.get());
+    if (monitor_ != nullptr) {
+      monitor_->set_on_new_record(
+          [this](sim::SimTime now, const obs::AuditRecord& rec) {
+            flight_->on_audit_record(now.to_sec(), rec);
+          });
+    }
+  }
+
+  const bool want_telemetry = !config_.telemetry_out.empty() || config_.watch;
+  if (!want_telemetry) return true;
+  if (!config_.telemetry_out.empty()) {
+    telemetry_sink_ = std::make_unique<obs::JsonlSink>();
+    std::string sink_error;
+    if (!telemetry_sink_->open(config_.telemetry_out, &sink_error)) {
+      if (error != nullptr) *error = std::move(sink_error);
+      return false;
+    }
+  }
+
+  // Process stats (RSS, wall clock) only on the wall-paced transport; a
+  // virtual-time loopback run stays bit-reproducible.
+  const bool wall_paced = config_.transport == TransportKind::kUdp;
+  obs::TelemetrySampler::Options opts;
+  opts.interval_s =
+      config_.telemetry_interval_s > 0.0 ? config_.telemetry_interval_s : 1.0;
+  opts.source = "swarm";
+  opts.process_stats = wall_paced;
+  sampler_ = std::make_unique<obs::TelemetrySampler>(
+      opts, [this](const obs::TelemetrySample& sample) {
+        write_sample(sample);
+        if (flight_ != nullptr) flight_->on_sample(sample);
+        if (config_.watch) print_watch_line(sample);
+      });
+
+  if (wall_paced) {
+    // Live export path: each node publishes its sample as one datagram to
+    // the swarm's collector socket on the reactor — the same path an
+    // external collector would use — and the collector folds whatever
+    // arrives into the aggregate JSONL stream.
+    std::string link_error;
+    collector_ = TelemetryCollector::open(
+        *reactor_, "127.0.0.1", 0,
+        [this](const obs::TelemetrySample& sample) { write_sample(sample); },
+        &link_error);
+    if (collector_ == nullptr) {
+      if (error != nullptr) *error = "telemetry collector: " + link_error;
+      return false;
+    }
+    for (int i = 0; i < config_.nodes; ++i) {
+      auto exporter = TelemetryExporter::open(
+          "127.0.0.1", collector_->local_port(), &link_error);
+      if (exporter == nullptr) {
+        if (error != nullptr) {
+          *error = "telemetry exporter " + std::to_string(i) + ": " +
+                   link_error;
+        }
+        return false;
+      }
+      exporters_.push_back(std::move(exporter));
+    }
+  }
   return true;
 }
 
@@ -206,6 +284,29 @@ void Swarm::arm() {
   if (armed_) return;
   armed_ = true;
   for (auto& node : nodes_) node->start();
+  if (sampler_ != nullptr) {
+    // Per-node samplers ride the hosting timeline: wall-paced through the
+    // reactor in UDP mode (published as datagrams), virtual-time in
+    // loopback mode (folded straight into the aggregate stream).
+    const auto until = sim::SimTime::from_sec_double(config_.duration_s);
+    const bool wall_paced = config_.transport == TransportKind::kUdp;
+    obs::TelemetrySampler::Options node_opts = sampler_->options();
+    node_opts.source = "node";
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      obs::TelemetrySampler::EmitFn emit;
+      if (wall_paced) {
+        emit = [exporter = exporters_[i].get()](
+                   const obs::TelemetrySample& sample) {
+          exporter->publish(sample);
+        };
+      } else {
+        emit = [this](const obs::TelemetrySample& sample) {
+          write_sample(sample);
+        };
+      }
+      nodes_[i]->start_telemetry(node_opts, until, std::move(emit));
+    }
+  }
   schedule_faults();
   schedule_sampling();
 }
@@ -276,28 +377,113 @@ void Swarm::sample_clock_spread() {
     if (!st.awake() || !st.protocol().is_synchronized()) continue;
     sample_values_.push_back(st.protocol().network_time_us(now));
   }
-  if (sample_values_.empty()) return;
-  double lo = sample_values_.front();
-  double hi = lo;
+  const bool have = !sample_values_.empty();
+  double lo = 0.0;
+  double hi = 0.0;
   double sum = 0.0;
-  for (const double v : sample_values_) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-    sum += v;
-  }
-  const double diff = hi - lo;
-  max_diff_.push(now.to_sec(), diff);
-  if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
-  if (recovery_ != nullptr) {
-    recovery_->on_max_diff_sample(now.to_sec(), diff);
-  }
-  if (instruments_ != nullptr) {
-    instruments_->on_max_diff_sample(diff);
-    const double mean = sum / static_cast<double>(sample_values_.size());
+  if (have) {
+    lo = hi = sample_values_.front();
     for (const double v : sample_values_) {
-      instruments_->on_node_error_sample(std::fabs(v - mean));
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    const double diff = hi - lo;
+    max_diff_.push(now.to_sec(), diff);
+    if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
+    if (recovery_ != nullptr) {
+      recovery_->on_max_diff_sample(now.to_sec(), diff);
+    }
+    if (instruments_ != nullptr) {
+      instruments_->on_max_diff_sample(diff);
+      const double mean = sum / static_cast<double>(sample_values_.size());
+      for (const double v : sample_values_) {
+        instruments_->on_node_error_sample(std::fabs(v - mean));
+      }
     }
   }
+  if (sampler_ != nullptr && sampler_->due(now.to_sec())) {
+    emit_telemetry(now, have, lo, hi, sum);
+  }
+  if (dump_flag_ != nullptr && *dump_flag_ != 0 && flight_ != nullptr) {
+    *dump_flag_ = 0;
+    flight_->dump(now.to_sec(), "dump-request", nullptr);
+  }
+}
+
+void Swarm::emit_telemetry(sim::SimTime now, bool have, double lo, double hi,
+                           double sum) {
+  obs::TelemetrySample s;
+  s.nodes_total = config_.nodes;
+  for (const auto& node : nodes_) {
+    if (node->station().awake()) ++s.nodes_awake;
+  }
+  s.nodes_synced = static_cast<int>(sample_values_.size());
+  if (const auto ref = current_reference()) {
+    s.reference = static_cast<std::int64_t>(*ref);
+  }
+  const double mean =
+      have ? sum / static_cast<double>(sample_values_.size()) : 0.0;
+  if (sample_values_.size() >= 2) {
+    s.max_offset_us = hi - lo;
+    double dev = 0.0;
+    for (const double v : sample_values_) dev += std::fabs(v - mean);
+    s.mean_offset_us = dev / static_cast<double>(sample_values_.size());
+  }
+  s.queue_depth = sim_.events_pending();
+  if (monitor_ != nullptr) s.audit_records = monitor_->total_violations();
+  s.recovery_pending = recovery_ != nullptr && recovery_->pending();
+
+  const bool per_node =
+      config_.telemetry_per_node > 0 ||
+      (config_.telemetry_per_node < 0 && config_.nodes <= 64);
+  obs::TelemetryCumulative cum;
+  for (const auto& node : nodes_) {
+    const proto::Station& st = node->station();
+    const proto::ProtocolStats& ps = st.protocol().stats();
+    cum.beacons_tx += ps.beacons_sent;
+    cum.beacons_rx += ps.beacons_received;
+    cum.adjustments += ps.adjustments + ps.adoptions;
+    cum.coarse_steps += ps.coarse_steps;
+    cum.rejects += ps.rejected_interval + ps.rejected_key + ps.rejected_mac +
+                   ps.rejected_guard;
+    cum.elections += ps.elections_won;
+    if (per_node && have && st.awake() && st.protocol().is_synchronized()) {
+      obs::TelemetrySample::NodeError ne;
+      ne.node = static_cast<std::int64_t>(node->config().id);
+      ne.err_us = st.protocol().network_time_us(now) - mean;
+      ne.synced = true;
+      s.node_errors.push_back(ne);
+    }
+  }
+  cum.events = sim_.events_processed();
+  sampler_->emit(now.to_sec(), std::move(s), cum);
+}
+
+void Swarm::write_sample(const obs::TelemetrySample& sample) {
+  if (telemetry_sink_ != nullptr) {
+    telemetry_sink_->write_line(obs::telemetry_to_jsonl(sample));
+  }
+}
+
+void Swarm::print_watch_line(const obs::TelemetrySample& sample) {
+  std::string ref = sample.reference >= 0
+                        ? std::to_string(sample.reference)
+                        : std::string("-");
+  std::string err = "-";
+  if (std::isfinite(sample.max_offset_us)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", sample.max_offset_us);
+    err = buf;
+  }
+  std::fprintf(stderr,
+               "\r[swarm %7.1fs] synced %d/%d ref %s max %s us rx %llu "
+               "audit %llu   ",
+               sample.t_s, sample.nodes_synced, sample.nodes_total,
+               ref.c_str(), err.c_str(),
+               static_cast<unsigned long long>(sample.beacons_rx),
+               static_cast<unsigned long long>(sample.audit_records));
+  std::fflush(stderr);
 }
 
 void Swarm::run() {
@@ -315,6 +501,7 @@ void Swarm::run() {
   wall_seconds_ = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
+  if (config_.watch) std::fputc('\n', stderr);
 }
 
 run::RunResult Swarm::collect() {
@@ -381,12 +568,15 @@ run::RunResult Swarm::collect() {
   // A node that died or stayed deaf without a planned fault must not pass
   // as a clean (just quieter) run: flag it as a node-failure audit record
   // and report it through failed_nodes() so the tool exits nonzero.
-  // "Deaf" = it decoded no frame off the wire while its peers were
-  // clearly beaconing — a wedged process that exited before its first
-  // beacon receives nothing, while a healthy SSTSP follower (which may
-  // legitimately never *send* once a reference holds the role) still
-  // hears every beacon.
+  // "Deaf" = it decoded not a single frame while its peers were clearly
+  // beaconing.  The whole-run peer-frame count only witnesses against a
+  // node when those frames were actually deliverable to it: under a
+  // declared partition the plan itself drops cross-group frames, so an
+  // isolated side's reference legitimately hears nothing while the other
+  // side beacons — the heuristic stands down for partition plans rather
+  // than misread planned isolation as a wedged process.
   failed_nodes_.clear();
+  const bool plan_partitions = !config_.faults.partitions.empty();
   std::uint64_t frames_on_wire = 0;
   for (const auto& node : nodes_) {
     frames_on_wire += node->net_stats().frames_sent;
@@ -397,7 +587,8 @@ run::RunResult Swarm::collect() {
     const std::uint64_t peer_frames =
         frames_on_wire - node.net_stats().frames_sent;
     const bool dead = !node.station().awake();
-    const bool deaf = node.net_stats().frames_received == 0 &&
+    const bool deaf = !plan_partitions &&
+                      node.net_stats().frames_received == 0 &&
                       peer_frames > 10;
     if (!dead && !deaf) continue;
     const mac::NodeId id = node.config().id;
@@ -412,6 +603,12 @@ run::RunResult Swarm::collect() {
     record.detail = dead ? "node is down with no planned fault"
                          : "node received no frame while peers sent " +
                                std::to_string(peer_frames);
+    if (flight_ != nullptr) {
+      // Unplanned death is exactly what the flight recorder exists for:
+      // dump the recent history with the failure record attached (never
+      // rate-limited, unlike audit-triggered dumps).
+      flight_->dump(sim_.now().to_sec(), "node-failure", &record);
+    }
     result.audit->records.push_back(std::move(record));
   }
 
@@ -436,6 +633,11 @@ run::Scenario Swarm::reporting_scenario() const {
   s.collect_metrics = config_.collect_metrics;
   s.profile = config_.profile;
   s.monitor = config_.monitor;
+  s.telemetry_out = config_.telemetry_out;
+  s.telemetry_interval_s = config_.telemetry_interval_s;
+  s.telemetry_per_node = config_.telemetry_per_node;
+  s.flight_recorder_out = config_.flight_recorder_out;
+  s.flight_capacity = config_.flight_capacity;
   return s;
 }
 

@@ -20,6 +20,7 @@
 // reusable by sstsp_swarm.
 #pragma once
 
+#include <csignal>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,7 +34,10 @@
 #include "net/loopback.h"
 #include "net/node.h"
 #include "net/reactor.h"
+#include "net/telemetry_link.h"
 #include "net/udp.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 #include "obs/instruments.h"
 #include "obs/invariants.h"
 #include "obs/metrics.h"
@@ -99,6 +103,23 @@ struct SwarmConfig {
   bool collect_metrics = true;
   bool profile = false;
   bool monitor = false;
+
+  // Streaming telemetry + flight recorder (DESIGN.md §10) — same semantics
+  // as the run::Scenario fields.  Cluster samples (source="swarm") are
+  // emitted from the existing clock-spread sampling tick; per-node samples
+  // (source="node") are emitted by each NodeRuntime and aggregated into the
+  // same JSONL stream — over a datagram socket on the reactor in UDP mode,
+  // by direct callback in virtual-time loopback mode.
+  std::string telemetry_out{};
+  double telemetry_interval_s = 1.0;
+  /// Attach the per-node error array to cluster samples: 1 = always,
+  /// 0 = never, < 0 = auto (deployments of <= 64 nodes).
+  int telemetry_per_node = -1;
+  std::string flight_recorder_out{};
+  std::size_t flight_capacity = 512;
+  /// Live status line on stderr, refreshed once per telemetry interval
+  /// (wall-paced UDP runs; a loopback run finishes in milliseconds).
+  bool watch = false;
 };
 
 class Swarm {
@@ -138,6 +159,22 @@ class Swarm {
   [[nodiscard]] fault::RecoveryTracker* recovery_tracker() {
     return recovery_.get();
   }
+  [[nodiscard]] obs::TelemetrySampler* telemetry_sampler() {
+    return sampler_.get();
+  }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() {
+    return flight_.get();
+  }
+  [[nodiscard]] TelemetryCollector* telemetry_collector() {
+    return collector_.get();
+  }
+
+  /// Arms SIGUSR1-style dump requests: when *flag becomes nonzero, the next
+  /// sampling tick resets it and dumps the flight recorder (no-op without
+  /// --flight-recorder).
+  void set_dump_request_flag(volatile std::sig_atomic_t* flag) {
+    dump_flag_ = flag;
+  }
 
   /// Nodes that collect() found dead or silent without a planned fault —
   /// a partial deployment must not masquerade as a clean run; the caller
@@ -163,10 +200,15 @@ class Swarm {
   explicit Swarm(const SwarmConfig& config);
 
   [[nodiscard]] bool init(std::string* error);
+  [[nodiscard]] bool init_telemetry(std::string* error);
   void arm();
   void schedule_faults();
   void schedule_sampling();
   void sample_clock_spread();
+  void emit_telemetry(sim::SimTime now, bool have, double lo, double hi,
+                      double sum);
+  void write_sample(const obs::TelemetrySample& sample);
+  void print_watch_line(const obs::TelemetrySample& sample);
 
   SwarmConfig config_;
   sim::Simulator sim_;
@@ -196,6 +238,16 @@ class Swarm {
   std::vector<double> sample_values_;
   bool armed_{false};
   double wall_seconds_{0.0};
+
+  // Telemetry pipeline.  Everything below runs on the single sim/reactor
+  // thread (collector callbacks included), so no locking is needed.
+  std::unique_ptr<obs::JsonlSink> telemetry_sink_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;  ///< cluster samples
+  std::unique_ptr<obs::JsonlSink> flight_sink_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::vector<std::unique_ptr<TelemetryExporter>> exporters_;  ///< UDP mode
+  std::unique_ptr<TelemetryCollector> collector_;              ///< UDP mode
+  volatile std::sig_atomic_t* dump_flag_{nullptr};
 };
 
 }  // namespace sstsp::net

@@ -1,0 +1,132 @@
+#include "net/telemetry_link.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "net/reactor.h"
+#include "obs/json.h"
+
+namespace sstsp::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::unique_ptr<TelemetryExporter> TelemetryExporter::open(
+    const std::string& host, std::uint16_t port, std::string* error) {
+  auto fail = [error](std::string msg) -> std::unique_ptr<TelemetryExporter> {
+    if (error != nullptr) *error = std::move(msg);
+    return nullptr;
+  };
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &dest.sin_addr) != 1) {
+    return fail("invalid telemetry host: " + host);
+  }
+  const int fd =
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return fail(errno_string("socket"));
+  // connect() pins the destination so publish() is a plain send() and
+  // ICMP errors surface as send errors instead of being silently eaten.
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&dest), sizeof(dest)) !=
+      0) {
+    const std::string msg = errno_string("connect");
+    ::close(fd);
+    return fail(msg);
+  }
+  return std::unique_ptr<TelemetryExporter>(new TelemetryExporter(fd));
+}
+
+TelemetryExporter::~TelemetryExporter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TelemetryExporter::publish(const obs::TelemetrySample& sample) {
+  const std::string line = obs::telemetry_to_jsonl(sample);
+  const ssize_t sent = ::send(fd_, line.data(), line.size(), 0);
+  if (sent == static_cast<ssize_t>(line.size())) {
+    ++published_;
+    return true;
+  }
+  ++send_errors_;
+  return false;
+}
+
+std::unique_ptr<TelemetryCollector> TelemetryCollector::open(
+    Reactor& reactor, const std::string& bind_address, std::uint16_t port,
+    Handler handler, std::string* error) {
+  auto fail = [error](std::string msg) -> std::unique_ptr<TelemetryCollector> {
+    if (error != nullptr) *error = std::move(msg);
+    return nullptr;
+  };
+  const int fd =
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return fail(errno_string("socket"));
+  auto fail_close = [&](std::string msg) {
+    ::close(fd);
+    return fail(std::move(msg));
+  };
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_address.c_str(), &bind_addr.sin_addr) != 1) {
+    return fail_close("invalid telemetry bind address: " + bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    return fail_close(errno_string("bind"));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    return fail_close(errno_string("getsockname"));
+  }
+
+  auto collector = std::unique_ptr<TelemetryCollector>(
+      new TelemetryCollector(reactor, fd, std::move(handler)));
+  collector->local_port_ = ntohs(bound.sin_port);
+  reactor.add_fd(fd, [raw = collector.get()] { raw->on_readable(); });
+  return collector;
+}
+
+TelemetryCollector::~TelemetryCollector() {
+  if (fd_ >= 0) {
+    reactor_.remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void TelemetryCollector::on_readable() {
+  // Level-triggered dispatch: drain until EAGAIN.
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient datagram error; next poll retries
+    }
+    if (n == 0) continue;
+    const std::string_view text(buf, static_cast<std::size_t>(n));
+    const auto parsed = obs::json::parse(text);
+    const auto sample =
+        parsed ? obs::telemetry_from_json(*parsed) : std::nullopt;
+    if (!sample) {
+      ++torn_;
+      continue;
+    }
+    ++received_;
+    if (handler_) handler_(*sample);
+  }
+}
+
+}  // namespace sstsp::net

@@ -1,0 +1,88 @@
+// Datagram telemetry link for the live stack.
+//
+// Each NodeRuntime publishes its newest TelemetrySample as one JSONL-encoded
+// UDP datagram (TelemetryExporter, fire-and-forget: telemetry must never
+// block or back-pressure the protocol path), and the Swarm — or any external
+// collector, `nc -lu` included — receives them on a socket serviced by the
+// existing ppoll reactor (TelemetryCollector).  One sample per datagram, so
+// a lost packet loses one sample, never the framing.
+//
+// The wire format is exactly the JSONL line format of obs::telemetry_to_
+// jsonl(); a datagram that fails to parse is counted as torn and dropped,
+// mirroring sstsp_tracetool's skip-and-count rule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/telemetry.h"
+
+namespace sstsp::net {
+
+class Reactor;
+
+/// Best-effort sample publisher (plain UDP sendto; no reactor needed — the
+/// socket is only ever written).
+class TelemetryExporter {
+ public:
+  /// Connects a datagram socket to host:port; nullptr + *error on failure.
+  static std::unique_ptr<TelemetryExporter> open(const std::string& host,
+                                                 std::uint16_t port,
+                                                 std::string* error);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Encodes and sends one sample; false when the kernel refused the send
+  /// (counted, never fatal).
+  bool publish(const obs::TelemetrySample& sample);
+
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::uint64_t send_errors() const { return send_errors_; }
+
+ private:
+  explicit TelemetryExporter(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::uint64_t published_{0};
+  std::uint64_t send_errors_{0};
+};
+
+/// Sample receiver on the reactor: binds bind_address:port (port 0 = kernel
+/// pick, read back via local_port()) and invokes the handler once per
+/// decoded sample, on the reactor thread.
+class TelemetryCollector {
+ public:
+  using Handler = std::function<void(const obs::TelemetrySample&)>;
+
+  static std::unique_ptr<TelemetryCollector> open(
+      Reactor& reactor, const std::string& bind_address, std::uint16_t port,
+      Handler handler, std::string* error);
+  ~TelemetryCollector();
+
+  TelemetryCollector(const TelemetryCollector&) = delete;
+  TelemetryCollector& operator=(const TelemetryCollector&) = delete;
+
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  /// Datagrams that did not parse as a telemetry sample (dropped).
+  [[nodiscard]] std::uint64_t torn() const { return torn_; }
+
+ private:
+  TelemetryCollector(Reactor& reactor, int fd, Handler handler)
+      : reactor_(reactor), fd_(fd), handler_(std::move(handler)) {}
+
+  void on_readable();
+
+  Reactor& reactor_;
+  int fd_;
+  Handler handler_;
+  std::uint16_t local_port_{0};
+  std::uint64_t received_{0};
+  std::uint64_t torn_{0};
+};
+
+}  // namespace sstsp::net

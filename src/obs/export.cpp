@@ -1,6 +1,8 @@
 #include "obs/export.h"
 
+#include <memory>
 #include <ostream>
+#include <sstream>
 
 #include "obs/json.h"
 
@@ -35,8 +37,18 @@ void write_trace_jsonl(std::ostream& os, const trace::EventTrace& trace,
 }
 
 void attach_jsonl_sink(trace::EventTrace& trace, std::ostream& os) {
-  trace.set_sink(
-      [&os](const trace::TraceEvent& event) { write_event_jsonl(os, event); });
+  // Stage each line in a reused buffer and hand it to the stream as one
+  // write + flush: the file only ever grows by whole lines, so a crashed
+  // or killed process cannot leave a torn final line behind for
+  // sstsp_tracetool to choke on.
+  auto buffer = std::make_shared<std::ostringstream>();
+  trace.set_sink([&os, buffer](const trace::TraceEvent& event) {
+    buffer->str({});
+    write_event_jsonl(*buffer, event);
+    const std::string line = buffer->str();
+    os.write(line.data(), static_cast<std::streamsize>(line.size()));
+    os.flush();
+  });
 }
 
 }  // namespace sstsp::obs

@@ -82,31 +82,35 @@ std::size_t AuditReport::warning_count() const {
   return records.size() - critical_count();
 }
 
+void append_json(json::Writer& w, const AuditRecord& r) {
+  w.begin_object();
+  w.kv("kind", to_string(r.kind));
+  w.kv("severity", to_string(r.severity));
+  w.kv("paper_ref", paper_reference(r.kind));
+  if (r.node != mac::kNoNode) {
+    w.kv("node", static_cast<std::uint64_t>(r.node));
+  } else {
+    w.kv_null("node");  // network-wide invariant (Lemma 1)
+  }
+  if (r.peer != mac::kNoNode) {
+    w.kv("peer", static_cast<std::uint64_t>(r.peer));
+  } else {
+    w.kv_null("peer");
+  }
+  w.kv("count", r.count);
+  w.kv("first_t_s", r.first_t_s);
+  w.kv("last_t_s", r.last_t_s);
+  w.kv("worst_value_us", r.worst_value_us);
+  w.kv("limit_us", r.limit_us);
+  w.kv("detail", r.detail);
+  w.end_object();
+}
+
 void AuditReport::append_json(json::Writer& w) const {
   w.begin_object();
   w.key("records").begin_array();
   for (const AuditRecord& r : records) {
-    w.begin_object();
-    w.kv("kind", to_string(r.kind));
-    w.kv("severity", to_string(r.severity));
-    w.kv("paper_ref", paper_reference(r.kind));
-    if (r.node != mac::kNoNode) {
-      w.kv("node", static_cast<std::uint64_t>(r.node));
-    } else {
-      w.kv_null("node");  // network-wide invariant (Lemma 1)
-    }
-    if (r.peer != mac::kNoNode) {
-      w.kv("peer", static_cast<std::uint64_t>(r.peer));
-    } else {
-      w.kv_null("peer");
-    }
-    w.kv("count", r.count);
-    w.kv("first_t_s", r.first_t_s);
-    w.kv("last_t_s", r.last_t_s);
-    w.kv("worst_value_us", r.worst_value_us);
-    w.kv("limit_us", r.limit_us);
-    w.kv("detail", r.detail);
-    w.end_object();
+    obs::append_json(w, r);
   }
   w.end_array();
   w.kv("dropped_records", dropped_records);
@@ -122,7 +126,8 @@ void InvariantMonitor::violate(InvariantKind kind, Severity severity,
   ++total_;
   const Key key{kind, severity, node, peer};
   auto it = records_.find(key);
-  if (it == records_.end()) {
+  const bool is_new = it == records_.end();
+  if (is_new) {
     if (records_.size() >= cfg_.max_records) {
       ++dropped_;
       return;
@@ -144,6 +149,7 @@ void InvariantMonitor::violate(InvariantKind kind, Severity severity,
   if (std::fabs(value_us) > std::fabs(rec.worst_value_us)) {
     rec.worst_value_us = value_us;
   }
+  if (is_new && on_new_record_) on_new_record_(now, rec);
 }
 
 void InvariantMonitor::on_event(const trace::TraceEvent& event) {

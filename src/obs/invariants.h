@@ -44,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -98,6 +99,11 @@ struct AuditRecord {
   double limit_us{0.0};        ///< the bound it was checked against
   std::string detail;          ///< first occurrence, human-readable
 };
+
+/// Appends one record as a JSON object (the element schema of
+/// AuditReport's "records" array; also embedded as the "trigger" of a
+/// flight-recorder dump).
+void append_json(json::Writer& w, const AuditRecord& record);
 
 /// Snapshot of every audit record of a run (stable JSON schema; see
 /// DESIGN.md "Invariant monitor").
@@ -214,6 +220,16 @@ class InvariantMonitor {
   /// injected fault still certifies the recovery path.
   void add_disturbance(sim::SimTime start, sim::SimTime end);
 
+  /// Observer fired once per *new* record class, at first occurrence (the
+  /// record already holds count = 1 and its detail).  Repeat violations
+  /// aggregate silently.  Used by the flight recorder to dump retained
+  /// history the moment something first goes wrong.
+  using NewRecordHook =
+      std::function<void(sim::SimTime now, const AuditRecord& record)>;
+  void set_on_new_record(NewRecordHook hook) {
+    on_new_record_ = std::move(hook);
+  }
+
   // ---- results ---------------------------------------------------------
 
   [[nodiscard]] AuditReport report() const;
@@ -244,6 +260,8 @@ class InvariantMonitor {
   }
 
   InvariantConfig cfg_;
+
+  NewRecordHook on_new_record_;
 
   // Aggregated records (bounded map + overflow counter).
   std::map<Key, AuditRecord> records_;

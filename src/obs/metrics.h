@@ -4,10 +4,13 @@
 //   * Hot-path recording must be a couple of arithmetic ops — consumers
 //     resolve a Counter*/Histogram* handle once (Registry::counter(...))
 //     and record through it; no string lookups on the data path.
-//   * A Registry is single-threaded, like everything per-Simulator in this
-//     library.  Parallel sweeps keep one Registry per task and combine them
-//     afterwards with merge_from() (histograms merge exactly: bucketed
-//     representation is closed under addition).
+//   * A Registry is written from one thread, like everything per-Simulator
+//     in this library.  Parallel sweeps keep one Registry per task and
+//     combine them afterwards with merge_from() (histograms merge exactly:
+//     bucketed representation is closed under addition).  Counters are
+//     additionally safe to *read* from other threads (atomic, relaxed) so
+//     live telemetry can snapshot them mid-run; gauge/histogram reads stay
+//     owner-thread-only.
 //   * Snapshots are plain data (name -> value / quantile summary) so run
 //     results can carry them across threads and serialize to JSON without
 //     touching the live registry.
@@ -23,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -32,13 +36,23 @@
 
 namespace sstsp::obs {
 
+/// Counters are lock-free atomics (relaxed ordering: each counter is an
+/// independent monotonic total, no cross-counter ordering is promised) so
+/// the live stack's telemetry/watch threads can read them while the reactor
+/// thread increments.  Gauges and histograms stay plain data — they are
+/// only ever touched from their owning thread; cross-thread consumers go
+/// through samples built on the reactor thread.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_{0};
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {

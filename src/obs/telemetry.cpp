@@ -1,0 +1,241 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace sstsp::obs {
+namespace {
+
+// key + double-or-null (non-finite doubles already emit as null via the
+// Writer, but spell the intent out for the schema's "omitted" fields).
+void kv_opt(json::Writer& w, std::string_view key, double v) {
+  if (std::isfinite(v)) {
+    w.kv(key, v);
+  } else {
+    w.kv_null(key);
+  }
+}
+
+void kv_opt_id(json::Writer& w, std::string_view key, std::int64_t id) {
+  if (id >= 0) {
+    w.kv(key, id);
+  } else {
+    w.kv_null(key);
+  }
+}
+
+double number_or(const json::Value& v, std::string_view key, double fallback) {
+  const json::Value* m = v.find(key);
+  return (m != nullptr && m->is_number()) ? m->number : fallback;
+}
+
+std::uint64_t u64_or(const json::Value& v, std::string_view key,
+                     std::uint64_t fallback) {
+  const json::Value* m = v.find(key);
+  if (m == nullptr || !m->is_number() || m->number < 0) return fallback;
+  return static_cast<std::uint64_t>(m->number);
+}
+
+std::int64_t id_or(const json::Value& v, std::string_view key) {
+  const json::Value* m = v.find(key);
+  if (m == nullptr || !m->is_number()) return -1;
+  return static_cast<std::int64_t>(m->number);
+}
+
+std::uint64_t delta(std::uint64_t current, std::uint64_t previous) {
+  // Totals are monotonic; a smaller current means the source restarted
+  // (node crash + restart) — report the new total as the interval's delta.
+  return current >= previous ? current - previous : current;
+}
+
+}  // namespace
+
+void append_json(json::Writer& w, const TelemetrySample& s) {
+  w.begin_object();
+  w.kv("type", "telemetry");
+  w.kv("v", kTelemetrySchemaVersion);
+  w.kv("t_s", s.t_s);
+  w.kv("source", s.source);
+  kv_opt_id(w, "node", s.node);
+  w.kv("nodes_total", s.nodes_total);
+  w.kv("nodes_awake", s.nodes_awake);
+  w.kv("nodes_synced", s.nodes_synced);
+  kv_opt_id(w, "reference", s.reference);
+  kv_opt(w, "max_offset_us", s.max_offset_us);
+  kv_opt(w, "mean_offset_us", s.mean_offset_us);
+  w.kv("beacons_tx", s.beacons_tx);
+  w.kv("beacons_rx", s.beacons_rx);
+  w.kv("adjustments", s.adjustments);
+  w.kv("coarse_steps", s.coarse_steps);
+  w.kv("rejects", s.rejects);
+  w.kv("elections", s.elections);
+  w.kv("events", s.events);
+  w.kv("queue_depth", s.queue_depth);
+  w.kv("audit_records", s.audit_records);
+  w.kv("recovery_pending", s.recovery_pending);
+  kv_opt_id(w, "rss_kb", s.rss_kb);
+  kv_opt(w, "wall_s", s.wall_s);
+  if (!s.node_errors.empty()) {
+    w.key("per_node").begin_array();
+    for (const TelemetrySample::NodeError& e : s.node_errors) {
+      w.begin_object();
+      w.kv("node", e.node);
+      w.kv("err_us", e.err_us);
+      w.kv("synced", e.synced);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+std::string telemetry_to_jsonl(const TelemetrySample& sample) {
+  std::ostringstream os;
+  json::Writer w(os);
+  append_json(w, sample);
+  return os.str();
+}
+
+std::optional<TelemetrySample> telemetry_from_json(const json::Value& value) {
+  if (!value.is_object()) return std::nullopt;
+  const json::Value* type = value.find("type");
+  if (type == nullptr || !type->is_string() || type->string != "telemetry") {
+    return std::nullopt;
+  }
+  const json::Value* v = value.find("v");
+  if (v == nullptr || !v->is_number() ||
+      static_cast<int>(v->number) != kTelemetrySchemaVersion) {
+    return std::nullopt;
+  }
+
+  TelemetrySample s;
+  s.t_s = number_or(value, "t_s", 0.0);
+  const json::Value* source = value.find("source");
+  if (source != nullptr && source->is_string()) s.source = source->string;
+  s.node = id_or(value, "node");
+  s.nodes_total = static_cast<int>(number_or(value, "nodes_total", 0));
+  s.nodes_awake = static_cast<int>(number_or(value, "nodes_awake", 0));
+  s.nodes_synced = static_cast<int>(number_or(value, "nodes_synced", 0));
+  s.reference = id_or(value, "reference");
+  s.max_offset_us = number_or(value, "max_offset_us",
+                              std::numeric_limits<double>::quiet_NaN());
+  s.mean_offset_us = number_or(value, "mean_offset_us",
+                               std::numeric_limits<double>::quiet_NaN());
+  s.beacons_tx = u64_or(value, "beacons_tx", 0);
+  s.beacons_rx = u64_or(value, "beacons_rx", 0);
+  s.adjustments = u64_or(value, "adjustments", 0);
+  s.coarse_steps = u64_or(value, "coarse_steps", 0);
+  s.rejects = u64_or(value, "rejects", 0);
+  s.elections = u64_or(value, "elections", 0);
+  s.events = u64_or(value, "events", 0);
+  s.queue_depth = u64_or(value, "queue_depth", 0);
+  s.audit_records = u64_or(value, "audit_records", 0);
+  const json::Value* pending = value.find("recovery_pending");
+  s.recovery_pending =
+      pending != nullptr && pending->kind == json::Value::Kind::kBool &&
+      pending->boolean;
+  s.rss_kb = id_or(value, "rss_kb");
+  s.wall_s =
+      number_or(value, "wall_s", std::numeric_limits<double>::quiet_NaN());
+  if (const json::Value* per_node = value.find("per_node");
+      per_node != nullptr && per_node->is_array()) {
+    for (const json::Value& entry : per_node->array) {
+      TelemetrySample::NodeError e;
+      e.node = id_or(entry, "node");
+      e.err_us = number_or(entry, "err_us", 0.0);
+      const json::Value* synced = entry.find("synced");
+      e.synced = synced != nullptr &&
+                 synced->kind == json::Value::Kind::kBool && synced->boolean;
+      s.node_errors.push_back(e);
+    }
+  }
+  return s;
+}
+
+std::int64_t current_rss_kb() {
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  long long total = 0;
+  long long resident = 0;
+  if (!(statm >> total >> resident)) return -1;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return -1;
+  return static_cast<std::int64_t>(resident) * (page / 1024);
+#else
+  return -1;
+#endif
+}
+
+bool JsonlSink::open(const std::string& path, std::string* error) {
+  os_.open(path, std::ios::out | std::ios::trunc);
+  if (!os_) {
+    failed_ = true;
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  failed_ = false;
+  return true;
+}
+
+void JsonlSink::write_line(std::string_view line) {
+  if (!os_.is_open()) return;
+  // One streambuf write for body + newline, then a flush: the kernel sees
+  // whole lines only, so even SIGKILL cannot tear the file mid-line.
+  os_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  os_.put('\n');
+  os_.flush();
+  if (!os_) failed_ = true;
+  ++lines_;
+}
+
+void JsonlSink::close() {
+  if (!os_.is_open()) return;
+  os_.flush();
+  os_.close();
+}
+
+TelemetrySampler::TelemetrySampler(const Options& options, EmitFn emit)
+    : opt_(options),
+      emit_(std::move(emit)),
+      next_s_(options.interval_s),
+      wall_start_us_(options.process_stats
+                         ? std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now()
+                                   .time_since_epoch())
+                               .count()
+                         : 0) {}
+
+void TelemetrySampler::emit(double now_s, TelemetrySample sample,
+                            const TelemetryCumulative& totals) {
+  sample.t_s = now_s;
+  sample.source = opt_.source;
+  sample.beacons_tx = delta(totals.beacons_tx, prev_.beacons_tx);
+  sample.beacons_rx = delta(totals.beacons_rx, prev_.beacons_rx);
+  sample.adjustments = delta(totals.adjustments, prev_.adjustments);
+  sample.coarse_steps = delta(totals.coarse_steps, prev_.coarse_steps);
+  sample.rejects = delta(totals.rejects, prev_.rejects);
+  sample.elections = delta(totals.elections, prev_.elections);
+  sample.events = delta(totals.events, prev_.events);
+  prev_ = totals;
+  if (opt_.process_stats) {
+    sample.rss_kb = current_rss_kb();
+    const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    sample.wall_s = static_cast<double>(now_us - wall_start_us_) * 1e-6;
+  }
+  // Catch up past skipped intervals (a stalled reactor, a coarse sampling
+  // tick) without emitting a burst of stale samples.
+  while (next_s_ <= now_s) next_s_ += opt_.interval_s;
+  ++emitted_;
+  if (emit_) emit_(sample);
+}
+
+}  // namespace sstsp::obs

@@ -1,0 +1,188 @@
+// Streaming telemetry: periodic in-run samples of the quantities the paper
+// plots over time — max/mean offset error (Lemma 1's |∆T| bound), the beacon
+// verify funnel (§4 pipeline), recovery state and engine load — appended as
+// a stable-schema JSONL time-series while the run is still going.
+//
+// Layering:
+//   * TelemetrySample   — plain data; one JSONL line per sample, schema
+//     version kTelemetrySchemaVersion (fields documented in DESIGN.md §10).
+//   * TelemetrySampler  — interval gate + counter delta logic.  The host
+//     (run::Network, net::Swarm, net::NodeRuntime) owns the sampling tick:
+//     virtual-time in the simulator (piggybacked on the existing clock-
+//     spread sampling event so telemetry adds NO events and leaves seeded
+//     runs bit-identical), reactor-paced in the live stack.  The sampler
+//     only decides *when* a tick becomes a sample and turns cumulative
+//     counters into per-interval rates.
+//   * JsonlSink         — line-buffered file sink: every line is written
+//     and flushed atomically with its trailing newline, so a crashed or
+//     SIGKILLed process never leaves a torn final line for sstsp_tracetool
+//     to choke on.
+//
+// Determinism contract: samples embed virtual time and protocol counters
+// only; process stats (RSS, wall clock) are opt-in and used only by the
+// wall-paced live runners, keeping simulator telemetry bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sstsp::obs {
+
+namespace json {
+struct Value;
+class Writer;
+}  // namespace json
+
+/// Bump when a field is added/renamed; emitted as "v" on every line so
+/// sstsp_tracetool can refuse samples it does not understand.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// One telemetry sample.  Negative ids and non-finite doubles serialize as
+/// JSON null ("not applicable / unknown").
+struct TelemetrySample {
+  double t_s{0.0};            ///< virtual time of the sample
+  std::string source{"sim"};  ///< "sim" | "swarm" (cluster) | "node"
+  std::int64_t node{-1};      ///< emitting node; <0 = cluster-wide sample
+
+  // Population (honest nodes only; attackers never count as synced).
+  int nodes_total{0};
+  int nodes_awake{0};
+  int nodes_synced{0};
+  std::int64_t reference{-1};  ///< current reference id; <0 = none
+
+  // Offset error across synced nodes at this instant (µs).  max is the
+  // worst pairwise difference (the paper's max sync error), mean is the
+  // mean |deviation| from the network mean.  NaN when < 2 synced nodes.
+  double max_offset_us{std::numeric_limits<double>::quiet_NaN()};
+  double mean_offset_us{std::numeric_limits<double>::quiet_NaN()};
+
+  // Beacon funnel over the sample interval (deltas, not cumulative).
+  std::uint64_t beacons_tx{0};
+  std::uint64_t beacons_rx{0};
+  std::uint64_t adjustments{0};
+  std::uint64_t coarse_steps{0};
+  std::uint64_t rejects{0};  ///< guard + interval + key + MAC rejections
+  std::uint64_t elections{0};
+
+  // Engine load.
+  std::uint64_t events{0};       ///< simulator events over the interval
+  std::uint64_t queue_depth{0};  ///< pending events at the sample instant
+
+  // Health.
+  std::uint64_t audit_records{0};  ///< cumulative monitor violations
+  bool recovery_pending{false};    ///< an injected fault not yet recovered
+
+  // Process stats — wall-paced live runs only (sim omits them to stay
+  // bit-reproducible).  <0 / NaN = omitted.
+  std::int64_t rss_kb{-1};
+  double wall_s{std::numeric_limits<double>::quiet_NaN()};
+
+  /// Per-node signed deviation from the network mean (µs), attached to
+  /// cluster samples of small deployments so the analyzer can draw true
+  /// per-node convergence timelines.
+  struct NodeError {
+    std::int64_t node{-1};
+    double err_us{0.0};
+    bool synced{false};
+  };
+  std::vector<NodeError> node_errors;
+};
+
+/// Serializes one sample as a single JSONL line (no trailing newline).
+[[nodiscard]] std::string telemetry_to_jsonl(const TelemetrySample& sample);
+
+/// Appends the sample object to an enclosing JSON document.
+void append_json(json::Writer& w, const TelemetrySample& sample);
+
+/// Parses a {"type":"telemetry",...} object; nullopt when the line is not a
+/// telemetry sample or carries an unknown schema version.
+[[nodiscard]] std::optional<TelemetrySample> telemetry_from_json(
+    const json::Value& value);
+
+/// Current resident set size in KiB, or -1 when unavailable.
+[[nodiscard]] std::int64_t current_rss_kb();
+
+/// Line-buffered JSONL sink.  write_line() appends exactly one line (body +
+/// '\n') and flushes, so readers — and post-mortem tooling after a crash —
+/// only ever see whole lines.  Destruction flushes and closes.
+class JsonlSink {
+ public:
+  JsonlSink() = default;
+  ~JsonlSink() { close(); }
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  /// Opens (truncating) `path`; false + *error on failure.
+  bool open(const std::string& path, std::string* error);
+
+  /// Writes `line` (which must not contain '\n') plus the newline, then
+  /// flushes to the OS.
+  void write_line(std::string_view line);
+
+  void close();
+
+  [[nodiscard]] bool is_open() const { return os_.is_open(); }
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ofstream os_;
+  bool failed_{false};
+  std::uint64_t lines_{0};
+};
+
+/// Monotonic protocol totals a host hands to the sampler; the sampler
+/// subtracts the previous emission's totals to produce per-interval deltas.
+struct TelemetryCumulative {
+  std::uint64_t beacons_tx{0};
+  std::uint64_t beacons_rx{0};
+  std::uint64_t adjustments{0};
+  std::uint64_t coarse_steps{0};
+  std::uint64_t rejects{0};
+  std::uint64_t elections{0};
+  std::uint64_t events{0};
+};
+
+/// Interval gate + delta computer.  Hosts call due(now) on every sampling
+/// tick and, when true, build the gauge part of a sample and hand it to
+/// emit() together with the current cumulative totals.
+class TelemetrySampler {
+ public:
+  struct Options {
+    double interval_s{1.0};
+    std::string source{"sim"};
+    /// Attach RSS / wall-clock fields (wall-paced live runs only).
+    bool process_stats{false};
+  };
+  using EmitFn = std::function<void(const TelemetrySample&)>;
+
+  TelemetrySampler(const Options& options, EmitFn emit);
+
+  /// True when the next sample is due at (or before) virtual time now_s.
+  /// The first sample is due at one full interval, not at t=0.
+  [[nodiscard]] bool due(double now_s) const { return now_s >= next_s_; }
+
+  /// Stamps, deltas, and emits.  `sample` carries the gauge fields (the
+  /// funnel fields are ignored and overwritten with deltas of `totals`).
+  void emit(double now_s, TelemetrySample sample,
+            const TelemetryCumulative& totals);
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+  EmitFn emit_;
+  TelemetryCumulative prev_{};
+  double next_s_;
+  std::int64_t wall_start_us_{0};  // steady-clock anchor for wall_s
+  std::uint64_t emitted_{0};
+};
+
+}  // namespace sstsp::obs

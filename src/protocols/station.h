@@ -8,6 +8,7 @@
 #include "clock/hardware_clock.h"
 #include "fault/recovery.h"
 #include "mac/channel.h"
+#include "obs/flight_recorder.h"
 #include "obs/instruments.h"
 #include "obs/invariants.h"
 #include "obs/profiler.h"
@@ -101,6 +102,16 @@ class Station {
   }
   [[nodiscard]] fault::RecoveryTracker* recovery() { return recovery_; }
 
+  /// Attaches the flight recorder (nullptr detaches): a bounded ring of
+  /// the newest events, dumped as a post-mortem on audit records, node
+  /// failures and SIGUSR1.  Shared per run in the simulator, per node in
+  /// the live stack.
+  void set_flight(obs::FlightRecorder* flight) {
+    flight_ = flight;
+    refresh_observed();
+  }
+  [[nodiscard]] obs::FlightRecorder* flight() { return flight_; }
+
   /// Fault injection: applies a hardware-clock step and/or drift change at
   /// the current instant (fault::ClockFault).  The protocol keeps running on
   /// the perturbed oscillator — exactly what a real glitch looks like.
@@ -126,12 +137,14 @@ class Station {
     if (monitor_ != nullptr) monitor_->on_event(event);
     if (lifecycle_ != nullptr) lifecycle_->on_event(event);
     if (recovery_ != nullptr) recovery_->on_trace_event(event);
+    if (flight_ != nullptr) flight_->on_trace_event(event);
   }
 
  private:
   void refresh_observed() {
     observed_ = trace_ != nullptr || obs_ != nullptr || monitor_ != nullptr ||
-                lifecycle_ != nullptr || recovery_ != nullptr;
+                lifecycle_ != nullptr || recovery_ != nullptr ||
+                flight_ != nullptr;
   }
 
   sim::Simulator& sim_;
@@ -147,6 +160,7 @@ class Station {
   obs::InvariantMonitor* monitor_{nullptr};
   trace::BeaconLifecycle* lifecycle_{nullptr};
   fault::RecoveryTracker* recovery_{nullptr};
+  obs::FlightRecorder* flight_{nullptr};
   bool observed_{false};  ///< any observer attached (cached for trace_event)
   bool awake_{false};
 };

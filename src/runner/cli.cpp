@@ -115,6 +115,21 @@ output:
   --monitor[=strict]    online invariant monitor + beacon-lifecycle tracing;
                         violations become audit records in the JSON report.
                         strict: exit 3 when any audit record was produced
+
+telemetry (DESIGN.md §10):
+  --telemetry-out PATH  append one JSONL telemetry sample per interval:
+                        max/mean offset error, beacon funnel rates, engine
+                        load, recovery state (schema v1; feed sstsp_tracetool)
+  --telemetry-interval S
+                        sampling interval in simulated seconds (default 1)
+  --telemetry-per-node 0|1
+                        attach per-node error arrays to cluster samples
+                        (default: auto, on for runs of <= 64 nodes)
+  --flight-recorder PATH
+                        keep a ring of recent events + samples per run and
+                        dump it to PATH on any new audit record class or on
+                        SIGUSR1 (JSONL, "flight_seq"-tagged)
+  --flight-capacity N   flight-recorder event ring size (default 512)
   --help                this text
 )";
 }
@@ -345,6 +360,30 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
     } else if (arg == "--monitor" || arg == "--monitor=strict") {
       s.monitor = true;
       if (arg == "--monitor=strict") opts.monitor_strict = true;
+    } else if (arg == "--telemetry-out") {
+      if (!next(&s.telemetry_out)) return fail("--telemetry-out needs a path");
+    } else if (arg == "--telemetry-interval") {
+      double p = 0;
+      if (!next(&v) || !parse_double(v, &p) || p <= 0) {
+        return fail("--telemetry-interval needs a positive number of seconds");
+      }
+      s.telemetry_interval_s = p;
+    } else if (arg == "--telemetry-per-node") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 1) {
+        return fail("--telemetry-per-node needs 0 or 1");
+      }
+      s.telemetry_per_node = static_cast<int>(n);
+    } else if (arg == "--flight-recorder") {
+      if (!next(&s.flight_recorder_out)) {
+        return fail("--flight-recorder needs a path");
+      }
+    } else if (arg == "--flight-capacity") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 16) {
+        return fail("--flight-capacity needs an integer >= 16");
+      }
+      s.flight_capacity = static_cast<std::size_t>(n);
     } else {
       return fail("unknown option: " + arg);
     }

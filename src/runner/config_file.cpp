@@ -81,6 +81,14 @@ constexpr KeySpec kSchema[] = {
     {"profile", kAll},
     {"monitor", kAll},
     {"expect-sync", kSwarm},
+    // telemetry / flight recorder (DESIGN.md §10)
+    {"telemetry-out", kAll},
+    {"telemetry-interval", kAll},
+    {"telemetry-per-node", kSim | kSwarm},
+    {"telemetry-udp", kNode},
+    {"flight-recorder", kAll},
+    {"flight-capacity", kAll},
+    {"watch", kSwarm},
 };
 
 const KeySpec* find_key(std::string_view key) {

@@ -74,6 +74,41 @@ Network::Network(const Scenario& scenario)
       }
     }
   }
+  if (!scenario_.flight_recorder_out.empty()) {
+    flight_sink_ = std::make_unique<obs::JsonlSink>();
+    std::string err;
+    if (!flight_sink_->open(scenario_.flight_recorder_out, &err)) {
+      throw std::runtime_error(err);
+    }
+    obs::FlightRecorder::Config cfg;
+    cfg.event_capacity = scenario_.flight_capacity;
+    flight_ = std::make_unique<obs::FlightRecorder>(cfg, flight_sink_.get());
+    if (monitor_ != nullptr) {
+      // Dump the retained history the instant a *new* violation class
+      // appears — the post-mortem is written before the failure cascades.
+      monitor_->set_on_new_record(
+          [this](sim::SimTime now, const obs::AuditRecord& rec) {
+            flight_->on_audit_record(now.to_sec(), rec);
+          });
+    }
+  }
+  if (!scenario_.telemetry_out.empty()) {
+    telemetry_sink_ = std::make_unique<obs::JsonlSink>();
+    std::string err;
+    if (!telemetry_sink_->open(scenario_.telemetry_out, &err)) {
+      throw std::runtime_error(err);
+    }
+    obs::TelemetrySampler::Options opt;
+    opt.interval_s =
+        scenario_.telemetry_interval_s > 0.0 ? scenario_.telemetry_interval_s
+                                             : 1.0;
+    opt.source = "sim";
+    sampler_ = std::make_unique<obs::TelemetrySampler>(
+        opt, [this](const obs::TelemetrySample& sample) {
+          telemetry_sink_->write_line(obs::telemetry_to_jsonl(sample));
+          if (flight_ != nullptr) flight_->on_sample(sample);
+        });
+  }
   build_stations();
 }
 
@@ -194,6 +229,7 @@ void Network::build_stations() {
     station->set_monitor(monitor_.get());
     station->set_lifecycle(lifecycle_.get());
     station->set_recovery(recovery_.get());
+    station->set_flight(flight_.get());
   }
 }
 
@@ -331,26 +367,95 @@ void Network::sample_clock_spread() {
     if (!st.awake() || !st.protocol().is_synchronized()) continue;
     sample_values_.push_back(st.protocol().network_time_us(now));
   }
-  if (sample_values_.empty()) return;
-  double lo = sample_values_.front();
-  double hi = lo;
+  const bool have = !sample_values_.empty();
+  double lo = 0.0;
+  double hi = 0.0;
   double sum = 0.0;
-  for (const double v : sample_values_) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-    sum += v;
-  }
-  const double diff = hi - lo;
-  max_diff_.push(now.to_sec(), diff);
-  if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
-  if (recovery_ != nullptr) recovery_->on_max_diff_sample(now.to_sec(), diff);
-  if (instruments_ != nullptr) {
-    instruments_->on_max_diff_sample(diff);
-    const double mean = sum / static_cast<double>(sample_values_.size());
+  if (have) {
+    lo = hi = sample_values_.front();
     for (const double v : sample_values_) {
-      instruments_->on_node_error_sample(std::fabs(v - mean));
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    const double diff = hi - lo;
+    max_diff_.push(now.to_sec(), diff);
+    if (monitor_ != nullptr) monitor_->on_max_diff_sample(now, diff);
+    if (recovery_ != nullptr) {
+      recovery_->on_max_diff_sample(now.to_sec(), diff);
+    }
+    if (instruments_ != nullptr) {
+      instruments_->on_max_diff_sample(diff);
+      const double mean = sum / static_cast<double>(sample_values_.size());
+      for (const double v : sample_values_) {
+        instruments_->on_node_error_sample(std::fabs(v - mean));
+      }
     }
   }
+  // Telemetry rides the same tick — no extra events, so a seeded run's
+  // event/RNG sequence is identical with telemetry on or off.
+  if (sampler_ != nullptr && sampler_->due(now.to_sec())) {
+    emit_telemetry(now, have, lo, hi, sum);
+  }
+  if (dump_flag_ != nullptr && *dump_flag_ != 0) {
+    *dump_flag_ = 0;
+    if (flight_ != nullptr) {
+      flight_->dump(now.to_sec(), "dump-request", nullptr);
+    }
+  }
+}
+
+void Network::emit_telemetry(sim::SimTime now, bool have, double lo,
+                             double hi, double sum) {
+  obs::TelemetrySample s;
+  s.nodes_total = scenario_.num_nodes;
+  int awake = 0;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (i == attacker_index_) continue;
+    if (stations_[i]->awake()) ++awake;
+  }
+  s.nodes_awake = awake;
+  s.nodes_synced = static_cast<int>(sample_values_.size());
+  const auto ref = current_reference_index();
+  if (ref) s.reference = static_cast<std::int64_t>(*ref);
+  const auto count = sample_values_.size();
+  const double mean = have ? sum / static_cast<double>(count) : 0.0;
+  if (count >= 2) {
+    s.max_offset_us = hi - lo;
+    double abs_dev = 0.0;
+    for (const double v : sample_values_) abs_dev += std::fabs(v - mean);
+    s.mean_offset_us = abs_dev / static_cast<double>(count);
+  }
+  s.queue_depth = sim_.events_pending();
+  if (monitor_ != nullptr) s.audit_records = monitor_->total_violations();
+  s.recovery_pending = recovery_ != nullptr && recovery_->pending();
+
+  const bool per_node =
+      scenario_.telemetry_per_node > 0 ||
+      (scenario_.telemetry_per_node < 0 && scenario_.num_nodes <= 64);
+  if (per_node && have) {
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      if (i == attacker_index_) continue;
+      const proto::Station& st = *stations_[i];
+      obs::TelemetrySample::NodeError e;
+      e.node = static_cast<std::int64_t>(st.id());
+      e.synced = st.awake() && st.protocol().is_synchronized();
+      if (e.synced) e.err_us = st.protocol().network_time_us(now) - mean;
+      s.node_errors.push_back(e);
+    }
+  }
+
+  obs::TelemetryCumulative cum;
+  const proto::ProtocolStats hs = honest_stats();
+  cum.beacons_tx = hs.beacons_sent;
+  cum.beacons_rx = hs.beacons_received;
+  cum.adjustments = hs.adjustments + hs.adoptions;
+  cum.coarse_steps = hs.coarse_steps;
+  cum.rejects = hs.rejected_interval + hs.rejected_key + hs.rejected_mac +
+                hs.rejected_guard;
+  cum.elections = hs.elections_won;
+  cum.events = sim_.events_processed();
+  sampler_->emit(now.to_sec(), std::move(s), cum);
 }
 
 std::optional<std::size_t> Network::current_reference_index() const {

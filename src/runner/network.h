@@ -3,16 +3,19 @@
 // metric sampling), then runs it.
 #pragma once
 
+#include <csignal>
 #include <memory>
 #include <vector>
 
 #include "core/key_directory.h"
 #include "fault/injector.h"
 #include "fault/recovery.h"
+#include "obs/flight_recorder.h"
 #include "obs/instruments.h"
 #include "obs/invariants.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/telemetry.h"
 #include "trace/event_trace.h"
 #include "trace/lifecycle.h"
 #include "metrics/series.h"
@@ -93,12 +96,31 @@ class Network {
     return recovery_.get();
   }
 
+  /// Streaming telemetry / flight recorder; nullptr unless the scenario
+  /// sets telemetry_out / flight_recorder_out.  The Network constructor
+  /// throws std::runtime_error when either output path cannot be opened.
+  [[nodiscard]] obs::TelemetrySampler* telemetry_sampler() {
+    return sampler_.get();
+  }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() {
+    return flight_.get();
+  }
+
+  /// Registers an async-signal flag (SIGUSR1 handler storage): when the
+  /// flag is non-zero at a sampling tick, the flight recorder dumps with
+  /// reason "dump-request" and the flag is cleared.
+  void set_dump_request_flag(volatile std::sig_atomic_t* flag) {
+    dump_flag_ = flag;
+  }
+
  private:
   void build_stations();
   void schedule_environment();
   void schedule_faults();
   void schedule_sampling();
   void sample_clock_spread();
+  void emit_telemetry(sim::SimTime now, bool have, double lo, double hi,
+                      double sum);
 
   Scenario scenario_;
   sim::Simulator sim_;
@@ -113,6 +135,11 @@ class Network {
   std::unique_ptr<trace::BeaconLifecycle> lifecycle_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::RecoveryTracker> recovery_;
+  std::unique_ptr<obs::JsonlSink> flight_sink_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::JsonlSink> telemetry_sink_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
+  volatile std::sig_atomic_t* dump_flag_{nullptr};
   std::size_t attacker_index_;  // == stations_.size() when no attacker
   metrics::Series max_diff_;
   std::vector<double> sample_values_;  // reused per sampling tick

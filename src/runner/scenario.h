@@ -99,6 +99,22 @@ struct Scenario {
   /// collected as audit records in RunResult::audit.
   bool monitor = false;
 
+  /// Streaming telemetry (DESIGN.md §10): when non-empty, append one
+  /// TelemetrySample JSONL line per telemetry_interval_s of virtual time to
+  /// this path.  Piggybacks on the clock-spread sampling tick, so enabling
+  /// it adds no simulator events and leaves seeded runs bit-identical.
+  std::string telemetry_out{};
+  double telemetry_interval_s = 1.0;
+  /// Attach per-node offset errors to cluster samples: 1 on, 0 off,
+  /// -1 auto (on while num_nodes <= 64).
+  int telemetry_per_node = -1;
+
+  /// Flight recorder (obs::FlightRecorder): when non-empty, retain the
+  /// newest flight_capacity protocol events and dump them to this path on
+  /// any new audit record or an external dump request (SIGUSR1).
+  std::string flight_recorder_out{};
+  std::size_t flight_capacity = 512;
+
   /// Convenience: the paper's §5 environment (churn + reference
   /// departures) on top of the defaults.
   [[nodiscard]] static Scenario paper_section5(ProtocolKind protocol,

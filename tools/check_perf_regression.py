@@ -17,6 +17,15 @@ Exit status: 0 ok, 1 regression detected, 2 usage/schema error.
 CI machines are noisy, so the default tolerance is deliberately loose; the
 gate exists to catch order-of-magnitude mistakes (an accidental O(N^2) in
 the fan-out, a debug build slipping into the lane), not 5 % drift.
+
+--metrics and --samples narrow the comparison.  The telemetry-overhead gate
+uses both: it compares two documents produced by the SAME machine in the
+SAME process minutes apart (BENCH_perf.json vs BENCH_perf_telemetry.json),
+so a much tighter tolerance is meaningful there:
+
+  check_perf_regression.py BENCH_perf.json BENCH_perf_telemetry.json \\
+      --tolerance 0.02 --metrics events_per_sec \\
+      --samples sstsp_n2000,tsf_n2000
 """
 
 import argparse
@@ -32,7 +41,7 @@ TRACKED = (
 )
 
 
-def load_samples(path):
+def load_samples(path, tracked=TRACKED):
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
     if doc.get("bench") != "perf_smoke":
@@ -45,7 +54,7 @@ def load_samples(path):
         label = sample.get("label")
         if not label:
             raise ValueError(f"{path}: samples[{i}] has no 'label'")
-        for key, _ in TRACKED:
+        for key, _ in tracked:
             if key not in sample:
                 raise ValueError(
                     f"{path}: sample '{label}' is missing tracked metric "
@@ -67,22 +76,50 @@ def main():
     parser.add_argument("fresh")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--metrics", default=None,
+                        help="comma-separated subset of tracked metrics to "
+                             "compare (default: all)")
+    parser.add_argument("--samples", default=None,
+                        help="comma-separated sample labels to compare "
+                             "(default: every baseline label)")
     args = parser.parse_args()
 
+    tracked = TRACKED
+    if args.metrics is not None:
+        wanted = [m.strip() for m in args.metrics.split(",") if m.strip()]
+        known = {key for key, _ in TRACKED}
+        unknown = [m for m in wanted if m not in known]
+        if unknown or not wanted:
+            print(f"error: --metrics: unknown metric(s) "
+                  f"{unknown or args.metrics!r}; tracked: "
+                  f"{', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+        tracked = [(key, d) for key, d in TRACKED if key in wanted]
+
     try:
-        baseline = load_samples(args.baseline)
-        fresh = load_samples(args.fresh)
+        baseline = load_samples(args.baseline, tracked)
+        fresh = load_samples(args.fresh, tracked)
     except (OSError, ValueError, KeyError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
+    labels = sorted(baseline)
+    if args.samples is not None:
+        labels = [l.strip() for l in args.samples.split(",") if l.strip()]
+        missing = [l for l in labels if l not in baseline]
+        if missing or not labels:
+            print(f"error: --samples: label(s) not in baseline: "
+                  f"{missing or args.samples!r}", file=sys.stderr)
+            return 2
+
     failures = []
-    for label, base in sorted(baseline.items()):
+    for label in labels:
+        base = baseline[label]
         cur = fresh.get(label)
         if cur is None:
             failures.append(f"{label}: missing from fresh run")
             continue
-        for key, direction in TRACKED:
+        for key, direction in tracked:
             b, c = float(base[key]), float(cur[key])
             if b <= 0:
                 continue  # nothing meaningful to compare against

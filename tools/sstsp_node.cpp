@@ -33,10 +33,13 @@
 #include "metrics/report.h"
 #include "net/node.h"
 #include "net/reactor.h"
+#include "net/telemetry_link.h"
 #include "net/udp.h"
+#include "obs/flight_recorder.h"
 #include "obs/instruments.h"
 #include "obs/invariants.h"
 #include "obs/profiler.h"
+#include "obs/telemetry.h"
 #include "runner/config_file.h"
 #include "runner/run_output.h"
 #include "trace/lifecycle.h"
@@ -44,8 +47,10 @@
 namespace {
 
 volatile std::sig_atomic_t g_interrupted = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void on_signal(int) { g_interrupted = 1; }
+void on_sigusr1(int) { g_dump_requested = 1; }
 
 bool parse_double(const std::string& s, double* out) {
   try {
@@ -134,6 +139,16 @@ config:
 output (same semantics as sstsp_sim):
   --json-out PATH, --metrics-out PATH, --trace, --trace-limit N,
   --trace-kind KIND, --profile, --monitor[=strict]
+
+telemetry (same schema as sstsp_sim; DESIGN.md §10):
+  --telemetry-out PATH  append this node's JSONL samples (source "node")
+  --telemetry-udp HOST:PORT
+                        also publish each sample as one UDP datagram (e.g.
+                        to a sstsp_swarm collector or `nc -lu`)
+  --telemetry-interval S  sampling interval in seconds (default 1)
+  --flight-recorder PATH  ring of recent events + samples, dumped on new
+                        audit record classes and SIGUSR1
+  --flight-capacity N   flight-recorder event ring size (default 512)
   --help                this text
 )";
 }
@@ -151,6 +166,12 @@ struct NodeCli {
   bool collect_metrics = true;
   bool profile = false;
   bool monitor = false;
+  std::string telemetry_out;
+  std::string telemetry_udp_host;
+  std::uint16_t telemetry_udp_port = 0;
+  double telemetry_interval_s = 1.0;
+  std::string flight_recorder_out;
+  std::size_t flight_capacity = 512;
   sstsp::run::OutputOptions output;
   bool help = false;
 };
@@ -339,6 +360,29 @@ std::optional<NodeCli> parse_args(const std::vector<std::string>& args,
     } else if (arg == "--monitor" || arg == "--monitor=strict") {
       cli.monitor = true;
       if (arg == "--monitor=strict") cli.output.monitor_strict = true;
+    } else if (arg == "--telemetry-out") {
+      if (!next(&cli.telemetry_out)) {
+        return fail("--telemetry-out needs a path");
+      }
+    } else if (arg == "--telemetry-udp") {
+      if (!next(&v) || !parse_endpoint(v, &cli.telemetry_udp_host,
+                                       &cli.telemetry_udp_port)) {
+        return fail("--telemetry-udp needs HOST:PORT");
+      }
+    } else if (arg == "--telemetry-interval") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--telemetry-interval needs a positive number of seconds");
+      }
+      cli.telemetry_interval_s = d;
+    } else if (arg == "--flight-recorder") {
+      if (!next(&cli.flight_recorder_out)) {
+        return fail("--flight-recorder needs a path");
+      }
+    } else if (arg == "--flight-capacity") {
+      if (!next(&v) || !parse_int(v, &n) || n < 16) {
+        return fail("--flight-capacity needs an integer >= 16");
+      }
+      cli.flight_capacity = static_cast<std::size_t>(n);
     } else {
       return fail("unknown option: " + arg);
     }
@@ -467,6 +511,44 @@ int main(int argc, char** argv) {
   node.set_monitor(monitor.get());
   node.set_lifecycle(lifecycle.get());
 
+  // Telemetry + flight recorder (DESIGN.md §10).
+  std::unique_ptr<obs::JsonlSink> flight_sink;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (!cli->flight_recorder_out.empty()) {
+    flight_sink = std::make_unique<obs::JsonlSink>();
+    if (!flight_sink->open(cli->flight_recorder_out, &error)) {
+      std::cerr << "error: " << error << '\n';
+      return 1;
+    }
+    obs::FlightRecorder::Config fc;
+    fc.event_capacity = cli->flight_capacity;
+    flight = std::make_unique<obs::FlightRecorder>(fc, flight_sink.get());
+    node.set_flight(flight.get());
+    if (monitor) {
+      monitor->set_on_new_record(
+          [&flight](sim::SimTime when, const obs::AuditRecord& rec) {
+            flight->on_audit_record(when.to_sec(), rec);
+          });
+    }
+  }
+  std::unique_ptr<obs::JsonlSink> telemetry_sink;
+  if (!cli->telemetry_out.empty()) {
+    telemetry_sink = std::make_unique<obs::JsonlSink>();
+    if (!telemetry_sink->open(cli->telemetry_out, &error)) {
+      std::cerr << "error: " << error << '\n';
+      return 1;
+    }
+  }
+  std::unique_ptr<net::TelemetryExporter> telemetry_exporter;
+  if (!cli->telemetry_udp_host.empty()) {
+    telemetry_exporter = net::TelemetryExporter::open(
+        cli->telemetry_udp_host, cli->telemetry_udp_port, &error);
+    if (!telemetry_exporter) {
+      std::cerr << "error: --telemetry-udp: " << error << '\n';
+      return 1;
+    }
+  }
+
   run::RunOutput output(cli->output);
   if (!output.begin(event_trace.get(), &error)) {
     std::cerr << "error: " << error << '\n';
@@ -496,12 +578,37 @@ int main(int argc, char** argv) {
               cli->epoch_unix_s;
   }
   const auto start_sim = sim::SimTime::from_sec_double(start_s);
-  sim.at(start_sim, [&node] { node.start(); });
+  const auto end_sim =
+      start_sim + sim::SimTime::from_sec_double(cli->duration_s);
+  sim.at(start_sim, [&] {
+    node.start();
+    if (telemetry_sink || telemetry_exporter || flight) {
+      // Scheduled from the start instant so the first tick lands one
+      // interval into the run, not at a stale pre-epoch time.
+      obs::TelemetrySampler::Options topts;
+      topts.interval_s = cli->telemetry_interval_s;
+      topts.source = "node";
+      topts.process_stats = true;  // wall-paced: RSS + wall clock apply
+      node.start_telemetry(
+          topts, end_sim, [&](const obs::TelemetrySample& sample) {
+            if (telemetry_sink) {
+              telemetry_sink->write_line(obs::telemetry_to_jsonl(sample));
+            }
+            if (telemetry_exporter) telemetry_exporter->publish(sample);
+            // SIGUSR1 poll, piggybacked on the telemetry tick (the only
+            // periodic event this tool owns).
+            if (flight && g_dump_requested != 0) {
+              g_dump_requested = 0;
+              flight->dump(sim.now().to_sec(), "dump-request", nullptr);
+            }
+          });
+    }
+  });
+  if (flight) std::signal(SIGUSR1, on_sigusr1);
   reactor.anchor(start_sim);
 
   const auto wall_start = std::chrono::steady_clock::now();
-  reactor.run_until(start_sim +
-                    sim::SimTime::from_sec_double(cli->duration_s));
+  reactor.run_until(end_sim);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

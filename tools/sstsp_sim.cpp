@@ -4,17 +4,27 @@
 //   $ sstsp_sim --protocol tsf --nodes 300 --paper-env --csv tsf300.csv
 //   $ sstsp_sim --attack internal-ref --attack-window 100,200 --trace
 //   $ sstsp_sim --json-out run.jsonl --metrics-out metrics.json --profile
+//   $ sstsp_sim --telemetry-out tele.jsonl --flight-recorder flight.jsonl
 //   $ sstsp_sim --config experiment.json
 //
 // See --help for the full option list.  Everything the tool does is also
 // available programmatically through runner::run_scenario.
 #include <chrono>
+#include <csignal>
+#include <exception>
 #include <iostream>
 
 #include "runner/cli.h"
 #include "runner/experiment.h"
 #include "runner/network.h"
 #include "runner/run_output.h"
+
+namespace {
+// SIGUSR1 -> flight-recorder dump at the next sampling tick (async-signal-
+// safe: the handler only sets the flag; the run loop does the I/O).
+volatile std::sig_atomic_t g_dump_requested = 0;
+void on_sigusr1(int) { g_dump_requested = 1; }
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sstsp;
@@ -39,21 +49,31 @@ int main(int argc, char** argv) {
   if (!s.faults.empty()) std::cout << ", faults injected";
   std::cout << " ...\n";
 
-  run::Network net(s);
+  try {
+    run::Network net(s);
+    if (!s.flight_recorder_out.empty()) {
+      std::signal(SIGUSR1, on_sigusr1);
+      net.set_dump_request_flag(&g_dump_requested);
+    }
 
-  run::RunOutput output(run::OutputOptions::from_cli(*opts));
-  if (!output.begin(net.trace(), &error)) {
-    std::cerr << "error: " << error << '\n';
+    run::RunOutput output(run::OutputOptions::from_cli(*opts));
+    if (!output.begin(net.trace(), &error)) {
+      std::cerr << "error: " << error << '\n';
+      return 1;
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    net.run();
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const run::RunResult result = run::collect_result(net, wall_seconds);
+
+    return output.finish(std::cout, std::cerr, s, result, net.trace());
+  } catch (const std::exception& e) {
+    // Network's constructor throws on unopenable telemetry/flight sinks.
+    std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-
-  const auto wall_start = std::chrono::steady_clock::now();
-  net.run();
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-  const run::RunResult result = run::collect_result(net, wall_seconds);
-
-  return output.finish(std::cout, std::cerr, s, result, net.trace());
 }

@@ -27,8 +27,10 @@
 namespace {
 
 volatile std::sig_atomic_t g_interrupted = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void on_signal(int) { g_interrupted = 1; }
+void on_sigusr1(int) { g_dump_requested = 1; }
 
 bool parse_double(const std::string& s, double* out) {
   try {
@@ -112,6 +114,21 @@ config:
 output (same semantics as sstsp_sim):
   --csv PATH, --chart, --trace, --trace-limit N, --trace-kind KIND,
   --json-out PATH, --metrics-out PATH, --profile, --monitor[=strict]
+
+telemetry (same schema as sstsp_sim; DESIGN.md §10):
+  --telemetry-out PATH  aggregate JSONL stream: cluster samples
+                        (source "swarm") + per-node samples published by
+                        every node — over a datagram socket on the reactor
+                        in UDP mode, in-process on loopback
+  --telemetry-interval S  sampling interval in seconds (default 1)
+  --telemetry-per-node 0|1  per-node error arrays on cluster samples
+                        (default auto: on for <= 64 nodes)
+  --flight-recorder PATH  ring of recent events + samples, dumped on new
+                        audit record classes, unplanned node failures and
+                        SIGUSR1
+  --flight-capacity N   flight-recorder event ring size (default 512)
+  --watch               live status line on stderr, one refresh per
+                        telemetry interval (wall-paced runs)
 
 checks:
   --expect-sync         exit 4 unless a reference holds the role and the
@@ -311,6 +328,31 @@ std::optional<SwarmCli> parse_args(const std::vector<std::string>& args,
     } else if (arg == "--monitor" || arg == "--monitor=strict") {
       cli.swarm.monitor = true;
       if (arg == "--monitor=strict") cli.output.monitor_strict = true;
+    } else if (arg == "--telemetry-out") {
+      if (!next(&cli.swarm.telemetry_out)) {
+        return fail("--telemetry-out needs a path");
+      }
+    } else if (arg == "--telemetry-interval") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--telemetry-interval needs a positive number of seconds");
+      }
+      cli.swarm.telemetry_interval_s = d;
+    } else if (arg == "--telemetry-per-node") {
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 1) {
+        return fail("--telemetry-per-node needs 0 or 1");
+      }
+      cli.swarm.telemetry_per_node = static_cast<int>(n);
+    } else if (arg == "--flight-recorder") {
+      if (!next(&cli.swarm.flight_recorder_out)) {
+        return fail("--flight-recorder needs a path");
+      }
+    } else if (arg == "--flight-capacity") {
+      if (!next(&v) || !parse_int(v, &n) || n < 16) {
+        return fail("--flight-capacity needs an integer >= 16");
+      }
+      cli.swarm.flight_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--watch") {
+      cli.swarm.watch = true;
     } else if (arg == "--expect-sync") {
       cli.expect_sync = true;
     } else {
@@ -359,6 +401,10 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     swarm->set_interrupt_flag(&g_interrupted);
+  }
+  if (!cli->swarm.flight_recorder_out.empty()) {
+    std::signal(SIGUSR1, on_sigusr1);
+    swarm->set_dump_request_flag(&g_dump_requested);
   }
 
   run::RunOutput output(cli->output);

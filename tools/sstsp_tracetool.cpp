@@ -1,0 +1,142 @@
+// sstsp_tracetool — cross-node trace/telemetry analyzer.
+//
+// Merges the JSONL streams a run (or several per-node runs) produced —
+// event streams (--json-out), telemetry time-series (--telemetry-out),
+// flight-recorder dumps and run summaries — and reports the beacon funnel,
+// the convergence timeline (first sync, error spikes, re-convergence) and
+// per-fault recovery, stitched across nodes by trace_id:
+//
+//   $ sstsp_tracetool run.jsonl tele.jsonl
+//   $ sstsp_tracetool --merged-out merged.jsonl --timeline-out t.csv
+//         node0.jsonl node1.jsonl node2.jsonl swarm-tele.jsonl
+//   $ sstsp_tracetool --curves-out curves.csv faulted-run.jsonl tele.jsonl
+//
+// Torn lines (a crashed writer's truncated tail) are counted and skipped,
+// never fatal.  Exit codes: 0 ok, 1 I/O error, 2 usage.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/analyzer.h"
+
+namespace {
+
+const char* usage() {
+  return R"(usage: sstsp_tracetool [options] FILE...
+
+Analyzes JSONL streams from sstsp_sim / sstsp_swarm / sstsp_node: protocol
+events, telemetry samples, flight-recorder dumps and run summaries, in any
+combination and split across any number of files.
+
+options:
+  --merged-out PATH     write all inputs as one time-ordered JSONL stream
+  --timeline-out PATH   write the convergence timeline as CSV
+                        (t_s,node,err_us,synced; node -1 = cluster max)
+  --curves-out PATH     write per-fault recovery curves as CSV (needs fault
+                        marks from a {"type":"summary"} record)
+  --threshold US        sync threshold for convergence/spike analysis
+                        (default 25, the paper's industry bound)
+  --quiet               suppress the report (writers only)
+  --help                this text
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sstsp;
+
+  std::string merged_out;
+  std::string timeline_out;
+  std::string curves_out;
+  bool quiet = false;
+  trace::AnalyzerOptions options;
+  std::vector<std::string> files;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= args.size()) return false;
+      *out = args[++i];
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return 0;
+    } else if (arg == "--merged-out") {
+      if (!next(&merged_out)) {
+        std::cerr << "error: --merged-out needs a path\n\n" << usage();
+        return 2;
+      }
+    } else if (arg == "--timeline-out") {
+      if (!next(&timeline_out)) {
+        std::cerr << "error: --timeline-out needs a path\n\n" << usage();
+        return 2;
+      }
+    } else if (arg == "--curves-out") {
+      if (!next(&curves_out)) {
+        std::cerr << "error: --curves-out needs a path\n\n" << usage();
+        return 2;
+      }
+    } else if (arg == "--threshold") {
+      std::string v;
+      double t = 0.0;
+      try {
+        std::size_t used = 0;
+        if (!next(&v)) throw std::invalid_argument("missing");
+        t = std::stod(v, &used);
+        if (used != v.size() || t <= 0.0) throw std::invalid_argument(v);
+      } catch (...) {
+        std::cerr << "error: --threshold needs a positive value in us\n\n"
+                  << usage();
+        return 2;
+      }
+      options.sync_threshold_us = t;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown option: " << arg << "\n\n" << usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "error: no input files\n\n" << usage();
+    return 2;
+  }
+
+  std::string error;
+  const auto analysis = trace::TraceAnalysis::load(files, &error, options);
+  if (!analysis) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
+  }
+
+  if (!merged_out.empty() &&
+      !analysis->write_merged_jsonl(merged_out, &error)) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
+  }
+  if (!timeline_out.empty() &&
+      !analysis->write_timeline_csv(timeline_out, &error)) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
+  }
+  if (!curves_out.empty()) {
+    const auto curves = analysis->recovery_curves();
+    if (curves.empty()) {
+      std::cerr << "warning: --curves-out: no fault marks found (no "
+                   "{\"type\":\"summary\"} with recovery records in the "
+                   "inputs); writing an empty table\n";
+    }
+    if (!trace::TraceAnalysis::write_curves_csv(curves, curves_out, &error)) {
+      std::cerr << "error: " << error << '\n';
+      return 1;
+    }
+  }
+
+  if (!quiet) analysis->print_report(std::cout);
+  return 0;
+}
