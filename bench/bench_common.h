@@ -17,6 +17,7 @@
 
 #include "metrics/report.h"
 #include "obs/json.h"
+#include "obs/provenance.h"
 #include "runner/experiment.h"
 #include "runner/json_report.h"
 
@@ -178,6 +179,9 @@ inline void write_perf_json(const std::string& path,
     w.end_object();
   }
   w.end_array();
+  // Provenance (git sha, compiler, build flags, host): a perf number with
+  // no record of what built it is uncomparable months later.
+  obs::append_provenance_json(w);
   w.end_object();
   os << '\n';
   std::cout << "(perf samples written to " << path << ")\n";

@@ -23,9 +23,17 @@
 // second.  The committed-baseline comparison above is deliberately not
 // reused here: a 2 % question needs paired fresh runs, not a months-old
 // number from different hardware.
+//
+// SSTSP_PERF_SAMPLER works the same way for the phase-sampling profiler
+// (DESIGN.md §11): paired control vs --sampler runs at n=2000, best-of-five
+// CPU seconds each, written to BENCH_perf_sampler_base.json and
+// BENCH_perf_sampler.json; CI gates the sampler's cost at the same 2 %.
 #include <sys/resource.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -37,6 +45,32 @@ long peak_rss_kb() {
   rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
   return usage.ru_maxrss;  // KiB on Linux
+}
+
+// Resets the kernel's RSS high-water mark so the next vm_hwm_kb() read is
+// per-scenario, not the process-lifetime maximum getrusage() reports.
+// Writing "5" to /proc/self/clear_refs is Linux-specific and can be absent
+// (kernel without CONFIG_PROC_PAGE_MONITOR, hardened container); callers
+// fall back to the monotonic getrusage() number when this returns false.
+bool reset_rss_peak() {
+  std::ofstream f("/proc/self/clear_refs");
+  if (!f.is_open()) return false;
+  f << "5";
+  f.flush();
+  return f.good();
+}
+
+// Per-scenario peak RSS: VmHWM from /proc/self/status, valid since the last
+// successful reset_rss_peak().
+long vm_hwm_kb() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
 }
 
 // Process CPU seconds (user + system).  The telemetry-overhead pass works
@@ -72,6 +106,7 @@ int main() {
   const double duration_s = 60.0;
 
   std::vector<bench::PerfSample> samples;
+  bool rss_per_scenario = true;
   for (const Point& p : points) {
     run::Scenario s;
     s.protocol = p.protocol;
@@ -80,6 +115,8 @@ int main() {
     s.seed = 2006;
     s.sstsp.chain_length = 2200;
     s.collect_metrics = false;  // bare hot path: no instruments/profiler
+    const bool rss_reset = reset_rss_peak();
+    rss_per_scenario = rss_per_scenario && rss_reset;
     const auto r = run::run_scenario(s);
 
     bench::PerfSample sample;
@@ -91,7 +128,7 @@ int main() {
     sample.wall_seconds = r.wall_seconds;
     sample.events = r.events_processed;
     sample.deliveries = r.channel.deliveries;
-    sample.peak_rss_kb = peak_rss_kb();
+    sample.peak_rss_kb = rss_reset ? vm_hwm_kb() : peak_rss_kb();
     samples.push_back(sample);
     std::cout << sample.label << ": " << metrics::fmt(r.wall_seconds, 3)
               << " s wall\n";
@@ -108,72 +145,104 @@ int main() {
                                 1)});
   }
   table.print(std::cout);
-  std::cout << "(peak RSS is the process high-water mark at sample time, so "
-               "later rows include earlier runs'\n memory; per-scenario "
-               "deltas are indicative only)\n";
+  if (rss_per_scenario) {
+    std::cout << "(peak RSS is per-scenario: the kernel watermark is reset "
+                 "before each run via\n /proc/self/clear_refs, so rows are "
+                 "directly comparable)\n";
+  } else {
+    std::cout << "(peak RSS is the process high-water mark at sample time — "
+                 "/proc/self/clear_refs is\n unavailable here, so later rows "
+                 "include earlier runs' memory; per-scenario deltas\n are "
+                 "indicative only)\n";
+  }
 
   bench::write_perf_json(bench::out_dir() + "/BENCH_perf.json", samples);
 
-  if (std::getenv("SSTSP_PERF_TELEMETRY") != nullptr) {
-    std::cout << "\ntelemetry overhead pass (SSTSP_PERF_TELEMETRY set):\n";
-    std::vector<bench::PerfSample> control_samples;
-    std::vector<bench::PerfSample> tele_samples;
-    for (const Point& p : points) {
-      if (p.nodes != 2000) continue;  // overhead only matters at scale
-      const std::string label = std::string(run::protocol_name(p.protocol)) +
-                                "_n" + std::to_string(p.nodes);
-      run::Scenario base;
-      base.protocol = p.protocol;
-      base.num_nodes = p.nodes;
-      base.duration_s = duration_s;
-      base.seed = 2006;
-      base.sstsp.chain_length = 2200;
-      base.collect_metrics = false;
+  // Paired-overhead passes: alternate control and variant runs of the same
+  // pinned n=2000 scenarios and keep the best CPU seconds of five of each
+  // (noise is one-sided — runs only ever get slower), writing two fresh
+  // same-machine documents for CI to compare at a tight tolerance.
+  const auto paired_pass =
+      [&](const char* what, const std::string& base_out,
+          const std::string& variant_out,
+          const std::function<void(run::Scenario&, const std::string&)>&
+              enable_variant) {
+        std::cout << '\n' << what << " overhead pass:\n";
+        std::vector<bench::PerfSample> control_samples;
+        std::vector<bench::PerfSample> variant_samples;
+        for (const Point& p : points) {
+          if (p.nodes != 2000) continue;  // overhead only matters at scale
+          const std::string label =
+              std::string(run::protocol_name(p.protocol)) + "_n" +
+              std::to_string(p.nodes);
+          run::Scenario base;
+          base.protocol = p.protocol;
+          base.num_nodes = p.nodes;
+          base.duration_s = duration_s;
+          base.seed = 2006;
+          base.sstsp.chain_length = 2200;
+          base.collect_metrics = false;
 
-      run::Scenario tele = base;
-      tele.telemetry_interval_s = 1.0;
-      tele.telemetry_per_node = 0;  // cluster gauges only, like a real fleet
-      tele.telemetry_out =
-          bench::out_dir() + "/perf_telemetry_" + label + ".jsonl";
+          run::Scenario variant = base;
+          enable_variant(variant, label);
 
-      bench::PerfSample best_control;
-      bench::PerfSample best_tele;
-      for (int round = 0; round < 5; ++round) {
-        for (const bool with_telemetry : {false, true}) {
-          const double cpu_before = process_cpu_seconds();
-          const auto r = run::run_scenario(with_telemetry ? tele : base);
-          const double cpu_s = process_cpu_seconds() - cpu_before;
-          bench::PerfSample sample;
-          sample.label = label;
-          sample.protocol = run::protocol_name(p.protocol);
-          sample.nodes = p.nodes;
-          sample.sim_seconds = duration_s;
-          // CPU seconds, deliberately — see process_cpu_seconds().  The
-          // derived events_per_sec is events per CPU second here.
-          sample.wall_seconds = cpu_s;
-          sample.events = r.events_processed;
-          sample.deliveries = r.channel.deliveries;
-          sample.peak_rss_kb = peak_rss_kb();  // process-wide high-water
-          bench::PerfSample& best =
-              with_telemetry ? best_tele : best_control;
-          if (best.label.empty() || sample.wall_seconds < best.wall_seconds) {
-            best = sample;
+          bench::PerfSample best_control;
+          bench::PerfSample best_variant;
+          for (int round = 0; round < 5; ++round) {
+            for (const bool with_variant : {false, true}) {
+              const double cpu_before = process_cpu_seconds();
+              const auto r =
+                  run::run_scenario(with_variant ? variant : base);
+              const double cpu_s = process_cpu_seconds() - cpu_before;
+              bench::PerfSample sample;
+              sample.label = label;
+              sample.protocol = run::protocol_name(p.protocol);
+              sample.nodes = p.nodes;
+              sample.sim_seconds = duration_s;
+              // CPU seconds, deliberately — see process_cpu_seconds().  The
+              // derived events_per_sec is events per CPU second here.
+              sample.wall_seconds = cpu_s;
+              sample.events = r.events_processed;
+              sample.deliveries = r.channel.deliveries;
+              sample.peak_rss_kb = peak_rss_kb();  // process-wide high-water
+              bench::PerfSample& best =
+                  with_variant ? best_variant : best_control;
+              if (best.label.empty() ||
+                  sample.wall_seconds < best.wall_seconds) {
+                best = sample;
+              }
+            }
           }
+          control_samples.push_back(best_control);
+          variant_samples.push_back(best_variant);
+          std::cout << label << ": control "
+                    << metrics::fmt(best_control.wall_seconds, 3)
+                    << " s vs +" << what << ' '
+                    << metrics::fmt(best_variant.wall_seconds, 3)
+                    << " s CPU (best of 5 each)\n";
         }
-      }
-      control_samples.push_back(best_control);
-      tele_samples.push_back(best_tele);
-      std::cout << label << ": control " << metrics::fmt(
-                       best_control.wall_seconds, 3)
-                << " s vs +telemetry "
-                << metrics::fmt(best_tele.wall_seconds, 3)
-                << " s CPU (best of 5 each)\n";
-    }
-    bench::write_perf_json(
-        bench::out_dir() + "/BENCH_perf_telemetry_base.json",
-        control_samples);
-    bench::write_perf_json(bench::out_dir() + "/BENCH_perf_telemetry.json",
-                           tele_samples);
+        bench::write_perf_json(base_out, control_samples);
+        bench::write_perf_json(variant_out, variant_samples);
+      };
+
+  if (std::getenv("SSTSP_PERF_TELEMETRY") != nullptr) {
+    paired_pass("telemetry",
+                bench::out_dir() + "/BENCH_perf_telemetry_base.json",
+                bench::out_dir() + "/BENCH_perf_telemetry.json",
+                [](run::Scenario& s, const std::string& label) {
+                  s.telemetry_interval_s = 1.0;
+                  s.telemetry_per_node = 0;  // cluster gauges, like a fleet
+                  s.telemetry_out = bench::out_dir() + "/perf_telemetry_" +
+                                    label + ".jsonl";
+                });
+  }
+  if (std::getenv("SSTSP_PERF_SAMPLER") != nullptr) {
+    paired_pass("sampler",
+                bench::out_dir() + "/BENCH_perf_sampler_base.json",
+                bench::out_dir() + "/BENCH_perf_sampler.json",
+                [](run::Scenario& s, const std::string&) {
+                  s.phase_sampler = true;  // default ~1 kHz virtual tick
+                });
   }
   return 0;
 }

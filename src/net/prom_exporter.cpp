@@ -1,0 +1,267 @@
+#include "net/prom_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "net/reactor.h"
+
+namespace sstsp::net {
+
+namespace {
+
+bool name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// Prometheus sample values: decimal floats plus the spec's specials.
+bool parse_value(std::string_view token) {
+  if (token.empty()) return false;
+  if (token == "NaN" || token == "+Inf" || token == "-Inf") return true;
+  char* end = nullptr;
+  const std::string copy(token);
+  std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // The exposition format spells specials its own way.
+  if (std::strcmp(buf, "nan") == 0 || std::strcmp(buf, "-nan") == 0) {
+    return "NaN";
+  }
+  if (std::strcmp(buf, "inf") == 0) return "+Inf";
+  if (std::strcmp(buf, "-inf") == 0) return "-Inf";
+  return buf;
+}
+
+void summary_quantile(std::ostream& os, const std::string& name,
+                      const char* q, double v) {
+  os << name << "{quantile=\"" << q << "\"} " << format_value(v) << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) out.push_back(name_char(c) ? c : '_');
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+void write_prometheus_text(
+    std::ostream& os, const obs::RegistrySnapshot& snapshot,
+    const std::vector<std::pair<std::string, double>>& extra_gauges,
+    std::string_view prefix) {
+  const std::string p = std::string(prefix) + "_";
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string full = p + prometheus_name(name) + "_total";
+    os << "# TYPE " << full << " counter\n"
+       << full << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string full = p + prometheus_name(name);
+    os << "# TYPE " << full << " gauge\n"
+       << full << ' ' << format_value(value) << '\n';
+  }
+  for (const auto& [name, value] : extra_gauges) {
+    const std::string full = p + prometheus_name(name);
+    os << "# TYPE " << full << " gauge\n"
+       << full << ' ' << format_value(value) << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string full = p + prometheus_name(name);
+    os << "# TYPE " << full << " summary\n";
+    summary_quantile(os, full, "0.5", h.p50);
+    summary_quantile(os, full, "0.9", h.p90);
+    summary_quantile(os, full, "0.99", h.p99);
+    os << full << "_sum " << format_value(h.sum) << '\n'
+       << full << "_count " << h.count << '\n';
+  }
+}
+
+std::string prometheus_body(
+    const obs::RegistrySnapshot& snapshot,
+    const std::vector<std::pair<std::string, double>>& extra_gauges,
+    std::string_view prefix) {
+  std::ostringstream os;
+  write_prometheus_text(os, snapshot, extra_gauges, prefix);
+  return os.str();
+}
+
+bool validate_prometheus_text(std::string_view text,
+                              std::vector<std::string>* errors) {
+  const std::size_t before = errors != nullptr ? errors->size() : 0;
+  const auto fail = [&](int line_no, const std::string& what) {
+    if (errors != nullptr && errors->size() < 20) {
+      errors->push_back("line " + std::to_string(line_no) + ": " + what);
+    }
+  };
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comments must be "# HELP name ..." / "# TYPE name kind" or free
+      // text ("# anything" is legal); validate TYPE kinds when present.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::size_t sp = line.find(' ', 7);
+        const std::string_view kind =
+            sp == std::string_view::npos ? "" : line.substr(sp + 1);
+        if (kind != "counter" && kind != "gauge" && kind != "summary" &&
+            kind != "histogram" && kind != "untyped") {
+          fail(line_no, "unknown TYPE kind");
+        }
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && name_char(line[i])) ++i;
+    if (i == 0 || (line[0] >= '0' && line[0] <= '9')) {
+      fail(line_no, "illegal metric name");
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        fail(line_no, "unterminated label set");
+        continue;
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      fail(line_no, "missing value");
+      continue;
+    }
+    std::string_view rest = line.substr(i + 1);
+    const std::size_t sp = rest.find(' ');
+    const std::string_view value_tok =
+        sp == std::string_view::npos ? rest : rest.substr(0, sp);
+    if (!parse_value(value_tok)) fail(line_no, "unparseable value");
+  }
+  return errors == nullptr || errors->size() == before;
+}
+
+bool write_prometheus_textfile(const std::string& path, std::string_view body,
+                               std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::out | std::ios::trunc);
+    if (!os.is_open()) {
+      if (error != nullptr) *error = "cannot open " + tmp;
+      return false;
+    }
+    os << body;
+    if (!os.good()) {
+      if (error != nullptr) *error = "write failed: " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool PromExporter::open(Reactor& reactor, std::uint16_t port, BodyFn body,
+                        std::string* error) {
+  close();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    if (error != nullptr) {
+      *error = "bind/listen 127.0.0.1:" + std::to_string(port) + ": " +
+               strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  body_ = std::move(body);
+  reactor_ = &reactor;
+  reactor.add_fd(listen_fd_, [this] { on_accept(); });
+  return true;
+}
+
+void PromExporter::on_accept() {
+  while (true) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) return;  // EAGAIN: drained
+    // Serve inline with short timeouts: scrapers are local and polite;
+    // a stalled peer costs the reactor at most ~2 x 200 ms.
+    timeval tv{};
+    tv.tv_usec = 200'000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    char request[2048];
+    (void)::read(conn, request, sizeof(request));  // one segment on loopback
+    const std::string body = body_ ? body_() : std::string();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t n =
+          ::write(conn, response.data() + off, response.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+    ++scrapes_;
+  }
+}
+
+void PromExporter::close() {
+  if (listen_fd_ < 0) return;
+  if (reactor_ != nullptr) reactor_->remove_fd(listen_fd_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  reactor_ = nullptr;
+}
+
+}  // namespace sstsp::net

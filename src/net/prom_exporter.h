@@ -1,0 +1,103 @@
+// Prometheus exposition for the live stack.
+//
+// Three layers:
+//   * write_prometheus_text / prometheus_body — render a metrics-registry
+//     snapshot (plus caller-supplied gauges: cluster offset vs the Lemma-1
+//     bound, sync census, reactor wait/work) as Prometheus text exposition
+//     format 0.0.4.  Counters gain the conventional `_total` suffix,
+//     histograms export as summaries (p50/p90/p99 quantiles + _sum/_count
+//     — the registry's log₂ buckets are a storage format, not a Prometheus
+//     bucket layout), and every name is prefixed (default "sstsp_") and
+//     mangled to the metric-name charset.  DESIGN.md §11 documents the
+//     mapping.
+//   * PromExporter — a minimal `/metrics` HTTP endpoint hosted on the
+//     reactor: a non-blocking listener registered via Reactor::add_fd;
+//     each accept reads the request, writes one complete HTTP/1.0 response
+//     with a freshly rendered body, and closes.  Built for `curl` and
+//     Prometheus scrapes on localhost, not for the open internet: requests
+//     are served inline on the reactor thread with short socket timeouts.
+//   * write_prometheus_textfile — node-exporter textfile-collector mode
+//     (write temp + rename, so scrapers never see a torn file) for runs
+//     with no listening socket (sim, CI artifacts).
+//
+// validate_prometheus_text is the structural checker the tests (and CI)
+// run scrape output through.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sstsp::net {
+
+class Reactor;
+
+/// Mangles an internal metric name ("sampler.phase_self_us.crypto-verify")
+/// to the Prometheus charset ([a-zA-Z0-9_:], no leading digit).
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Renders the snapshot + extra gauges as text exposition format 0.0.4.
+void write_prometheus_text(
+    std::ostream& os, const obs::RegistrySnapshot& snapshot,
+    const std::vector<std::pair<std::string, double>>& extra_gauges = {},
+    std::string_view prefix = "sstsp");
+
+/// write_prometheus_text into a string (the PromExporter body builder).
+[[nodiscard]] std::string prometheus_body(
+    const obs::RegistrySnapshot& snapshot,
+    const std::vector<std::pair<std::string, double>>& extra_gauges = {},
+    std::string_view prefix = "sstsp");
+
+/// Structural validity check: every line is a comment (# HELP / # TYPE with
+/// a known type keyword) or a `name[{labels}] value` sample with a legal
+/// metric name and a parseable value.  Appends one message per defect to
+/// *errors (capped at 20); true when clean.
+[[nodiscard]] bool validate_prometheus_text(std::string_view text,
+                                            std::vector<std::string>* errors);
+
+/// Atomically (temp + rename) replaces `path` with `body` — the textfile
+/// collector contract.  False + *error on failure.
+[[nodiscard]] bool write_prometheus_textfile(const std::string& path,
+                                             std::string_view body,
+                                             std::string* error);
+
+/// `/metrics` endpoint on the reactor loop.
+class PromExporter {
+ public:
+  /// Called per scrape to render the full response body.
+  using BodyFn = std::function<std::string()>;
+
+  PromExporter() = default;
+  ~PromExporter() { close(); }
+
+  PromExporter(const PromExporter&) = delete;
+  PromExporter& operator=(const PromExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and registers the
+  /// listener with the reactor.  False + *error on failure.
+  [[nodiscard]] bool open(Reactor& reactor, std::uint16_t port, BodyFn body,
+                          std::string* error);
+  void close();
+
+  [[nodiscard]] bool is_open() const { return listen_fd_ >= 0; }
+  /// The actually bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  void on_accept();
+
+  Reactor* reactor_{nullptr};
+  int listen_fd_{-1};
+  std::uint16_t port_{0};
+  BodyFn body_;
+  std::uint64_t scrapes_{0};
+};
+
+}  // namespace sstsp::net

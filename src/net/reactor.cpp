@@ -43,6 +43,7 @@ void Reactor::run_until(sim::SimTime horizon) {
   stop_ = false;
 
   std::vector<pollfd> pollset;
+  auto work_mark = std::chrono::steady_clock::now();
   while (!stop_) {
     if (interrupt_ != nullptr && *interrupt_ != 0) break;
 
@@ -68,9 +69,19 @@ void Reactor::run_until(sim::SimTime horizon) {
     for (const Registration& r : fds_) {
       pollset.push_back(pollfd{r.fd, POLLIN, 0});
     }
+    const auto before_poll = std::chrono::steady_clock::now();
+    work_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(before_poll -
+                                                             work_mark)
+            .count());
     const int ready =
         ppoll(pollset.empty() ? nullptr : pollset.data(), pollset.size(), &ts,
               nullptr);
+    work_mark = std::chrono::steady_clock::now();
+    wait_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(work_mark -
+                                                             before_poll)
+            .count());
     if (ready <= 0) continue;  // timeout / EINTR: loop re-evaluates
 
     // 3. Dispatch readable fds as simulator events at the arrival instant,

@@ -71,6 +71,14 @@ class Reactor {
   /// The current wall instant on the simulator timeline.
   [[nodiscard]] sim::SimTime wall_sim_now() const;
 
+  /// Wait-vs-work accounting across every run_until() call: wall time spent
+  /// blocked in ppoll() vs everything else (event dispatch, fd handling).
+  /// Read by the observability layer (phase sampler / Prometheus export) to
+  /// tell reactor idle time apart from protocol work — ITIMER_PROF cannot
+  /// see sleeps (they consume no CPU time).
+  [[nodiscard]] std::uint64_t wait_ns() const { return wait_ns_; }
+  [[nodiscard]] std::uint64_t work_ns() const { return work_ns_; }
+
  private:
   struct Registration {
     int fd;
@@ -83,6 +91,8 @@ class Reactor {
   sim::SimTime anchor_sim_{sim::SimTime::zero()};
   bool anchored_{false};
   bool stop_{false};
+  std::uint64_t wait_ns_{0};
+  std::uint64_t work_ns_{0};
   const volatile std::sig_atomic_t* interrupt_{nullptr};
 };
 

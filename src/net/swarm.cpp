@@ -28,6 +28,15 @@ Swarm::Swarm(const SwarmConfig& config)
     profiler_ = std::make_unique<obs::Profiler>();
     sim_.set_profiler(profiler_.get());
   }
+  if (config_.phase_sampler) {
+    obs::PhaseSampler::Options opt;
+    if (config_.phase_sampler_interval_s > 0.0) {
+      opt.interval_s = config_.phase_sampler_interval_s;
+    }
+    phase_sampler_ = std::make_unique<obs::PhaseSampler>(opt, registry_);
+    phase_sampler_->attach_profiler(profiler_.get());
+    sim_.set_phase_sampler(phase_sampler_.get());
+  }
   if (config_.monitor) {
     obs::InvariantConfig cfg;
     cfg.sstsp_checks = true;
@@ -200,7 +209,53 @@ bool Swarm::init(std::string* error) {
     node->set_recovery(recovery_.get());
   }
   expected_down_.assign(nodes_.size(), false);
+
+  if (config_.prom_port >= 0) {
+    if (reactor_ == nullptr) {
+      if (error != nullptr) {
+        *error = "--prom-port needs the udp transport (a loopback run has "
+                 "no live reactor to serve scrapes)";
+      }
+      return false;
+    }
+    prom_ = std::make_unique<PromExporter>();
+    if (!prom_->open(
+            *reactor_, static_cast<std::uint16_t>(config_.prom_port),
+            [this] { return prometheus_scrape_body(); }, error)) {
+      return false;
+    }
+  }
   return init_telemetry(error);
+}
+
+std::string Swarm::prometheus_scrape_body() {
+  // Fold the SIGPROF hit counters in first so a scrape always sees current
+  // totals, then attach the cluster-state gauges the registry does not
+  // carry (they are instantaneous derivations, not recorded metrics).
+  if (phase_sampler_ != nullptr) phase_sampler_->publish_live();
+  std::vector<std::pair<std::string, double>> extra;
+  int awake = 0;
+  int synced = 0;
+  for (const auto& node : nodes_) {
+    const proto::Station& st = node->station();
+    if (!st.awake()) continue;
+    ++awake;
+    if (st.protocol().is_synchronized()) ++synced;
+  }
+  extra.emplace_back("swarm_nodes_total", static_cast<double>(config_.nodes));
+  extra.emplace_back("swarm_nodes_awake", static_cast<double>(awake));
+  extra.emplace_back("swarm_nodes_synced", static_cast<double>(synced));
+  if (const auto diff = instant_max_diff_us()) {
+    extra.emplace_back("swarm_max_offset_us", *diff);
+  }
+  extra.emplace_back("swarm_sim_time_seconds", sim_.now().to_sec());
+  if (reactor_ != nullptr) {
+    extra.emplace_back("reactor_wait_seconds",
+                       static_cast<double>(reactor_->wait_ns()) * 1e-9);
+    extra.emplace_back("reactor_work_seconds",
+                       static_cast<double>(reactor_->work_ns()) * 1e-9);
+  }
+  return prometheus_body(registry_.snapshot(), extra);
 }
 
 bool Swarm::init_telemetry(std::string* error) {
@@ -494,7 +549,18 @@ void Swarm::run() {
   const auto wall_start = std::chrono::steady_clock::now();
   const auto horizon = sim::SimTime::from_sec_double(config_.duration_s);
   if (config_.transport == TransportKind::kUdp) {
+    // Wall-paced runs add the statistical SIGPROF sampler on top of the
+    // dispatch-gated one: ITIMER_PROF fires on consumed CPU time, so
+    // reactor sleeps are invisible to it (the wait/work gauges cover them).
+    if (phase_sampler_ != nullptr) {
+      std::string live_error;
+      if (!phase_sampler_->start_live(&live_error)) {
+        std::fprintf(stderr, "warning: live phase sampler: %s\n",
+                     live_error.c_str());
+      }
+    }
     reactor_->run_until(horizon);
+    if (phase_sampler_ != nullptr) phase_sampler_->stop_live();
   } else {
     sim_.run_until(horizon);
   }
@@ -552,6 +618,12 @@ run::RunResult Swarm::collect() {
   }
   result.net = net;
 
+  if (reactor_ != nullptr) {
+    registry_.gauge("reactor.wait_seconds")
+        .set(static_cast<double>(reactor_->wait_ns()) * 1e-9);
+    registry_.gauge("reactor.work_seconds")
+        .set(static_cast<double>(reactor_->work_ns()) * 1e-9);
+  }
   result.metrics = registry_.snapshot();
   result.events_processed = sim_.events_processed();
   result.wall_seconds = wall_seconds_;
@@ -638,6 +710,8 @@ run::Scenario Swarm::reporting_scenario() const {
   s.telemetry_per_node = config_.telemetry_per_node;
   s.flight_recorder_out = config_.flight_recorder_out;
   s.flight_capacity = config_.flight_capacity;
+  s.phase_sampler = config_.phase_sampler;
+  s.phase_sampler_interval_s = config_.phase_sampler_interval_s;
   return s;
 }
 

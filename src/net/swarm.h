@@ -33,6 +33,7 @@
 #include "metrics/series.h"
 #include "net/loopback.h"
 #include "net/node.h"
+#include "net/prom_exporter.h"
 #include "net/reactor.h"
 #include "net/telemetry_link.h"
 #include "net/udp.h"
@@ -42,6 +43,7 @@
 #include "obs/invariants.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/sampler.h"
 #include "runner/experiment.h"
 #include "runner/scenario.h"
 #include "sim/simulator.h"
@@ -120,6 +122,16 @@ struct SwarmConfig {
   /// Live status line on stderr, refreshed once per telemetry interval
   /// (wall-paced UDP runs; a loopback run finishes in milliseconds).
   bool watch = false;
+
+  // Performance observatory (DESIGN.md §11).
+  /// Phase-sampling profiler into the metrics registry: virtual-time gated
+  /// on the dispatch loop, plus a SIGPROF statistical sampler on wall-paced
+  /// UDP runs.
+  bool phase_sampler = false;
+  double phase_sampler_interval_s = 0.001;
+  /// Prometheus /metrics endpoint on the reactor (UDP mode only):
+  /// -1 = off, 0 = ephemeral (port printed at startup), > 0 = fixed port.
+  int prom_port = -1;
 };
 
 class Swarm {
@@ -151,6 +163,11 @@ class Swarm {
   }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] trace::EventTrace* trace() { return trace_.get(); }
+  [[nodiscard]] obs::Profiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] obs::PhaseSampler* phase_sampler() {
+    return phase_sampler_.get();
+  }
+  [[nodiscard]] PromExporter* prom_exporter() { return prom_.get(); }
   [[nodiscard]] obs::InvariantMonitor* monitor() { return monitor_.get(); }
   [[nodiscard]] trace::BeaconLifecycle* lifecycle() {
     return lifecycle_.get();
@@ -209,6 +226,7 @@ class Swarm {
                       double sum);
   void write_sample(const obs::TelemetrySample& sample);
   void print_watch_line(const obs::TelemetrySample& sample);
+  [[nodiscard]] std::string prometheus_scrape_body();
 
   SwarmConfig config_;
   sim::Simulator sim_;
@@ -220,6 +238,8 @@ class Swarm {
   obs::Registry registry_;
   std::unique_ptr<obs::Instruments> instruments_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::PhaseSampler> phase_sampler_;
+  std::unique_ptr<PromExporter> prom_;
   std::unique_ptr<obs::InvariantMonitor> monitor_;
   std::unique_ptr<trace::BeaconLifecycle> lifecycle_;
   std::unique_ptr<trace::EventTrace> trace_;

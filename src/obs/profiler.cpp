@@ -50,6 +50,8 @@ void Profiler::begin(Phase phase) {
   }
   ++phases_[static_cast<std::size_t>(phase)].spans;
   stack_.push_back(Open{phase, now});
+  current_.store(static_cast<std::uint8_t>(phase), std::memory_order_relaxed);
+  if (span_sink_) span_sink_(phase, true, now);
 }
 
 void Profiler::end() {
@@ -60,6 +62,11 @@ void Profiler::end() {
   phases_[static_cast<std::size_t>(closing.phase)].exclusive_ns +=
       now - closing.resumed_at;
   if (!stack_.empty()) stack_.back().resumed_at = now;  // resume parent
+  current_.store(stack_.empty()
+                     ? kPhaseNone
+                     : static_cast<std::uint8_t>(stack_.back().phase),
+                 std::memory_order_relaxed);
+  if (span_sink_) span_sink_(closing.phase, false, now);
 }
 
 std::uint64_t Profiler::total_ns() const {
@@ -81,6 +88,7 @@ ProfileSnapshot Profiler::snapshot(std::uint64_t events,
 void Profiler::reset() {
   phases_ = {};
   stack_.clear();
+  current_.store(kPhaseNone, std::memory_order_relaxed);
 }
 
 void ProfileSnapshot::print(std::ostream& os) const {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -40,6 +41,9 @@ inline constexpr std::size_t kPhaseCount =
     static_cast<std::size_t>(Phase::kCount);
 
 [[nodiscard]] std::string_view phase_name(Phase phase);
+
+/// current_phase() sentinel: no span is open.
+inline constexpr std::uint8_t kPhaseNone = 255;
 
 struct PhaseStats {
   std::uint64_t exclusive_ns{0};
@@ -78,6 +82,20 @@ class Profiler {
   void begin(Phase phase);
   void end();
 
+  /// Span-edge observer for the timeline export: called from begin()/end()
+  /// with the phase and the clock value the span edge was charged at.  Null
+  /// by default — the cost of not having one is a single branch per edge.
+  using SpanSink =
+      std::function<void(Phase phase, bool is_begin, std::uint64_t now_ns)>;
+  void set_span_sink(SpanSink sink) { span_sink_ = std::move(sink); }
+
+  /// Lock-free view of the innermost open phase (kPhaseNone when the stack
+  /// is empty).  Safe to read from a SIGPROF handler — this is the hook the
+  /// PhaseSampler's live mode samples through.
+  [[nodiscard]] std::uint8_t current_phase() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const PhaseStats& stats(Phase phase) const {
     return phases_[static_cast<std::size_t>(phase)];
   }
@@ -99,6 +117,8 @@ class Profiler {
   std::function<std::uint64_t()> clock_ns_;
   std::array<PhaseStats, kPhaseCount> phases_{};
   std::vector<Open> stack_;
+  SpanSink span_sink_;
+  std::atomic<std::uint8_t> current_{kPhaseNone};
 };
 
 /// RAII span; a null profiler makes construction/destruction free.

@@ -1,0 +1,68 @@
+#include "obs/provenance.h"
+
+#include <sys/utsname.h>
+
+#include "obs/json.h"
+
+// Configure-time facts arrive as compile definitions on this one TU
+// (src/CMakeLists.txt); default them so stray builds still compile.
+#ifndef SSTSP_GIT_SHA
+#define SSTSP_GIT_SHA "unknown"
+#endif
+#ifndef SSTSP_BUILD_TYPE
+#define SSTSP_BUILD_TYPE "unknown"
+#endif
+#ifndef SSTSP_CXX_FLAGS
+#define SSTSP_CXX_FLAGS ""
+#endif
+
+namespace sstsp::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("g++ ") + __VERSION__;
+#else
+  return __VERSION__;
+#endif
+}
+
+std::string host_id() {
+  utsname u{};
+  if (uname(&u) != 0) return "unknown";
+  return std::string(u.sysname) + " " + u.release + " " + u.machine + " (" +
+         u.nodename + ")";
+}
+
+Provenance capture() {
+  Provenance p;
+  p.git_sha = SSTSP_GIT_SHA;
+  p.compiler = compiler_id();
+  p.build_type = SSTSP_BUILD_TYPE;
+  p.flags = SSTSP_CXX_FLAGS;
+  p.host = host_id();
+  return p;
+}
+
+}  // namespace
+
+const Provenance& provenance() {
+  static const Provenance p = capture();
+  return p;
+}
+
+void append_provenance_json(json::Writer& w) {
+  const Provenance& p = provenance();
+  w.key("provenance").begin_object();
+  w.kv("git_sha", p.git_sha);
+  w.kv("compiler", p.compiler);
+  w.kv("build_type", p.build_type);
+  w.kv("flags", p.flags);
+  w.kv("host", p.host);
+  w.end_object();
+}
+
+}  // namespace sstsp::obs

@@ -1,0 +1,34 @@
+// Build/run provenance: who produced this JSON document.
+//
+// BENCH_perf.json trajectories and run reports are compared across months
+// and machines; a number without its git sha, compiler and host is not
+// attributable.  The values are captured at CMake configure time (git sha,
+// build type, flags — see src/CMakeLists.txt) and at compile/run time
+// (compiler via __VERSION__, host via uname(2)), and appended as a purely
+// additive "provenance" object — run-JSON schema_version stays unchanged
+// per the additive-fields rule (runner/json_report.cpp).
+#pragma once
+
+#include <string>
+
+namespace sstsp::obs {
+
+namespace json {
+class Writer;
+}  // namespace json
+
+struct Provenance {
+  std::string git_sha;     ///< short HEAD sha at configure time ("unknown")
+  std::string compiler;    ///< e.g. "g++ 13.2.0" (__VERSION__)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string flags;       ///< CMAKE_CXX_FLAGS (may be empty)
+  std::string host;        ///< uname: sysname/release/machine + nodename
+};
+
+/// Process-wide singleton, captured once on first use.
+[[nodiscard]] const Provenance& provenance();
+
+/// Appends `"provenance": {...}` — key included — to an open JSON object.
+void append_provenance_json(json::Writer& w);
+
+}  // namespace sstsp::obs

@@ -1,0 +1,123 @@
+#include "obs/sampler.h"
+
+#include <sys/time.h>
+
+#include <cmath>
+#include <csignal>
+
+namespace sstsp::obs {
+
+namespace {
+
+// SIGPROF is process-global, so live sampling is necessarily a singleton.
+PhaseSampler* g_live_sampler = nullptr;
+struct sigaction g_previous_action;
+
+}  // namespace
+
+PhaseSampler::PhaseSampler(const Options& options, Registry& registry)
+    : opt_(options), next_s_(options.interval_s) {
+  samples_total_ = &registry.counter(opt_.prefix + ".samples");
+  queue_depth_hist_ = &registry.histogram(opt_.prefix + ".queue_depth");
+  events_per_sample_hist_ =
+      &registry.histogram(opt_.prefix + ".events_per_sample");
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::string name(phase_name(static_cast<Phase>(i)));
+    phase_self_hist_[i] =
+        &registry.histogram(opt_.prefix + ".phase_self_us." + name);
+    hit_counters_[i] = &registry.counter(opt_.prefix + ".hits." + name);
+  }
+  hit_counters_[kPhaseCount] = &registry.counter(opt_.prefix + ".hits.idle");
+}
+
+PhaseSampler::~PhaseSampler() { stop_live(); }
+
+void PhaseSampler::sample(double now_s, std::uint64_t queue_depth) {
+  // Catch-up semantics: after a long event gap the next sample is one full
+  // interval from *now*, not a burst of back-dated samples.
+  next_s_ = now_s + opt_.interval_s;
+  ++samples_;
+  samples_total_->inc();
+  queue_depth_hist_->record(static_cast<double>(queue_depth));
+  events_per_sample_hist_->record(
+      static_cast<double>(events_ - prev_events_));
+  prev_events_ = events_;
+  if (profiler_ == nullptr) return;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::uint64_t ns =
+        profiler_->stats(static_cast<Phase>(i)).exclusive_ns;
+    const std::uint64_t delta = ns - prev_phase_ns_[i];
+    prev_phase_ns_[i] = ns;
+    if (delta > 0) {
+      phase_self_hist_[i]->record(static_cast<double>(delta) * 1e-3);
+    }
+  }
+}
+
+void PhaseSampler::sigprof_handler(int) {
+  PhaseSampler* s = g_live_sampler;
+  if (s == nullptr) return;
+  const std::uint8_t phase =
+      s->profiler_ != nullptr ? s->profiler_->current_phase() : kPhaseNone;
+  const std::size_t idx = phase < kPhaseCount ? phase : kPhaseCount;
+  s->hits_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+bool PhaseSampler::start_live(std::string* error) {
+  if (live_) return true;
+  if (g_live_sampler != nullptr) {
+    if (error != nullptr) {
+      *error = "another live phase sampler is already armed (SIGPROF is "
+               "process-global)";
+    }
+    return false;
+  }
+  struct sigaction action {};
+  action.sa_handler = &PhaseSampler::sigprof_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, &g_previous_action) != 0) {
+    if (error != nullptr) *error = "sigaction(SIGPROF) failed";
+    return false;
+  }
+  g_live_sampler = this;
+  const double period = opt_.interval_s > 0.0 ? opt_.interval_s : 0.001;
+  itimerval timer{};
+  timer.it_interval.tv_sec = static_cast<time_t>(period);
+  timer.it_interval.tv_usec = static_cast<suseconds_t>(
+      std::fmod(period, 1.0) * 1e6);
+  if (timer.it_interval.tv_sec == 0 && timer.it_interval.tv_usec == 0) {
+    timer.it_interval.tv_usec = 1000;
+  }
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    sigaction(SIGPROF, &g_previous_action, nullptr);
+    g_live_sampler = nullptr;
+    if (error != nullptr) *error = "setitimer(ITIMER_PROF) failed";
+    return false;
+  }
+  live_ = true;
+  return true;
+}
+
+void PhaseSampler::stop_live() {
+  if (!live_) return;
+  itimerval off{};
+  setitimer(ITIMER_PROF, &off, nullptr);
+  sigaction(SIGPROF, &g_previous_action, nullptr);
+  g_live_sampler = nullptr;
+  live_ = false;
+  publish_live();
+}
+
+void PhaseSampler::publish_live() {
+  for (std::size_t i = 0; i <= kPhaseCount; ++i) {
+    const std::uint64_t current =
+        hits_[i].load(std::memory_order_relaxed);
+    const std::uint64_t delta = current - published_[i];
+    if (delta > 0) hit_counters_[i]->inc(delta);
+    published_[i] = current;
+  }
+}
+
+}  // namespace sstsp::obs

@@ -1,0 +1,243 @@
+#include "obs/timeline.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace sstsp::obs {
+
+namespace {
+
+// Trace-event "process" ids: one per clock domain (header comment).
+constexpr int kProtocolPid = 1;
+constexpr int kProfilerPid = 2;
+// Virtual-time track for fault marks + audit records, away from node ids.
+constexpr std::int64_t kMarksTid = 1'000'000;
+
+std::string json_string(std::string_view s) {
+  return '"' + json::escape(s) + '"';
+}
+
+// Fixed-point microseconds: trace-event ts values are conventionally
+// integral-or-few-decimals; printf-style %.3f keeps files compact and
+// deterministic across libc float formatting.
+std::string format_ts(double ts_us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+  return buf;
+}
+
+}  // namespace
+
+bool TimelineWriter::open(const std::string& path, std::string* error,
+                          const Options& options) {
+  os_.open(path, std::ios::out | std::ios::trunc);
+  if (!os_.is_open()) {
+    if (error != nullptr) *error = "cannot open timeline output: " + path;
+    return false;
+  }
+  opt_ = options;
+  finished_ = false;
+  first_ = true;
+  written_ = 0;
+  dropped_ = 0;
+  wall_anchored_ = false;
+  named_nodes_.clear();
+  seen_flows_.clear();
+  os_ << "{\"traceEvents\":[";
+  metadata(kProtocolPid, -1, "process_name", "protocol (virtual time)");
+  metadata(kProfilerPid, -1, "process_name", "profiler (wall time)");
+  metadata(kProfilerPid, 0, "thread_name", "phase stack");
+  metadata(kProtocolPid, kMarksTid, "thread_name", "marks");
+  return true;
+}
+
+bool TimelineWriter::begin_event() {
+  if (!is_open()) return false;
+  if (written_ >= opt_.max_events) {
+    ++dropped_;
+    return false;
+  }
+  if (!first_) os_ << ",";
+  os_ << "\n";
+  first_ = false;
+  ++written_;
+  return true;
+}
+
+void TimelineWriter::metadata(int pid, std::int64_t tid, std::string_view what,
+                              std::string_view name) {
+  // Metadata events are bounded by the track count, not the run length, so
+  // they bypass the event cap.
+  if (!os_.is_open() || finished_) return;
+  if (!first_) os_ << ",";
+  os_ << "\n";
+  first_ = false;
+  os_ << "{\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) os_ << ",\"tid\":" << tid;
+  os_ << ",\"name\":" << json_string(what) << ",\"args\":{\"name\":"
+      << json_string(name) << "}}";
+}
+
+void TimelineWriter::ensure_node_track(std::int64_t node) {
+  if (named_nodes_.insert(node).second) {
+    metadata(kProtocolPid, node, "thread_name",
+             "node " + std::to_string(node));
+  }
+}
+
+void TimelineWriter::protocol_event(const trace::TraceEvent& event) {
+  const auto node = static_cast<std::int64_t>(event.node);
+  ensure_node_track(node);
+  const std::string ts = format_ts(event.time.to_sec() * 1e6);
+  if (begin_event()) {
+    os_ << "{\"name\":" << json_string(trace::to_string(event.kind))
+        << ",\"cat\":\"protocol\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts
+        << ",\"pid\":" << kProtocolPid << ",\"tid\":" << node << ",\"args\":{";
+    if (event.peer != mac::kNoNode) {
+      os_ << "\"peer\":" << static_cast<std::int64_t>(event.peer) << ",";
+    }
+    os_ << "\"value_us\":" << format_ts(event.value_us)
+        << ",\"trace_id\":" << event.trace_id << "}}";
+  }
+  if (event.trace_id == 0) return;
+  // Beacon-lifecycle chain: first sighting starts the flow, later events
+  // step it, keyed by the channel-assigned transmission id.
+  const bool fresh = seen_flows_.insert(event.trace_id).second;
+  if (begin_event()) {
+    os_ << "{\"name\":\"beacon\",\"cat\":\"beacon-flow\",\"ph\":\""
+        << (fresh ? 's' : 't') << "\",\"id\":" << event.trace_id
+        << ",\"ts\":" << ts << ",\"pid\":" << kProtocolPid
+        << ",\"tid\":" << node << "}";
+  }
+}
+
+void TimelineWriter::phase_begin(Phase phase, std::uint64_t wall_ns) {
+  if (!wall_anchored_) {
+    wall_anchor_ns_ = wall_ns;
+    wall_anchored_ = true;
+  }
+  if (!begin_event()) return;
+  os_ << "{\"name\":" << json_string(phase_name(phase))
+      << ",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":"
+      << format_ts(static_cast<double>(wall_ns - wall_anchor_ns_) * 1e-3)
+      << ",\"pid\":" << kProfilerPid << ",\"tid\":0}";
+}
+
+void TimelineWriter::phase_end(Phase phase, std::uint64_t wall_ns) {
+  if (!wall_anchored_) {
+    wall_anchor_ns_ = wall_ns;
+    wall_anchored_ = true;
+  }
+  if (!begin_event()) return;
+  os_ << "{\"name\":" << json_string(phase_name(phase))
+      << ",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":"
+      << format_ts(static_cast<double>(wall_ns - wall_anchor_ns_) * 1e-3)
+      << ",\"pid\":" << kProfilerPid << ",\"tid\":0}";
+}
+
+void TimelineWriter::mark(std::string_view name, std::string_view category,
+                          double t_s) {
+  if (!begin_event()) return;
+  os_ << "{\"name\":" << json_string(name) << ",\"cat\":"
+      << json_string(category) << ",\"ph\":\"i\",\"s\":\"g\",\"ts\":"
+      << format_ts(t_s * 1e6) << ",\"pid\":" << kProtocolPid
+      << ",\"tid\":" << kMarksTid << "}";
+}
+
+void TimelineWriter::counter(std::string_view name, double t_s, double value) {
+  if (!begin_event()) return;
+  os_ << "{\"name\":" << json_string(name)
+      << ",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":" << format_ts(t_s * 1e6)
+      << ",\"pid\":" << kProtocolPid << ",\"tid\":0,\"args\":{\"value\":"
+      << format_ts(value) << "}}";
+}
+
+void TimelineWriter::finish() {
+  if (finished_ || !os_.is_open()) return;
+  finished_ = true;
+  os_ << "\n]}" << '\n';
+  os_.close();
+}
+
+namespace {
+
+void add_error(std::vector<std::string>* errors, std::size_t index,
+               const std::string& what) {
+  if (errors == nullptr || errors->size() >= 20) return;
+  errors->push_back("traceEvents[" + std::to_string(index) + "]: " + what);
+}
+
+bool is_number(const json::Value* v) {
+  return v != nullptr && v->is_number();
+}
+
+}  // namespace
+
+bool validate_trace_event_json(std::string_view text,
+                               std::vector<std::string>* errors) {
+  std::size_t before = errors != nullptr ? errors->size() : 0;
+  const auto doc = json::parse(text);
+  if (!doc || !doc->is_object()) {
+    if (errors != nullptr) errors->push_back("not a JSON object");
+    return false;
+  }
+  const json::Value* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    if (errors != nullptr) errors->push_back("missing traceEvents array");
+    return false;
+  }
+  // Open B-span depth per (pid, tid); unclosed spans at EOF are tolerated
+  // (Perfetto auto-closes them), an E without a B is not.
+  std::map<std::pair<double, double>, long> depth;
+  static const std::string_view kKnownPh = "BEXiIstfCMbe";
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const json::Value& e = events->array[i];
+    if (!e.is_object()) {
+      add_error(errors, i, "not an object");
+      continue;
+    }
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1 ||
+        kKnownPh.find(ph->string[0]) == std::string_view::npos) {
+      add_error(errors, i, "missing or unknown ph");
+      continue;
+    }
+    const char p = ph->string[0];
+    if (p == 'M') continue;  // metadata: no ts/tid requirements
+    if (!is_number(e.find("ts"))) add_error(errors, i, "non-numeric ts");
+    if (!is_number(e.find("pid"))) add_error(errors, i, "non-numeric pid");
+    if (!is_number(e.find("tid"))) add_error(errors, i, "non-numeric tid");
+    const json::Value* name = e.find("name");
+    const bool has_name = name != nullptr && name->is_string();
+    if (p != 'E' && !has_name) add_error(errors, i, "missing name");
+    if (p == 'X' && !is_number(e.find("dur"))) {
+      add_error(errors, i, "X event without numeric dur");
+    }
+    if ((p == 's' || p == 't' || p == 'f')) {
+      const json::Value* id = e.find("id");
+      if (id == nullptr || (!id->is_number() && !id->is_string())) {
+        add_error(errors, i, "flow event without id");
+      }
+    }
+    if (p == 'B' || p == 'E') {
+      const json::Value* pid = e.find("pid");
+      const json::Value* tid = e.find("tid");
+      if (pid != nullptr && pid->is_number() && tid != nullptr &&
+          tid->is_number()) {
+        long& d = depth[{pid->number, tid->number}];
+        if (p == 'B') {
+          ++d;
+        } else if (--d < 0) {
+          add_error(errors, i, "E without matching B");
+          d = 0;
+        }
+      }
+    }
+  }
+  return errors == nullptr || errors->size() == before;
+}
+
+}  // namespace sstsp::obs

@@ -1,0 +1,117 @@
+// Chrome-trace-event / Perfetto timeline export.
+//
+// Renders a run as a `{"traceEvents":[...]}` JSON document loadable in
+// ui.perfetto.dev (or chrome://tracing): protocol events become instant
+// events on one track per node, beacon-lifecycle trace_id chains become
+// flow arrows (tx -> rx -> auth -> adjustment), profiler phase spans become
+// nested B/E duration events, and fault-plan marks plus audit records
+// become global instants.  Telemetry gauges can be attached as counter
+// tracks ("C" events) so cluster offset and queue depth plot alongside.
+//
+// Two clock domains share the file, kept on separate "processes":
+//   * pid 1 "protocol (virtual time)" — ts is simulator/virtual time; one
+//     tid per node, plus a marks track.  Deterministic for seeded runs.
+//   * pid 2 "profiler (wall time)"    — ts is wall time since the writer
+//     opened; B/E spans from the scoped Profiler.  Nondeterministic by
+//     nature (real durations).
+// Perfetto renders both; cross-domain alignment is approximate and only
+// the within-domain ordering is meaningful (documented in DESIGN.md §11).
+//
+// The writer is a pure observer: attaching it adds no simulator events and
+// draws nothing from any RNG stream, so a seeded run's every other output
+// byte is identical with the timeline on or off (asserted by tests).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "trace/event_trace.h"
+
+namespace sstsp::obs {
+
+namespace json {
+class Writer;
+}  // namespace json
+
+class TimelineWriter {
+ public:
+  struct Options {
+    /// Hard cap on emitted trace events; past it the writer counts drops
+    /// (reported via dropped()) instead of growing the file without bound.
+    /// 1M events is ~150 MB of JSON — plenty for a 60 s n=500 run.
+    std::uint64_t max_events{1'000'000};
+  };
+
+  TimelineWriter() = default;
+  ~TimelineWriter() { finish(); }
+
+  TimelineWriter(const TimelineWriter&) = delete;
+  TimelineWriter& operator=(const TimelineWriter&) = delete;
+
+  /// Opens (truncating) `path` and writes the document preamble; false +
+  /// *error on failure.
+  [[nodiscard]] bool open(const std::string& path, std::string* error,
+                          const Options& options);
+  [[nodiscard]] bool open(const std::string& path, std::string* error) {
+    return open(path, error, Options{});
+  }
+  [[nodiscard]] bool is_open() const { return os_.is_open() && !finished_; }
+
+  /// One protocol event: instant on pid 1 / tid = node (virtual-time ts),
+  /// plus flow start/step events stitching the beacon's trace_id chain.
+  void protocol_event(const trace::TraceEvent& event);
+
+  /// Profiler span edges: nested B/E events on pid 2 (wall-time ts).  The
+  /// first call anchors wall zero.  Wire via Profiler::set_span_sink.
+  void phase_begin(Phase phase, std::uint64_t wall_ns);
+  void phase_end(Phase phase, std::uint64_t wall_ns);
+
+  /// Global instant on the marks track (virtual-time ts): fault-plan
+  /// activation/recovery marks, audit records.
+  void mark(std::string_view name, std::string_view category, double t_s);
+
+  /// Counter track sample (virtual-time ts): telemetry gauges such as
+  /// cluster max offset or event-queue depth.
+  void counter(std::string_view name, double t_s, double value);
+
+  /// Closes the traceEvents array and the document.  Idempotent; also run
+  /// by the destructor.
+  void finish();
+
+  [[nodiscard]] std::uint64_t events_written() const { return written_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  bool begin_event();  // comma bookkeeping + cap check
+  void metadata(int pid, std::int64_t tid, std::string_view what,
+                std::string_view name);
+  void ensure_node_track(std::int64_t node);
+
+  std::ofstream os_;
+  Options opt_{};
+  bool finished_{true};  // open() flips to false
+  bool first_{true};
+  std::uint64_t written_{0};
+  std::uint64_t dropped_{0};
+  std::uint64_t wall_anchor_ns_{0};
+  bool wall_anchored_{false};
+  std::unordered_set<std::int64_t> named_nodes_;
+  std::unordered_set<std::uint64_t> seen_flows_;
+};
+
+/// Structural validity check for a trace-event JSON document: the top level
+/// is an object with a "traceEvents" array, every element has a known "ph",
+/// a numeric "ts" (except metadata), string "name"/"cat" where required,
+/// "dur" on "X" events and "id" on flow events, and B/E events balance per
+/// (pid, tid).  Returns true when loadable; appends one message per defect
+/// to *errors (capped at 20).  Used by the schema tests and
+/// `sstsp_tracetool timeline --check`.
+[[nodiscard]] bool validate_trace_event_json(std::string_view text,
+                                             std::vector<std::string>* errors);
+
+}  // namespace sstsp::obs

@@ -130,6 +130,19 @@ telemetry (DESIGN.md §10):
                         dump it to PATH on any new audit record class or on
                         SIGUSR1 (JSONL, "flight_seq"-tagged)
   --flight-capacity N   flight-recorder event ring size (default 512)
+
+performance observatory (DESIGN.md §11):
+  --timeline-out PATH   write the run as Chrome-trace-event JSON loadable in
+                        ui.perfetto.dev: protocol events per node, beacon
+                        flow arrows, profiler phase spans (with --profile),
+                        fault/audit marks
+  --sampler             phase-sampling profiler: sample current phase,
+                        event-queue depth and per-phase exclusive time into
+                        the metrics registry (see --metrics-out)
+  --sampler-interval S  sampling interval in simulated seconds (default
+                        0.001; implies --sampler)
+  --prom-textfile PATH  dump the final metrics registry in Prometheus text
+                        exposition format (node_exporter textfile shape)
   --help                this text
 )";
 }
@@ -384,6 +397,25 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
         return fail("--flight-capacity needs an integer >= 16");
       }
       s.flight_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--timeline-out") {
+      if (!next(&opts.timeline_out_path)) {
+        return fail("--timeline-out needs a path");
+      }
+      // Timeline events stream at record time; a modest ring suffices.
+      s.trace_capacity = std::max<std::size_t>(s.trace_capacity, 1 << 12);
+    } else if (arg == "--sampler") {
+      s.phase_sampler = true;
+    } else if (arg == "--sampler-interval") {
+      double p = 0;
+      if (!next(&v) || !parse_double(v, &p) || p <= 0) {
+        return fail("--sampler-interval needs a positive number of seconds");
+      }
+      s.phase_sampler_interval_s = p;
+      s.phase_sampler = true;
+    } else if (arg == "--prom-textfile") {
+      if (!next(&opts.prom_textfile_path)) {
+        return fail("--prom-textfile needs a path");
+      }
     } else {
       return fail("unknown option: " + arg);
     }

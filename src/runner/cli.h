@@ -19,6 +19,8 @@ struct CliOptions {
   std::string csv_path;       ///< empty: no CSV dump
   std::string json_out_path;  ///< empty: no JSONL event/summary stream
   std::string metrics_out_path;  ///< empty: no metrics/profile JSON document
+  std::string timeline_out_path;  ///< empty: no Perfetto trace JSON
+  std::string prom_textfile_path;  ///< empty: no Prometheus textfile dump
   bool ascii_chart = false;   ///< print the strip chart
   bool dump_trace = false;    ///< print the newest trace events
   std::size_t trace_limit = 40;  ///< how many events --trace prints

@@ -89,6 +89,12 @@ constexpr KeySpec kSchema[] = {
     {"flight-recorder", kAll},
     {"flight-capacity", kAll},
     {"watch", kSwarm},
+    // performance observatory (DESIGN.md §11)
+    {"timeline-out", kAll},
+    {"sampler", kAll},
+    {"sampler-interval", kAll},
+    {"prom-textfile", kAll},
+    {"prom-port", kNode | kSwarm},
 };
 
 const KeySpec* find_key(std::string_view key) {

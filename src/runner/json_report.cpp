@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/provenance.h"
+
 namespace sstsp::run {
 
 namespace {
@@ -109,6 +111,7 @@ void append_body(obs::json::Writer& w, const Scenario& scenario,
   } else {
     w.kv_null("recovery");
   }
+  obs::append_provenance_json(w);
 }
 
 }  // namespace

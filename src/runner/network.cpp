@@ -27,6 +27,15 @@ Network::Network(const Scenario& scenario)
     sim_.set_profiler(profiler_.get());
     channel_.set_profiler(profiler_.get());
   }
+  if (scenario_.phase_sampler) {
+    obs::PhaseSampler::Options opt;
+    if (scenario_.phase_sampler_interval_s > 0.0) {
+      opt.interval_s = scenario_.phase_sampler_interval_s;
+    }
+    phase_sampler_ = std::make_unique<obs::PhaseSampler>(opt, registry_);
+    phase_sampler_->attach_profiler(profiler_.get());
+    sim_.set_phase_sampler(phase_sampler_.get());
+  }
   if (scenario_.monitor) {
     obs::InvariantConfig cfg;
     cfg.sstsp_checks = scenario_.protocol == ProtocolKind::kSstsp;

@@ -15,6 +15,7 @@
 #include "obs/invariants.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "trace/event_trace.h"
 #include "trace/lifecycle.h"
@@ -78,6 +79,12 @@ class Network {
   /// The hot-path profiler; nullptr unless Scenario::profile is set.
   [[nodiscard]] obs::Profiler* profiler() { return profiler_.get(); }
 
+  /// The phase-sampling profiler; nullptr unless Scenario::phase_sampler is
+  /// set.  Records into metrics_registry().
+  [[nodiscard]] obs::PhaseSampler* phase_sampler() {
+    return phase_sampler_.get();
+  }
+
   /// The invariant monitor / lifecycle tracker; nullptr unless
   /// Scenario::monitor is set.
   [[nodiscard]] obs::InvariantMonitor* monitor() { return monitor_.get(); }
@@ -131,6 +138,7 @@ class Network {
   obs::Registry registry_;
   std::unique_ptr<obs::Instruments> instruments_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::PhaseSampler> phase_sampler_;
   std::unique_ptr<obs::InvariantMonitor> monitor_;
   std::unique_ptr<trace::BeaconLifecycle> lifecycle_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "metrics/report.h"
+#include "net/prom_exporter.h"
 #include "obs/export.h"
 #include "runner/json_report.h"
 
@@ -14,6 +15,8 @@ OutputOptions OutputOptions::from_cli(const CliOptions& opts) {
   out.csv_path = opts.csv_path;
   out.json_out_path = opts.json_out_path;
   out.metrics_out_path = opts.metrics_out_path;
+  out.timeline_out_path = opts.timeline_out_path;
+  out.prom_textfile_path = opts.prom_textfile_path;
   out.ascii_chart = opts.ascii_chart;
   out.dump_trace = opts.dump_trace;
   out.trace_limit = opts.trace_limit;
@@ -99,22 +102,58 @@ void print_result_summary(std::ostream& out, const RunResult& result) {
 }
 
 bool RunOutput::begin(trace::EventTrace* trace, std::string* error) {
-  if (options_.json_out_path.empty()) return true;
-  json_out_.open(options_.json_out_path);
-  if (!json_out_) {
-    if (error != nullptr) {
-      *error = "could not open " + options_.json_out_path;
-    }
-    return false;
-  }
+  const bool want_json = !options_.json_out_path.empty();
+  const bool want_timeline = !options_.timeline_out_path.empty();
+  if (!want_json && !want_timeline) return true;
+
   if (trace == nullptr) {
     if (error != nullptr) {
-      *error = "--json-out needs an event trace (internal)";
+      *error = std::string(want_json ? "--json-out" : "--timeline-out") +
+               " needs an event trace (internal)";
     }
     return false;
   }
-  obs::attach_jsonl_sink(*trace, json_out_);
+  if (want_json) {
+    json_out_.open(options_.json_out_path);
+    if (!json_out_) {
+      if (error != nullptr) {
+        *error = "could not open " + options_.json_out_path;
+      }
+      return false;
+    }
+  }
+  if (want_timeline &&
+      !timeline_.open(options_.timeline_out_path, error)) {
+    return false;
+  }
+
+  // EventTrace carries a single streaming sink, so the JSONL stream and the
+  // timeline compose into one lambda when both are requested.
+  if (want_json && want_timeline) {
+    trace->set_sink([this](const trace::TraceEvent& e) {
+      obs::write_event_jsonl(json_out_, e);
+      timeline_.protocol_event(e);
+    });
+  } else if (want_json) {
+    obs::attach_jsonl_sink(*trace, json_out_);
+  } else {
+    trace->set_sink(
+        [this](const trace::TraceEvent& e) { timeline_.protocol_event(e); });
+  }
   return true;
+}
+
+void RunOutput::attach_profiler(obs::Profiler* profiler) {
+  if (profiler == nullptr || !timeline_.is_open()) return;
+  span_profiler_ = profiler;
+  profiler->set_span_sink(
+      [this](obs::Phase phase, bool is_begin, std::uint64_t now_ns) {
+        if (is_begin) {
+          timeline_.phase_begin(phase, now_ns);
+        } else {
+          timeline_.phase_end(phase, now_ns);
+        }
+      });
 }
 
 int RunOutput::finish(std::ostream& out, std::ostream& err,
@@ -146,6 +185,53 @@ int RunOutput::finish(std::ostream& out, std::ostream& err,
     }
     out << "event stream written to " << options_.json_out_path << " ("
         << trace->total_recorded() << " events + summary)\n";
+  }
+  if (timeline_.is_open()) {
+    if (span_profiler_ != nullptr) {
+      span_profiler_->set_span_sink({});
+      span_profiler_ = nullptr;
+    }
+    if (trace != nullptr && !json_out_.is_open()) trace->set_sink({});
+    // Fault-plan activations and audit records land on the marks track so
+    // the cause sits next to its protocol-level effect in Perfetto.
+    for (const auto& p : scenario.faults.partitions) {
+      timeline_.mark("partition", "fault", p.start_s);
+      if (p.end_s >= 0.0) timeline_.mark("partition-heal", "fault", p.end_s);
+    }
+    for (const auto& f : scenario.faults.node_faults) {
+      timeline_.mark(f.kind == fault::NodeFaultKind::kCrash ? "node-crash"
+                                                            : "node-pause",
+                     "fault", f.at_s);
+      if (f.restart_s >= 0.0) {
+        timeline_.mark("node-restart", "fault", f.restart_s);
+      }
+    }
+    for (const auto& c : scenario.faults.clock_faults) {
+      timeline_.mark("clock-fault", "fault", c.at_s);
+    }
+    if (result.audit) {
+      for (const auto& r : result.audit->records) {
+        timeline_.mark(obs::to_string(r.kind), "audit", r.first_t_s);
+      }
+    }
+    const std::uint64_t written = timeline_.events_written();
+    const std::uint64_t dropped = timeline_.dropped();
+    timeline_.finish();
+    out << "timeline written to " << options_.timeline_out_path << " ("
+        << written << " trace events";
+    if (dropped > 0) out << ", " << dropped << " dropped at the cap";
+    out << ")\n";
+  }
+  if (!options_.prom_textfile_path.empty()) {
+    std::string prom_error;
+    if (!net::write_prometheus_textfile(options_.prom_textfile_path,
+                                        net::prometheus_body(result.metrics),
+                                        &prom_error)) {
+      err << "error: " << prom_error << '\n';
+      return 1;
+    }
+    out << "prometheus textfile written to " << options_.prom_textfile_path
+        << '\n';
   }
   if (!options_.metrics_out_path.empty()) {
     std::ofstream metrics_out(options_.metrics_out_path);

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/timeline.h"
 #include "runner/cli.h"
 #include "runner/experiment.h"
 #include "runner/scenario.h"
@@ -32,6 +33,8 @@ struct OutputOptions {
   std::string csv_path;          ///< empty: no CSV dump
   std::string json_out_path;     ///< empty: no JSONL event/summary stream
   std::string metrics_out_path;  ///< empty: no metrics JSON document
+  std::string timeline_out_path;  ///< empty: no Perfetto trace JSON
+  std::string prom_textfile_path;  ///< empty: no Prometheus textfile dump
   bool ascii_chart = false;
   bool dump_trace = false;
   std::size_t trace_limit = 40;
@@ -60,6 +63,11 @@ class RunOutput {
   /// --json-out without a trace).
   [[nodiscard]] bool begin(trace::EventTrace* trace, std::string* error);
 
+  /// Routes profiler span edges into the --timeline-out document as B/E
+  /// events (wall-time track).  Call after begin(), before the run; no-op
+  /// unless both --profile and --timeline-out are active.
+  void attach_profiler(obs::Profiler* profiler);
+
   /// Emits everything post-run.  Returns the process exit code: 0 on
   /// success, 1 on an output I/O failure, 3 when --monitor=strict and the
   /// audit is not clean.
@@ -67,9 +75,14 @@ class RunOutput {
                            const Scenario& scenario, const RunResult& result,
                            trace::EventTrace* trace);
 
+  /// The timeline writer (for tools that attach counters of their own).
+  [[nodiscard]] obs::TimelineWriter& timeline() { return timeline_; }
+
  private:
   OutputOptions options_;
   std::ofstream json_out_;
+  obs::TimelineWriter timeline_;
+  obs::Profiler* span_profiler_{nullptr};
 };
 
 }  // namespace sstsp::run

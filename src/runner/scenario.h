@@ -109,6 +109,15 @@ struct Scenario {
   /// -1 auto (on while num_nodes <= 64).
   int telemetry_per_node = -1;
 
+  /// Phase-sampling profiler (obs::PhaseSampler, DESIGN.md §11): samples
+  /// the current profiler phase, event-queue depth and per-phase exclusive
+  /// time every phase_sampler_interval_s of virtual time.  Gated on the
+  /// dispatch loop (one compare per event) — adds no simulator events and
+  /// leaves seeded runs bit-identical.  Implies nothing about `profile`;
+  /// phase attribution needs it, queue-depth sampling does not.
+  bool phase_sampler = false;
+  double phase_sampler_interval_s = 0.001;
+
   /// Flight recorder (obs::FlightRecorder): when non-empty, retain the
   /// newest flight_capacity protocol events and dump them to this path on
   /// any new audit record or an external dump request (SIGUSR1).

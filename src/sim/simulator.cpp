@@ -18,6 +18,7 @@ bool Simulator::step(SimTime horizon) {
   now_ = fired.time;
   ++processed_;
   if (instruments_ != nullptr) instruments_->on_dispatch(queue_.size());
+  if (sampler_ != nullptr) sampler_->on_dispatch(now_.to_sec(), queue_.size());
   obs::Span span(profiler_, obs::Phase::kDispatch);
   fired.fn();
   return true;

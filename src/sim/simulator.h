@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "obs/profiler.h"
+#include "obs/sampler.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time_types.h"
@@ -76,6 +77,11 @@ class Simulator {
     instruments_ = instruments;
   }
 
+  /// Phase-sampler hook (may be nullptr, the default): ticked once per
+  /// dispatched event with the virtual time and queue depth; the sampler
+  /// itself decides when a tick becomes a sample (obs/sampler.h).
+  void set_phase_sampler(obs::PhaseSampler* sampler) { sampler_ = sampler; }
+
  private:
   EventQueue queue_;
   SimTime now_{SimTime::zero()};
@@ -83,6 +89,7 @@ class Simulator {
   std::size_t processed_{0};
   obs::Profiler* profiler_{nullptr};
   obs::Instruments* instruments_{nullptr};
+  obs::PhaseSampler* sampler_{nullptr};
 };
 
 }  // namespace sstsp::sim

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/timeline.h"
 
 namespace sstsp::trace {
 
@@ -105,6 +106,8 @@ std::optional<TraceAnalysis> TraceAnalysis::load(
         e.node = id_or(v, "node", -1);
         const auto kind = kind_from_string(string_or(v, "kind", ""));
         e.kind = kind.value_or(EventKind::kEventKindCount);
+        e.peer = id_or(v, "peer", -1);
+        e.value_us = number_or(v, "value_us", 0.0);
         const Value* tid = v.find("trace_id");
         if (tid != nullptr && tid->is_number()) {
           e.trace_id = static_cast<std::uint64_t>(tid->number);
@@ -321,6 +324,35 @@ bool TraceAnalysis::write_timeline_csv(const std::string& path,
     if (error != nullptr) *error = "write failed: " + path;
     return false;
   }
+  return true;
+}
+
+bool TraceAnalysis::write_timeline_trace(const std::string& path,
+                                         std::string* error) const {
+  obs::TimelineWriter w;
+  if (!w.open(path, error)) return false;
+  for (const EventRow& e : events_) {
+    if (e.kind == EventKind::kEventKindCount) continue;  // unknown name
+    TraceEvent ev;
+    ev.time = sim::SimTime::from_sec_double(e.t_s);
+    ev.node = e.node >= 0 ? static_cast<mac::NodeId>(e.node) : mac::kNoNode;
+    ev.kind = e.kind;
+    ev.peer = e.peer >= 0 ? static_cast<mac::NodeId>(e.peer) : mac::kNoNode;
+    ev.value_us = e.value_us;
+    ev.trace_id = e.trace_id;
+    w.protocol_event(ev);
+  }
+  for (const obs::TelemetrySample& s : cluster_samples_) {
+    if (std::isfinite(s.max_offset_us)) {
+      w.counter("cluster max offset (us)", s.t_s, s.max_offset_us);
+    }
+    w.counter("event queue depth", s.t_s,
+              static_cast<double>(s.queue_depth));
+  }
+  for (const FaultMark& m : fault_marks_) {
+    w.mark(m.fault, "fault", m.t_s);
+  }
+  w.finish();
   return true;
 }
 

@@ -138,6 +138,12 @@ class TraceAnalysis {
   /// CSV "t_s,node,err_us,synced": cluster max rows (node = -1) + per-node
   /// signed errors — ready for pandas/gnuplot convergence plots.
   bool write_timeline_csv(const std::string& path, std::string* error) const;
+  /// Chrome-trace-event JSON loadable in ui.perfetto.dev (the document
+  /// shape of obs/timeline.h): protocol events as per-node instants with
+  /// trace_id flow arrows, cluster telemetry as counter tracks, fault marks
+  /// as global instants — `sstsp_tracetool timeline` converts existing
+  /// JSONL/flight dumps post-hoc.
+  bool write_timeline_trace(const std::string& path, std::string* error) const;
   /// CSV "fault,node,fault_t_s,t_s,err_us": one block per recovery curve.
   static bool write_curves_csv(const std::vector<RecoveryCurve>& curves,
                                const std::string& path, std::string* error);
@@ -155,6 +161,8 @@ class TraceAnalysis {
     double t_s{0.0};
     std::int64_t node{-1};
     EventKind kind{EventKind::kEventKindCount};
+    std::int64_t peer{-1};
+    double value_us{0.0};
     std::uint64_t trace_id{0};
   };
 

@@ -1,0 +1,193 @@
+// TimelineWriter: the Chrome-trace-event document is schema-valid for both
+// a synthetic event mix and a real seeded run, seeded exports are
+// reproducible byte-for-byte, the event cap degrades to counted drops, and
+// — the determinism contract — attaching the writer changes NOTHING else
+// about a seeded run (the JSONL event stream stays byte-identical).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/timeline.h"
+#include "runner/experiment.h"
+#include "runner/network.h"
+#include "sim/time_types.h"
+#include "trace/event_trace.h"
+
+namespace sstsp::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+trace::TraceEvent event_at(double t_s, mac::NodeId node,
+                           trace::EventKind kind, std::uint64_t trace_id) {
+  trace::TraceEvent e;
+  e.time = sim::SimTime::from_sec_double(t_s);
+  e.node = node;
+  e.kind = kind;
+  e.trace_id = trace_id;
+  return e;
+}
+
+run::Scenario seeded_scenario() {
+  run::Scenario s;
+  s.protocol = run::ProtocolKind::kSstsp;
+  s.num_nodes = 10;
+  s.duration_s = 8.0;
+  s.seed = 1234;
+  s.sstsp.chain_length = 400;
+  s.trace_capacity = 1 << 12;
+  return s;
+}
+
+TEST(Timeline, SyntheticDocumentIsSchemaValid) {
+  const std::string path = temp_path("timeline_synth.json");
+  TimelineWriter w;
+  std::string error;
+  ASSERT_TRUE(w.open(path, &error)) << error;
+
+  // A beacon chain across two nodes (flow), phases, a mark, a counter.
+  w.protocol_event(event_at(1.0, 0, trace::EventKind::kBeaconTx, 42));
+  w.protocol_event(event_at(1.001, 1, trace::EventKind::kBeaconRx, 42));
+  w.protocol_event(event_at(1.002, 1, trace::EventKind::kAdjustment, 42));
+  w.phase_begin(Phase::kDispatch, 10'000);
+  w.phase_begin(Phase::kCryptoVerify, 12'000);
+  w.phase_end(Phase::kCryptoVerify, 15'000);
+  w.phase_end(Phase::kDispatch, 20'000);
+  w.mark("partition", "fault", 2.0);
+  w.counter("cluster max offset (us)", 2.5, 17.25);
+  w.finish();
+
+  EXPECT_GT(w.events_written(), 0u);
+  EXPECT_EQ(w.dropped(), 0u);
+
+  std::vector<std::string> errors;
+  EXPECT_TRUE(validate_trace_event_json(slurp(path), &errors))
+      << (errors.empty() ? "" : errors.front());
+  EXPECT_TRUE(errors.empty());
+}
+
+TEST(Timeline, ValidatorRejectsGarbageAndImbalance) {
+  std::vector<std::string> errors;
+  EXPECT_FALSE(validate_trace_event_json("not json", &errors));
+  EXPECT_FALSE(errors.empty());
+
+  errors.clear();
+  EXPECT_FALSE(validate_trace_event_json("{\"notTraceEvents\":[]}", &errors));
+  EXPECT_FALSE(errors.empty());
+
+  // An unclosed "B" at EOF is tolerated (Perfetto auto-closes it), but an
+  // "E" with no matching "B" must be flagged.
+  errors.clear();
+  EXPECT_TRUE(validate_trace_event_json(
+      R"({"traceEvents":[{"ph":"B","pid":2,"tid":0,"ts":1.0,)"
+      R"("name":"dispatch","cat":"phase"}]})",
+      &errors));
+  EXPECT_FALSE(validate_trace_event_json(
+      R"({"traceEvents":[{"ph":"E","pid":2,"tid":0,"ts":1.0}]})", &errors));
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(Timeline, EventCapCountsDropsAndStaysValid) {
+  const std::string path = temp_path("timeline_capped.json");
+  TimelineWriter::Options opt;
+  opt.max_events = 4;  // preamble metadata does not count against the cap
+  TimelineWriter w;
+  std::string error;
+  ASSERT_TRUE(w.open(path, &error, opt)) << error;
+  for (int i = 0; i < 50; ++i) {
+    w.protocol_event(
+        event_at(0.1 * i, 0, trace::EventKind::kBeaconTx, 100 + i));
+  }
+  w.finish();
+  EXPECT_GT(w.dropped(), 0u);
+
+  std::vector<std::string> errors;
+  EXPECT_TRUE(validate_trace_event_json(slurp(path), &errors))
+      << (errors.empty() ? "" : errors.front());
+}
+
+TEST(Timeline, OpenFailsOnUnwritablePath) {
+  TimelineWriter w;
+  std::string error;
+  EXPECT_FALSE(w.open("/nonexistent-dir/timeline.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// Golden reproducibility: the same seeded run exports the same bytes.
+TEST(Timeline, SeededRunExportIsReproducibleAndValid) {
+  const auto export_run = [](const std::string& path) {
+    const run::Scenario s = seeded_scenario();
+    run::Network net(s);
+    TimelineWriter w;
+    std::string error;
+    ASSERT_TRUE(w.open(path, &error)) << error;
+    ASSERT_NE(net.trace(), nullptr);
+    net.trace()->set_sink(
+        [&w](const trace::TraceEvent& e) { w.protocol_event(e); });
+    net.run();
+    net.trace()->set_sink({});
+    w.finish();
+    EXPECT_GT(w.events_written(), 0u);
+  };
+
+  const std::string path_a = temp_path("timeline_seeded_a.json");
+  const std::string path_b = temp_path("timeline_seeded_b.json");
+  export_run(path_a);
+  export_run(path_b);
+
+  const std::string a = slurp(path_a);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(path_b));
+
+  std::vector<std::string> errors;
+  EXPECT_TRUE(validate_trace_event_json(a, &errors))
+      << (errors.empty() ? "" : errors.front());
+}
+
+// The determinism contract (DESIGN.md §11): the timeline writer is a pure
+// observer.  A seeded run's JSONL event stream — the bytes every analysis
+// consumes — is identical whether or not a timeline export rides along.
+TEST(Timeline, SeededRunByteIdenticalWithExportOnOrOff) {
+  const auto jsonl_of_run = [](bool with_timeline, const std::string& path) {
+    const run::Scenario s = seeded_scenario();
+    run::Network net(s);
+    std::ostringstream jsonl;
+    TimelineWriter w;
+    if (with_timeline) {
+      std::string error;
+      EXPECT_TRUE(w.open(path, &error)) << error;
+      net.trace()->set_sink([&](const trace::TraceEvent& e) {
+        write_event_jsonl(jsonl, e);
+        w.protocol_event(e);
+      });
+    } else {
+      attach_jsonl_sink(*net.trace(), jsonl);
+    }
+    net.run();
+    net.trace()->set_sink({});
+    w.finish();
+    return jsonl.str();
+  };
+
+  const std::string without = jsonl_of_run(false, "");
+  const std::string with =
+      jsonl_of_run(true, temp_path("timeline_observer.json"));
+  ASSERT_FALSE(without.empty());
+  EXPECT_EQ(without, with);
+}
+
+}  // namespace
+}  // namespace sstsp::obs

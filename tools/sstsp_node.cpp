@@ -32,6 +32,7 @@
 #include "fault/transport.h"
 #include "metrics/report.h"
 #include "net/node.h"
+#include "net/prom_exporter.h"
 #include "net/reactor.h"
 #include "net/telemetry_link.h"
 #include "net/udp.h"
@@ -39,6 +40,7 @@
 #include "obs/instruments.h"
 #include "obs/invariants.h"
 #include "obs/profiler.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "runner/config_file.h"
 #include "runner/run_output.h"
@@ -149,6 +151,18 @@ telemetry (same schema as sstsp_sim; DESIGN.md §10):
   --flight-recorder PATH  ring of recent events + samples, dumped on new
                         audit record classes and SIGUSR1
   --flight-capacity N   flight-recorder event ring size (default 512)
+
+performance observatory (DESIGN.md §11):
+  --timeline-out PATH   write the run as Chrome-trace-event JSON loadable
+                        in ui.perfetto.dev
+  --sampler             phase-sampling profiler into the metrics registry
+                        (dispatch-gated + SIGPROF statistical sampling)
+  --sampler-interval S  sampling interval in seconds (default 0.001;
+                        implies --sampler)
+  --prom-textfile PATH  dump the final metrics registry in Prometheus text
+                        exposition format
+  --prom-port P         serve a live /metrics endpoint on 127.0.0.1:P from
+                        the reactor (0 = ephemeral, printed at startup)
   --help                this text
 )";
 }
@@ -172,6 +186,9 @@ struct NodeCli {
   double telemetry_interval_s = 1.0;
   std::string flight_recorder_out;
   std::size_t flight_capacity = 512;
+  bool phase_sampler = false;
+  double phase_sampler_interval_s = 0.001;
+  int prom_port = -1;  ///< -1 off, 0 ephemeral, > 0 fixed
   sstsp::run::OutputOptions output;
   bool help = false;
 };
@@ -383,6 +400,28 @@ std::optional<NodeCli> parse_args(const std::vector<std::string>& args,
         return fail("--flight-capacity needs an integer >= 16");
       }
       cli.flight_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--timeline-out") {
+      if (!next(&cli.output.timeline_out_path)) {
+        return fail("--timeline-out needs a path");
+      }
+      cli.trace_capacity = std::max<std::size_t>(cli.trace_capacity, 1 << 12);
+    } else if (arg == "--sampler") {
+      cli.phase_sampler = true;
+    } else if (arg == "--sampler-interval") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--sampler-interval needs a positive number of seconds");
+      }
+      cli.phase_sampler_interval_s = d;
+      cli.phase_sampler = true;
+    } else if (arg == "--prom-textfile") {
+      if (!next(&cli.output.prom_textfile_path)) {
+        return fail("--prom-textfile needs a path");
+      }
+    } else if (arg == "--prom-port") {
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 65535) {
+        return fail("--prom-port needs a port number (0 = ephemeral)");
+      }
+      cli.prom_port = static_cast<int>(n);
     } else {
       return fail("unknown option: " + arg);
     }
@@ -489,6 +528,16 @@ int main(int argc, char** argv) {
     profiler = std::make_unique<obs::Profiler>();
     sim.set_profiler(profiler.get());
   }
+  std::unique_ptr<obs::PhaseSampler> phase_sampler;
+  if (cli->phase_sampler) {
+    obs::PhaseSampler::Options popts;
+    if (cli->phase_sampler_interval_s > 0.0) {
+      popts.interval_s = cli->phase_sampler_interval_s;
+    }
+    phase_sampler = std::make_unique<obs::PhaseSampler>(popts, registry);
+    phase_sampler->attach_profiler(profiler.get());
+    sim.set_phase_sampler(phase_sampler.get());
+  }
   if (cli->monitor) {
     obs::InvariantConfig cfg;
     cfg.sstsp_checks = true;
@@ -554,6 +603,29 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error << '\n';
     return 1;
   }
+  output.attach_profiler(profiler.get());
+
+  std::unique_ptr<net::PromExporter> prom;
+  if (cli->prom_port >= 0) {
+    prom = std::make_unique<net::PromExporter>();
+    const auto body = [&] {
+      if (phase_sampler) phase_sampler->publish_live();
+      std::vector<std::pair<std::string, double>> extra;
+      extra.emplace_back("node_id", static_cast<double>(cli->node.id));
+      extra.emplace_back("node_sim_time_seconds", sim.now().to_sec());
+      extra.emplace_back("reactor_wait_seconds",
+                         static_cast<double>(reactor.wait_ns()) * 1e-9);
+      extra.emplace_back("reactor_work_seconds",
+                         static_cast<double>(reactor.work_ns()) * 1e-9);
+      return net::prometheus_body(registry.snapshot(), extra);
+    };
+    if (!prom->open(reactor, static_cast<std::uint16_t>(cli->prom_port), body,
+                    &error)) {
+      std::cerr << "error: --prom-port: " << error << '\n';
+      return 1;
+    }
+    std::cout << "prometheus /metrics on 127.0.0.1:" << prom->port() << '\n';
+  }
 
   std::cout << "node " << cli->node.id << "/" << cli->node.total_nodes
             << " on " << transport->describe() << ", timeline t="
@@ -608,7 +680,14 @@ int main(int argc, char** argv) {
   reactor.anchor(start_sim);
 
   const auto wall_start = std::chrono::steady_clock::now();
+  if (phase_sampler) {
+    std::string live_error;
+    if (!phase_sampler->start_live(&live_error)) {
+      std::cerr << "warning: live phase sampler: " << live_error << '\n';
+    }
+  }
   reactor.run_until(end_sim);
+  if (phase_sampler) phase_sampler->stop_live();
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -621,6 +700,10 @@ int main(int argc, char** argv) {
   result.channel = node.channel().stats();
   result.honest = node.station().protocol().stats();
   result.net = node.net_stats();
+  registry.gauge("reactor.wait_seconds")
+      .set(static_cast<double>(reactor.wait_ns()) * 1e-9);
+  registry.gauge("reactor.work_seconds")
+      .set(static_cast<double>(reactor.work_ns()) * 1e-9);
   result.metrics = registry.snapshot();
   result.events_processed = sim.events_processed();
   result.wall_seconds = wall_seconds;
@@ -653,6 +736,8 @@ int main(int argc, char** argv) {
   scenario.collect_metrics = cli->collect_metrics;
   scenario.profile = cli->profile;
   scenario.monitor = cli->monitor;
+  scenario.phase_sampler = cli->phase_sampler;
+  scenario.phase_sampler_interval_s = cli->phase_sampler_interval_s;
 
   return output.finish(std::cout, std::cerr, scenario, result,
                        event_trace.get());

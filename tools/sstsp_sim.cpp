@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << error << '\n';
       return 1;
     }
+    output.attach_profiler(net.profiler());
 
     const auto wall_start = std::chrono::steady_clock::now();
     net.run();

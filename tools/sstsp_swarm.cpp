@@ -130,6 +130,20 @@ telemetry (same schema as sstsp_sim; DESIGN.md §10):
   --watch               live status line on stderr, one refresh per
                         telemetry interval (wall-paced runs)
 
+performance observatory (DESIGN.md §11):
+  --timeline-out PATH   write the run as Chrome-trace-event JSON loadable
+                        in ui.perfetto.dev (protocol events per node,
+                        beacon flow arrows, profiler spans with --profile)
+  --sampler             phase-sampling profiler into the metrics registry;
+                        wall-paced runs add a SIGPROF statistical sampler
+  --sampler-interval S  sampling interval in seconds (default 0.001;
+                        implies --sampler)
+  --prom-textfile PATH  dump the final metrics registry in Prometheus text
+                        exposition format
+  --prom-port P         serve a live /metrics endpoint on 127.0.0.1:P from
+                        the reactor (udp transport only; 0 = ephemeral,
+                        the chosen port is printed at startup)
+
 checks:
   --expect-sync         exit 4 unless a reference holds the role and the
                         final max pairwise adjusted-clock offset is under
@@ -353,6 +367,29 @@ std::optional<SwarmCli> parse_args(const std::vector<std::string>& args,
       cli.swarm.flight_capacity = static_cast<std::size_t>(n);
     } else if (arg == "--watch") {
       cli.swarm.watch = true;
+    } else if (arg == "--timeline-out") {
+      if (!next(&cli.output.timeline_out_path)) {
+        return fail("--timeline-out needs a path");
+      }
+      cli.swarm.trace_capacity =
+          std::max<std::size_t>(cli.swarm.trace_capacity, 1 << 12);
+    } else if (arg == "--sampler") {
+      cli.swarm.phase_sampler = true;
+    } else if (arg == "--sampler-interval") {
+      if (!next(&v) || !parse_double(v, &d) || d <= 0) {
+        return fail("--sampler-interval needs a positive number of seconds");
+      }
+      cli.swarm.phase_sampler_interval_s = d;
+      cli.swarm.phase_sampler = true;
+    } else if (arg == "--prom-textfile") {
+      if (!next(&cli.output.prom_textfile_path)) {
+        return fail("--prom-textfile needs a path");
+      }
+    } else if (arg == "--prom-port") {
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 65535) {
+        return fail("--prom-port needs a port number (0 = ephemeral)");
+      }
+      cli.swarm.prom_port = static_cast<int>(n);
     } else if (arg == "--expect-sync") {
       cli.expect_sync = true;
     } else {
@@ -411,6 +448,11 @@ int main(int argc, char** argv) {
   if (!output.begin(swarm->trace(), &error)) {
     std::cerr << "error: " << error << '\n';
     return 1;
+  }
+  output.attach_profiler(swarm->profiler());
+  if (swarm->prom_exporter() != nullptr) {
+    std::cout << "prometheus /metrics on 127.0.0.1:"
+              << swarm->prom_exporter()->port() << '\n';
   }
 
   swarm->run();

@@ -10,19 +10,30 @@
 //   $ sstsp_tracetool --merged-out merged.jsonl --timeline-out t.csv
 //         node0.jsonl node1.jsonl node2.jsonl swarm-tele.jsonl
 //   $ sstsp_tracetool --curves-out curves.csv faulted-run.jsonl tele.jsonl
+//   $ sstsp_tracetool timeline --out trace.json run.jsonl tele.jsonl
+//
+// The `timeline` subcommand converts the inputs to Chrome-trace-event JSON
+// loadable in ui.perfetto.dev / chrome://tracing (DESIGN.md §11) — the
+// post-hoc twin of the runners' live --timeline-out.
 //
 // Torn lines (a crashed writer's truncated tail) are counted and skipped,
-// never fatal.  Exit codes: 0 ok, 1 I/O error, 2 usage.
+// never fatal — but inputs with ZERO parseable lines are an error (exit 1):
+// that is a wrong file, not a torn one.  Exit codes: 0 ok, 1 I/O error, 2
+// usage.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/timeline.h"
 #include "trace/analyzer.h"
 
 namespace {
 
 const char* usage() {
   return R"(usage: sstsp_tracetool [options] FILE...
+       sstsp_tracetool timeline --out TRACE.json FILE...
 
 Analyzes JSONL streams from sstsp_sim / sstsp_swarm / sstsp_node: protocol
 events, telemetry samples, flight-recorder dumps and run summaries, in any
@@ -38,6 +49,16 @@ options:
                         (default 25, the paper's industry bound)
   --quiet               suppress the report (writers only)
   --help                this text
+
+timeline subcommand (performance observatory, DESIGN.md s11):
+  sstsp_tracetool timeline --out TRACE.json FILE...
+                        convert the inputs to Chrome-trace-event JSON —
+                        protocol events as per-node instants with trace_id
+                        flow arrows, cluster telemetry as counter tracks,
+                        fault marks as global instants; open the result in
+                        ui.perfetto.dev or chrome://tracing
+  --check               re-read the written file and run the trace-event
+                        schema validator over it (exit 1 on defects)
 )";
 }
 
@@ -49,11 +70,18 @@ int main(int argc, char** argv) {
   std::string merged_out;
   std::string timeline_out;
   std::string curves_out;
+  std::string trace_out;  // `timeline` subcommand: Chrome-trace-event JSON
+  bool timeline_mode = false;
+  bool check_trace = false;
   bool quiet = false;
   trace::AnalyzerOptions options;
   std::vector<std::string> files;
 
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "timeline") {
+    timeline_mode = true;
+    args.erase(args.begin());
+  }
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto next = [&](std::string* out) {
@@ -74,6 +102,13 @@ int main(int argc, char** argv) {
         std::cerr << "error: --timeline-out needs a path\n\n" << usage();
         return 2;
       }
+    } else if (timeline_mode && arg == "--out") {
+      if (!next(&trace_out)) {
+        std::cerr << "error: timeline --out needs a path\n\n" << usage();
+        return 2;
+      }
+    } else if (timeline_mode && arg == "--check") {
+      check_trace = true;
     } else if (arg == "--curves-out") {
       if (!next(&curves_out)) {
         std::cerr << "error: --curves-out needs a path\n\n" << usage();
@@ -106,12 +141,57 @@ int main(int argc, char** argv) {
     std::cerr << "error: no input files\n\n" << usage();
     return 2;
   }
+  if (timeline_mode && trace_out.empty()) {
+    std::cerr << "error: the timeline subcommand needs --out TRACE.json\n\n"
+              << usage();
+    return 2;
+  }
 
   std::string error;
   const auto analysis = trace::TraceAnalysis::load(files, &error, options);
   if (!analysis) {
     std::cerr << "error: " << error << '\n';
     return 1;
+  }
+
+  // Torn tails are tolerated, but a fully unparseable input set means the
+  // wrong files were passed (a pcap, a binary, an empty capture) — failing
+  // loudly beats an empty report that reads as "all converged".
+  const trace::LoadStats& stats = analysis->stats();
+  if (stats.lines == 0 || stats.lines == stats.torn) {
+    std::cerr << "error: no parseable JSONL lines in ";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      std::cerr << (i != 0 ? ", " : "") << files[i];
+    }
+    std::cerr << " (" << stats.lines << " line(s), " << stats.torn
+              << " torn) — expected --json-out / --telemetry-out / flight "
+                 "dump streams from sstsp_sim, sstsp_swarm or sstsp_node\n";
+    return 1;
+  }
+
+  if (timeline_mode) {
+    if (!analysis->write_timeline_trace(trace_out, &error)) {
+      std::cerr << "error: " << error << '\n';
+      return 1;
+    }
+    if (check_trace) {
+      std::ifstream in(trace_out, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::vector<std::string> defects;
+      if (!in || !obs::validate_trace_event_json(buf.str(), &defects)) {
+        std::cerr << "error: " << trace_out
+                  << " failed the trace-event schema check:\n";
+        for (const std::string& d : defects) std::cerr << "  " << d << '\n';
+        return 1;
+      }
+      if (!quiet) std::cout << "schema check ok: " << trace_out << '\n';
+    }
+    if (!quiet) {
+      std::cout << "perfetto timeline written to " << trace_out
+                << " (load it in ui.perfetto.dev)\n";
+    }
+    return 0;
   }
 
   if (!merged_out.empty() &&
