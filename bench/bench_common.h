@@ -137,6 +137,10 @@ struct PerfSample {
   std::string label;
   std::string protocol;
   int nodes{0};
+  /// Worker threads of the sharded kernel (0 = legacy single-threaded
+  /// kernel).  Recorded so per-thread-count lanes stay distinguishable in
+  /// the baseline even across machines with different core counts.
+  int threads{0};
   double sim_seconds{0.0};
   double wall_seconds{0.0};
   std::uint64_t events{0};
@@ -169,6 +173,7 @@ inline void write_perf_json(const std::string& path,
     w.kv("label", s.label);
     w.kv("protocol", s.protocol);
     w.kv("nodes", static_cast<std::int64_t>(s.nodes));
+    w.kv("threads", static_cast<std::int64_t>(s.threads));
     w.kv("sim_seconds", s.sim_seconds);
     w.kv("wall_seconds", s.wall_seconds);
     w.kv("events", static_cast<std::int64_t>(s.events));

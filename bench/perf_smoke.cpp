@@ -2,10 +2,13 @@
 //
 // Not a paper artifact: this bench pins a small matrix of honest scenarios
 // (SSTSP and TSF at n = 100 / 500 / 2000, 60 simulated seconds, fixed seed)
+// plus sharded-kernel lanes (SSTSP at n = 100k and n = 1M, spatial
+// deployments on the windowed parallel kernel, single-thread and multicore)
 // and reports wall time, sim-events/sec, deliveries/sec and peak RSS for
 // each.  The committed BENCH_perf.json at the repository root is the
 // baseline; the CI release lane re-runs this binary and fails if any
-// tracked metric regresses by more than 25 % (tools/check_perf_regression.py).
+// tracked metric regresses by more than 25 % (tools/check_perf_regression.py);
+// lanes the baseline predates are reported as SKIP, not silently passed.
 //
 // Scenarios run with metrics/profiling/monitoring off so the numbers track
 // the bare hot path (channel fan-out, event queue, crypto verify); run them
@@ -30,10 +33,13 @@
 // BENCH_perf_sampler.json; CI gates the sampler's cost at the same 2 %.
 #include <sys/resource.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -134,10 +140,68 @@ int main() {
               << " s wall\n";
   }
 
-  metrics::TextTable table({"scenario", "wall (s)", "events/s", "deliv/s",
-                            "events", "deliveries", "peak RSS (MB)"});
+  // Sharded-kernel lanes: SSTSP at n = 100k and n = 1M on the windowed
+  // parallel kernel (DESIGN.md §12).  Spatial deployments at the same node
+  // density as the default n = 100 disc (placement radius grows as sqrt(n),
+  // radio range fixed at 25 m -> ~25 audible neighbours), short pinned
+  // durations: the point is a tracked throughput + footprint trajectory at
+  // scale, not a convergence study.  Shard counts are pinned so the event
+  // stream is machine-independent (bit-identical for any thread count); the
+  // _mt lane uses every hardware thread (floored at 2 so the worker pool is
+  // always exercised) and is honest by construction — on a single-core host
+  // it measures the pool's coordination overhead, not a speedup.
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  struct XlPoint {
+    int nodes;
+    double sim_s;
+    int shards;
+    int threads;
+    const char* suffix;
+  };
+  const std::vector<XlPoint> xl_points{
+      {100000, 2.0, 8, 1, "_t1"},
+      {100000, 2.0, 8, hw, "_mt"},
+      {1000000, 0.3, 32, hw, "_mt"},
+  };
+  for (const XlPoint& p : xl_points) {
+    run::Scenario s;
+    s.protocol = run::ProtocolKind::kSstsp;
+    s.num_nodes = p.nodes;
+    s.duration_s = p.sim_s;
+    s.seed = 2006;
+    s.sstsp.chain_length = 64;
+    s.collect_metrics = false;
+    s.phy.radio_range_m = 25.0;
+    s.phy.placement_radius_m = 50.0 * std::sqrt(p.nodes / 100.0);
+    s.threads = p.threads;
+    s.shards = p.shards;
+    const bool rss_reset = reset_rss_peak();
+    rss_per_scenario = rss_per_scenario && rss_reset;
+    const auto r = run::run_scenario(s);
+
+    bench::PerfSample sample;
+    sample.label = "SSTSP_n" + std::to_string(p.nodes) + p.suffix;
+    sample.protocol = run::protocol_name(s.protocol);
+    sample.nodes = p.nodes;
+    sample.threads = p.threads;
+    sample.sim_seconds = p.sim_s;
+    sample.wall_seconds = r.wall_seconds;
+    sample.events = r.events_processed;
+    sample.deliveries = r.channel.deliveries;
+    sample.peak_rss_kb = rss_reset ? vm_hwm_kb() : peak_rss_kb();
+    samples.push_back(sample);
+    std::cout << sample.label << ": " << metrics::fmt(r.wall_seconds, 3)
+              << " s wall (" << p.shards << " shards, " << p.threads
+              << " threads)\n";
+  }
+
+  metrics::TextTable table({"scenario", "thr", "wall (s)", "events/s",
+                            "deliv/s", "events", "deliveries",
+                            "peak RSS (MB)"});
   for (const auto& s : samples) {
-    table.add_row({s.label, metrics::fmt(s.wall_seconds, 3),
+    table.add_row({s.label, std::to_string(s.threads),
+                   metrics::fmt(s.wall_seconds, 3),
                    metrics::fmt(s.events_per_second(), 0),
                    metrics::fmt(s.deliveries_per_second(), 0),
                    std::to_string(s.events), std::to_string(s.deliveries),

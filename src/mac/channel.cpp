@@ -8,20 +8,8 @@
 
 namespace sstsp::mac {
 
-namespace {
-/// Mean distance between two points drawn uniformly from a disc of radius R
-/// is (128/45pi) R ~= 0.9054 R; used as the propagation compensation.
-constexpr double kMeanDiscDistanceFactor = 0.905414787;
-
-/// Same rounding path as propagation_delay(); reads the cached distance
-/// instead of recomputing it, so seeded runs stay byte-identical.
-sim::SimTime propagation_from_distance(double dist_m) {
-  return sim::SimTime::from_us_double(dist_m / kSpeedOfLightMPerUs);
-}
-}  // namespace
-
 Channel::Channel(sim::Simulator& sim, const PhyParams& phy)
-    : sim_(sim), phy_(phy), rng_(sim.substream("channel", 0)) {}
+    : Medium(phy), sim_(sim), rng_(sim.substream("channel", 0)) {}
 
 std::size_t Channel::add_station(Position pos, RxHandler handler) {
   stations_.push_back(StationRec{pos, std::move(handler), true,
@@ -124,17 +112,6 @@ void Channel::grid_candidates(const Position& pos) const {
   // Ascending station index: the RNG draw-order contract requires visiting
   // receivers exactly as the full scan would.
   std::sort(candidates_.begin(), candidates_.end());
-}
-
-double Channel::nominal_delay_us(sim::SimTime duration) const {
-  const double reach = (phy_.radio_range_m > 0.0)
-                           ? phy_.radio_range_m
-                           : phy_.placement_radius_m;
-  const double nominal_prop_us =
-      kMeanDiscDistanceFactor * reach / kSpeedOfLightMPerUs;
-  const double nominal_rx_us =
-      0.5 * (phy_.rx_latency_min.to_us() + phy_.rx_latency_max.to_us());
-  return duration.to_us() + nominal_prop_us + nominal_rx_us;
 }
 
 void Channel::prune_old(sim::SimTime now) {

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "mac/frame.h"
+#include "mac/medium.h"
 #include "mac/phy_params.h"
 #include "obs/instruments.h"
 #include "obs/profiler.h"
@@ -54,34 +55,16 @@ class FaultInjector;
 
 namespace sstsp::mac {
 
-/// What a receiver's MAC learns about a frame, besides its content.
-struct RxInfo {
-  sim::SimTime delivered;      ///< when the receiver timestamps the frame
-  double nominal_delay_us{0};  ///< receiver's estimate of stamp->delivered
-  sim::SimTime tx_start;       ///< ground truth, for diagnostics only
-};
-
-struct ChannelStats {
-  std::uint64_t transmissions{0};
-  std::uint64_t collided_transmissions{0};
-  std::uint64_t deliveries{0};
-  std::uint64_t per_drops{0};
-  std::uint64_t half_duplex_suppressed{0};
-  std::uint64_t bytes_on_air{0};
-};
-
-class Channel {
+class Channel final : public Medium {
  public:
-  using RxHandler = std::function<void(const Frame&, const RxInfo&)>;
-
   Channel(sim::Simulator& sim, const PhyParams& phy);
 
   /// Registers a station; returns its channel index.  The handler fires at
   /// the frame's delivery instant.
-  std::size_t add_station(Position pos, RxHandler handler);
+  std::size_t add_station(Position pos, RxHandler handler) override;
 
   /// Stations that are powered off neither receive nor sense.
-  void set_listening(std::size_t idx, bool listening);
+  void set_listening(std::size_t idx, bool listening) override;
   [[nodiscard]] bool listening(std::size_t idx) const {
     return stations_[idx].listening;
   }
@@ -94,18 +77,17 @@ class Channel {
   /// transmission's lifecycle trace ID, which is also stamped into the
   /// frame every receiver sees (Frame::trace_id) — a retransmitted or
   /// replayed frame gets a fresh ID for its new time on air.
-  std::uint64_t transmit(std::size_t idx, Frame frame, sim::SimTime duration);
+  std::uint64_t transmit(std::size_t idx, Frame frame,
+                         sim::SimTime duration) override;
 
   /// Would station `idx`, checking at time `at`, find the medium busy?
   /// Only transmissions within radio range are sensed.
-  [[nodiscard]] bool would_detect_busy(std::size_t idx, sim::SimTime at) const;
+  [[nodiscard]] bool would_detect_busy(std::size_t idx,
+                                       sim::SimTime at) const override;
 
   /// Mutual audibility under the configured radio range (always true in
   /// the default single-hop configuration).
   [[nodiscard]] bool in_range(const Position& a, const Position& b) const;
-
-  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
-  [[nodiscard]] const PhyParams& phy() const { return phy_; }
 
   /// Re-bases the lifecycle trace-ID counter.  A simulation has one channel
   /// so the default (ids from 1) is globally unique; the live runtime has
@@ -131,13 +113,6 @@ class Channel {
   void set_fault_injector(fault::FaultInjector* injector) {
     fault_ = injector;
   }
-
-  /// Receiver-side compensation constant for a frame of `duration`:
-  /// the delay estimate added to a beacon timestamp to place it on the
-  /// receiver's timeline (frame air time + nominal propagation + nominal
-  /// receive latency).  The residual between this and the actual delay is
-  /// the paper's epsilon.
-  [[nodiscard]] double nominal_delay_us(sim::SimTime duration) const;
 
  private:
   struct StationRec {
@@ -185,11 +160,9 @@ class Channel {
   void grid_candidates(const Position& pos) const;
 
   sim::Simulator& sim_;
-  PhyParams phy_;
   std::vector<StationRec> stations_;
   std::deque<Tx> recent_;  // transmissions still relevant for CS/delivery
   std::uint64_t next_tx_id_{1};
-  ChannelStats stats_;
   sim::Rng rng_;
   obs::Instruments* instruments_{nullptr};
   obs::Profiler* profiler_{nullptr};

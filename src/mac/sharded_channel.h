@@ -1,0 +1,250 @@
+// Sharded broadcast channel: the parallel kernel's medium.
+//
+// A ShardedWorld partitions the deployment into S contiguous regions and
+// owns one ShardChannel per region.  Each shard holds only its own stations
+// and runs on its own sim::Simulator, so the protocol hot path — backoff,
+// carrier sense, transmit, delivery dispatch — touches no shared mutable
+// state.  Shards interact exclusively at window barriers driven by
+// sim::ShardExecutor:
+//
+//   * transmit() appends a local transmission record, posts announcement
+//     copies into per-target outboxes, and schedules a finish-marker event
+//     at the frame's end in the shard's own queue.  The marker keeps the
+//     global t_min from jumping past the frame's end, which is what makes
+//     the deferred evaluation below exact.
+//   * exchange (serial, per window): the world drains every outbox in
+//     shard-index order, appending announcements to the target shards.
+//   * settle (parallel, per shard per window): each shard evaluates every
+//     known transmission whose end lies inside the closed window — in
+//     (end, tx id) order — against its OWN stations only: range check,
+//     half-duplex, per-receiver interference, PER draw, latency draw,
+//     delivery scheduling on the shard's simulator.
+//   * commit (serial, per window): per-receiver-shard corruption verdicts
+//     are OR-ed across shards so collided_transmissions counts each
+//     transmission once, exactly like the single-kernel channel.
+//
+// Exactness: with lookahead L = min(cca_time, rx_latency_min), a remote
+// transmission starting inside the current window is detectable by carrier
+// sense only from start + prop + cca >= E_k, and delivers only from
+// end + prop + rx_latency >= E_k — both beyond the window's open end — so
+// deferring its visibility to the barrier changes nothing any station can
+// observe.  DESIGN.md §12 carries the full argument and the two documented
+// deviations from mac::Channel (identity-keyed RNG draws, two-deep
+// half-duplex history).
+//
+// Determinism: every cross-shard draw is keyed by (tx id, receiver node id)
+// off the shard simulator's root RNG — never by thread or arrival order —
+// and tx ids are (sender node id, per-sender sequence), so results are
+// bit-identical for any shard and thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mac/medium.h"
+#include "sim/simulator.h"
+
+namespace sstsp::obs {
+class Instruments;
+}  // namespace sstsp::obs
+
+namespace sstsp::mac {
+
+class ShardedWorld;
+
+class ShardChannel final : public Medium {
+ public:
+  ShardChannel(ShardedWorld& world, int shard, sim::Simulator& sim,
+               const PhyParams& phy);
+
+  /// Registers the next station of this shard.  Stations must be added in
+  /// ascending global-node-id order across the whole world (the runner
+  /// builds them that way); the world's partition supplies the id.
+  std::size_t add_station(Position pos, RxHandler handler) override;
+
+  void set_listening(std::size_t idx, bool listening) override;
+
+  std::uint64_t transmit(std::size_t idx, Frame frame,
+                         sim::SimTime duration) override;
+
+  [[nodiscard]] bool would_detect_busy(std::size_t idx,
+                                       sim::SimTime at) const override;
+
+  /// Per-shard instruments (delivery-latency recording); may be nullptr.
+  void set_instruments(obs::Instruments* instruments) {
+    instruments_ = instruments;
+  }
+
+  [[nodiscard]] std::size_t station_count() const { return stations_.size(); }
+
+  // Deterministic load counters (virtual-time-derived, safe to publish
+  // under the bit-identity contract).
+  [[nodiscard]] std::uint64_t announcements_sent() const {
+    return announcements_sent_;
+  }
+  [[nodiscard]] std::size_t peak_tx_records() const { return peak_txs_; }
+
+ private:
+  friend class ShardedWorld;
+
+  /// One past transmission window of a local station; two-deep history so
+  /// the barrier-deferred half-duplex check still sees the transmission
+  /// that was current at the frame's end even if the station has started
+  /// another one later in the same window.
+  struct TxWin {
+    sim::SimTime start{sim::SimTime::never()};
+    sim::SimTime end{sim::SimTime::zero()};
+  };
+
+  struct LocalStation {
+    NodeId global;
+    Position pos;
+    RxHandler handler;
+    bool listening{true};
+    std::uint32_t tx_seq{0};
+    TxWin hist[2];  ///< [0] = most recent transmission
+  };
+
+  /// A transmission this shard knows about: its own, or an announcement
+  /// committed at a barrier.  Carries everything evaluation needs, so
+  /// remote lookups never happen.
+  struct TxRec {
+    std::uint64_t id{0};
+    NodeId sender{kNoNode};
+    Position sender_pos;
+    sim::SimTime start;
+    sim::SimTime end;
+    std::shared_ptr<const Frame> frame;
+    bool evaluated{false};
+  };
+
+  struct Announcement {
+    int target;
+    TxRec rec;
+  };
+
+  /// Barrier hooks, driven by the world.
+  void accept(const TxRec& rec);
+  void settle(sim::SimTime window_end);
+  void evaluate(const TxRec& tx);
+  void prune(sim::SimTime now);
+
+  void build_grid();
+  /// Local stations in the 3x3 neighbourhood of `pos`, ascending local
+  /// index (== ascending global id; the partition preserves order).
+  void local_candidates(const Position& pos) const;
+
+  ShardedWorld& world_;
+  int shard_;
+  sim::Simulator& sim_;
+  std::vector<LocalStation> stations_;
+  std::deque<TxRec> txs_;
+  std::vector<Announcement> outbox_;  ///< drained serially at exchange
+  /// (tx id, any-local-receiver-corrupted) for this window's evaluations;
+  /// drained serially at commit.
+  std::vector<std::pair<std::uint64_t, bool>> eval_results_;
+  obs::Instruments* instruments_{nullptr};
+
+  // Uniform grid over this shard's stations only (cell = radio range,
+  // locally-fitted bounds).  Queries clamp into the local bounds exactly
+  // like mac::Channel's grid; the exact distance check downstream makes a
+  // remote sender's clamped query correct — candidates are a superset of
+  // the in-range stations.
+  struct Grid {
+    bool built{false};
+    double cell_m{0.0};
+    double min_x{0.0};
+    double min_y{0.0};
+    int nx{0};
+    int ny{0};
+    std::vector<std::vector<std::uint32_t>> cells;
+  };
+  Grid grid_;
+  mutable std::vector<std::uint32_t> candidates_;  // grid query scratch
+  std::vector<TxRec*> due_;                        // settle scratch
+  std::vector<int> targets_;                       // transmit scratch
+
+  std::uint64_t announcements_sent_{0};
+  std::size_t peak_txs_{0};
+};
+
+/// Coordinator: owns the shards, the spatial partition, and the barrier
+/// protocol.  Not itself a Medium — stations attach to their shard.
+class ShardedWorld {
+ public:
+  /// `sims` must outlive the world: one simulator per shard, all seeded
+  /// identically (sim::ShardExecutor guarantees both).
+  ShardedWorld(const PhyParams& phy, std::vector<sim::Simulator*> sims);
+  ~ShardedWorld();
+
+  ShardedWorld(const ShardedWorld&) = delete;
+  ShardedWorld& operator=(const ShardedWorld&) = delete;
+
+  /// Partitions `positions` (indexed by global node id) into contiguous
+  /// shard regions balanced by station count: grid-column strips when a
+  /// finite radio range is configured, node-id blocks otherwise.  Must run
+  /// before any add_station.
+  void partition(const std::vector<Position>& positions);
+
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] int shard_of(std::size_t global) const {
+    return shard_of_[global];
+  }
+  [[nodiscard]] ShardChannel& channel(int shard) { return *shards_[shard]; }
+
+  /// Conservative lookahead this world's physics supports (min of CCA
+  /// latency and minimum receive latency); pass to sim::ShardExecutor.
+  [[nodiscard]] sim::SimTime lookahead() const;
+
+  // Barrier protocol, in per-window order (wire into ShardExecutor::run).
+  void exchange(sim::SimTime window_end);
+  void settle(int shard, sim::SimTime window_end);
+  void commit(sim::SimTime window_end);
+
+  /// World-wide channel stats: per-shard counters summed, plus the
+  /// commit-phase collision count.
+  [[nodiscard]] ChannelStats stats() const;
+
+  [[nodiscard]] std::uint64_t announcements_total() const;
+
+  /// Shards whose stations can hear a node at this x coordinate — the
+  /// announce fan-out set.  The runner keys per-shard KeyDirectory
+  /// registration off this (NOT off home-shard adjacency: when shards
+  /// outnumber grid columns, neighbouring columns can map to
+  /// non-consecutive shard indices).
+  void audible_shards(double x_m, std::vector<int>& out) const {
+    announce_targets(x_m, out);
+  }
+
+ private:
+  friend class ShardChannel;
+
+  /// Shards owning any grid column in [cx-1, cx+1]; all shards in the
+  /// single-hop (radio_range_m == 0) configuration.
+  void announce_targets(double x_m, std::vector<int>& out) const;
+  [[nodiscard]] NodeId next_global_id(int shard) const;
+
+  PhyParams phy_;
+  std::vector<sim::Simulator*> sims_;
+  std::vector<std::unique_ptr<ShardChannel>> shards_;
+  std::vector<int> shard_of_;  ///< global node id -> shard
+  /// Per-shard members in ascending global id (add_station consumes these).
+  std::vector<std::vector<NodeId>> members_;
+
+  // Column partition (finite range only).
+  bool spatial_{false};
+  double cell_m_{0.0};
+  double min_x_{0.0};
+  int ncols_{0};
+  std::vector<int> col_shard_;  ///< grid column -> owning shard
+
+  std::uint64_t collided_{0};
+  /// commit scratch: this window's (tx id, corrupted) pairs over all shards.
+  std::vector<std::pair<std::uint64_t, bool>> verdicts_;
+};
+
+}  // namespace sstsp::mac

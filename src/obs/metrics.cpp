@@ -44,7 +44,19 @@ void Histogram::record(double v) {
     max_ = std::max(max_, v);
   }
   ++count_;
-  sum_ += v;
+  add_sum(v);
+}
+
+void Histogram::add_sum(double v) {
+  // TwoSum error-free transform: s + e == sum_ + v exactly; folding the
+  // old compensation into e and renormalizing keeps sum_ as the head of a
+  // double-double accumulator.
+  const double s = sum_ + v;
+  const double bp = s - sum_;
+  double e = (sum_ - (s - bp)) + (v - bp);
+  e += sum_c_;
+  sum_ = s + e;
+  sum_c_ = e - (sum_ - s);
 }
 
 double Histogram::quantile(double p) const {
@@ -97,7 +109,8 @@ void Histogram::merge_from(const Histogram& other) {
     max_ = std::max(max_, other.max_);
   }
   count_ += other.count_;
-  sum_ += other.sum_;
+  add_sum(other.sum_);
+  add_sum(other.sum_c_);
 }
 
 void Registry::merge_from(const Registry& other) {

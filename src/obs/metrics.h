@@ -104,9 +104,17 @@ class Histogram {
   }
 
  private:
+  void add_sum(double v);
+
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_{0};
+  /// Running sum as a double-double (sum_ + sum_c_, normalized so sum_
+  /// carries the head): ~106 bits of accumulation keep the reported sum
+  /// insensitive to how samples were grouped before merge_from — required
+  /// by the sharded kernel's contract that a run's metrics document is
+  /// byte-identical for any shard count.
   double sum_{0.0};
+  double sum_c_{0.0};
   double min_{0.0};
   double max_{0.0};
 };

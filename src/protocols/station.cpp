@@ -4,7 +4,7 @@
 
 namespace sstsp::proto {
 
-Station::Station(sim::Simulator& sim, mac::Channel& channel, mac::NodeId id,
+Station::Station(sim::Simulator& sim, mac::Medium& channel, mac::NodeId id,
                  clk::HardwareClock hw, mac::Position pos)
     : sim_(sim),
       channel_(channel),

@@ -7,7 +7,7 @@
 
 #include "clock/hardware_clock.h"
 #include "fault/recovery.h"
-#include "mac/channel.h"
+#include "mac/medium.h"
 #include "obs/flight_recorder.h"
 #include "obs/instruments.h"
 #include "obs/invariants.h"
@@ -22,7 +22,9 @@ namespace sstsp::proto {
 
 class Station {
  public:
-  Station(sim::Simulator& sim, mac::Channel& channel, mac::NodeId id,
+  /// `channel` may be the run-wide mac::Channel or one shard of the
+  /// parallel kernel — the station only uses the mac::Medium surface.
+  Station(sim::Simulator& sim, mac::Medium& channel, mac::NodeId id,
           clk::HardwareClock hw, mac::Position pos);
 
   Station(const Station&) = delete;
@@ -30,7 +32,7 @@ class Station {
 
   [[nodiscard]] mac::NodeId id() const { return id_; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] mac::Channel& channel() { return channel_; }
+  [[nodiscard]] mac::Medium& channel() { return channel_; }
   [[nodiscard]] const clk::HardwareClock& hw() const { return hw_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
 
@@ -148,7 +150,7 @@ class Station {
   }
 
   sim::Simulator& sim_;
-  mac::Channel& channel_;
+  mac::Medium& channel_;
   mac::NodeId id_;
   clk::HardwareClock hw_;
   sim::Rng rng_;

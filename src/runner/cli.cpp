@@ -58,6 +58,16 @@ scenario:
                         (default sstsp)
   --nodes N             honest station count (default 100)
   --duration S          simulated seconds (default 200)
+  --threads N           run on the sharded parallel kernel with N worker
+                        threads (0 = legacy single-threaded kernel);
+                        results are bit-identical for any thread count
+  --shards N            shard count for the parallel kernel (default: the
+                        thread count); pinning it keeps runs with
+                        different --threads byte-identical
+  --radio-range M       radio range in metres (0 = single-hop: everyone
+                        hears everyone; finite ranges enable the spatial
+                        partition large runs need)
+  --placement-radius M  deployment disc radius in metres (default 50)
   --seed S              RNG seed; identical seeds reproduce bit-exactly
   --paper-env           the paper's §5 environment: 1000 s, 5% churn every
                         200 s, reference departures at 300/500/800 s
@@ -182,10 +192,34 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       s.protocol = *kind;
     } else if (arg == "--nodes") {
       long long n = 0;
-      if (!next(&v) || !parse_int(v, &n) || n < 1 || n > 100000) {
-        return fail("--nodes needs a positive integer");
+      if (!next(&v) || !parse_int(v, &n) || n < 1 || n > 1000000) {
+        return fail("--nodes needs a positive integer (max 1000000)");
       }
       s.num_nodes = static_cast<int>(n);
+    } else if (arg == "--threads") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 1024) {
+        return fail("--threads needs an integer in [0, 1024]");
+      }
+      s.threads = static_cast<int>(n);
+    } else if (arg == "--shards") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 4096) {
+        return fail("--shards needs an integer in [0, 4096]");
+      }
+      s.shards = static_cast<int>(n);
+    } else if (arg == "--radio-range") {
+      double m = 0;
+      if (!next(&v) || !parse_double(v, &m) || m < 0) {
+        return fail("--radio-range needs a distance in metres >= 0");
+      }
+      s.phy.radio_range_m = m;
+    } else if (arg == "--placement-radius") {
+      double m = 0;
+      if (!next(&v) || !parse_double(v, &m) || m <= 0) {
+        return fail("--placement-radius needs a distance in metres > 0");
+      }
+      s.phy.placement_radius_m = m;
     } else if (arg == "--duration") {
       double d = 0;
       if (!next(&v) || !parse_double(v, &d) || d <= 0) {

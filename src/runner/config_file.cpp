@@ -32,6 +32,10 @@ constexpr KeySpec kSchema[] = {
     {"duration", kAll},
     {"seed", kAll},
     {"paper-env", kSim},
+    {"threads", kSim},
+    {"shards", kSim},
+    {"radio-range", kSim},
+    {"placement-radius", kSim},
     {"id", kNode},
     // protocol parameters
     {"m", kAll},

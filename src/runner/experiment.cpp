@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "runner/network.h"
+#include "runner/parallel_network.h"
 
 namespace sstsp::run {
 
@@ -43,6 +44,9 @@ RunResult collect_result(Network& net, double wall_seconds) {
 }
 
 RunResult run_scenario(const Scenario& scenario) {
+  if (scenario.threads > 0 || scenario.shards > 0) {
+    return run_parallel_scenario(scenario);
+  }
   Network net(scenario);
   const auto wall_start = std::chrono::steady_clock::now();
   net.run();

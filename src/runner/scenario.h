@@ -124,6 +124,15 @@ struct Scenario {
   std::string flight_recorder_out{};
   std::size_t flight_capacity = 512;
 
+  /// Sharded parallel kernel (sim::ShardExecutor + mac::ShardedWorld).
+  /// threads > 0 or shards > 0 selects it; shards defaults to the thread
+  /// count when only threads is given.  Results are bit-identical for any
+  /// (threads, shards) combination — including the single-threaded legacy
+  /// kernel when PER is 0 and rx latency is fixed; see DESIGN.md §12 for
+  /// the exactness contract and the two documented RNG-stream deviations.
+  int threads = 0;
+  int shards = 0;
+
   /// Convenience: the paper's §5 environment (churn + reference
   /// departures) on top of the defaults.
   [[nodiscard]] static Scenario paper_section5(ProtocolKind protocol,

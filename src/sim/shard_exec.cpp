@@ -1,0 +1,208 @@
+#include "sim/shard_exec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace sstsp::sim {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+double ShardWallStats::imbalance() const {
+  if (busy_ns.empty()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (const std::uint64_t b : busy_ns) {
+    total += b;
+    peak = std::max(peak, b);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(busy_ns.size());
+  return static_cast<double>(peak) / mean;
+}
+
+ShardExecutor::ShardExecutor(const Options& opt, std::uint64_t seed)
+    : lookahead_(opt.lookahead) {
+  assert(opt.shards >= 1);
+  assert(opt.threads >= 1);
+  assert(lookahead_ > SimTime::zero());
+  shards_.reserve(static_cast<std::size_t>(opt.shards));
+  for (int s = 0; s < opt.shards; ++s) {
+    shards_.push_back(std::make_unique<Simulator>(seed));
+  }
+  control_ = std::make_unique<Simulator>(seed);
+
+  const int threads = std::min(opt.threads, opt.shards);
+  for (int w = 1; w < threads; ++w) {
+    workers_.emplace_back([this] {
+      std::uint32_t seen = 0;
+      for (;;) {
+        std::function<void(int)> fn;
+        {
+          std::unique_lock<std::mutex> lk(m_);
+          cv_work_.wait(lk, [&] { return stop_ || round_ != seen; });
+          if (stop_) return;
+          seen = round_;
+          fn = phase_fn_;
+        }
+        work_loop(seen, fn);
+      }
+    });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ShardExecutor::claim(std::uint32_t round) {
+  std::uint64_t cur = task_slot_.load(std::memory_order_acquire);
+  for (;;) {
+    if (static_cast<std::uint32_t>(cur >> 32) != round) return -1;
+    const auto idx = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+    if (idx >= static_cast<std::uint32_t>(shard_count())) return -1;
+    const std::uint64_t next =
+        (static_cast<std::uint64_t>(round) << 32) | (idx + 1);
+    if (task_slot_.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return static_cast<int>(idx);
+    }
+  }
+}
+
+void ShardExecutor::work_loop(std::uint32_t round,
+                              const std::function<void(int)>& fn) {
+  for (;;) {
+    const int s = claim(round);
+    if (s < 0) return;
+    const std::uint64_t t0 = collect_wall_ ? now_ns() : 0;
+    fn(s);
+    if (collect_wall_) {
+      // Each task writes only its own shard's slot; no two tasks of a round
+      // share an index, so this is race-free without atomics.
+      wall_stats_.busy_ns[static_cast<std::size_t>(s)] += now_ns() - t0;
+    }
+    std::lock_guard<std::mutex> lk(m_);
+    if (++done_count_ == shard_count()) cv_done_.notify_all();
+  }
+}
+
+void ShardExecutor::run_phase(const std::function<void(int)>& fn) {
+  const int shards = shard_count();
+  const std::uint64_t phase_t0 = collect_wall_ ? now_ns() : 0;
+  if (collect_wall_) busy_before_ = wall_stats_.busy_ns;
+  if (workers_.empty()) {
+    // threads == 1 (or a single shard): dispatch in-order on this thread,
+    // no synchronization at all.
+    for (int s = 0; s < shards; ++s) {
+      const std::uint64_t t0 = collect_wall_ ? now_ns() : 0;
+      fn(s);
+      if (collect_wall_) {
+        wall_stats_.busy_ns[static_cast<std::size_t>(s)] += now_ns() - t0;
+      }
+    }
+  } else {
+    std::uint32_t round = 0;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      phase_fn_ = fn;
+      done_count_ = 0;
+      round = ++round_;
+      task_slot_.store(static_cast<std::uint64_t>(round) << 32,
+                       std::memory_order_release);
+    }
+    cv_work_.notify_all();
+    work_loop(round, fn);
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_done_.wait(lk, [&] { return done_count_ == shards; });
+    }
+  }
+  if (collect_wall_) {
+    const std::uint64_t wall = now_ns() - phase_t0;
+    wall_stats_.phase_wall_ns += wall;
+    // A shard's barrier wait is the part of the phase wall it did not spend
+    // dispatching its own events.
+    for (int s = 0; s < shards; ++s) {
+      const auto i = static_cast<std::size_t>(s);
+      const std::uint64_t busy = wall_stats_.busy_ns[i] - busy_before_[i];
+      wall_stats_.wait_ns[i] += wall > busy ? wall - busy : 0;
+    }
+  }
+}
+
+void ShardExecutor::run(SimTime horizon, const ExchangeFn& exchange,
+                        const SettleFn& settle, const CommitFn& commit) {
+  // Events scheduled exactly at the horizon must still fire (run_until is
+  // inclusive), so the open upper bound of the last window is horizon + 1.
+  const SimTime cap = horizon + SimTime{1};
+  for (;;) {
+    SimTime t_min = SimTime::never();
+    for (const auto& sh : shards_) {
+      t_min = std::min(t_min, sh->next_event_time());
+    }
+    const SimTime next_control = control_->next_event_time();
+    if (t_min > horizon && next_control > horizon) break;
+
+    SimTime end = cap;
+    if (t_min < SimTime::never() && t_min + lookahead_ < end) {
+      end = t_min + lookahead_;
+    }
+    if (next_control < end) end = next_control;
+    const bool control_due = next_control == end && next_control <= horizon;
+
+    // Phase 1 (parallel): every shard dispatches its events in [.., end).
+    run_phase([&](int s) {
+      Simulator& sim = *shards_[static_cast<std::size_t>(s)];
+      while (sim.next_event_time() < end) sim.step();
+    });
+
+    // Phase 2 (serial) + 3 (parallel): cross-shard message exchange and
+    // per-shard settlement at the barrier.
+    if (exchange) exchange(end);
+    if (settle) {
+      run_phase([&](int s) { settle(s, end); });
+    }
+    if (commit) commit(end);
+
+    // Phase 4 (serial): control-timeline events due exactly at the window
+    // edge, with every shard clock lined up so their callbacks read a
+    // consistent now().
+    if (control_due) {
+      for (const auto& sh : shards_) sh->advance_to(end);
+      control_->run_until(next_control);
+    }
+    ++windows_;
+  }
+}
+
+std::uint64_t ShardExecutor::total_events() const {
+  std::uint64_t total = control_->events_processed();
+  for (const auto& sh : shards_) total += sh->events_processed();
+  return total;
+}
+
+void ShardExecutor::set_collect_wall_stats(bool on) {
+  collect_wall_ = on;
+  if (on && wall_stats_.busy_ns.empty()) {
+    wall_stats_.busy_ns.assign(shards_.size(), 0);
+    wall_stats_.wait_ns.assign(shards_.size(), 0);
+  }
+}
+
+}  // namespace sstsp::sim

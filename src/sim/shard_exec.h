@@ -1,0 +1,135 @@
+// Conservative sharded execution of a discrete-event simulation.
+//
+// A ShardExecutor owns S independent Simulator instances ("shards", all
+// seeded identically so substream derivation is shard-invariant) plus one
+// control Simulator for the run-global timeline (churn, sampling, reference
+// departures).  Time advances in lockstep windows under conservative
+// lookahead L:
+//
+//     E_k = min(t_min + L, next_control, horizon + 1 tick)
+//
+// where t_min is the globally earliest pending shard event.  One window
+// dispatches, in parallel, every shard event with time < E_k; at the
+// barrier the caller first exchanges cross-shard messages (serial), then
+// settles them per shard (parallel), and finally the control simulator runs
+// its events due exactly at E_k with every shard clock advanced to E_k.
+// The mac-layer exactness argument for why L = min(cca_time, rx_latency_min)
+// makes this windowing *physically exact* — not an approximation — lives in
+// DESIGN.md §12; this class only enforces the schedule.
+//
+// Determinism: the worker pool affects which OS thread runs which shard,
+// never what a shard computes (shards share no mutable state between
+// barriers, and both barrier callbacks run under a strict happens-before
+// edge).  Results are therefore bit-identical for any thread count,
+// including 1 — with one thread no workers are even spawned and the phases
+// degenerate to an in-order loop over shards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time_types.h"
+
+namespace sstsp::sim {
+
+/// Wall-clock accounting for the parallel phases; only collected when
+/// enabled (ShardExecutor::set_collect_wall_stats), because two clock reads
+/// per shard-window are measurable at tens of millions of windows.  These
+/// numbers are wall-time-derived and must never feed anything covered by
+/// the bit-identity contract (they are surfaced via the profile block).
+struct ShardWallStats {
+  std::vector<std::uint64_t> busy_ns;  ///< per shard: time inside phase fns
+  std::vector<std::uint64_t> wait_ns;  ///< per shard: phase wall - busy
+  std::uint64_t phase_wall_ns{0};      ///< total wall across parallel phases
+
+  /// Imbalance of the busiest shard vs the mean busy time (1.0 = balanced).
+  [[nodiscard]] double imbalance() const;
+};
+
+class ShardExecutor {
+ public:
+  struct Options {
+    int shards{1};
+    int threads{1};
+    /// Conservative lookahead L.  The caller must derive it from the model
+    /// (mac layer: min(cca_time, rx_latency_min)); the executor only
+    /// requires L > 0.
+    SimTime lookahead{SimTime::from_us(1)};
+  };
+
+  ShardExecutor(const Options& opt, std::uint64_t seed);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] Simulator& shard(int s) { return *shards_[s]; }
+  /// Run-global timeline; its events fire between windows, serialized, with
+  /// every shard clock advanced to the event time.
+  [[nodiscard]] Simulator& control() { return *control_; }
+
+  /// Exchange callback: serial, once per window at the barrier, before
+  /// settle.  Receives the window end E (exclusive bound of the window).
+  using ExchangeFn = std::function<void(SimTime end)>;
+  /// Settle callback: parallel, once per (shard, window) after exchange.
+  using SettleFn = std::function<void(int shard, SimTime end)>;
+  /// Commit callback: serial, once per window after every settle returned
+  /// (cross-shard aggregation of the window's settlement results).
+  using CommitFn = std::function<void(SimTime end)>;
+
+  /// Advances shards + control through `horizon` (events at exactly the
+  /// horizon still fire, matching Simulator::run_until).
+  void run(SimTime horizon, const ExchangeFn& exchange, const SettleFn& settle,
+           const CommitFn& commit);
+
+  /// Sum of events dispatched by every shard plus the control timeline.
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+  void set_collect_wall_stats(bool on);
+  [[nodiscard]] const ShardWallStats& wall_stats() const {
+    return wall_stats_;
+  }
+
+ private:
+  void run_phase(const std::function<void(int)>& fn);
+  void work_loop(std::uint32_t round, const std::function<void(int)>& fn);
+  /// Claims the next shard index of `round`; -1 when the round is drained
+  /// or a newer round has started (a straggler from the previous phase can
+  /// never steal work from the current one).
+  int claim(std::uint32_t round);
+
+  SimTime lookahead_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::unique_ptr<Simulator> control_;
+  std::uint64_t windows_{0};
+
+  // Worker pool (empty when threads == 1).
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint32_t round_{0};              // guarded by m_
+  std::function<void(int)> phase_fn_;   // guarded by m_ (set), read per round
+  int done_count_{0};                   // guarded by m_
+  bool stop_{false};                    // guarded by m_
+  /// (round << 32) | next-task-index, claimed by CAS so a stale worker
+  /// observing an old round cannot acquire a task of the new one.
+  std::atomic<std::uint64_t> task_slot_{0};
+
+  bool collect_wall_{false};
+  ShardWallStats wall_stats_;
+  std::vector<std::uint64_t> busy_before_;  ///< scratch, per-phase snapshot
+};
+
+}  // namespace sstsp::sim

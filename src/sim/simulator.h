@@ -51,6 +51,16 @@ class Simulator {
   /// Returns false when nothing fired.
   bool step(SimTime horizon = SimTime::never());
 
+  /// Moves the clock forward to `t` without dispatching anything; no-op when
+  /// t <= now.  Used by the sharded kernel (sim::ShardExecutor) to line all
+  /// shard clocks up on a window barrier before control-timeline events run,
+  /// so callbacks that read now() observe the barrier instant and not the
+  /// shard's last-dispatched event time.  Precondition: no pending event is
+  /// earlier than `t` (the window scheduler guarantees this).
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
   /// Time of the earliest pending event, SimTime::never() when the queue is
   /// empty.  Used by the live-stack reactor (net::Reactor) to compute how
   /// long it may sleep in poll() before the next timer is due.  Non-const

@@ -4,9 +4,12 @@
 // owns its Simulator and RNG substreams; threads never share state).
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "runner/experiment.h"
+#include "runner/json_report.h"
 #include "runner/sweep.h"
 
 namespace sstsp::run {
@@ -82,6 +85,41 @@ TEST(RunnerDeterminism, SweepResultsIndependentOfThreadCount) {
   ASSERT_EQ(parallel.size(), scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     expect_identical(serial[i], parallel[i]);
+  }
+}
+
+// The sharded kernel's determinism contract (DESIGN.md §12): for a fixed
+// scenario, the serialized run document is byte-identical for every
+// (shards, threads) combination — wall_seconds is the single wall-derived
+// field in the document, so it is pinned before serializing.  Exercised
+// over both partition modes (single-hop id blocks and spatial column
+// strips) with churn active so the control timeline interleaves windows.
+TEST(RunnerDeterminism, ShardThreadMatrixByteIdentical) {
+  for (const bool spatial : {false, true}) {
+    Scenario base = small_scenario(ProtocolKind::kSstsp);
+    base.churn = ChurnSpec{2.0, 0.2, 1.0};
+    if (spatial) base.phy.radio_range_m = 30.0;
+
+    std::string reference;
+    for (const int shards : {1, 2, 8}) {
+      for (const int threads : {1, 2, 4}) {
+        Scenario s = base;
+        s.shards = shards;
+        s.threads = threads;
+        RunResult r = run_scenario(s);
+        EXPECT_GT(r.channel.deliveries, 0u);
+        r.wall_seconds = 0.0;
+        std::ostringstream os;
+        write_run_json(os, s, r);
+        if (reference.empty()) {
+          reference = os.str();
+        } else {
+          EXPECT_EQ(reference, os.str())
+              << "shards=" << shards << " threads=" << threads
+              << " spatial=" << spatial;
+        }
+      }
+    }
   }
 }
 

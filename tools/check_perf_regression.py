@@ -103,18 +103,28 @@ def main():
         print(f"error: {err}", file=sys.stderr)
         return 2
 
-    labels = sorted(baseline)
+    # Compare the union of labels: a lane present only in the fresh run
+    # (e.g. a new per-thread-count sample the committed baseline predates)
+    # must surface as an explicit SKIP, never read as silently covered.
+    labels = sorted(set(baseline) | set(fresh))
     if args.samples is not None:
         labels = [l.strip() for l in args.samples.split(",") if l.strip()]
-        missing = [l for l in labels if l not in baseline]
-        if missing or not labels:
-            print(f"error: --samples: label(s) not in baseline: "
-                  f"{missing or args.samples!r}", file=sys.stderr)
+        unknown = [l for l in labels
+                   if l not in baseline and l not in fresh]
+        if unknown or not labels:
+            print(f"error: --samples: label(s) in neither document: "
+                  f"{unknown or args.samples!r}", file=sys.stderr)
             return 2
 
     failures = []
+    skipped = []
     for label in labels:
-        base = baseline[label]
+        base = baseline.get(label)
+        if base is None:
+            skipped.append(label)
+            print(f"{label:>16s} {'(all metrics)':<20s} {'-':>12s} -> "
+                  f"{'-':>12s} {'':>9s}  SKIP (label not in baseline)")
+            continue
         cur = fresh.get(label)
         if cur is None:
             failures.append(f"{label}: missing from fresh run")
@@ -141,6 +151,10 @@ def main():
         return 1
     print("\nperf check ok: no tracked metric regressed beyond "
           f"{args.tolerance * 100:.0f} %")
+    if skipped:
+        print(f"SKIPPED (not gated — {len(skipped)} label(s) absent from "
+              f"the baseline; regenerate it to cover them): "
+              f"{', '.join(skipped)}")
     return 0
 
 

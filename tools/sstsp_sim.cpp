@@ -17,6 +17,7 @@
 #include "runner/cli.h"
 #include "runner/experiment.h"
 #include "runner/network.h"
+#include "runner/parallel_network.h"
 #include "runner/run_output.h"
 
 namespace {
@@ -50,6 +51,31 @@ int main(int argc, char** argv) {
   std::cout << " ...\n";
 
   try {
+    if (s.threads > 0 || s.shards > 0) {
+      // Sharded parallel kernel.  The JSONL event stream writes at record
+      // time and would interleave nondeterministically across shards, so
+      // it stays a single-kernel feature; traces are merged post-run.
+      if (!opts->json_out_path.empty()) {
+        std::cerr << "error: --json-out is not supported with --threads; "
+                     "use --trace, --metrics-out or --csv\n";
+        return 2;
+      }
+      run::ParallelNetwork net(s);
+      run::RunOutput output(run::OutputOptions::from_cli(*opts));
+      if (!output.begin(nullptr, &error)) {
+        std::cerr << "error: " << error << '\n';
+        return 1;
+      }
+      const auto wall_start = std::chrono::steady_clock::now();
+      net.run();
+      const double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      const run::RunResult result = run::collect_result(net, wall_seconds);
+      const auto merged = net.merged_trace();
+      return output.finish(std::cout, std::cerr, s, result, merged.get());
+    }
     run::Network net(s);
     if (!s.flight_recorder_out.empty()) {
       std::signal(SIGUSR1, on_sigusr1);
