@@ -42,7 +42,7 @@ void Sstsp::start() {
   current_ref_ = mac::kNoNode;
   last_sync_hw_us_ = station_.hw_us_now();
 
-  if (options_.start_as_reference && !started_before_) {
+  if (options_.start_as_reference && !options_.passive && !started_before_) {
     state_ = State::kReference;
     synced_ = true;
     // A preestablished reference is a legitimate role acquisition (the
@@ -112,7 +112,9 @@ void Sstsp::handle_tick(std::int64_t j) {
     case State::kFollower: {
       if (last_accepted_interval_ < j) {
         ++missed_;
-        if (synced_ && missed_ >= cfg_.l) arm_contention(j + 1, election_cw_);
+        if (synced_ && missed_ >= cfg_.l && !options_.passive) {
+          arm_contention(j + 1, election_cw_);
+        }
       } else {
         missed_ = 0;
       }
@@ -147,11 +149,7 @@ void Sstsp::handle_tick(std::int64_t j) {
 }
 
 double Sstsp::effective_guard_us(double hw_now_us) const {
-  const double silence_s =
-      std::max(0.0, (hw_now_us - last_sync_hw_us_) * 1e-6);
-  const double guard =
-      cfg_.guard_fine_us + cfg_.guard_growth_us_per_s * silence_s;
-  return std::min(guard, cfg_.guard_coarse_us);
+  return core::effective_guard_us(cfg_, hw_now_us, last_sync_hw_us_);
 }
 
 void Sstsp::arm_contention(std::int64_t j, int window) {
@@ -191,6 +189,7 @@ void Sstsp::schedule_reference_emission(std::int64_t j) {
   if (j < 1 || static_cast<std::size_t>(j) > schedule_.n) return;
   const double tx_time = schedule_.emission_time(j) - emission_advance_us();
   cancel_tx_event();
+  emission_retries_left_ = options_.busy_retries;
   tx_event_ = station_.sim().at(adjusted_.real_at(tx_time),
                                 [this, j] { handle_reference_emission(j); });
 }
@@ -200,11 +199,20 @@ void Sstsp::handle_reference_emission(std::int64_t j) {
   if (!running_ || state_ != State::kReference) return;
   if (last_accepted_interval_ >= j) return;  // lost the role this interval
   const sim::SimTime now = station_.sim().now();
-  if (!ignore_carrier() && station_.medium_busy(now)) return;  // RULE R soon
+  if (!ignore_carrier() && station_.medium_busy(now)) {
+    if (emission_retries_left_ > 0) {
+      --emission_retries_left_;
+      tx_event_ = station_.sim().at(
+          now + sim::SimTime::from_us_double(options_.busy_retry_step_us),
+          [this, j] { handle_reference_emission(j); });
+    }
+    return;  // retries exhausted (or none configured): RULE R soon
+  }
   transmit_beacon(j);
 }
 
 void Sstsp::transmit_beacon(std::int64_t j) {
+  if (options_.passive) return;
   const sim::SimTime now = station_.sim().now();
   const auto& phy = station_.channel().phy();
   const double c_now = adjusted_now();
@@ -213,6 +221,7 @@ void Sstsp::transmit_beacon(std::int64_t j) {
   mac::Frame frame;
   frame.sender = station_.id();
   frame.air_bytes = phy.sstsp_beacon_bytes;
+  frame.domain = options_.domain;
   frame.body = signer_.sign(j, ts, station_.id());
   const std::uint64_t tid =
       station_.transmit(std::move(frame), phy.sstsp_beacon_duration);
@@ -308,6 +317,7 @@ Sstsp::SenderTrack* Sstsp::track_for(mac::NodeId sender) {
 
 void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
   if (!frame.is_sstsp()) return;
+  if (frame.domain != options_.domain) return;  // foreign broadcast domain
   if (is_blacklisted(frame.sender)) return;  // recovery: drop unprocessed
   ++stats_.beacons_received;
   const auto& body = frame.sstsp();

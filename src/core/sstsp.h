@@ -50,6 +50,25 @@ class Sstsp : public proto::SyncProtocol {
     /// Skip the initial election and start in the reference role (used by
     /// experiments that isolate convergence behaviour, e.g. Table 1).
     bool start_as_reference = false;
+    /// Broadcast domain this instance lives in: outgoing beacons are stamped
+    /// with it and frames from any other domain are ignored before the §3.3
+    /// checks (the BSSID filter).  0 — the default — reproduces the
+    /// original single-domain behaviour bit-for-bit.
+    std::uint8_t domain = 0;
+    /// Listen-only instance: synchronizes to the domain's reference like
+    /// any follower but never contends for the role and never transmits.
+    /// A gateway's uplink half uses this so its (single) µTESLA chain is
+    /// only ever spent on its home-cluster schedule.
+    bool passive = false;
+    /// Reference busy-deferral: when the medium is busy at the no-delay
+    /// slot, retry up to this many times (busy_retry_step_us apart) before
+    /// giving the interval up.  Single-domain SSTSP never needs it — no
+    /// honest transmitter shares slot 0 — but in multi-domain runs the
+    /// schedules of independently drifting references slide through each
+    /// other, and skipping l+1 intervals in a row would trigger a spurious
+    /// election storm.  0 reproduces the original skip behaviour.
+    int busy_retries = 0;
+    double busy_retry_step_us = 250.0;
   };
 
   Sstsp(proto::Station& station, const SstspConfig& cfg,
@@ -167,6 +186,7 @@ class Sstsp : public proto::SyncProtocol {
 
   sim::EventId tick_event_{0};
   sim::EventId tx_event_{0};
+  int emission_retries_left_{0};
 };
 
 }  // namespace sstsp::core

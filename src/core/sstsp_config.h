@@ -1,6 +1,7 @@
 // SSTSP protocol parameters (paper §3, defaults from §5 where stated).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 namespace sstsp::core {
@@ -104,5 +105,19 @@ struct SstspConfig {
   int blacklist_threshold = 0;
   double blacklist_penalty_s = 30.0;
 };
+
+/// Guard-time threshold in force `hw_now_us - last_sync_hw_us` after the
+/// last piece of sync evidence: base fine guard plus the physical drift
+/// bound per second of silence, capped at the coarse guard.  Shared by the
+/// single-hop protocol, the multi-hop relay and the cluster bridge so the
+/// §3.3 check cannot diverge between layers.
+[[nodiscard]] inline double effective_guard_us(const SstspConfig& cfg,
+                                               double hw_now_us,
+                                               double last_sync_hw_us) {
+  const double silence_s = std::max(0.0, (hw_now_us - last_sync_hw_us) * 1e-6);
+  const double guard =
+      cfg.guard_fine_us + cfg.guard_growth_us_per_s * silence_s;
+  return std::min(guard, cfg.guard_coarse_us);
+}
 
 }  // namespace sstsp::core

@@ -31,6 +31,7 @@ void RecoveryReport::append_json(obs::json::Writer& w) const {
     append_optional(w, "reelection_s", r.needs_election ? r.reelection_s : -1.0);
     append_optional(w, "reelection_bps",
                     r.needs_election ? r.reelection_bps : -1.0);
+    append_optional(w, "reattach_s", r.needs_attach ? r.reattach_s : -1.0);
     append_optional(w, "resync_s", r.resync_s);
     w.kv("recovered", r.recovered);
     w.end_object();
@@ -86,6 +87,19 @@ void RecoveryTracker::expect_resync(const std::string& fault, mac::NodeId node,
   report_.post_fault_steady_max_us = -1.0;
 }
 
+void RecoveryTracker::expect_reattach(const std::string& fault,
+                                      mac::NodeId node, double t_s) {
+  RecoveryRecord r;
+  r.fault = fault;
+  r.node = node;
+  r.fault_t_s = t_s;
+  r.needs_attach = true;
+  report_.records.push_back(r);
+  silence_start_s_.push_back(t_s);
+  steady_max_us_ = -1.0;
+  report_.post_fault_steady_max_us = -1.0;
+}
+
 void RecoveryTracker::on_trace_event(const trace::TraceEvent& event) {
   switch (event.kind) {
     case trace::EventKind::kBeaconTx: {
@@ -123,11 +137,28 @@ void RecoveryTracker::on_trace_event(const trace::TraceEvent& event) {
   }
 }
 
+void RecoveryTracker::on_cluster_attach_sample(double t_s,
+                                               double attached_fraction) {
+  const bool full = attached_fraction >= 1.0 - 1e-9;
+  for (RecoveryRecord& r : report_.records) {
+    if (!r.needs_attach || r.reattach_s >= 0.0 || t_s <= r.fault_t_s) continue;
+    // Require an observed detachment before closing: right after the fault
+    // the stale-tau window keeps every node nominally attached, and a
+    // trivially full sample must not count as recovery.
+    if (!full) {
+      r.detach_seen = true;
+    } else if (r.detach_seen) {
+      r.reattach_s = t_s - r.fault_t_s;
+    }
+  }
+}
+
 void RecoveryTracker::on_max_diff_sample(double t_s, double max_diff_us) {
   if (max_diff_us <= threshold_us_) {
     for (RecoveryRecord& r : report_.records) {
       if (r.recovered || t_s <= r.fault_t_s) continue;
       if (r.needs_election && r.reelection_s < 0.0) continue;
+      if (r.needs_attach && r.reattach_s < 0.0) continue;
       r.resync_s = t_s - r.fault_t_s;
       r.recovered = true;
     }

@@ -34,6 +34,9 @@ struct RecoveryRecord {
   bool needs_election{false};
   double reelection_s{-1.0};     ///< fault -> kElectionWon; -1 until seen
   double reelection_bps{-1.0};   ///< silent BPs from the lost ref's last tx
+  bool needs_attach{false};      ///< cluster runs: wait for re-attachment
+  bool detach_seen{false};       ///< an attach sample dipped below 1 since
+  double reattach_s{-1.0};       ///< fault -> all clusters re-attached
   double resync_s{-1.0};         ///< fault -> first in-sync sample
   bool recovered{false};
 };
@@ -57,12 +60,20 @@ class RecoveryTracker {
   /// Opens a record that waits for re-sync only (partition heal, clock
   /// fault).  t_s may be in the future (heal time known at plan load).
   void expect_resync(const std::string& fault, mac::NodeId node, double t_s);
+  /// Opens a record that waits for cluster re-attachment (gateway crash /
+  /// bridge outage) and then re-sync.  Closed by on_cluster_attach_sample.
+  void expect_reattach(const std::string& fault, mac::NodeId node, double t_s);
 
   /// Station trace-observer entry point (5th observer in the fan-out).
   void on_trace_event(const trace::TraceEvent& event);
 
   /// Runner sampling hook: network-wide max pairwise clock difference.
   void on_max_diff_sample(double t_s, double max_diff_us);
+
+  /// Cluster-run sampling hook: fraction of awake honest nodes currently
+  /// attached to the root timescale.  Closes pending reattach records once
+  /// the fraction returns to 1.
+  void on_cluster_attach_sample(double t_s, double attached_fraction);
 
   /// Folds in the injector's packet counters; call once before report().
   void finalize(const FaultStats& stats);

@@ -37,6 +37,13 @@ struct Frame {
   NodeId sender{kNoNode};
   std::variant<TsfBeaconBody, SstspBeaconBody> body;
   std::uint32_t air_bytes{0};  ///< on-air size, for traffic accounting
+  /// Broadcast-domain tag (the BSSID stand-in for multi-domain scenarios):
+  /// receivers drop frames from foreign domains before protocol processing,
+  /// exactly as a NIC filters on BSSID.  The PHY is shared — cross-domain
+  /// frames still occupy the medium and collide.  0 is the default single
+  /// domain; the cluster layer uses cluster indices and `0x80 | cluster`
+  /// for the gateway bridge plane (see cluster/cluster_config.h).
+  std::uint8_t domain{0};
   /// Causal lifecycle ID, assigned by the channel at transmission start
   /// (its per-transmission counter) and carried to every receiver.  Not an
   /// on-air field: it is simulation bookkeeping that lets observability

@@ -47,6 +47,11 @@ struct MultiHopConfig {
   /// tree is gone.  Takeover is level-staggered (closest nodes first); this
   /// must exceed the tree build-out time at the configured depth.
   int takeover_patience_bps = 50;
+
+  /// Broadcast domain this relay tree lives in (mac::Frame::domain).  The
+  /// prototype predates the cluster layer; the tag lets a relay tree coexist
+  /// with the multi-domain scenarios without cross-talk.
+  std::uint8_t domain = 0;
 };
 
 }  // namespace sstsp::multihop

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/cluster_config.h"
+
 namespace sstsp::multihop {
 
 namespace {
@@ -58,11 +60,7 @@ void SstspMh::cancel_tx_event() {
 }
 
 double SstspMh::effective_guard_us(double hw_now_us) const {
-  const double silence_s =
-      std::max(0.0, (hw_now_us - last_sync_hw_us_) * 1e-6);
-  const double guard = cfg_.base.guard_fine_us +
-                       cfg_.base.guard_growth_us_per_s * silence_s;
-  return std::min(guard, cfg_.base.guard_coarse_us);
+  return core::effective_guard_us(cfg_.base, hw_now_us, last_sync_hw_us_);
 }
 
 void SstspMh::schedule_tick() {
@@ -116,8 +114,8 @@ void SstspMh::schedule_emission(std::int64_t j) {
   if (j < 1 || static_cast<std::size_t>(j) > schedule_.n) return;
   const double stagger =
       reference_ ? 0.0
-                 : static_cast<double>(level_) * cfg_.relay_stagger_us +
-                       static_cast<double>(relay_slot_) * 9.0;
+                 : cluster::stagger_offset_us(level_, relay_slot_,
+                                              cfg_.relay_stagger_us, 9.0);
   cancel_tx_event();
   tx_event_ =
       station_.sim().at(adjusted_.real_at(schedule_.emission_time(j) + stagger),
@@ -142,6 +140,7 @@ void SstspMh::transmit_beacon(std::int64_t j) {
   mac::Frame frame;
   frame.sender = station_.id();
   frame.air_bytes = phy.sstsp_beacon_bytes + 1;  // + level byte
+  frame.domain = cfg_.domain;
   frame.body = signer_.sign(j, ts, station_.id(), level_);
   station_.transmit(std::move(frame), phy.sstsp_beacon_duration);
   ++stats_.beacons_sent;
@@ -168,6 +167,7 @@ SstspMh::SenderTrack* SstspMh::track_for(mac::NodeId sender) {
 
 void SstspMh::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
   if (!frame.is_sstsp()) return;
+  if (frame.domain != cfg_.domain) return;  // foreign broadcast domain
   ++stats_.beacons_received;
   const auto& body = frame.sstsp();
   const double c_now = adjusted_.read_us(rx.delivered);

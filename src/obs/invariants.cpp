@@ -31,6 +31,10 @@ std::string_view to_string(InvariantKind kind) {
       return "reference-uniqueness";
     case InvariantKind::kNodeFailure:
       return "node-failure";
+    case InvariantKind::kClusterDivergence:
+      return "cluster-divergence";
+    case InvariantKind::kClusterConvergenceTimeout:
+      return "cluster-convergence-timeout";
     case InvariantKind::kInvariantKindCount:
       break;
   }
@@ -64,6 +68,9 @@ std::string_view paper_reference(InvariantKind kind) {
       return "§3.1 (single reference per partition)";
     case InvariantKind::kNodeFailure:
       return "§5 resilience (node failed without a planned fault)";
+    case InvariantKind::kClusterDivergence:
+    case InvariantKind::kClusterConvergenceTimeout:
+      return "cross-cluster Lemma-1 analogue (DESIGN.md §13)";
     case InvariantKind::kInvariantKindCount:
       break;
   }
@@ -236,32 +243,42 @@ void InvariantMonitor::on_beacon_tx(mac::NodeId node, std::int64_t j,
 
   // Schedule: a confirmed reference emits at T^j on its own adjusted clock
   // with no random delay (it owns slot 0).  Early emission is the takeover
-  // signature; late emission means the role logic mis-scheduled.
-  const double off_schedule = clock_us - emission_time(j);
-  if (std::fabs(off_schedule) > cfg_.timestamp_tolerance_us) {
+  // signature; late emission means the role logic mis-scheduled.  In
+  // cluster mode the sender's own cluster timetable (phase shift) applies,
+  // and lateness up to the interval slack is legitimate CSMA deferral —
+  // another cluster's drifting schedule can occupy the slot.
+  const double off_schedule = clock_us - emission_time(j, node);
+  const double late_allowance = cfg_.cluster_max_depth > 0
+                                    ? cfg_.interval_slack_us
+                                    : cfg_.timestamp_tolerance_us;
+  if (off_schedule < -cfg_.timestamp_tolerance_us ||
+      off_schedule > late_allowance) {
     std::ostringstream detail;
     detail << "confirmed reference emitted interval " << j << " beacon "
            << off_schedule << " us off its nominal T^j";
     violate(InvariantKind::kReferenceSchedule, Severity::kWarning, node,
-            mac::kNoNode, now, off_schedule, cfg_.timestamp_tolerance_us,
+            mac::kNoNode, now, off_schedule,
+            off_schedule < 0.0 ? cfg_.timestamp_tolerance_us : late_allowance,
             detail.str());
   }
 
-  // Uniqueness: at most one confirmed reference emission per interval.
+  // Uniqueness: at most one confirmed reference emission per interval —
+  // per cluster, since each broadcast domain runs its own election.
   // Suspended during planned disturbance windows: a partition legitimately
   // has one reference per side (§3.1), and the post-heal RULE R round is
   // covered by the window's holdoff extension.
-  if (last_ref_interval_ == j && last_ref_emitter_ != node &&
-      !disturbed(now)) {
+  RefSeen& seen = last_ref_[domain_of(node).cluster];
+  if (seen.interval == j && seen.emitter != node && !disturbed(now)) {
     std::ostringstream detail;
-    detail << "two confirmed references (" << last_ref_emitter_ << " and "
-           << node << ") emitted in interval " << j;
+    detail << "two confirmed references (" << seen.emitter << " and " << node
+           << ") emitted in interval " << j << " of cluster "
+           << domain_of(node).cluster;
     violate(InvariantKind::kReferenceUniqueness, Severity::kWarning, node,
-            last_ref_emitter_, now, 0.0, 0.0, detail.str());
+            seen.emitter, now, 0.0, 0.0, detail.str());
   }
-  if (j >= last_ref_interval_) {
-    last_ref_interval_ = j;
-    last_ref_emitter_ = node;
+  if (j >= seen.interval) {
+    seen.interval = j;
+    seen.emitter = node;
   }
 }
 
@@ -274,7 +291,7 @@ void InvariantMonitor::on_key_accepted(mac::NodeId node, mac::NodeId sender,
   // key_index + 1, so accepting it is only safe while the local clock is
   // still inside that interval (± slack).  An acceptance outside the
   // window means the receiver-side check is broken — critical.
-  const double center = emission_time(key_index + 1);
+  const double center = emission_time(key_index + 1, sender);
   const double half = cfg_.bp_us / 2.0;
   const double lo = center - half - cfg_.interval_slack_us;
   const double hi = center + half + cfg_.interval_slack_us;
@@ -289,10 +306,15 @@ void InvariantMonitor::on_key_accepted(mac::NodeId node, mac::NodeId sender,
   }
 
   // Chain monotonicity: accepted indices from one sender never regress.
+  // Re-accepting the *same* index is legitimate µTESLA — a disclosed key
+  // is public, and a gateway's member beacon and bridge announcement of
+  // one interval both carry K_{j-1} (as do duplicated frames under the
+  // fault layer's dup plans); only going backwards breaks the one-way
+  // chain property.
   auto [it, inserted] =
       chain_tip_.try_emplace(std::make_pair(node, sender), key_index);
   if (!inserted) {
-    if (key_index <= it->second) {
+    if (key_index < it->second) {
       std::ostringstream detail;
       detail << "accepted chain index " << key_index
              << " after already accepting " << it->second
@@ -334,9 +356,16 @@ void InvariantMonitor::on_max_diff_sample(sim::SimTime now,
           static_cast<double>(cfg_.quiet_holdoff_bps) * cfg_.bp_us;
 
   if (max_diff_us <= cfg_.converged_threshold_us) {
-    converged_ = true;
+    // In cluster mode the network-wide error rides on the gateway tau
+    // trackers, whose first fits overshoot before enough samples arrive:
+    // require a sustained in-bound run before arming the divergence check
+    // so the warm-up hump is charged to the convergence budget instead.
+    if (cfg_.cluster_max_depth <= 0 || ++inbound_streak_ >= 10) {
+      converged_ = true;
+    }
     return;
   }
+  inbound_streak_ = 0;
 
   // Planned disturbance (injected partition / reference crash): the error
   // legitimately grows until the heal; Lemma 1's clock restarts afterwards.
@@ -372,6 +401,67 @@ void InvariantMonitor::on_max_diff_sample(sim::SimTime now,
     violate(InvariantKind::kLemma1Divergence, Severity::kCritical,
             mac::kNoNode, mac::kNoNode, now, max_diff_us,
             cfg_.diverge_threshold_us, detail.str());
+  }
+}
+
+void InvariantMonitor::on_cluster_spread_sample(sim::SimTime now,
+                                                double inter_cluster_us) {
+  if (!cfg_.sstsp_checks || cfg_.cluster_max_depth <= 0) return;
+  const double now_s = now.to_sec();
+  // Cross-cluster Lemma-1 analogue: each gateway hop adds one bounded
+  // translation error, so the spread of per-cluster means is bounded by
+  // hop_bound * depth once all bridges are live.
+  const double bound = cfg_.cluster_hop_bound_us *
+                       static_cast<double>(cfg_.cluster_max_depth);
+
+  const bool flowing =
+      last_beacon_ != sim::SimTime::never() &&
+      (now_s - last_beacon_.to_sec()) * 1e6 <
+          static_cast<double>(cfg_.flow_gap_bps) * cfg_.bp_us;
+  const bool role_quiet =
+      last_role_event_ == sim::SimTime::never() ||
+      (now_s - last_role_event_.to_sec()) * 1e6 >
+          static_cast<double>(cfg_.quiet_holdoff_bps) * cfg_.bp_us;
+
+  if (inter_cluster_us <= bound) {
+    if (++cluster_inbound_streak_ >= 10) cluster_converged_ = true;
+    return;
+  }
+  cluster_inbound_streak_ = 0;
+  if (disturbed(now)) {
+    // A gateway crash/partition legitimately detaches clusters; bridging
+    // restarts the contraction after the heal.
+    cluster_converged_ = false;
+    return;
+  }
+  if (!cluster_converged_) {
+    // Convergence budget: per-cluster Lemma 1 plus one announcement round
+    // per gateway hop; the intra-cluster budget scaled by the depth chain
+    // is generous.
+    const double budget_us =
+        static_cast<double>(cfg_.convergence_budget_bps *
+                            (1 + cfg_.cluster_max_depth)) *
+        cfg_.bp_us;
+    if (flowing && flow_start_ != sim::SimTime::never() &&
+        (now_s - flow_start_.to_sec()) * 1e6 > budget_us) {
+      std::ostringstream detail;
+      detail << "inter-cluster max offset still " << inter_cluster_us
+             << " us (bound " << bound << " us at depth "
+             << cfg_.cluster_max_depth << ") after the convergence budget";
+      violate(InvariantKind::kClusterConvergenceTimeout, Severity::kCritical,
+              mac::kNoNode, mac::kNoNode, now, inter_cluster_us, bound,
+              detail.str());
+    }
+    return;
+  }
+  if (flowing && role_quiet && inter_cluster_us > 2.0 * bound) {
+    std::ostringstream detail;
+    detail << "inter-cluster max offset grew to " << inter_cluster_us
+           << " us in a quiet window (bound " << bound << " us, depth "
+           << cfg_.cluster_max_depth << ")";
+    violate(InvariantKind::kClusterDivergence, Severity::kCritical,
+            mac::kNoNode, mac::kNoNode, now, inter_cluster_us, 2.0 * bound,
+            detail.str());
   }
 }
 

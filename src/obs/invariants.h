@@ -34,7 +34,13 @@
 //                        B); a dragged/virtual clock violates this even
 //                        when every receiver-side check passes.
 //   reference-uniqueness one confirmed reference per partition per BP
-//                        (§3.1/§3.3).
+//                        (§3.1/§3.3); in cluster mode, per *cluster* —
+//                        every broadcast domain owns its own election.
+//   cluster-*            cross-cluster Lemma-1 analogue (DESIGN.md §13):
+//                        with live gateways, the inter-cluster max offset
+//                        (spread of per-cluster mean global readings) must
+//                        converge below hop_bound x max gateway depth and
+//                        stay bounded in quiet windows.
 //
 // Records carry a severity (warning = evidence of external misbehaviour
 // the protocol handled; critical = a protocol invariant was itself broken)
@@ -72,6 +78,8 @@ enum class InvariantKind : std::uint8_t {
   kTimestampIntegrity,
   kReferenceUniqueness,
   kNodeFailure,
+  kClusterDivergence,
+  kClusterConvergenceTimeout,
   kInvariantKindCount,  // sentinel
 };
 
@@ -160,8 +168,23 @@ struct InvariantConfig {
   int quiet_holdoff_bps = 10;
   int flow_gap_bps = 4;  ///< > l + confirm_bps: a full re-election round
 
+  /// Cross-cluster Lemma-1 analogue (set by the runner for cluster
+  /// scenarios; 0 disables the cluster checks).  The inter-cluster max
+  /// offset must converge below hop_bound * max_depth and stay under twice
+  /// that in quiet windows.
+  int cluster_max_depth = 0;
+  double cluster_hop_bound_us = 25.0;
+
   /// Bound on distinct (kind, severity, node, peer) record classes kept.
   std::size_t max_records = 512;
+};
+
+/// Per-node broadcast-domain facts the cluster-aware checks need: which
+/// cluster a sender belongs to (reference uniqueness is per cluster) and
+/// its schedule phase (T^j = t0 + phase + j*BP for that cluster).
+struct NodeDomainInfo {
+  int cluster{0};
+  double phase_us{0.0};
 };
 
 /// The monitor.  All hooks are cheap relative to what triggers them (one
@@ -210,6 +233,18 @@ class InvariantMonitor {
   /// Network-wide max pairwise sync error sample (the Fig. 2 series).
   void on_max_diff_sample(sim::SimTime now, double max_diff_us);
 
+  /// Cluster mode: declares each node's cluster and schedule phase so the
+  /// reference-uniqueness / schedule / disclosure checks evaluate against
+  /// the sender's own domain timetable.  Indexed by node id.
+  void set_cluster_topology(std::vector<NodeDomainInfo> nodes) {
+    topology_ = std::move(nodes);
+  }
+
+  /// Cluster mode: inter-cluster max offset sample (spread of per-cluster
+  /// mean global readings) — the cross-cluster Lemma-1 analogue's input.
+  /// No-op unless cfg.cluster_max_depth > 0.
+  void on_cluster_spread_sample(sim::SimTime now, double inter_cluster_us);
+
   /// Declares a planned disturbance window [start, end] (an injected
   /// partition or reference crash).  While the window — extended by the
   /// quiet holdoff — is active, Lemma-1 divergence/convergence-timeout and
@@ -255,8 +290,17 @@ class InvariantMonitor {
 
   [[nodiscard]] bool disturbed(sim::SimTime now) const;
 
-  [[nodiscard]] double emission_time(std::int64_t j) const {
-    return cfg_.t0_us + static_cast<double>(j) * cfg_.bp_us;
+  [[nodiscard]] const NodeDomainInfo& domain_of(mac::NodeId node) const {
+    static constexpr NodeDomainInfo kDefault{};
+    const auto idx = static_cast<std::size_t>(node);
+    return idx < topology_.size() ? topology_[idx] : kDefault;
+  }
+
+  /// Nominal emission time of interval j on `sender`'s cluster timetable
+  /// (phase 0 — the original single-domain behaviour — without topology).
+  [[nodiscard]] double emission_time(std::int64_t j, mac::NodeId sender) const {
+    return cfg_.t0_us + domain_of(sender).phase_us +
+           static_cast<double>(j) * cfg_.bp_us;
   }
 
   InvariantConfig cfg_;
@@ -270,6 +314,9 @@ class InvariantMonitor {
 
   // Lemma 1 state machine.
   bool converged_{false};
+  /// Consecutive in-bound max-diff samples (cluster mode arms the global
+  /// divergence check only after a sustained run; see invariants.cpp).
+  int inbound_streak_{0};
   sim::SimTime flow_start_{sim::SimTime::never()};
   sim::SimTime last_beacon_{sim::SimTime::never()};
   sim::SimTime last_role_event_{sim::SimTime::never()};
@@ -279,9 +326,23 @@ class InvariantMonitor {
   std::map<std::pair<mac::NodeId, mac::NodeId>, std::int64_t> chain_tip_;
 
   // Reference-uniqueness: the newest interval a confirmed reference
-  // emitted in, and who it was.
-  std::int64_t last_ref_interval_{INT64_MIN};
-  mac::NodeId last_ref_emitter_{mac::kNoNode};
+  // emitted in, and who it was — per cluster, since every broadcast
+  // domain runs its own election (single-domain runs all map to cluster 0).
+  struct RefSeen {
+    std::int64_t interval{INT64_MIN};
+    mac::NodeId emitter{mac::kNoNode};
+  };
+  std::map<int, RefSeen> last_ref_;
+
+  // Cluster topology (empty outside cluster mode) + the cross-cluster
+  // Lemma-1 analogue's state.
+  std::vector<NodeDomainInfo> topology_;
+  bool cluster_converged_{false};
+  /// Consecutive in-bound spread samples; the divergence check only arms
+  /// after a sustained run so the tau trackers' warm-up hump (the fits
+  /// extrapolate wildly off their first one or two samples) is charged to
+  /// the convergence budget, not misread as a quiet-window blow-up.
+  int cluster_inbound_streak_{0};
 
   // Planned fault windows (add_disturbance); checked inclusive of the
   // quiet-holdoff extension past each end.

@@ -60,7 +60,9 @@ class SyncProtocol {
   /// the TSF family).
   [[nodiscard]] virtual bool is_reference() const { return false; }
 
-  [[nodiscard]] const ProtocolStats& stats() const { return stats_; }
+  /// Virtual so composite protocols (the cluster wrapper runs a member and
+  /// an uplink instance per gateway) can aggregate their halves.
+  [[nodiscard]] virtual const ProtocolStats& stats() const { return stats_; }
 
  protected:
   Station& station_;

@@ -80,6 +80,20 @@ protocol parameters:
   --per P               packet error rate (default 1e-4)
   --preestablished      node 0 boots as the SSTSP reference
 
+clusters (hierarchical multi-domain sync, SSTSP only; DESIGN.md §13):
+  --clusters N          partition the network into N broadcast-domain
+                        clusters chained off a root timescale (0 = off);
+                        overrides --nodes with clusters * cluster-nodes
+  --cluster-nodes K     nodes per cluster, gateways included (default 20)
+  --cluster-gateways G  gateway nodes per non-root cluster (default 1)
+  --cluster-spacing M   distance between adjacent cluster centers (default
+                        45; the geometry contract needs spacing <= range)
+  --cluster-radius M    per-cluster placement disc radius (default 14)
+  --cluster-phase US    per-depth schedule phase stagger (default 1500)
+  --cluster-hop-bound US
+                        documented per-gateway-hop error bound; the monitor
+                        checks inter-cluster spread <= bound * max depth
+
 environment:
   --churn P,F,A         period_s, fraction, absence_s (e.g. 200,0.05,50)
   --departures T1,T2    reference departure times (SSTSP)
@@ -269,6 +283,48 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       s.phy.packet_error_rate = p;
     } else if (arg == "--preestablished") {
       s.preestablished_reference = true;
+    } else if (arg == "--clusters") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 0x7f) {
+        return fail("--clusters needs an integer in [0, 127]");
+      }
+      s.cluster.clusters = static_cast<int>(n);
+    } else if (arg == "--cluster-nodes") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 2) {
+        return fail("--cluster-nodes needs an integer >= 2");
+      }
+      s.cluster.nodes_per_cluster = static_cast<int>(n);
+    } else if (arg == "--cluster-gateways") {
+      long long n = 0;
+      if (!next(&v) || !parse_int(v, &n) || n < 1) {
+        return fail("--cluster-gateways needs a positive integer");
+      }
+      s.cluster.gateways = static_cast<int>(n);
+    } else if (arg == "--cluster-spacing") {
+      double m = 0;
+      if (!next(&v) || !parse_double(v, &m) || m <= 0) {
+        return fail("--cluster-spacing needs a distance in metres > 0");
+      }
+      s.cluster.spacing_m = m;
+    } else if (arg == "--cluster-radius") {
+      double m = 0;
+      if (!next(&v) || !parse_double(v, &m) || m <= 0) {
+        return fail("--cluster-radius needs a distance in metres > 0");
+      }
+      s.cluster.radius_m = m;
+    } else if (arg == "--cluster-phase") {
+      double p = 0;
+      if (!next(&v) || !parse_double(v, &p) || p < 0) {
+        return fail("--cluster-phase needs a us value >= 0");
+      }
+      s.cluster.phase_us = p;
+    } else if (arg == "--cluster-hop-bound") {
+      double b = 0;
+      if (!next(&v) || !parse_double(v, &b) || b <= 0) {
+        return fail("--cluster-hop-bound needs a positive us value");
+      }
+      s.cluster.hop_bound_us = b;
     } else if (arg == "--churn") {
       if (!next(&v)) return fail("--churn needs period,fraction,absence");
       const auto parts = split(v, ',');
@@ -459,6 +515,11 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
     // Size the chain to the run, with slack for the coarse/election phases.
     s.sstsp.chain_length =
         static_cast<std::size_t>(s.duration_s * 10.0) + 200;
+  }
+  if (s.cluster.enabled()) {
+    // The cluster layout fixes the node count; --nodes would silently
+    // disagree with the cluster-major id arithmetic otherwise.
+    s.num_nodes = s.cluster.total_nodes();
   }
   return opts;
 }

@@ -45,6 +45,14 @@ constexpr KeySpec kSchema[] = {
     {"per", kSim},
     {"preestablished", kSim | kSwarm},
     {"reference", kNode},
+    // clusters (hierarchical multi-domain sync, DESIGN.md §13)
+    {"clusters", kSim},
+    {"cluster-nodes", kSim},
+    {"cluster-gateways", kSim},
+    {"cluster-spacing", kSim},
+    {"cluster-radius", kSim},
+    {"cluster-phase", kSim},
+    {"cluster-hop-bound", kSim},
     // environment
     {"churn", kSim},
     {"departures", kSim},

@@ -34,6 +34,19 @@ RunResult collect_result(Network& net, double wall_seconds) {
         net.profiler()->snapshot(result.events_processed, wall_seconds);
   }
   if (net.monitor() != nullptr) result.audit = net.monitor()->report();
+  if (scenario.cluster.enabled()) {
+    result.cluster_spread = net.cluster_spread_series();
+    result.attach_fraction = net.attach_fraction_series();
+    // Same steady window as derive_series_stats, but against the widened
+    // cluster threshold (global spread carries the translation error).
+    const double threshold =
+        kSyncThresholdUs + scenario.cluster.cross_cluster_bound_us();
+    const auto latency =
+        result.max_diff.first_sustained_below(threshold, 1.0);
+    const double steady_from = std::max(20.0, latency.value_or(0.0) + 5.0);
+    result.cluster_steady_max_us =
+        result.cluster_spread.max_in(steady_from, scenario.duration_s);
+  }
   if (net.recovery_tracker() != nullptr) {
     net.recovery_tracker()->finalize(net.fault_injector()->stats());
     result.recovery = net.recovery_tracker()->report();

@@ -48,6 +48,15 @@ struct RunResult {
   /// unmonitored one.
   std::optional<obs::AuditReport> audit;
 
+  /// Cluster runs only (empty / absent otherwise): the inter-cluster
+  /// spread series (max - min of per-cluster mean global readings), its
+  /// steady-state max over the same window as steady_max_us, and the
+  /// per-sample attached fraction.  The cross-cluster Lemma-1 analogue
+  /// bounds cluster_steady_max_us by hop_bound_us * max gateway depth.
+  metrics::Series cluster_spread;
+  metrics::Series attach_fraction;
+  std::optional<double> cluster_steady_max_us;
+
   /// Per-fault recovery accounting (present when the scenario carried a
   /// fault plan): re-election latency after reference loss, re-sync
   /// latency after partition heal / clock faults, forged-frame rejection

@@ -50,6 +50,20 @@ void append_body(obs::json::Writer& w, const Scenario& scenario,
   append_optional(w, "sync_latency_s", result.sync_latency_s);
   append_optional(w, "steady_max_us", result.steady_max_us);
   append_optional(w, "steady_p99_us", result.steady_p99_us);
+  if (scenario.cluster.enabled()) {
+    w.key("cluster").begin_object();
+    w.kv("clusters", static_cast<std::int64_t>(scenario.cluster.clusters));
+    w.kv("nodes_per_cluster",
+         static_cast<std::int64_t>(scenario.cluster.nodes_per_cluster));
+    w.kv("gateways", static_cast<std::int64_t>(scenario.cluster.gateways));
+    w.kv("max_depth", static_cast<std::int64_t>(scenario.cluster.max_depth()));
+    w.kv("hop_bound_us", scenario.cluster.hop_bound_us);
+    w.kv("cross_cluster_bound_us",
+         scenario.cluster.cross_cluster_bound_us());
+    append_optional(w, "steady_inter_cluster_max_us",
+                    result.cluster_steady_max_us);
+    w.end_object();
+  }
   w.kv("events_processed", result.events_processed);
   w.kv("wall_seconds", result.wall_seconds);
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "attack/adversary.h"
+#include "cluster/sstsp_cluster.h"
 #include "core/sstsp.h"
 #include "crypto/hash_chain.h"
 #include "obs/json.h"
@@ -17,6 +18,36 @@ Network::Network(const Scenario& scenario)
       sim_(scenario.seed),
       channel_(sim_, scenario.phy),
       attacker_index_(0) {
+  if (scenario_.cluster.enabled()) {
+    const auto& c = scenario_.cluster;
+    if (scenario_.protocol != ProtocolKind::kSstsp) {
+      throw std::runtime_error("cluster scenarios require the SSTSP protocol");
+    }
+    if (!scenario_.attack.empty()) {
+      throw std::runtime_error(
+          "cluster scenarios do not support attacker stations");
+    }
+    if (scenario_.num_nodes != c.total_nodes()) {
+      throw std::runtime_error(
+          "cluster scenarios require num_nodes == clusters * "
+          "nodes_per_cluster");
+    }
+    if (c.gateways < 1 || c.gateways >= c.nodes_per_cluster) {
+      throw std::runtime_error(
+          "cluster scenarios need 1 <= gateways < nodes_per_cluster");
+    }
+    // The geometry contract (cluster/cluster_config.h): members hear their
+    // reference, gateways hear both clusters, and bridge announcements of
+    // cluster c reach the gateways of c+1.
+    const double range = scenario_.phy.radio_range_m;
+    if (range > 0.0 &&
+        (2.0 * c.radius_m > range || c.spacing_m / 2.0 + c.radius_m > range ||
+         c.spacing_m > range)) {
+      throw std::runtime_error(
+          "cluster geometry violates the radio-range contract "
+          "(need 2*radius, spacing/2 + radius and spacing <= range)");
+    }
+  }
   if (scenario_.collect_metrics) {
     instruments_ = std::make_unique<obs::Instruments>(registry_);
     sim_.set_instruments(instruments_.get());
@@ -46,8 +77,31 @@ Network::Network(const Scenario& scenario)
     cfg.interval_slack_us = scenario_.sstsp.interval_slack_us;
     cfg.k_min = scenario_.sstsp.k_min;
     cfg.k_max = scenario_.sstsp.k_max;
+    if (scenario_.cluster.enabled()) {
+      // The global spread now includes the inter-cluster translation error,
+      // so the single-domain Lemma-1 thresholds widen by the documented
+      // cross-cluster bound; the dedicated cluster-spread check enforces
+      // the bound itself.
+      const double bound = scenario_.cluster.cross_cluster_bound_us();
+      cfg.converged_threshold_us += bound;
+      cfg.diverge_threshold_us += bound;
+      cfg.cluster_max_depth = scenario_.cluster.max_depth();
+      cfg.cluster_hop_bound_us = scenario_.cluster.hop_bound_us;
+    }
     monitor_ = std::make_unique<obs::InvariantMonitor>(cfg);
     lifecycle_ = std::make_unique<trace::BeaconLifecycle>(registry_);
+    if (scenario_.cluster.enabled()) {
+      std::vector<obs::NodeDomainInfo> topo(
+          static_cast<std::size_t>(scenario_.num_nodes));
+      for (int i = 0; i < scenario_.num_nodes; ++i) {
+        const int c = cluster::cluster_of(scenario_.cluster,
+                                          static_cast<mac::NodeId>(i));
+        topo[static_cast<std::size_t>(i)].cluster = c;
+        topo[static_cast<std::size_t>(i)].phase_us =
+            cluster::phase_of(scenario_.cluster, c);
+      }
+      monitor_->set_cluster_topology(std::move(topo));
+    }
   }
   if (!scenario_.faults.empty()) {
     // The injector owns its RNG substream, keyed by the plan's seed: the
@@ -133,12 +187,31 @@ void Network::build_stations() {
 
   const bool is_sstsp = scenario_.protocol == ProtocolKind::kSstsp;
 
+  const bool cluster_mode = scenario_.cluster.enabled();
   for (int i = 0; i < total; ++i) {
-    // Uniform position in the deployment disc.
-    const double r =
-        scenario_.phy.placement_radius_m * std::sqrt(placement.uniform());
-    const double theta = placement.uniform(0.0, 2.0 * M_PI);
-    const mac::Position pos{r * std::cos(theta), r * std::sin(theta)};
+    mac::Position pos;
+    if (cluster_mode) {
+      const auto cid = static_cast<mac::NodeId>(i);
+      if (cluster::is_gateway(scenario_.cluster, cid)) {
+        // Deterministic (no placement draw): gateways must sit where both
+        // clusters are in range, not wherever the disc sampler lands.
+        pos = cluster::gateway_position(scenario_.cluster, cid);
+      } else {
+        const double r =
+            scenario_.cluster.radius_m * std::sqrt(placement.uniform());
+        const double theta = placement.uniform(0.0, 2.0 * M_PI);
+        const mac::Position center = cluster::cluster_center(
+            scenario_.cluster, cluster::cluster_of(scenario_.cluster, cid));
+        pos = {center.x_m + r * std::cos(theta),
+               center.y_m + r * std::sin(theta)};
+      }
+    } else {
+      // Uniform position in the deployment disc.
+      const double r =
+          scenario_.phy.placement_radius_m * std::sqrt(placement.uniform());
+      const double theta = placement.uniform(0.0, 2.0 * M_PI);
+      pos = {r * std::cos(theta), r * std::sin(theta)};
+    }
 
     auto drift = clk::DriftModel::uniform(clocks, scenario_.max_drift_ppm);
     const double offset = clocks.uniform(-scenario_.initial_offset_us,
@@ -215,6 +288,25 @@ void Network::build_stations() {
                                                       scenario_.rentel_kunz);
           break;
         case ProtocolKind::kSstsp: {
+          if (scenario_.cluster.enabled()) {
+            const auto& spec = scenario_.cluster;
+            const auto cid = static_cast<mac::NodeId>(i);
+            cluster::ClusterSstsp::Options copts;
+            copts.spec = spec;
+            copts.cluster = cluster::cluster_of(spec, cid);
+            copts.gateway = cluster::is_gateway(spec, cid);
+            // Preestablished references: the first non-gateway member of
+            // every cluster (gateways must stay followers — their chain is
+            // spent on the bridge, and a reference cannot also be passive
+            // uplink prey to guard resets).
+            copts.start_as_reference =
+                scenario_.preestablished_reference &&
+                cluster::member_index(spec, cid) ==
+                    (copts.cluster == 0 ? 0 : spec.gateways);
+            proto = std::make_unique<cluster::ClusterSstsp>(
+                st, scenario_.sstsp, directory_, copts);
+            break;
+          }
           core::Sstsp::Options opts;
           opts.calibrated_boot = true;
           opts.start_as_reference =
@@ -284,6 +376,14 @@ void Network::schedule_faults() {
                                          ? "reference-crash"
                                          : "reference-pause",
                                      id, sim_.now().to_sec());
+      } else if (scenario_.cluster.enabled() &&
+                 cluster::is_gateway(scenario_.cluster, id)) {
+        // Losing a gateway severs a cluster's translation path: wait for
+        // the attach fraction to dip (stale-tau detachment) and return.
+        recovery_->expect_reattach(f.kind == fault::NodeFaultKind::kCrash
+                                       ? "gateway-crash"
+                                       : "gateway-pause",
+                                   id, sim_.now().to_sec());
       }
     };
     hooks.on_clock_fault = [this](const fault::ClockFault&, mac::NodeId id) {
@@ -401,6 +501,7 @@ void Network::sample_clock_spread() {
       }
     }
   }
+  if (scenario_.cluster.enabled()) sample_cluster(now);
   // Telemetry rides the same tick — no extra events, so a seeded run's
   // event/RNG sequence is identical with telemetry on or off.
   if (sampler_ != nullptr && sampler_->due(now.to_sec())) {
@@ -411,6 +512,54 @@ void Network::sample_clock_spread() {
     if (flight_ != nullptr) {
       flight_->dump(now.to_sec(), "dump-request", nullptr);
     }
+  }
+}
+
+void Network::sample_cluster(sim::SimTime now) {
+  const auto& spec = scenario_.cluster;
+  cluster_sum_.assign(static_cast<std::size_t>(spec.clusters), 0.0);
+  cluster_n_.assign(static_cast<std::size_t>(spec.clusters), 0);
+  int awake = 0;
+  int attached = 0;
+  for (const auto& station : stations_) {
+    const proto::Station& st = *station;
+    if (!st.awake()) continue;
+    ++awake;
+    // Cluster scenarios reject attackers and run ClusterSstsp on every
+    // station, so the downcast is total.
+    const auto& cs =
+        static_cast<const cluster::ClusterSstsp&>(st.protocol());
+    if (!cs.is_synchronized()) continue;
+    ++attached;
+    const auto c = static_cast<std::size_t>(cs.cluster());
+    cluster_sum_[c] += cs.network_time_us(now);
+    ++cluster_n_[c];
+  }
+  bool have = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t c = 0; c < cluster_sum_.size(); ++c) {
+    if (cluster_n_[c] == 0) continue;
+    const double mean = cluster_sum_[c] / static_cast<double>(cluster_n_[c]);
+    if (!have) {
+      lo = hi = mean;
+      have = true;
+    } else {
+      lo = std::min(lo, mean);
+      hi = std::max(hi, mean);
+    }
+  }
+  if (have) {
+    const double spread = hi - lo;
+    cluster_spread_.push(now.to_sec(), spread);
+    if (monitor_ != nullptr) monitor_->on_cluster_spread_sample(now, spread);
+  }
+  const double fraction =
+      awake > 0 ? static_cast<double>(attached) / static_cast<double>(awake)
+                : 0.0;
+  attach_fraction_.push(now.to_sec(), fraction);
+  if (recovery_ != nullptr) {
+    recovery_->on_cluster_attach_sample(now.to_sec(), fraction);
   }
 }
 
@@ -471,6 +620,14 @@ std::optional<std::size_t> Network::current_reference_index() const {
   for (std::size_t i = 0; i < stations_.size(); ++i) {
     if (i == attacker_index_) continue;
     if (stations_[i]->awake() && stations_[i]->protocol().is_reference()) {
+      // Cluster runs elect one reference per cluster; "the" reference —
+      // the one fault plans and departures target — is the root cluster's
+      // (the network timescale's origin).
+      if (scenario_.cluster.enabled() &&
+          cluster::cluster_of(scenario_.cluster,
+                              static_cast<mac::NodeId>(i)) != 0) {
+        continue;
+      }
       return i;
     }
   }

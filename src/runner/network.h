@@ -45,6 +45,16 @@ class Network {
   [[nodiscard]] const metrics::Series& max_diff_series() const {
     return max_diff_;
   }
+
+  /// Cluster runs only (empty otherwise): per-sample inter-cluster spread
+  /// (max - min of per-cluster mean global readings, attached nodes only)
+  /// and the fraction of awake honest nodes attached to the root timescale.
+  [[nodiscard]] const metrics::Series& cluster_spread_series() const {
+    return cluster_spread_;
+  }
+  [[nodiscard]] const metrics::Series& attach_fraction_series() const {
+    return attach_fraction_;
+  }
   [[nodiscard]] const mac::ChannelStats& channel_stats() const;
   [[nodiscard]] proto::ProtocolStats honest_stats() const;
   [[nodiscard]] const proto::ProtocolStats* attacker_stats() const;
@@ -126,6 +136,7 @@ class Network {
   void schedule_faults();
   void schedule_sampling();
   void sample_clock_spread();
+  void sample_cluster(sim::SimTime now);
   void emit_telemetry(sim::SimTime now, bool have, double lo, double hi,
                       double sum);
 
@@ -150,7 +161,11 @@ class Network {
   volatile std::sig_atomic_t* dump_flag_{nullptr};
   std::size_t attacker_index_;  // == stations_.size() when no attacker
   metrics::Series max_diff_;
+  metrics::Series cluster_spread_;
+  metrics::Series attach_fraction_;
   std::vector<double> sample_values_;  // reused per sampling tick
+  std::vector<double> cluster_sum_;    // per-cluster scratch, cluster runs
+  std::vector<int> cluster_n_;
   bool armed_{false};
 };
 

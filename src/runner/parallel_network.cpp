@@ -28,6 +28,7 @@ namespace {
 /// of half-building.
 sim::ShardExecutor::Options exec_options(const Scenario& s) {
   if (s.monitor) reject("the invariant monitor (--monitor)");
+  if (s.cluster.enabled()) reject("cluster scenarios (--clusters)");
   if (!s.faults.empty()) reject("fault plans");
   if (!s.telemetry_out.empty()) reject("telemetry streaming");
   if (!s.flight_recorder_out.empty()) reject("the flight recorder");

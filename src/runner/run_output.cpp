@@ -46,6 +46,14 @@ void print_result_summary(std::ostream& out, const RunResult& result) {
       << honest.rejected_interval << "/" << honest.rejected_key << "/"
       << honest.rejected_mac << '\n';
 
+  if (result.cluster_steady_max_us || !result.cluster_spread.empty()) {
+    out << "steady inter-cluster spread: "
+        << (result.cluster_steady_max_us
+                ? metrics::fmt(*result.cluster_steady_max_us, 2) + " us"
+                : std::string("-"))
+        << '\n';
+  }
+
   if (result.net) {
     const auto& net = *result.net;
     out << "wire: " << net.frames_sent << " frames sent, "

@@ -9,6 +9,7 @@
 
 #include "attack/internal_reference.h"
 #include "attack/tsf_attacker.h"
+#include "cluster/cluster_config.h"
 #include "core/sstsp_config.h"
 #include "fault/plan.h"
 #include "mac/phy_params.h"
@@ -70,6 +71,14 @@ struct Scenario {
   std::string attack_params_json{};
   attack::TsfAttackParams tsf_attack{};
   attack::SstspAttackParams sstsp_attack{};
+
+  /// Hierarchical cluster layout (cluster/cluster_config.h).  When
+  /// cluster.enabled(), the network is partitioned into
+  /// cluster.clusters broadcast domains of cluster.nodes_per_cluster
+  /// nodes each (num_nodes must equal their product), every node runs
+  /// the ClusterSstsp wrapper, and gateways bridge the root timescale
+  /// down the chain.  SSTSP only; incompatible with attackers.
+  cluster::ClusterSpec cluster{};
 
   /// Injected faults (fault/plan.h); empty = pristine environment.  The
   /// same plan drives the simulated channel and the live transports.

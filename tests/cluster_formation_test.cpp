@@ -1,0 +1,98 @@
+// Cluster formation: each broadcast-domain cluster elects exactly one
+// reference with the unmodified l-BP contention, gateways stay passive in
+// their home plane while their uplink halves attach to the parent, and the
+// whole hierarchy is bit-identical under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/sstsp_cluster.h"
+#include "runner/experiment.h"
+#include "runner/network.h"
+
+namespace sstsp::cluster {
+namespace {
+
+run::Scenario three_cluster_scenario() {
+  run::Scenario s;
+  s.cluster.clusters = 3;
+  s.cluster.nodes_per_cluster = 8;
+  s.num_nodes = s.cluster.total_nodes();
+  s.duration_s = 15.0;
+  s.seed = 5;
+  s.phy.radio_range_m = 50.0;
+  s.preestablished_reference = true;
+  s.sstsp.chain_length = 400;
+  return s;
+}
+
+// Cluster scenarios reject attackers and run ClusterSstsp on every station,
+// so the downcast is total (same contract Network::sample_cluster relies
+// on).
+const ClusterSstsp& proto_of(run::Network& net, std::size_t i) {
+  return static_cast<const ClusterSstsp&>(net.station(i).protocol());
+}
+
+TEST(ClusterFormation, OneReferencePerClusterAndPassiveGateways) {
+  const run::Scenario s = three_cluster_scenario();
+  run::Network net(s);
+  net.run();
+
+  std::vector<int> references(static_cast<std::size_t>(s.cluster.clusters), 0);
+  for (std::size_t i = 0; i < net.station_count(); ++i) {
+    const ClusterSstsp& cs = proto_of(net, i);
+    ASSERT_EQ(cs.cluster(), cluster_of(s.cluster, static_cast<mac::NodeId>(i)))
+        << i;
+    if (cs.is_reference()) {
+      ++references[static_cast<std::size_t>(cs.cluster())];
+    }
+    if (cs.gateway()) {
+      // The member half never holds the home reference role: a gateway sits
+      // where the two parents are mutually hidden terminals and must not
+      // win elections off collision bursts.
+      EXPECT_FALSE(cs.is_reference()) << i;
+      // The uplink half is a live passive follower of the parent cluster.
+      ASSERT_NE(cs.uplink(), nullptr) << i;
+      EXPECT_TRUE(cs.uplink()->is_synchronized()) << i;
+      EXPECT_NE(cs.bridge(), nullptr) << i;
+      EXPECT_GT(cs.bridge()->announcements(), 0u) << i;
+    } else {
+      EXPECT_EQ(cs.uplink(), nullptr) << i;
+    }
+    EXPECT_TRUE(cs.attached()) << i;
+  }
+  for (int c = 0; c < s.cluster.clusters; ++c) {
+    EXPECT_EQ(references[static_cast<std::size_t>(c)], 1) << "cluster " << c;
+  }
+}
+
+TEST(ClusterFormation, EveryNodeAttachesWithinTheBound) {
+  run::Scenario s = three_cluster_scenario();
+  // The steady-state window opens 20 s in; run past it.
+  s.duration_s = 30.0;
+  const run::RunResult res = run::run_scenario(s);
+  ASSERT_FALSE(res.attach_fraction.empty());
+  EXPECT_DOUBLE_EQ(res.attach_fraction.points().back().value_us, 1.0);
+  ASSERT_TRUE(res.cluster_steady_max_us.has_value());
+  // Two gateway hops from the root: the documented cross-cluster bound.
+  EXPECT_LT(*res.cluster_steady_max_us, s.cluster.cross_cluster_bound_us());
+}
+
+TEST(ClusterFormation, SeededRunsAreBitIdentical) {
+  const run::Scenario s = three_cluster_scenario();
+  const run::RunResult a = run::run_scenario(s);
+  const run::RunResult b = run::run_scenario(s);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.cluster_spread.size(), b.cluster_spread.size());
+  for (std::size_t i = 0; i < a.cluster_spread.size(); ++i) {
+    EXPECT_EQ(a.cluster_spread.points()[i].value_us,
+              b.cluster_spread.points()[i].value_us)
+        << i;
+  }
+  ASSERT_EQ(a.attach_fraction.size(), b.attach_fraction.size());
+  EXPECT_EQ(a.honest.beacons_sent, b.honest.beacons_sent);
+  EXPECT_EQ(a.honest.adjustments, b.honest.adjustments);
+}
+
+}  // namespace
+}  // namespace sstsp::cluster
