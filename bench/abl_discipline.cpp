@@ -1,0 +1,182 @@
+// ABL-DISCIPLINE — the clock-discipline ablation behind DESIGN.md §14: one
+// seeded scenario swept across {paper, rls, holdover} x a grid of clock
+// environments (quiet crystals, a thermal drift ramp, random-walk frequency
+// noise, and two clock-drift fault plans).  The paper's §3.3 two-point
+// solver is the bit-identical default everywhere else in the repo; this
+// matrix is where the alternatives earn their keep.  Acceptance: the RLS
+// discipline must beat the paper solver's steady-state max offset by >= 20%
+// under both drift fault plans.
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "clock/drift_model.h"
+#include "core/discipline.h"
+#include "fault/plan.h"
+#include "runner/sweep.h"
+
+namespace {
+
+struct Env {
+  std::string label;
+  sstsp::fault::FaultPlan plan;
+  sstsp::clk::DriftStress stress;
+};
+
+struct Disc {
+  std::string name;
+};
+
+/// A thermal transient as a clock-fault train: a raised-cosine frequency
+/// pulse peaking at `peak_ppm`, spanning [start_s, start_s + span_s] on
+/// `node`, rendered as drift deltas every `dt_s`.  Crystal warm-up curves
+/// are smooth — per-sample the slew hides inside timestamp quantization,
+/// but at the peak it walks the rate several ppm per second.
+void thermal_pulse(sstsp::fault::FaultPlan* plan, sstsp::mac::NodeId node,
+                   double start_s, double span_s, double peak_ppm,
+                   double dt_s = 0.25) {
+  const double two_pi = 6.28318530717958647692;
+  auto profile = [&](double t_s) {
+    if (t_s <= 0.0 || t_s >= span_s) return 0.0;
+    return peak_ppm * (1.0 - std::cos(two_pi * t_s / span_s)) / 2.0;
+  };
+  double prev = 0.0;
+  for (double t = dt_s; t <= span_s; t += dt_s) {
+    const double now = profile(t);
+    sstsp::fault::ClockFault f;
+    f.node = node;
+    f.at_s = start_s + t;
+    f.drift_delta_ppm = now - prev;
+    plan->clock_faults.push_back(f);
+    prev = now;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sstsp;
+  bench::banner("ABL-DISCIPLINE",
+                "Clock-discipline matrix: paper 2-point solve vs RLS drift "
+                "tracking vs holdover",
+                "paper solver swings under drift transients; windowed RLS "
+                "must cut steady-state max offset >= 20% on drift plans");
+
+  // Two clock-drift fault plans (the acceptance pair): thermal transients
+  // the adjustment layer must re-learn from authenticated beacons alone.
+  fault::FaultPlan plan_a;  // a warm-up/cool-down cycle on two nodes
+  thermal_pulse(&plan_a, 3, 15.0, 60.0, 80.0);
+  thermal_pulse(&plan_a, 7, 25.0, 50.0, -40.0);
+
+  fault::FaultPlan plan_b;  // a deeper swing plus a second overlapping node
+  thermal_pulse(&plan_b, 2, 10.0, 70.0, 100.0);
+  thermal_pulse(&plan_b, 9, 25.0, 55.0, 60.0);
+
+  clk::DriftStress ramp;
+  ramp.kind = clk::DriftStressKind::kTempRamp;
+  ramp.ramp_ppm_per_s = 0.8;
+  ramp.ramp_start_s = 20.0;
+  ramp.ramp_end_s = 70.0;
+
+  clk::DriftStress walk;
+  walk.kind = clk::DriftStressKind::kRandomWalk;
+  walk.walk_sigma_ppm = 0.3;
+  walk.period_s = 0.5;
+
+  const std::vector<Env> envs{
+      {"baseline", {}, {}},
+      {"temp_ramp", {}, ramp},
+      {"random_walk", {}, walk},
+      {"drift_plan_a", plan_a, {}},
+      {"drift_plan_b", plan_b, {}},
+  };
+  const std::vector<Disc> discs{{"paper"}, {"rls"}, {"holdover"}};
+
+  std::vector<run::Scenario> scenarios;
+  std::vector<std::string> labels;
+  for (const Env& env : envs) {
+    for (const Disc& disc : discs) {
+      run::Scenario s;
+      s.protocol = run::ProtocolKind::kSstsp;
+      s.num_nodes = 10;
+      s.duration_s = 90.0;
+      s.seed = 3;
+      s.sstsp.chain_length = 2000;
+      s.preestablished_reference = true;
+      s.monitor = true;
+      s.sstsp.discipline.name = disc.name;
+      s.clock_stress = env.stress;
+      s.faults = env.plan;
+      scenarios.push_back(s);
+      labels.push_back(env.label + "/" + disc.name);
+    }
+  }
+  const auto results = run::run_sweep(scenarios);
+
+  bench::JsonReport report("abl_discipline");
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    report.add_run(labels[i], scenarios[i], results[i]);
+  }
+
+  auto steady = [&](std::size_t i) {
+    return results[i].steady_max_us ? *results[i].steady_max_us : -1.0;
+  };
+
+  metrics::TextTable table({"environment", "discipline", "steady max (us)",
+                            "steady p99 (us)", "applied", "screened",
+                            "vs paper"});
+  bool accepted = true;
+  for (std::size_t e = 0; e < envs.size(); ++e) {
+    const std::size_t base = e * discs.size();  // the paper cell of this row
+    for (std::size_t d = 0; d < discs.size(); ++d) {
+      const std::size_t i = base + d;
+      const run::RunResult& r = results[i];
+      const auto& verdicts = r.honest.discipline_verdicts;
+      const auto applied =
+          verdicts[static_cast<std::size_t>(
+              core::DisciplineVerdict::kApplied)] +
+          verdicts[static_cast<std::size_t>(
+              core::DisciplineVerdict::kHoldoverCoast)];
+      const auto screened = verdicts[static_cast<std::size_t>(
+          core::DisciplineVerdict::kInnovationRejected)];
+      std::string vs = "-";
+      if (d > 0 && steady(base) > 0.0 && steady(i) > 0.0) {
+        // Positive = this discipline beats the paper cell of the same row.
+        const double gain = 100.0 * (1.0 - steady(i) / steady(base));
+        vs = metrics::fmt(gain, 1) + "%";
+      }
+      table.add_row({envs[e].label, discs[d].name,
+                     steady(i) >= 0.0 ? metrics::fmt(steady(i), 2) : "n/a",
+                     r.steady_p99_us ? metrics::fmt(*r.steady_p99_us, 2)
+                                     : "n/a",
+                     std::to_string(applied), std::to_string(screened), vs});
+    }
+  }
+  table.print(std::cout);
+  report.write();
+
+  // Acceptance: RLS beats the paper solver's steady-state max offset by
+  // >= 20% under both clock-drift fault plans.
+  for (const std::string& plan : {std::string("drift_plan_a"),
+                                  std::string("drift_plan_b")}) {
+    std::size_t e = 0;
+    while (e < envs.size() && envs[e].label != plan) ++e;
+    const std::size_t base = e * discs.size();
+    const double paper = steady(base);
+    const double rls = steady(base + 1);
+    if (paper <= 0.0 || rls <= 0.0 || rls > 0.8 * paper) {
+      std::cerr << "FAIL: " << plan << ": rls steady " << rls
+                << " us not >= 20% under paper steady " << paper << " us\n";
+      accepted = false;
+    } else {
+      std::cout << plan << ": rls " << metrics::fmt(rls, 2) << " us vs paper "
+                << metrics::fmt(paper, 2) << " us ("
+                << metrics::fmt(100.0 * (1.0 - rls / paper), 1)
+                << "% better)\n";
+    }
+  }
+  return accepted ? 0 : 1;
+}

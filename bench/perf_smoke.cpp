@@ -31,6 +31,17 @@
 // (DESIGN.md §11): paired control vs --sampler runs at n=2000, best-of-five
 // CPU seconds each, written to BENCH_perf_sampler_base.json and
 // BENCH_perf_sampler.json; CI gates the sampler's cost at the same 2 %.
+//
+// SSTSP_PERF_DISCIPLINE likewise for the clock-discipline API (DESIGN.md
+// §14): paired default (paper) vs --discipline rls runs — the deepest
+// non-default estimator path — written to BENCH_perf_discipline_base.json
+// and BENCH_perf_discipline.json.  RLS runs a 3x3 covariance update plus a
+// Newton target solve per received beacon where the paper solver does a
+// two-point quotient, so its budget is 15 % (measured ~11 % CPU at
+// n=2000), not the passive-instrument 2 %.  The *default* path's refactor
+// cost is the 2 % question, and it is pinned structurally instead: seeded
+// output is byte-identical to the pre-API protocol (golden test) and the
+// main BENCH_perf.json lanes ride the committed-baseline comparison.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -306,6 +317,16 @@ int main() {
                 bench::out_dir() + "/BENCH_perf_sampler.json",
                 [](run::Scenario& s, const std::string&) {
                   s.phase_sampler = true;  // default ~1 kHz virtual tick
+                });
+  }
+  if (std::getenv("SSTSP_PERF_DISCIPLINE") != nullptr) {
+    paired_pass("discipline",
+                bench::out_dir() + "/BENCH_perf_discipline_base.json",
+                bench::out_dir() + "/BENCH_perf_discipline.json",
+                [](run::Scenario& s, const std::string&) {
+                  // The deepest non-default estimator path: per-sample RLS
+                  // update + Newton target solve + verdict counters.
+                  s.sstsp.discipline.name = "rls";
                 });
   }
   return 0;

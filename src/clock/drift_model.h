@@ -5,9 +5,18 @@
 // (i.e. +/-100 ppm, the IEEE 802.11 tolerance).  Within the 1000 s horizon a
 // constant-frequency affine model is the paper's stated assumption ("the
 // original clock is regarded as a linear function of real time within a
-// short period of time"), so that is exactly what we implement; frequency
-// aging and temperature effects are out of scope.
+// short period of time"), so that is exactly what we implement by default.
+//
+// Beyond the paper, DriftStress/DriftStressor model the second-order
+// frequency effects real oscillators exhibit — temperature ramps, crystal
+// aging, and random-walk frequency noise — as slow per-node frequency
+// perturbations applied on top of the constant base drift.  These exist to
+// exercise the adaptive clock disciplines (core/discipline.h): under a pure
+// constant-rate model the paper's two-point span solver is already optimal.
 #pragma once
+
+#include <cmath>
+#include <string_view>
 
 #include "sim/rng.h"
 
@@ -34,6 +43,95 @@ struct DriftModel {
                                           double max_ppm = kMaxDriftPpm) {
     return DriftModel{1.0 + rng.uniform(-max_ppm, max_ppm) * 1e-6};
   }
+};
+
+/// Second-order frequency stressor kinds (beyond the paper's constant model).
+enum class DriftStressKind {
+  kNone = 0,
+  /// Linear frequency ramp, e.g. a device warming up; each node gets a
+  /// susceptibility drawn from uniform(-1, 1) so relative drift changes.
+  kTempRamp,
+  /// Monotonic crystal aging; susceptibility drawn from uniform(0, 1).
+  kAging,
+  /// Random-walk frequency: gaussian increments each tick.
+  kRandomWalk,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DriftStressKind kind) {
+  switch (kind) {
+    case DriftStressKind::kNone: return "none";
+    case DriftStressKind::kTempRamp: return "temp-ramp";
+    case DriftStressKind::kAging: return "aging";
+    case DriftStressKind::kRandomWalk: return "random-walk";
+  }
+  return "none";
+}
+
+/// Scenario-level stressor spec; one spec drives per-node DriftStressors.
+struct DriftStress {
+  DriftStressKind kind{DriftStressKind::kNone};
+  /// Tick period for applying frequency deltas.
+  double period_s{1.0};
+  /// kTempRamp: peak frequency slew while the ramp is active.
+  double ramp_ppm_per_s{0.5};
+  /// kTempRamp: active window in sim time; ramp_end_s < 0 means whole run.
+  double ramp_start_s{0.0};
+  double ramp_end_s{-1.0};
+  /// kAging: peak aging rate (real crystals run 1-100 ppm/year; the
+  /// default is deliberately accelerated so a 100 s run shows the effect).
+  double aging_ppm_per_day{25.0};
+  /// kRandomWalk: per-sqrt(second) gaussian step size.
+  double walk_sigma_ppm{0.25};
+
+  [[nodiscard]] bool enabled() const {
+    return kind != DriftStressKind::kNone && period_s > 0;
+  }
+};
+
+/// Per-node stressor state.  step_delta_ppm() returns the frequency change
+/// (ppm) to apply for a tick covering [t_s - dt_s, t_s]; the caller feeds it
+/// to Station::inject_clock_fault(0.0, delta) so phase stays continuous.
+class DriftStressor {
+ public:
+  DriftStressor(const DriftStress& spec, sim::Rng rng)
+      : spec_(spec), rng_(rng) {
+    switch (spec_.kind) {
+      case DriftStressKind::kTempRamp:
+        susceptibility_ = rng_.uniform(-1.0, 1.0);
+        break;
+      case DriftStressKind::kAging:
+        susceptibility_ = rng_.uniform(0.0, 1.0);
+        break;
+      default:
+        susceptibility_ = 1.0;
+        break;
+    }
+  }
+
+  [[nodiscard]] double step_delta_ppm(double t_s, double dt_s) {
+    switch (spec_.kind) {
+      case DriftStressKind::kTempRamp: {
+        const double end =
+            spec_.ramp_end_s < 0 ? t_s + 1.0 : spec_.ramp_end_s;
+        if (t_s < spec_.ramp_start_s || t_s > end) return 0.0;
+        return susceptibility_ * spec_.ramp_ppm_per_s * dt_s;
+      }
+      case DriftStressKind::kAging:
+        return susceptibility_ * spec_.aging_ppm_per_day / 86400.0 * dt_s;
+      case DriftStressKind::kRandomWalk:
+        return rng_.normal(0.0, spec_.walk_sigma_ppm * std::sqrt(dt_s));
+      case DriftStressKind::kNone:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] double susceptibility() const { return susceptibility_; }
+
+ private:
+  DriftStress spec_;
+  sim::Rng rng_;
+  double susceptibility_{1.0};
 };
 
 }  // namespace sstsp::clk

@@ -235,6 +235,9 @@ const proto::ProtocolStats& ClusterSstsp::stats() const {
     acc.demotions += s.demotions;
     acc.coarse_steps += s.coarse_steps;
     acc.solver_rejections += s.solver_rejections;
+    for (std::size_t v = 0; v < acc.discipline_verdicts.size(); ++v) {
+      acc.discipline_verdicts[v] += s.discipline_verdicts[v];
+    }
   };
   merged_ = stats_;  // this wrapper's own bridge-plane receive counters
   add(merged_, member_->stats());

@@ -2,15 +2,36 @@
 
 namespace sstsp::core {
 
-SolveOutcome solve_adjustment(const ClockParams& previous, double t_now_us,
-                              const RefSample& newest, const RefSample& older,
-                              double target_us, const SstspConfig& cfg) {
-  SolveOutcome out;
+const char* to_string(DisciplineVerdict verdict) {
+  switch (verdict) {
+    case DisciplineVerdict::kApplied:
+      return "applied";
+    case DisciplineVerdict::kNonIncreasingSamples:
+      return "non_increasing_samples";
+    case DisciplineVerdict::kTargetNotAhead:
+      return "target_not_ahead";
+    case DisciplineVerdict::kSlopeOutOfRange:
+      return "slope_out_of_range";
+    case DisciplineVerdict::kInsufficientHistory:
+      return "insufficient_history";
+    case DisciplineVerdict::kInnovationRejected:
+      return "innovation_rejected";
+    case DisciplineVerdict::kHoldoverCoast:
+      return "holdover_coast";
+  }
+  return "unknown";
+}
+
+DisciplineResult solve_adjustment(const ClockParams& previous, double t_now_us,
+                                  const RefSample& newest,
+                                  const RefSample& older, double target_us,
+                                  const SstspConfig& cfg) {
+  DisciplineResult out;
 
   const double dts = newest.ts_ref_us - older.ts_ref_us;
   const double dt = newest.t_local_us - older.t_local_us;
   if (dts <= 0.0 || dt <= 0.0) {
-    out.reason = SolveRejection::kNonIncreasingSamples;
+    out.verdict = DisciplineVerdict::kNonIncreasingSamples;
     return out;
   }
 
@@ -19,7 +40,7 @@ SolveOutcome solve_adjustment(const ClockParams& previous, double t_now_us,
   const double t_star = newest.t_local_us + rate * (target_us - newest.ts_ref_us);
   out.expected_t_star_us = t_star;
   if (t_star <= t_now_us) {
-    out.reason = SolveRejection::kTargetNotAhead;
+    out.verdict = DisciplineVerdict::kTargetNotAhead;
     return out;
   }
 
@@ -27,7 +48,7 @@ SolveOutcome solve_adjustment(const ClockParams& previous, double t_now_us,
   const double c_now = previous.eval(t_now_us);
   const double k = (target_us - c_now) / (t_star - t_now_us);
   if (k < cfg.k_min || k > cfg.k_max) {
-    out.reason = SolveRejection::kSlopeOutOfRange;
+    out.verdict = DisciplineVerdict::kSlopeOutOfRange;
     return out;
   }
   out.params = ClockParams{k, c_now - k * t_now_us};

@@ -42,27 +42,49 @@ struct ClockParams {
   [[nodiscard]] double eval(double t_us) const { return k * t_us + b; }
 };
 
-/// Why a solve was rejected (diagnostics / counters).
-enum class SolveRejection {
-  kNonIncreasingSamples,  ///< ts_a <= ts_b or t_a <= t_b
-  kTargetNotAhead,        ///< expected convergence instant not in the future
-  kSlopeOutOfRange,       ///< solved k outside [k_min, k_max]
+/// The one typed outcome vocabulary of a clock-discipline proposal: why a
+/// proposal was applied or rejected.  Shared by every discipline (the
+/// paper span solver, RLS, holdover), the run-JSON summary and the metric
+/// counters, so "solver rejection" means the same thing everywhere.
+enum class DisciplineVerdict {
+  kApplied = 0,            ///< params proposed from fresh evidence
+  kNonIncreasingSamples,   ///< ts_a <= ts_b or t_a <= t_b
+  kTargetNotAhead,         ///< expected convergence instant not in the future
+  kSlopeOutOfRange,        ///< solved k outside [k_min, k_max]
+  kInsufficientHistory,    ///< not enough usable samples to propose yet
+  kInnovationRejected,     ///< sample screened out by innovation gating
+  kHoldoverCoast,          ///< params proposed from a remembered drift rate
 };
 
-struct SolveOutcome {
-  std::optional<ClockParams> params;     // nullopt on rejection
-  std::optional<SolveRejection> reason;  // set on rejection
-  double expected_t_star_us{0};          // diagnostic: t* from (4)
+inline constexpr std::size_t kDisciplineVerdictCount = 7;
+
+[[nodiscard]] const char* to_string(DisciplineVerdict verdict);
+
+/// Verdicts that reject a *proposal* (counted as solver_rejections).
+/// kInsufficientHistory merely means "no evidence yet" and
+/// kInnovationRejected screens a single sample, not a proposal.
+[[nodiscard]] constexpr bool verdict_is_rejection(DisciplineVerdict v) {
+  return v == DisciplineVerdict::kNonIncreasingSamples ||
+         v == DisciplineVerdict::kTargetNotAhead ||
+         v == DisciplineVerdict::kSlopeOutOfRange;
+}
+
+struct DisciplineResult {
+  std::optional<ClockParams> params;  // nullopt unless the verdict applied
+  DisciplineVerdict verdict{DisciplineVerdict::kApplied};
+  double expected_t_star_us{0};  // diagnostic: t* from (4)
+
+  [[nodiscard]] bool applied() const { return params.has_value(); }
 };
 
 /// Solves (k^j, b^j).  `target_us` is T^{j+m}; `t_now_us` is the local
 /// hardware clock at the adjustment instant (the paper's t_i^j).
-[[nodiscard]] SolveOutcome solve_adjustment(const ClockParams& previous,
-                                            double t_now_us,
-                                            const RefSample& newest,
-                                            const RefSample& older,
-                                            double target_us,
-                                            const SstspConfig& cfg);
+[[nodiscard]] DisciplineResult solve_adjustment(const ClockParams& previous,
+                                                double t_now_us,
+                                                const RefSample& newest,
+                                                const RefSample& older,
+                                                double target_us,
+                                                const SstspConfig& cfg);
 
 /// The paper's printed closed form for k^j (the big displayed fraction in
 /// §3.3), kept verbatim for cross-checking the derivation above.  Inputs

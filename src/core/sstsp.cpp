@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <tuple>
 
 #include "obs/profiler.h"
 
@@ -311,7 +312,8 @@ Sstsp::SenderTrack* Sstsp::track_for(mac::NodeId sender) {
     }
   }
   auto [ins, _] = tracks_.emplace(
-      sender, SenderTrack(*anchor, schedule_, &directory_.verify_cache()));
+      sender, SenderTrack(*anchor, schedule_, &directory_.verify_cache(),
+                          make_discipline(cfg_)));
   return &ins->second;
 }
 
@@ -454,24 +456,16 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
     station_.trace_event(trace::EventKind::kAuthOk, frame.sender,
                          static_cast<double>(res.authenticated->interval),
                          res.authenticated->trace_id);
-    track->samples.push_back(RefSample{res.authenticated->arrival_hw_us,
-                                       res.authenticated->ts_est_us});
-    // Keep enough history for the solve to span cfg_.solver_span_bps
-    // authenticated beacons (front..back); 1 keeps the paper's
-    // consecutive-pair solve.  Entries far older than the span target are
-    // dropped outright — a sender heard again after a long gap (an
-    // occasional contender, a healed partition) must not pair a fresh
-    // sample with one from a previous clock epoch.
-    const auto cap =
-        static_cast<std::size_t>(std::max(1, cfg_.solver_span_bps)) + 1;
-    while (track->samples.size() > cap) track->samples.pop_front();
-    const double max_age_us =
-        (static_cast<double>(std::max(1, cfg_.solver_span_bps)) + 4.0) *
-        schedule_.interval_us;
-    while (track->samples.size() > 1 &&
-           track->samples.back().t_local_us - track->samples.front().t_local_us >
-               max_age_us) {
-      track->samples.pop_front();
+    // The discipline owns the sample history: retention capacity and the
+    // previous-clock-epoch age-out both derive from its declared window
+    // (the paper discipline declares solver_span_bps, preserving the
+    // span+1 / span+4-BP arithmetic bit-for-bit).  A screened-out sample
+    // (RLS innovation gating) is booked but never blocks the §3.3 flow.
+    if (const auto screened = track->discipline->add_sample(
+            RefSample{res.authenticated->arrival_hw_us,
+                      res.authenticated->ts_est_us},
+            schedule_.interval_us)) {
+      note_verdict(*screened);
     }
     try_adjust(*track, j, res.authenticated->trace_id);
   }
@@ -479,17 +473,22 @@ void Sstsp::on_receive(const mac::Frame& frame, const mac::RxInfo& rx) {
 
 void Sstsp::try_adjust(SenderTrack& track, std::int64_t cur_interval,
                        std::uint64_t trace_id) {
-  if (state_ != State::kFollower || track.samples.size() < 2) return;
+  if (state_ != State::kFollower ||
+      track.discipline->size() < track.discipline->min_samples()) {
+    return;
+  }
   const double target =
       schedule_.emission_time(cur_interval + cfg_.m);
   const ClockParams previous{adjusted_.k(), adjusted_.b()};
   obs::Span span(station_.profiler(), obs::Phase::kFilterEval);
   const double hw_now = station_.hw_us_now();
-  const SolveOutcome outcome =
-      solve_adjustment(previous, hw_now, track.samples.back(),
-                       track.samples.front(), target, cfg_);
+  const DisciplineResult outcome =
+      track.discipline->propose(previous, hw_now, target);
+  note_verdict(outcome.verdict);
   if (!outcome.params) {
-    ++stats_.solver_rejections;
+    // The legacy aggregate counts *proposal* rejections exactly as the
+    // pre-API protocol did; "not enough evidence yet" is not one.
+    if (verdict_is_rejection(outcome.verdict)) ++stats_.solver_rejections;
     return;
   }
   const double before = adjusted_.value_at_hw(hw_now);
@@ -508,6 +507,16 @@ void Sstsp::try_adjust(SenderTrack& track, std::int64_t cur_interval,
     // metric and contention eligibility) only once Lemma-1 convergence has
     // had a few beacons to act on the coarse step's residual offset.
     if (++resync_adjustments_ >= 3) synced_ = true;
+  }
+}
+
+void Sstsp::note_verdict(DisciplineVerdict verdict) {
+  // ProtocolStats sits below core and sizes the array by hand.
+  static_assert(kDisciplineVerdictCount <=
+                std::tuple_size_v<decltype(stats_.discipline_verdicts)>);
+  ++stats_.discipline_verdicts[static_cast<std::size_t>(verdict)];
+  if (auto* ins = station_.instruments()) {
+    ins->on_discipline_verdict(static_cast<std::size_t>(verdict));
   }
 }
 

@@ -24,12 +24,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <unordered_map>
 
 #include "clock/adjusted_clock.h"
 #include "core/adjustment.h"
 #include "core/beacon_security.h"
+#include "core/discipline.h"
 #include "core/coarse_sync.h"
 #include "core/key_directory.h"
 #include "core/sstsp_config.h"
@@ -132,10 +133,13 @@ class Sstsp : public proto::SyncProtocol {
  private:
   struct SenderTrack {
     SenderTrack(crypto::Digest anchor, crypto::MuTeslaSchedule schedule,
-                crypto::VerifyCache* cache)
-        : pipeline(anchor, schedule, cache) {}
+                crypto::VerifyCache* cache,
+                std::unique_ptr<ClockDiscipline> disc)
+        : pipeline(anchor, schedule, cache), discipline(std::move(disc)) {}
     SenderPipeline pipeline;
-    std::deque<RefSample> samples;  // newest at back; solver_span_bps + 1
+    /// Per-sender clock discipline (core/discipline.h): owns the
+    /// authenticated sample history and the (k, b) estimator.
+    std::unique_ptr<ClockDiscipline> discipline;
     int consecutive_rejections{0};
     double blacklisted_until_hw_us{-1.0};
   };
@@ -155,6 +159,9 @@ class Sstsp : public proto::SyncProtocol {
                   std::uint64_t trace_id);
   SenderTrack* track_for(mac::NodeId sender);
   void note_rejection(mac::NodeId sender, double hw_now_us);
+  /// Books a discipline verdict: per-verdict stats array, the legacy
+  /// solver_rejections aggregate, and (when enabled) the metric counters.
+  void note_verdict(DisciplineVerdict verdict);
   void cancel_tx_event();
 
   SstspConfig cfg_;

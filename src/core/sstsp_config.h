@@ -3,8 +3,43 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
+#include <string_view>
 
 namespace sstsp::core {
+
+/// Clock-discipline selection + estimator knobs (core/discipline.h).  One
+/// nested config block ("discipline" in the universal --config schema)
+/// covers the estimator name and every parameter the estimators share with
+/// the paper solver (span, slope clamp).
+struct DisciplineConfig {
+  /// Factory-registered estimator name ("paper", "rls", "holdover"); empty
+  /// selects the paper-faithful span solver, the bit-identical default.
+  std::string name{};
+
+  /// RLS: authenticated-beacon history window.  Deeper windows keep the
+  /// regression conditioned across droughts; the deque capacity and the
+  /// epoch age-out horizon both derive from it (discipline.h).
+  int window_bps = 16;
+
+  /// RLS: forgetting factor lambda in (0, 1]; 1 never forgets, smaller
+  /// values track temperature/aging-induced rate changes faster.
+  double forgetting = 0.90;
+
+  /// RLS: innovation gate — a sample whose prediction residual exceeds
+  /// this (after the estimator has primed) is screened out instead of
+  /// corrupting the fit.  0 disables gating.
+  double innovation_gate_us = 200.0;
+
+  /// Holdover: a remembered drift rate older than this many beacon
+  /// periods is too stale to coast on.
+  int holdover_max_age_bps = 32;
+
+  [[nodiscard]] bool configured() const { return !name.empty(); }
+  [[nodiscard]] std::string_view effective_name() const {
+    return name.empty() ? std::string_view("paper") : std::string_view(name);
+  }
+};
 
 struct SstspConfig {
   /// Aggressiveness m (> 0): the adjusted clock is solved to converge onto
@@ -104,6 +139,11 @@ struct SstspConfig {
   /// the paper's detect-and-discard-only behaviour (the default).
   int blacklist_threshold = 0;
   double blacklist_penalty_s = 30.0;
+
+  /// Clock-discipline selection (see DisciplineConfig above).  Default —
+  /// an empty name — is the paper span solver with bit-identical seeded
+  /// output; see DESIGN.md §14 for the bit-compatibility contract.
+  DisciplineConfig discipline{};
 };
 
 /// Guard-time threshold in force `hw_now_us - last_sync_hw_us` after the

@@ -239,7 +239,7 @@ void SstspMh::try_adjust(SenderTrack& track, std::int64_t cur_interval) {
   // absorbed by the rate extrapolation (see DESIGN.md §7).
   const double target = schedule_.emission_time(cur_interval + cfg_.base.m);
   const core::ClockParams previous{adjusted_.k(), adjusted_.b()};
-  const core::SolveOutcome outcome = core::solve_adjustment(
+  const core::DisciplineResult outcome = core::solve_adjustment(
       previous, station_.hw_us_now(), track.samples.back(),
       track.samples.front(), target, cfg_.base);
   if (!outcome.params) {

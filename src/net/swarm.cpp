@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <functional>
 
+#include "core/discipline.h"
+
 namespace sstsp::net {
 
 const char* transport_kind_name(TransportKind kind) {
@@ -23,6 +25,11 @@ Swarm::Swarm(const SwarmConfig& config)
   if (config_.collect_metrics) {
     instruments_ = std::make_unique<obs::Instruments>(registry_);
     sim_.set_instruments(instruments_.get());
+    if (config_.sstsp.discipline.effective_name() != "paper") {
+      instruments_->enable_discipline(
+          config_.sstsp.discipline.effective_name(),
+          core::discipline_verdict_names());
+    }
   }
   if (config_.profile) {
     profiler_ = std::make_unique<obs::Profiler>();
@@ -598,6 +605,10 @@ run::RunResult Swarm::collect() {
     result.honest.demotions += s.demotions;
     result.honest.coarse_steps += s.coarse_steps;
     result.honest.solver_rejections += s.solver_rejections;
+    for (std::size_t v = 0; v < result.honest.discipline_verdicts.size();
+         ++v) {
+      result.honest.discipline_verdicts[v] += s.discipline_verdicts[v];
+    }
   }
 
   NetRunStats net;

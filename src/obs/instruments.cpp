@@ -5,7 +5,8 @@
 namespace sstsp::obs {
 
 Instruments::Instruments(Registry& registry)
-    : adjustment_rate_ppm_(&registry.histogram("station.adjustment_rate_ppm")),
+    : registry_(&registry),
+      adjustment_rate_ppm_(&registry.histogram("station.adjustment_rate_ppm")),
       coarse_step_us_(&registry.histogram("station.coarse_step_us")),
       reject_offset_us_(&registry.histogram("station.reject_offset_us")),
       delivery_latency_us_(
@@ -17,6 +18,18 @@ Instruments::Instruments(Registry& registry)
     const std::string name =
         "event." + std::string(to_string(static_cast<trace::EventKind>(k)));
     event_counters_[k] = &registry.counter(name);
+  }
+}
+
+void Instruments::enable_discipline(
+    std::string_view discipline_name,
+    const std::vector<std::string>& verdict_names) {
+  discipline_counters_.clear();
+  discipline_counters_.reserve(verdict_names.size());
+  for (const auto& verdict : verdict_names) {
+    const std::string name =
+        "discipline." + std::string(discipline_name) + "." + verdict;
+    discipline_counters_.push_back(&registry_->counter(name));
   }
 }
 

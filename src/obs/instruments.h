@@ -11,6 +11,9 @@
 
 #include <array>
 #include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "trace/event_trace.h"
@@ -62,8 +65,28 @@ class Instruments {
     node_error_us_->record(abs_error_us);
   }
 
+  /// Registers the per-verdict clock-discipline counters
+  /// (discipline.<name>.<verdict>; they flow into the metrics JSON and the
+  /// Prometheus exposition unmodified).  Called by the runners only when a
+  /// non-default discipline is selected: the default path must not grow
+  /// registry entries, or seeded run JSON would stop being byte-identical
+  /// (the §14 bit-compatibility contract).
+  void enable_discipline(std::string_view discipline_name,
+                         const std::vector<std::string>& verdict_names);
+
+  /// Core: one discipline verdict was booked.  No-op (one branch) unless
+  /// enable_discipline ran.
+  void on_discipline_verdict(std::size_t verdict_index) {
+    if (verdict_index < discipline_counters_.size() &&
+        discipline_counters_[verdict_index] != nullptr) {
+      discipline_counters_[verdict_index]->inc();
+    }
+  }
+
  private:
+  Registry* registry_;
   std::array<Counter*, trace::kEventKindCount> event_counters_{};
+  std::vector<Counter*> discipline_counters_{};
   Histogram* adjustment_rate_ppm_;
   Histogram* coarse_step_us_;
   Histogram* reject_offset_us_;

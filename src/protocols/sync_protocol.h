@@ -7,6 +7,7 @@
 // implement this interface, so scenarios and metrics are protocol-agnostic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "mac/channel.h"
@@ -30,6 +31,11 @@ struct ProtocolStats {
   std::uint64_t demotions{0};
   std::uint64_t coarse_steps{0};
   std::uint64_t solver_rejections{0};
+  /// Per-verdict clock-discipline outcomes, indexed by
+  /// core::DisciplineVerdict (this layer sits below core, hence the plain
+  /// array; core static_asserts the bound).  solver_rejections stays the
+  /// legacy aggregate of the rejecting verdicts.
+  std::array<std::uint64_t, 8> discipline_verdicts{};
 };
 
 class SyncProtocol {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "attack/adversary.h"
+#include "core/discipline.h"
 #include "fault/plan.h"
 #include "obs/json.h"
 #include "runner/config_file.h"
@@ -79,6 +80,28 @@ protocol parameters:
   --chain-length N      µTESLA chain length (default sized to duration)
   --per P               packet error rate (default 1e-4)
   --preestablished      node 0 boots as the SSTSP reference
+
+clock discipline (DESIGN.md §14):
+  --discipline NAME     clock-discipline estimator: paper (the §3.3 span
+                        solver, default; bit-identical to the legacy path),
+                        rls (recursive least squares with forgetting +
+                        innovation gating), holdover (paper solver that
+                        coasts on the last fitted rate through droughts)
+  --discipline-params JSON
+                        discipline overrides as a JSON object, same keys as
+                        the config "discipline" block (e.g. '{"name":"rls",
+                        "window":16,"forgetting":0.98,
+                        "innovation-gate":200,"holdover-max-age":32,
+                        "span":8,"k-min":0.95,"k-max":1.05}')
+  --clock-model KIND    oscillator stressor beyond the paper's constant
+                        drift: none (default) | temp-ramp | aging |
+                        random-walk
+  --clock-model-params JSON
+                        stressor overrides, same keys as the config
+                        "clock-model" block (e.g. '{"kind":"temp-ramp",
+                        "period":1,"ramp-ppm-per-s":0.5,"ramp-start":0,
+                        "ramp-end":-1,"aging-ppm-per-day":25,
+                        "walk-sigma-ppm":0.25}')
 
 clusters (hierarchical multi-domain sync, SSTSP only; DESIGN.md §13):
   --clusters N          partition the network into N broadcast-domain
@@ -283,6 +306,45 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       s.phy.packet_error_rate = p;
     } else if (arg == "--preestablished") {
       s.preestablished_reference = true;
+    } else if (arg == "--discipline") {
+      if (!next(&v)) return fail("--discipline needs a name");
+      if (!core::discipline_known(v)) {
+        std::string valid;
+        for (const auto& name : core::discipline_names()) {
+          if (!valid.empty()) valid += ", ";
+          valid += name;
+        }
+        return fail("unknown discipline: " + v + " (known: " + valid + ")");
+      }
+      s.sstsp.discipline.name = v;
+    } else if (arg == "--discipline-params") {
+      if (!next(&v)) return fail("--discipline-params needs a JSON object");
+      const auto parsed = obs::json::parse(v);
+      if (!parsed) {
+        return fail("--discipline-params is not valid JSON: " + v);
+      }
+      std::string dsc_error;
+      if (!core::apply_discipline_json(*parsed, &s.sstsp, &dsc_error)) {
+        return fail("--discipline-params: " + dsc_error);
+      }
+    } else if (arg == "--clock-model") {
+      if (!next(&v)) return fail("--clock-model needs a kind");
+      const auto kind = clock_model_kind_from_string(v);
+      if (!kind) {
+        return fail("unknown clock model: " + v +
+                    " (known: none, temp-ramp, aging, random-walk)");
+      }
+      s.clock_stress.kind = *kind;
+    } else if (arg == "--clock-model-params") {
+      if (!next(&v)) return fail("--clock-model-params needs a JSON object");
+      const auto parsed = obs::json::parse(v);
+      if (!parsed) {
+        return fail("--clock-model-params is not valid JSON: " + v);
+      }
+      std::string clk_error;
+      if (!apply_clock_model_json(*parsed, &s.clock_stress, &clk_error)) {
+        return fail("--clock-model-params: " + clk_error);
+      }
     } else if (arg == "--clusters") {
       long long n = 0;
       if (!next(&v) || !parse_int(v, &n) || n < 0 || n > 0x7f) {

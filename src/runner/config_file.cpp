@@ -7,6 +7,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "core/discipline.h"
+
 namespace sstsp::run {
 
 namespace {
@@ -68,6 +70,11 @@ constexpr KeySpec kSchema[] = {
     {"skew", kSim},
     {"faults", kAll},
     {"faults-json", kAll},
+    // clock discipline + oscillator stress (DESIGN.md §14)
+    {"discipline", kAll},
+    {"discipline-params", kAll},
+    {"clock-model", kSim},
+    {"clock-model-params", kSim},
     // live endpoints / pacing
     {"transport", kSwarm},
     {"bind", kNode | kSwarm},
@@ -169,6 +176,102 @@ std::string at_line(const obs::json::Value& v) {
 
 }  // namespace
 
+std::optional<clk::DriftStressKind> clock_model_kind_from_string(
+    std::string_view name) {
+  if (name == "none") return clk::DriftStressKind::kNone;
+  if (name == "temp-ramp") return clk::DriftStressKind::kTempRamp;
+  if (name == "aging") return clk::DriftStressKind::kAging;
+  if (name == "random-walk") return clk::DriftStressKind::kRandomWalk;
+  return std::nullopt;
+}
+
+bool clock_model_param_key_known(std::string_view key) {
+  return key == "kind" || key == "period" || key == "ramp-ppm-per-s" ||
+         key == "ramp-start" || key == "ramp-end" ||
+         key == "aging-ppm-per-day" || key == "walk-sigma-ppm";
+}
+
+bool apply_clock_model_json(const obs::json::Value& value,
+                            clk::DriftStress* stress, std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+
+  if (value.kind == obs::json::Value::Kind::kString) {
+    const auto kind = clock_model_kind_from_string(value.string);
+    if (!kind) {
+      return fail(at_line(value) + "unknown clock model '" + value.string +
+                  "' (have: none, temp-ramp, aging, random-walk)");
+    }
+    stress->kind = *kind;
+    return true;
+  }
+  if (!value.is_object()) {
+    return fail(at_line(value) +
+                "config key 'clock-model' must be a kind string or an "
+                "object {kind, period, ...}");
+  }
+  for (const auto& [key, v] : value.object) {
+    if (!clock_model_param_key_known(key)) {
+      return fail(at_line(v) + "unknown config key 'clock-model." + key +
+                  "'");
+    }
+    auto need_number = [&](double lo, double hi) -> bool {
+      return v.kind == obs::json::Value::Kind::kNumber && v.number >= lo &&
+             v.number <= hi;
+    };
+    if (key == "kind") {
+      std::optional<clk::DriftStressKind> kind;
+      if (v.kind == obs::json::Value::Kind::kString) {
+        kind = clock_model_kind_from_string(v.string);
+      }
+      if (!kind) {
+        return fail(at_line(v) + "config key 'clock-model.kind' must be one "
+                                 "of: none, temp-ramp, aging, random-walk");
+      }
+      stress->kind = *kind;
+    } else if (key == "period") {
+      if (!need_number(1e-3, 1e6)) {
+        return fail(at_line(v) + "config key 'clock-model.period' must be a "
+                                 "number of seconds >= 0.001");
+      }
+      stress->period_s = v.number;
+    } else if (key == "ramp-ppm-per-s") {
+      if (!need_number(0.0, 1e6)) {
+        return fail(at_line(v) + "config key 'clock-model.ramp-ppm-per-s' "
+                                 "must be a number >= 0");
+      }
+      stress->ramp_ppm_per_s = v.number;
+    } else if (key == "ramp-start") {
+      if (!need_number(0.0, 1e9)) {
+        return fail(at_line(v) + "config key 'clock-model.ramp-start' must "
+                                 "be a number of seconds >= 0");
+      }
+      stress->ramp_start_s = v.number;
+    } else if (key == "ramp-end") {
+      if (!need_number(-1.0, 1e9)) {
+        return fail(at_line(v) + "config key 'clock-model.ramp-end' must be "
+                                 "a number of seconds (-1 = whole run)");
+      }
+      stress->ramp_end_s = v.number;
+    } else if (key == "aging-ppm-per-day") {
+      if (!need_number(0.0, 1e6)) {
+        return fail(at_line(v) + "config key 'clock-model.aging-ppm-per-day' "
+                                 "must be a number >= 0");
+      }
+      stress->aging_ppm_per_day = v.number;
+    } else if (key == "walk-sigma-ppm") {
+      if (!need_number(0.0, 1e6)) {
+        return fail(at_line(v) + "config key 'clock-model.walk-sigma-ppm' "
+                                 "must be a number >= 0");
+      }
+      stress->walk_sigma_ppm = v.number;
+    }
+  }
+  return true;
+}
+
 std::optional<std::vector<std::string>> config_to_args(
     const obs::json::Value& root, ConfigTool tool, std::string* error) {
   auto fail =
@@ -210,6 +313,58 @@ std::optional<std::vector<std::string>> config_to_args(
                     "config key 'faults' must be a plan object or a path "
                     "string");
       }
+      continue;
+    }
+    if (key == "discipline") {
+      if (value.kind == obs::json::Value::Kind::kString) {
+        if (!core::discipline_known(value.string)) {
+          return fail(at_line(value) + "unknown discipline '" + value.string +
+                      "'");
+        }
+        args.push_back("--discipline");
+        args.push_back(value.string);
+        continue;
+      }
+      if (!value.is_object()) {
+        return fail(at_line(value) +
+                    "config key 'discipline' must be a name string or an "
+                    "object {name, window, forgetting, ...}");
+      }
+      // Validate the nested keys here so errors carry file line numbers;
+      // --discipline-params re-parses (and so re-validates) the dump.
+      for (const auto& [dkey, dvalue] : value.object) {
+        if (!core::discipline_param_key_known(dkey)) {
+          return fail(at_line(dvalue) + "unknown config key 'discipline." +
+                      dkey + "'");
+        }
+      }
+      args.push_back("--discipline-params");
+      args.push_back(obs::json::dump(value));
+      continue;
+    }
+    if (key == "clock-model") {
+      if (value.kind == obs::json::Value::Kind::kString) {
+        if (!clock_model_kind_from_string(value.string)) {
+          return fail(at_line(value) + "unknown clock model '" + value.string +
+                      "' (have: none, temp-ramp, aging, random-walk)");
+        }
+        args.push_back("--clock-model");
+        args.push_back(value.string);
+        continue;
+      }
+      if (!value.is_object()) {
+        return fail(at_line(value) +
+                    "config key 'clock-model' must be a kind string or an "
+                    "object {kind, period, ...}");
+      }
+      for (const auto& [ckey, cvalue] : value.object) {
+        if (!clock_model_param_key_known(ckey)) {
+          return fail(at_line(cvalue) + "unknown config key 'clock-model." +
+                      ckey + "'");
+        }
+      }
+      args.push_back("--clock-model-params");
+      args.push_back(obs::json::dump(value));
       continue;
     }
     if (key == "attack") {

@@ -48,11 +48,30 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "clock/drift_model.h"
 #include "obs/json.h"
 
 namespace sstsp::run {
+
+/// Clock-stressor kind by config/CLI name ("none", "temp-ramp", "aging",
+/// "random-walk"); nullopt for unknown names.
+[[nodiscard]] std::optional<clk::DriftStressKind> clock_model_kind_from_string(
+    std::string_view name);
+
+/// Is `key` valid inside the nested "clock-model" config block?
+[[nodiscard]] bool clock_model_param_key_known(std::string_view key);
+
+/// Applies a parsed "clock-model" JSON object (or kind string) onto
+/// `stress`: {"kind": "temp-ramp", "period": 1, "ramp-ppm-per-s": 0.5,
+/// "ramp-start": 0, "ramp-end": -1, "aging-ppm-per-day": 25,
+/// "walk-sigma-ppm": 0.25}.  Unknown or ill-typed keys fail with the nested
+/// path in *error.
+[[nodiscard]] bool apply_clock_model_json(const obs::json::Value& value,
+                                          clk::DriftStress* stress,
+                                          std::string* error);
 
 /// Which tool is consuming the config; selects the subset of the universal
 /// key schema that turns into flags (the rest is skipped, not rejected).

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "core/discipline.h"
 #include "obs/provenance.h"
 
 namespace sstsp::run {
@@ -83,6 +84,23 @@ void append_body(obs::json::Writer& w, const Scenario& scenario,
     append_protocol_stats(w, *result.attacker);
   } else {
     w.kv_null("attacker");
+  }
+
+  // Additive: only emitted for non-default disciplines so that runs using
+  // the paper solver keep byte-identical summaries (bit-compatibility
+  // contract, see core/discipline.h).
+  if (scenario.sstsp.discipline.effective_name() != "paper") {
+    w.key("discipline").begin_object();
+    w.kv("name", scenario.sstsp.discipline.effective_name());
+    w.key("verdicts").begin_object();
+    const auto names = core::discipline_verdict_names();
+    for (std::size_t v = 0;
+         v < names.size() && v < result.honest.discipline_verdicts.size();
+         ++v) {
+      w.kv(names[v], result.honest.discipline_verdicts[v]);
+    }
+    w.end_object();
+    w.end_object();
   }
 
   if (result.net) {

@@ -52,6 +52,14 @@ Network::Network(const Scenario& scenario)
     instruments_ = std::make_unique<obs::Instruments>(registry_);
     sim_.set_instruments(instruments_.get());
     channel_.set_instruments(instruments_.get());
+    if (scenario_.sstsp.discipline.effective_name() != "paper") {
+      // Per-verdict counters only for non-default disciplines: the default
+      // path's registry snapshot (and with it the seeded run JSON) must
+      // stay byte-identical (DESIGN.md §14).
+      instruments_->enable_discipline(
+          scenario_.sstsp.discipline.effective_name(),
+          core::discipline_verdict_names());
+    }
   }
   if (scenario_.profile) {
     profiler_ = std::make_unique<obs::Profiler>();
@@ -449,6 +457,36 @@ void Network::schedule_environment() {
                  [this, idx] { stations_[idx]->power_on(); });
     });
   }
+
+  schedule_clock_stress();
+}
+
+void Network::schedule_clock_stress() {
+  // Oscillator stressors (clock/drift_model.h): periodic per-honest-node
+  // frequency deltas via inject_clock_fault, so phase stays continuous.
+  if (!scenario_.clock_stress.enabled()) return;
+  const auto honest_count = std::min(stations_.size(), attacker_index_);
+  auto stressors = std::make_shared<std::vector<clk::DriftStressor>>();
+  stressors->reserve(honest_count);
+  for (std::size_t i = 0; i < honest_count; ++i) {
+    stressors->emplace_back(scenario_.clock_stress,
+                            sim_.substream("clock-stress", i));
+  }
+  const double dt_s = scenario_.clock_stress.period_s;
+  const auto period = sim::SimTime::from_sec_double(dt_s);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, stressors, dt_s, period, tick, honest_count] {
+    const double t_s = sim_.now().to_sec();
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      const double delta = (*stressors)[i].step_delta_ppm(t_s, dt_s);
+      if (delta != 0.0) stations_[i]->inject_clock_fault(0.0, delta);
+    }
+    if (sim_.now() + period <=
+        sim::SimTime::from_sec_double(scenario_.duration_s)) {
+      sim_.after(period, *tick);
+    }
+  };
+  sim_.at(period, *tick);
 }
 
 void Network::schedule_sampling() {
@@ -684,6 +722,9 @@ proto::ProtocolStats Network::honest_stats() const {
     agg.demotions += s.demotions;
     agg.coarse_steps += s.coarse_steps;
     agg.solver_rejections += s.solver_rejections;
+    for (std::size_t v = 0; v < agg.discipline_verdicts.size(); ++v) {
+      agg.discipline_verdicts[v] += s.discipline_verdicts[v];
+    }
   }
   return agg;
 }

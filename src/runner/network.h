@@ -133,6 +133,7 @@ class Network {
  private:
   void build_stations();
   void schedule_environment();
+  void schedule_clock_stress();
   void schedule_faults();
   void schedule_sampling();
   void sample_clock_spread();

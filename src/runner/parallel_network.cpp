@@ -75,6 +75,17 @@ ParallelNetwork::ParallelNetwork(const Scenario& scenario)
     }
     control_instruments_ =
         std::make_unique<obs::Instruments>(control_registry_);
+    if (scenario_.sstsp.discipline.effective_name() != "paper") {
+      // Same non-default-only rule as Network: the default registry
+      // snapshot must stay byte-identical across kernels.
+      for (auto& ins : instruments_) {
+        ins->enable_discipline(scenario_.sstsp.discipline.effective_name(),
+                               core::discipline_verdict_names());
+      }
+      control_instruments_->enable_discipline(
+          scenario_.sstsp.discipline.effective_name(),
+          core::discipline_verdict_names());
+    }
     // Note: unlike Network, no Instruments hook on the simulators — the
     // queue-depth histogram would describe per-shard queues and change
     // with the partition, breaking the any-shard-count bit-identity of
@@ -304,6 +315,33 @@ void ParallelNetwork::schedule_environment() {
           [this, idx] { stations_[idx]->power_on(); });
     });
   }
+
+  // Oscillator stressors: identical substream keying to Network so both
+  // kernels drive the same per-node frequency walk.
+  if (scenario_.clock_stress.enabled()) {
+    const auto honest_count = std::min(stations_.size(), attacker_index_);
+    auto stressors = std::make_shared<std::vector<clk::DriftStressor>>();
+    stressors->reserve(honest_count);
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      stressors->emplace_back(scenario_.clock_stress,
+                              control().substream("clock-stress", i));
+    }
+    const double dt_s = scenario_.clock_stress.period_s;
+    const auto period = sim::SimTime::from_sec_double(dt_s);
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, stressors, dt_s, period, tick, honest_count] {
+      const double t_s = control().now().to_sec();
+      for (std::size_t i = 0; i < honest_count; ++i) {
+        const double delta = (*stressors)[i].step_delta_ppm(t_s, dt_s);
+        if (delta != 0.0) stations_[i]->inject_clock_fault(0.0, delta);
+      }
+      if (control().now() + period <=
+          sim::SimTime::from_sec_double(scenario_.duration_s)) {
+        control().after(period, *tick);
+      }
+    };
+    control().at(period, *tick);
+  }
 }
 
 void ParallelNetwork::schedule_sampling() {
@@ -425,6 +463,9 @@ proto::ProtocolStats ParallelNetwork::honest_stats() const {
     agg.demotions += s.demotions;
     agg.coarse_steps += s.coarse_steps;
     agg.solver_rejections += s.solver_rejections;
+    for (std::size_t v = 0; v < agg.discipline_verdicts.size(); ++v) {
+      agg.discipline_verdicts[v] += s.discipline_verdicts[v];
+    }
   }
   return agg;
 }

@@ -9,6 +9,7 @@
 
 #include "attack/internal_reference.h"
 #include "attack/tsf_attacker.h"
+#include "clock/drift_model.h"
 #include "cluster/cluster_config.h"
 #include "core/sstsp_config.h"
 #include "fault/plan.h"
@@ -83,6 +84,12 @@ struct Scenario {
   /// Injected faults (fault/plan.h); empty = pristine environment.  The
   /// same plan drives the simulated channel and the live transports.
   fault::FaultPlan faults{};
+
+  /// Second-order oscillator stressor (clock/drift_model.h): temperature
+  /// ramp, aging, or random-walk frequency noise applied per honest node on
+  /// a periodic tick.  Disabled by default (the paper's constant-rate
+  /// model); enabling it perturbs the seeded event stream.
+  clk::DriftStress clock_stress{};
 
   /// Max-clock-difference sampling cadence.
   double sample_period_s = 0.1;

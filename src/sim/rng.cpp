@@ -1,6 +1,17 @@
 #include "sim/rng.h"
 
+#include <cmath>
+
 namespace sstsp::sim {
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; 1 - uniform() keeps u1 in (0, 1] so log() never sees zero.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+  return mean + stddev * mag;
+}
 
 std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
   const std::uint64_t range = hi - lo + 1;  // hi >= lo; range==0 means full

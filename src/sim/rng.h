@@ -67,6 +67,10 @@ class Rng {
   /// Bernoulli draw with success probability p.
   [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
 
+  /// Gaussian draw (Box-Muller).  Consumes two uniforms per call; callers
+  /// needing substream isolation should derive one via substream() first.
+  [[nodiscard]] double normal(double mean, double stddev);
+
   /// Derive an independent substream keyed by (label, index).  The label is
   /// hashed (FNV-1a) so call sites read as rng.substream("drift", node_id).
   [[nodiscard]] Rng substream(std::string_view label,

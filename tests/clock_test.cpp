@@ -134,5 +134,93 @@ TEST(AdjustedClock, MonotoneForPositiveSlope) {
   }
 }
 
+TEST(RngNormal, MomentsAndDeterminism) {
+  sim::Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+
+  sim::Rng a(99), b(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+  }
+}
+
+TEST(DriftStress, DisabledByDefault) {
+  DriftStress spec;
+  EXPECT_FALSE(spec.enabled());
+  spec.kind = DriftStressKind::kTempRamp;
+  EXPECT_TRUE(spec.enabled());
+  spec.period_s = 0.0;
+  EXPECT_FALSE(spec.enabled());
+}
+
+TEST(DriftStress, TempRampRespectsWindowAndSusceptibility) {
+  DriftStress spec;
+  spec.kind = DriftStressKind::kTempRamp;
+  spec.ramp_ppm_per_s = 2.0;
+  spec.ramp_start_s = 10.0;
+  spec.ramp_end_s = 20.0;
+  sim::Rng rng(5);
+  DriftStressor stressor(spec, rng.substream("clock-stress", 0));
+  EXPECT_GE(stressor.susceptibility(), -1.0);
+  EXPECT_LE(stressor.susceptibility(), 1.0);
+  // Outside the active window the ramp contributes nothing.
+  EXPECT_EQ(stressor.step_delta_ppm(5.0, 1.0), 0.0);
+  EXPECT_EQ(stressor.step_delta_ppm(25.0, 1.0), 0.0);
+  // Inside: susceptibility * rate * dt exactly.
+  EXPECT_DOUBLE_EQ(stressor.step_delta_ppm(15.0, 1.0),
+                   stressor.susceptibility() * 2.0);
+}
+
+TEST(DriftStress, TempRampEndNegativeMeansWholeRun) {
+  DriftStress spec;
+  spec.kind = DriftStressKind::kTempRamp;
+  spec.ramp_ppm_per_s = 1.0;
+  spec.ramp_end_s = -1.0;
+  sim::Rng rng(6);
+  DriftStressor stressor(spec, rng.substream("clock-stress", 3));
+  EXPECT_DOUBLE_EQ(stressor.step_delta_ppm(1e6, 1.0),
+                   stressor.susceptibility());
+}
+
+TEST(DriftStress, AgingIsMonotoneNonNegative) {
+  DriftStress spec;
+  spec.kind = DriftStressKind::kAging;
+  spec.aging_ppm_per_day = 86400.0;  // 1 ppm/s at susceptibility 1
+  sim::Rng rng(7);
+  DriftStressor stressor(spec, rng.substream("clock-stress", 1));
+  EXPECT_GE(stressor.susceptibility(), 0.0);
+  EXPECT_LE(stressor.susceptibility(), 1.0);
+  const double d = stressor.step_delta_ppm(100.0, 1.0);
+  EXPECT_GE(d, 0.0);
+  EXPECT_DOUBLE_EQ(d, stressor.susceptibility());
+}
+
+TEST(DriftStress, RandomWalkIsDeterministicPerSubstream) {
+  DriftStress spec;
+  spec.kind = DriftStressKind::kRandomWalk;
+  spec.walk_sigma_ppm = 0.5;
+  sim::Rng rng(9);
+  DriftStressor s1(spec, rng.substream("clock-stress", 2));
+  DriftStressor s2(spec, rng.substream("clock-stress", 2));
+  DriftStressor other(spec, rng.substream("clock-stress", 3));
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    const double a = s1.step_delta_ppm(i, 1.0);
+    EXPECT_EQ(a, s2.step_delta_ppm(i, 1.0));
+    if (a != other.step_delta_ppm(i, 1.0)) differs = true;
+  }
+  EXPECT_TRUE(differs);  // distinct nodes walk distinct paths
+}
+
 }  // namespace
 }  // namespace sstsp::clk

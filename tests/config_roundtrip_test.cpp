@@ -154,6 +154,83 @@ TEST(ConfigRoundTrip, SimArgsParseBackIntoScenarioWithPlan) {
   EXPECT_DOUBLE_EQ(cli->scenario.faults.node_faults[0].at_s, 30.0);
 }
 
+TEST(ConfigRoundTrip, DisciplineStringBecomesDisciplineFlag) {
+  const auto args = args_for(R"({"discipline": "rls"})", ConfigTool::kSim);
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0], "--discipline");
+  EXPECT_EQ(args[1], "rls");
+  // Accepted by every tool (the live stack runs disciplines too).
+  EXPECT_TRUE(has_flag(args_for(R"({"discipline": "rls"})", ConfigTool::kNode),
+                       "--discipline"));
+  EXPECT_TRUE(has_flag(
+      args_for(R"({"discipline": "rls"})", ConfigTool::kSwarm),
+      "--discipline"));
+}
+
+TEST(ConfigRoundTrip, DisciplineObjectRoundTripsIntoScenario) {
+  const auto args = args_for(
+      R"({"discipline": {"name": "rls", "window": 24, "forgetting": 0.9,
+                         "innovation-gate": 120, "span": 8}})",
+      ConfigTool::kSim);
+  ASSERT_TRUE(has_flag(args, "--discipline-params"));
+  std::string error;
+  const auto cli = parse_cli(args, &error);
+  ASSERT_TRUE(cli.has_value()) << error;
+  EXPECT_EQ(cli->scenario.sstsp.discipline.name, "rls");
+  EXPECT_EQ(cli->scenario.sstsp.discipline.window_bps, 24);
+  EXPECT_DOUBLE_EQ(cli->scenario.sstsp.discipline.forgetting, 0.9);
+  EXPECT_DOUBLE_EQ(cli->scenario.sstsp.discipline.innovation_gate_us, 120.0);
+  EXPECT_EQ(cli->scenario.sstsp.solver_span_bps, 8);
+}
+
+TEST(ConfigRoundTrip, DisciplineUnknownNestedKeyNamesPath) {
+  const std::string json =
+      "{\n  \"discipline\": {\n  \"name\": \"rls\",\n  \"lambda\": 0.9\n}\n}";
+  const auto root = obs::json::parse(json);
+  ASSERT_TRUE(root.has_value());
+  std::string error;
+  EXPECT_FALSE(config_to_args(*root, ConfigTool::kSim, &error).has_value());
+  EXPECT_NE(error.find("discipline.lambda"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+}
+
+TEST(ConfigRoundTrip, ClockModelRoundTripsIntoScenario) {
+  const auto args = args_for(
+      R"({"clock-model": {"kind": "temp-ramp", "period": 0.5,
+                          "ramp-ppm-per-s": 1.5, "ramp-start": 10}})",
+      ConfigTool::kSim);
+  std::string error;
+  const auto cli = parse_cli(args, &error);
+  ASSERT_TRUE(cli.has_value()) << error;
+  EXPECT_EQ(cli->scenario.clock_stress.kind, clk::DriftStressKind::kTempRamp);
+  EXPECT_DOUBLE_EQ(cli->scenario.clock_stress.period_s, 0.5);
+  EXPECT_DOUBLE_EQ(cli->scenario.clock_stress.ramp_ppm_per_s, 1.5);
+  EXPECT_DOUBLE_EQ(cli->scenario.clock_stress.ramp_start_s, 10.0);
+  EXPECT_TRUE(cli->scenario.clock_stress.enabled());
+
+  // Sim-only: node and swarm skip it rather than reject it.
+  EXPECT_TRUE(
+      args_for(R"({"clock-model": "aging"})", ConfigTool::kNode).empty());
+  EXPECT_TRUE(
+      args_for(R"({"clock-model": "aging"})", ConfigTool::kSwarm).empty());
+}
+
+TEST(ConfigRoundTrip, ClockModelUnknownKindAndKeyAreErrors) {
+  std::string error;
+  const auto bad_kind = obs::json::parse(R"({"clock-model": "quartz-fire"})");
+  ASSERT_TRUE(bad_kind.has_value());
+  EXPECT_FALSE(
+      config_to_args(*bad_kind, ConfigTool::kSim, &error).has_value());
+  EXPECT_NE(error.find("quartz-fire"), std::string::npos) << error;
+
+  const auto bad_key =
+      obs::json::parse(R"({"clock-model": {"kind": "aging", "rate": 1}})");
+  ASSERT_TRUE(bad_key.has_value());
+  EXPECT_FALSE(
+      config_to_args(*bad_key, ConfigTool::kSim, &error).has_value());
+  EXPECT_NE(error.find("clock-model.rate"), std::string::npos) << error;
+}
+
 TEST(ConfigRoundTrip, DumpParseDumpIsAFixpoint) {
   const auto root = obs::json::parse(kUniversalConfig);
   ASSERT_TRUE(root.has_value());

@@ -43,7 +43,7 @@ TEST(Adjustment, SatisfiesPaperConstraints) {
   sim::Rng rng(31);
   for (int trial = 0; trial < 2000; ++trial) {
     const SolveInputs in = random_inputs(rng);
-    const SolveOutcome out = solve_adjustment(in.prev, in.t_now, in.newest,
+    const DisciplineResult out = solve_adjustment(in.prev, in.t_now, in.newest,
                                               in.older, in.target, cfg());
     ASSERT_TRUE(out.params.has_value()) << "trial " << trial;
     const ClockParams& kb = *out.params;
@@ -67,7 +67,7 @@ TEST(Adjustment, MatchesPaperClosedForm) {
   sim::Rng rng(32);
   for (int trial = 0; trial < 2000; ++trial) {
     const SolveInputs in = random_inputs(rng);
-    const SolveOutcome out = solve_adjustment(in.prev, in.t_now, in.newest,
+    const DisciplineResult out = solve_adjustment(in.prev, in.t_now, in.newest,
                                               in.older, in.target, cfg());
     ASSERT_TRUE(out.params.has_value());
     const double k_paper =
@@ -85,12 +85,12 @@ TEST(Adjustment, RejectsNonIncreasingSamples) {
   const auto out =
       solve_adjustment(ClockParams{}, 2.2e6, same_ts, a, 2.5e6, cfg());
   EXPECT_FALSE(out.params.has_value());
-  EXPECT_EQ(out.reason, SolveRejection::kNonIncreasingSamples);
+  EXPECT_EQ(out.verdict, DisciplineVerdict::kNonIncreasingSamples);
 
   const RefSample ts_back{2.1e6, 1.9e6};
   const auto out2 =
       solve_adjustment(ClockParams{}, 2.2e6, ts_back, a, 2.5e6, cfg());
-  EXPECT_EQ(out2.reason, SolveRejection::kNonIncreasingSamples);
+  EXPECT_EQ(out2.verdict, DisciplineVerdict::kNonIncreasingSamples);
 }
 
 TEST(Adjustment, RejectsTargetBehindNow) {
@@ -100,7 +100,7 @@ TEST(Adjustment, RejectsTargetBehindNow) {
   const auto out =
       solve_adjustment(ClockParams{}, 1.2e6, newest, older, 1.1e6, cfg());
   EXPECT_FALSE(out.params.has_value());
-  EXPECT_EQ(out.reason, SolveRejection::kTargetNotAhead);
+  EXPECT_EQ(out.verdict, DisciplineVerdict::kTargetNotAhead);
 }
 
 TEST(Adjustment, RejectsWildSlope) {
@@ -112,7 +112,7 @@ TEST(Adjustment, RejectsWildSlope) {
   const auto out =
       solve_adjustment(way_off, 1.15e6, newest, older, 1.2e6, cfg());
   EXPECT_FALSE(out.params.has_value());
-  EXPECT_EQ(out.reason, SolveRejection::kSlopeOutOfRange);
+  EXPECT_EQ(out.verdict, DisciplineVerdict::kSlopeOutOfRange);
 }
 
 TEST(Adjustment, PerfectlySyncedStaysPut) {

@@ -134,6 +134,56 @@ TEST(Cli, MonitorFlag) {
   EXPECT_TRUE(strict->monitor_strict);
 }
 
+TEST(Cli, DisciplineFlags) {
+  EXPECT_EQ(parse({})->scenario.sstsp.discipline.effective_name(), "paper");
+  const auto rls = parse({"--discipline", "rls"});
+  ASSERT_TRUE(rls.has_value());
+  EXPECT_EQ(rls->scenario.sstsp.discipline.name, "rls");
+
+  const auto params = parse(
+      {"--discipline-params",
+       R"({"name":"rls","window":20,"forgetting":0.9})"});
+  ASSERT_TRUE(params.has_value());
+  EXPECT_EQ(params->scenario.sstsp.discipline.name, "rls");
+  EXPECT_EQ(params->scenario.sstsp.discipline.window_bps, 20);
+  EXPECT_DOUBLE_EQ(params->scenario.sstsp.discipline.forgetting, 0.9);
+
+  std::string err;
+  EXPECT_FALSE(parse({"--discipline", "kalman"}, &err).has_value());
+  EXPECT_NE(err.find("unknown discipline"), std::string::npos);
+  EXPECT_NE(err.find("holdover"), std::string::npos);  // lists valid names
+  EXPECT_FALSE(
+      parse({"--discipline-params", "{not json"}, &err).has_value());
+  EXPECT_FALSE(
+      parse({"--discipline-params", R"({"bogus":1})"}, &err).has_value());
+  EXPECT_NE(err.find("discipline.bogus"), std::string::npos);
+}
+
+TEST(Cli, ClockModelFlags) {
+  EXPECT_FALSE(parse({})->scenario.clock_stress.enabled());
+  const auto ramp = parse({"--clock-model", "temp-ramp"});
+  ASSERT_TRUE(ramp.has_value());
+  EXPECT_EQ(ramp->scenario.clock_stress.kind,
+            clk::DriftStressKind::kTempRamp);
+  EXPECT_TRUE(ramp->scenario.clock_stress.enabled());
+
+  const auto walk = parse(
+      {"--clock-model-params",
+       R"({"kind":"random-walk","walk-sigma-ppm":0.5,"period":0.25})"});
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->scenario.clock_stress.kind,
+            clk::DriftStressKind::kRandomWalk);
+  EXPECT_DOUBLE_EQ(walk->scenario.clock_stress.walk_sigma_ppm, 0.5);
+  EXPECT_DOUBLE_EQ(walk->scenario.clock_stress.period_s, 0.25);
+
+  std::string err;
+  EXPECT_FALSE(parse({"--clock-model", "sundial"}, &err).has_value());
+  EXPECT_NE(err.find("unknown clock model"), std::string::npos);
+  EXPECT_FALSE(
+      parse({"--clock-model-params", R"({"bogus":1})"}, &err).has_value());
+  EXPECT_NE(err.find("clock-model.bogus"), std::string::npos);
+}
+
 TEST(Cli, UnknownTraceKindListsEveryValidName) {
   std::string err;
   EXPECT_FALSE(parse({"--trace-kind", "bogus"}, &err).has_value());

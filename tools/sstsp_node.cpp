@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/discipline.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "fault/transport.h"
@@ -127,6 +128,10 @@ protocol:
                         as in sstsp_sim (chain defaults sized to
                         epoch-elapsed + duration)
   --reference           boot directly in the reference role
+  --discipline NAME     clock discipline: paper (default) | rls | holdover
+  --discipline-params JSON
+                        discipline overrides (same keys as the config
+                        "discipline" block; see sstsp_sim --help)
 
 faults:
   --faults PATH         fault plan (JSON; same format as sstsp_sim) —
@@ -322,6 +327,24 @@ std::optional<NodeCli> parse_args(const std::vector<std::string>& args,
       }
       cli.node.sstsp.chain_length = static_cast<std::size_t>(n);
       cli.chain_set = true;
+    } else if (arg == "--discipline") {
+      if (!next(&v)) return fail("--discipline needs a name");
+      if (!sstsp::core::discipline_known(v)) {
+        return fail("unknown discipline: " + v +
+                    " (known: paper, rls, holdover)");
+      }
+      cli.node.sstsp.discipline.name = v;
+    } else if (arg == "--discipline-params") {
+      if (!next(&v)) return fail("--discipline-params needs a JSON object");
+      const auto parsed = sstsp::obs::json::parse(v);
+      if (!parsed) {
+        return fail("--discipline-params is not valid JSON: " + v);
+      }
+      std::string dsc_error;
+      if (!sstsp::core::apply_discipline_json(*parsed, &cli.node.sstsp,
+                                              &dsc_error)) {
+        return fail("--discipline-params: " + dsc_error);
+      }
     } else if (arg == "--reference") {
       cli.node.start_as_reference = true;
     } else if (arg == "--faults") {

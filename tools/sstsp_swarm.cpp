@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/discipline.h"
 #include "fault/plan.h"
 #include "metrics/report.h"
 #include "net/swarm.h"
@@ -99,6 +100,10 @@ protocol:
   --initial-offset US   emulated initial offset bound (default 112)
   --preestablished      node 0 boots as the reference
   --sample-period S     max-offset sampling cadence (default 0.1)
+  --discipline NAME     clock discipline: paper (default) | rls | holdover
+  --discipline-params JSON
+                        discipline overrides (same keys as the config
+                        "discipline" block; see sstsp_sim --help)
 
 faults:
   --faults PATH         load a fault plan (JSON; same format as sstsp_sim):
@@ -264,6 +269,24 @@ std::optional<SwarmCli> parse_args(const std::vector<std::string>& args,
       }
       cli.swarm.sstsp.chain_length = static_cast<std::size_t>(n);
       chain_set = true;
+    } else if (arg == "--discipline") {
+      if (!next(&v)) return fail("--discipline needs a name");
+      if (!sstsp::core::discipline_known(v)) {
+        return fail("unknown discipline: " + v +
+                    " (known: paper, rls, holdover)");
+      }
+      cli.swarm.sstsp.discipline.name = v;
+    } else if (arg == "--discipline-params") {
+      if (!next(&v)) return fail("--discipline-params needs a JSON object");
+      const auto parsed = sstsp::obs::json::parse(v);
+      if (!parsed) {
+        return fail("--discipline-params is not valid JSON: " + v);
+      }
+      std::string dsc_error;
+      if (!sstsp::core::apply_discipline_json(*parsed, &cli.swarm.sstsp,
+                                              &dsc_error)) {
+        return fail("--discipline-params: " + dsc_error);
+      }
     } else if (arg == "--max-drift") {
       if (!next(&v) || !parse_double(v, &d) || d < 0) {
         return fail("--max-drift needs a value in ppm");
